@@ -1,0 +1,97 @@
+// Reproduces Figure 6: representational power (training accuracy vs epoch)
+// of the deep map models vs their corresponding graph kernels on SYNTHIE.
+//
+// The kernels appear as flat lines (their SVM training accuracy has no
+// epoch axis); the deep maps should climb well above them.
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/kernel_svm.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "eval/experiment.h"
+
+namespace {
+
+// Training-accuracy curve of one DEEPMAP variant fit on the whole dataset.
+std::vector<double> DeepMapTrainCurve(const deepmap::graph::GraphDataset& ds,
+                                      deepmap::kernels::FeatureMapKind kind,
+                                      const deepmap::eval::BenchOptions& options) {
+  using namespace deepmap;
+  core::DeepMapConfig config = eval::DefaultDeepMapConfig(kind, options);
+  core::DeepMapPipeline pipeline(ds, config);
+  core::DeepMapModel model(pipeline.feature_dim(), pipeline.sequence_length(),
+                           pipeline.num_classes(), config);
+  nn::TrainHistory history =
+      nn::TrainClassifier(model, pipeline.inputs(), ds.labels(), config.train);
+  std::vector<double> curve;
+  for (const auto& e : history.epochs) curve.push_back(100.0 * e.accuracy);
+  return curve;
+}
+
+// SVM training accuracy of one kernel (flat line).
+double KernelTrainAccuracy(const deepmap::graph::GraphDataset& ds,
+                           deepmap::kernels::FeatureMapKind kind,
+                           const deepmap::eval::BenchOptions& options) {
+  using namespace deepmap;
+  auto maps = kernels::ComputeGraphFeatureMaps(
+      ds, eval::DefaultFeatureConfig(kind, options));
+  auto gram = kernels::GramMatrix(maps, true);
+  std::vector<int> all(ds.size());
+  for (int i = 0; i < ds.size(); ++i) all[i] = i;
+  baselines::KernelSvm svm;
+  baselines::SvmConfig svm_config;
+  svm_config.c = 10.0;
+  svm.Train(gram, ds.labels(), all, svm_config);
+  return 100.0 * svm.Evaluate(gram, ds.labels(), all);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deepmap;
+  eval::BenchOptions options = eval::BenchOptions::FromArgs(argc, argv);
+  if (!options.full) {
+    options.epochs = 15;
+    options.max_dense_dim = 64;
+  }
+  options.PrintBanner(
+      "Figure 6: representational power, deep maps vs kernels (SYNTHIE)");
+
+  auto ds = datasets::MakeDataset("SYNTHIE", options.dataset_options());
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> header{"Epoch"};
+  std::vector<std::vector<double>> curves;
+  std::vector<double> flats;
+  for (auto kind : {kernels::FeatureMapKind::kGraphlet,
+                    kernels::FeatureMapKind::kShortestPath,
+                    kernels::FeatureMapKind::kWlSubtree}) {
+    std::string kn = kernels::FeatureMapKindName(kind);
+    std::fprintf(stderr, "[fig6] DEEPMAP-%s ...\n", kn.c_str());
+    header.push_back("DEEPMAP-" + kn);
+    curves.push_back(DeepMapTrainCurve(ds.value(), kind, options));
+    std::fprintf(stderr, "[fig6] kernel %s ...\n", kn.c_str());
+    header.push_back(kn);
+    flats.push_back(KernelTrainAccuracy(ds.value(), kind, options));
+  }
+
+  Table table(header);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<std::string> row{std::to_string(epoch + 1)};
+    for (size_t k = 0; k < curves.size(); ++k) {
+      row.push_back(FormatDouble(
+          epoch < static_cast<int>(curves[k].size()) ? curves[k][epoch] : 0,
+          2));
+      row.push_back(FormatDouble(flats[k], 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf("\nPaper shape: deep map curves climb far above the flat "
+              "kernel lines; DEEPMAP-WL/SP converge faster than -GK.\n");
+  return 0;
+}

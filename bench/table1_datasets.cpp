@@ -1,0 +1,49 @@
+// Reproduces Table 1: statistics of the benchmark datasets.
+//
+// Prints the generated (synthetic stand-in) statistics next to the paper's
+// reference values. Run with --full to generate paper-sized datasets; the
+// default generates scaled-down counts (per-graph statistics are unaffected
+// by the count).
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "datasets/registry.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace deepmap;
+  eval::BenchOptions options = eval::BenchOptions::FromArgs(argc, argv);
+  options.PrintBanner("Table 1: dataset statistics (measured vs paper)");
+
+  Table table({"Dataset", "Size", "Size*", "Class#", "Class#*", "AvgNode",
+               "AvgNode*", "AvgEdge", "AvgEdge*", "Label#", "Label#*"});
+  for (const auto& spec : datasets::PaperDatasets()) {
+    datasets::DatasetOptions ds_options = options.dataset_options();
+    ds_options.degrees_as_labels = false;  // report N/A like the paper
+    auto ds = datasets::MakeDataset(spec.name, ds_options);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    graph::DatasetStats stats = ds.value().Stats();
+    table.AddRow({spec.name, std::to_string(stats.size),
+                  std::to_string(spec.size), std::to_string(stats.num_classes),
+                  std::to_string(spec.num_classes),
+                  FormatDouble(stats.avg_vertices, 2),
+                  FormatDouble(spec.avg_vertices, 2),
+                  FormatDouble(stats.avg_edges, 2),
+                  FormatDouble(spec.avg_edges, 2),
+                  stats.has_vertex_labels
+                      ? std::to_string(stats.num_vertex_labels)
+                      : "N/A",
+                  spec.label_count < 0 ? "N/A"
+                                       : std::to_string(spec.label_count)});
+  }
+  std::printf("(columns marked * are the paper's Table 1 values; generated "
+              "Size is scaled unless --full)\n\n");
+  table.Print(std::cout);
+  return 0;
+}

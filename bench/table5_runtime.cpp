@@ -1,0 +1,56 @@
+// Reproduces Table 5: mean wall-clock runtime per training epoch of DEEPMAP
+// and the GNN baselines. Absolute values differ from the paper (single CPU
+// core here vs a 32-core server + RTX 2080 there); the shape to check is
+// relative cost across methods and datasets.
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/paper_reference.h"
+
+int main(int argc, char** argv) {
+  using namespace deepmap;
+  eval::BenchOptions options = eval::BenchOptions::FromArgs(argc, argv);
+  // Runtime measurement needs few epochs; override unless --full.
+  if (!options.full) {
+    options.epochs = 3;
+    options.folds = 2;
+  }
+  options.PrintBanner("Table 5: runtime per epoch (ms)");
+
+  const std::vector<std::string> default_datasets{"KKI", "PTC_MR"};
+  const auto selected = options.SelectedDatasets(default_datasets);
+
+  Table table({"Dataset", "Method", "Measured(ms)", "Paper(ms)"});
+  for (const std::string& name : selected) {
+    auto ds = datasets::MakeDataset(name, options.dataset_options());
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    auto add = [&](const std::string& method, double ms) {
+      auto paper = eval::PaperTable5Ms(name, method);
+      table.AddRow({name, method, FormatDouble(ms, 1),
+                    paper.has_value() ? FormatDouble(*paper, 1) : "N/A"});
+    };
+    std::fprintf(stderr, "[table5] %s ...\n", name.c_str());
+    add("DEEPMAP",
+        eval::RunDeepMap(ds.value(), kernels::FeatureMapKind::kWlSubtree,
+                         options)
+            .mean_epoch_ms);
+    for (auto kind : {eval::GnnKind::kDgcnn, eval::GnnKind::kGin,
+                      eval::GnnKind::kDcnn, eval::GnnKind::kPatchySan}) {
+      add(eval::GnnKindName(kind),
+          eval::RunGnn(ds.value(), kind, /*use_vertex_feature_maps=*/false,
+                       options)
+              .mean_epoch_ms);
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nNote: paper values measured on a 32-core Xeon + RTX 2080 "
+              "with full-size datasets; compare ratios, not absolutes.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: build a small labeled graph dataset, train DEEPMAP-WL, and
+// classify held-out graphs.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the whole public API surface: Graph construction, dataset
+// assembly, DeepMapConfig, the pipeline, and cross-validation.
+#include <cstdio>
+
+#include "core/deepmap.h"
+#include "eval/cross_validation.h"
+#include "graph/dataset.h"
+#include "graph/graph.h"
+
+using deepmap::Rng;
+using deepmap::core::DeepMapConfig;
+using deepmap::core::DeepMapPipeline;
+using deepmap::graph::Graph;
+using deepmap::graph::GraphDataset;
+
+namespace {
+
+// Two easily distinguishable families: 6-rings ("aromatic") and 6-chains
+// ("aliphatic"), with a couple of decorating atoms each.
+Graph MakeRingMolecule(Rng& rng) {
+  Graph g(6, /*label=*/0);  // carbon ring
+  for (int i = 0; i < 6; ++i) g.AddEdge(i, (i + 1) % 6);
+  int extras = rng.UniformInt(1, 3);
+  for (int e = 0; e < extras; ++e) {
+    auto v = g.AddVertex(/*label=*/1);  // substituent
+    g.AddEdge(v, static_cast<deepmap::graph::Vertex>(rng.Index(6)));
+  }
+  return g;
+}
+
+Graph MakeChainMolecule(Rng& rng) {
+  int n = rng.UniformInt(5, 8);
+  Graph g(n, /*label=*/0);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  auto v = g.AddVertex(/*label=*/1);
+  g.AddEdge(v, 0);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Assemble a dataset: 30 molecules per class.
+  Rng rng(7);
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    graphs.push_back(MakeRingMolecule(rng));
+    labels.push_back(0);
+    graphs.push_back(MakeChainMolecule(rng));
+    labels.push_back(1);
+  }
+  GraphDataset dataset("molecules", std::move(graphs), std::move(labels));
+  std::printf("dataset: %d graphs, %d classes, w=%d vertices max\n",
+              dataset.size(), dataset.NumClasses(), dataset.MaxVertices());
+
+  // 2. Configure DEEPMAP: WL subtree vertex feature maps, receptive field 4.
+  DeepMapConfig config;
+  config.features.kind = deepmap::kernels::FeatureMapKind::kWlSubtree;
+  config.features.wl.iterations = 2;
+  config.receptive_field_size = 4;
+  config.train.epochs = 20;
+  config.train.batch_size = 8;
+
+  // 3. The pipeline computes feature maps and CNN inputs once.
+  DeepMapPipeline pipeline(dataset, config);
+  std::printf("vertex feature dimension m=%d (vocabulary %zu)\n",
+              pipeline.feature_dim(), pipeline.features().vocabulary_size());
+
+  // 4. 5-fold cross-validation.
+  auto cv = deepmap::eval::CrossValidate(
+      dataset.labels(), /*num_folds=*/5, /*seed=*/42,
+      [&](const deepmap::eval::FoldSplit& split, int fold) {
+        auto result = pipeline.RunFold(split.train_indices,
+                                       split.test_indices, 100 + fold);
+        std::printf("  fold %d: train acc %.1f%%, test acc %.1f%%\n", fold,
+                    100.0 * result.history.final_accuracy(),
+                    100.0 * result.test_accuracy);
+        return result.test_accuracy;
+      });
+  std::printf("DEEPMAP-WL accuracy: %.2f%% +- %.2f%%\n", cv.mean_accuracy,
+              cv.stddev);
+  return cv.mean_accuracy > 80.0 ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Domain example: classifying ego networks (the paper's IMDB workloads).
+//
+// Unlabeled collaboration graphs get degree labels (the paper's rule), then
+// three methods compete: the graphlet kernel, DEEPMAP-GK, and the GIN
+// baseline. Also demonstrates the graphlet catalog API.
+//
+//   $ ./build/examples/social_networks
+#include <cstdio>
+
+#include "baselines/gin.h"
+#include "baselines/kernel_svm.h"
+#include "core/deepmap.h"
+#include "datasets/registry.h"
+#include "eval/cross_validation.h"
+#include "kernels/graphlet.h"
+
+using namespace deepmap;
+
+int main() {
+  // Graphlet catalog: the paper's Figure 1 shows the 4 size-3 graphlets.
+  const kernels::GraphletCatalog& catalog = kernels::GetGraphletCatalog(3);
+  std::printf("size-3 graphlet catalog (%d types):\n", catalog.size());
+  for (int i = 0; i < catalog.size(); ++i) {
+    std::printf("  G%d^(3): %d edges\n", i + 1,
+                catalog.Exemplar(i).NumEdges());
+  }
+
+  datasets::DatasetOptions options;
+  options.scale = 0.08;
+  options.min_graphs = 80;
+  auto dataset_or = datasets::MakeDataset("IMDB-BINARY", options);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  const graph::GraphDataset& dataset = dataset_or.value();
+  std::printf("\nIMDB-BINARY-like: %d ego networks (degrees as labels)\n",
+              dataset.size());
+
+  // Graphlet kernel + SVM.
+  kernels::VertexFeatureConfig gk;
+  gk.kind = kernels::FeatureMapKind::kGraphlet;
+  gk.graphlet.k = 4;
+  gk.graphlet.samples_per_vertex = 20;
+  auto kernel_cv = baselines::GraphKernelBaseline(dataset, gk, 3, 42);
+  std::printf("GK + SVM   : %.2f%% +- %.2f%%\n", kernel_cv.mean_accuracy,
+              kernel_cv.stddev);
+
+  // DEEPMAP-GK.
+  core::DeepMapConfig config;
+  config.features = gk;
+  config.receptive_field_size = 5;
+  config.train.epochs = 20;
+  config.train.batch_size = 8;
+  core::DeepMapPipeline pipeline(dataset, config);
+  auto deep_cv = eval::CrossValidate(
+      dataset.labels(), 3, 42,
+      [&](const eval::FoldSplit& split, int fold) {
+        return pipeline
+            .RunFold(split.train_indices, split.test_indices, 100 + fold)
+            .test_accuracy;
+      });
+  std::printf("DEEPMAP-GK : %.2f%% +- %.2f%%\n", deep_cv.mean_accuracy,
+              deep_cv.stddev);
+
+  // GIN baseline on one-hot degree labels.
+  baselines::VertexFeatureProvider provider =
+      baselines::OneHotProvider(dataset);
+  auto samples = baselines::BuildGinSamples(dataset, provider);
+  auto gin_cv = eval::CrossValidate(
+      dataset.labels(), 3, 42,
+      [&](const eval::FoldSplit& split, int fold) {
+        baselines::GinConfig gin_config;
+        gin_config.seed = 100 + fold;
+        baselines::GinModel model(provider.dim, dataset.NumClasses(),
+                                  gin_config);
+        std::vector<baselines::GinSample> train_s, test_s;
+        std::vector<int> train_y, test_y;
+        for (int i : split.train_indices) {
+          train_s.push_back(samples[i]);
+          train_y.push_back(dataset.label(i));
+        }
+        for (int i : split.test_indices) {
+          test_s.push_back(samples[i]);
+          test_y.push_back(dataset.label(i));
+        }
+        nn::TrainConfig train;
+        train.epochs = 20;
+        train.batch_size = 8;
+        train.seed = 200 + fold;
+        nn::TrainClassifier(model, train_s, train_y, train);
+        return nn::EvaluateAccuracy(model, test_s, test_y);
+      });
+  std::printf("GIN        : %.2f%% +- %.2f%%\n", gin_cv.mean_accuracy,
+              gin_cv.stddev);
+  return 0;
+}

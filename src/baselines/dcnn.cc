@@ -1,0 +1,85 @@
+#include "baselines/dcnn.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/dropout.h"
+
+namespace deepmap::baselines {
+
+std::vector<DcnnSample> BuildDcnnSamples(const graph::GraphDataset& dataset,
+                                         const VertexFeatureProvider& provider,
+                                         int num_hops) {
+  DEEPMAP_CHECK_GE(num_hops, 0);
+  std::vector<DcnnSample> samples;
+  samples.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    nn::Tensor x = VertexFeatureTensor(dataset, provider, g);
+    const int n = x.dim(0);
+    const int m = x.dim(1);
+    nn::Tensor diffused({num_hops + 1, m});
+    const nn::GraphOp p = nn::GraphOp::Transition(dataset.graph(g));
+    nn::Tensor current = x;  // P^0 X
+    for (int h = 0; h <= num_hops; ++h) {
+      for (int c = 0; c < m; ++c) {
+        double mean = 0.0;
+        for (int v = 0; v < n; ++v) mean += current.at(v, c);
+        diffused.at(h, c) = static_cast<float>(mean / n);
+      }
+      if (h < num_hops) current = p.Apply(current);
+    }
+    samples.push_back(DcnnSample{std::move(diffused)});
+  }
+  return samples;
+}
+
+DcnnModel::DcnnModel(int feature_dim, int num_hops, int num_classes,
+                     const DcnnConfig& config)
+    : rng_(config.seed),
+      feature_dim_(feature_dim),
+      num_hops_(num_hops),
+      hop_weights_({num_hops + 1, feature_dim}),
+      hop_weights_grad_({num_hops + 1, feature_dim}) {
+  // DCNN initializes the diffusion weights near one (identity-ish gating).
+  for (int i = 0; i < hop_weights_.NumElements(); ++i) {
+    hop_weights_.data()[i] = 1.0f + static_cast<float>(rng_.Normal(0, 0.1));
+  }
+  const int flat = (num_hops + 1) * feature_dim;
+  head_.Emplace<nn::Dense>(flat, config.dense_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.dense_units, num_classes, rng_);
+}
+
+nn::Tensor DcnnModel::Forward(const DcnnSample& sample, bool training) {
+  DEEPMAP_CHECK_EQ(sample.diffused.dim(0), num_hops_ + 1);
+  DEEPMAP_CHECK_EQ(sample.diffused.dim(1), feature_dim_);
+  cached_diffused_ = sample.diffused;
+  cached_pre_ = sample.diffused;
+  for (int i = 0; i < cached_pre_.NumElements(); ++i) {
+    cached_pre_.data()[i] *= hop_weights_.data()[i];
+  }
+  nn::Tensor z = cached_pre_;
+  for (int i = 0; i < z.NumElements(); ++i) {
+    if (z.data()[i] < 0.0f) z.data()[i] = 0.0f;
+  }
+  return head_.Forward(z.Reshaped({z.NumElements()}), training);
+}
+
+void DcnnModel::Backward(const nn::Tensor& grad_logits) {
+  nn::Tensor grad_flat = head_.Backward(grad_logits);
+  nn::Tensor grad_z = grad_flat.Reshaped({num_hops_ + 1, feature_dim_});
+  for (int i = 0; i < grad_z.NumElements(); ++i) {
+    if (cached_pre_.data()[i] <= 0.0f) grad_z.data()[i] = 0.0f;  // ReLU
+    hop_weights_grad_.data()[i] +=
+        grad_z.data()[i] * cached_diffused_.data()[i];
+  }
+}
+
+std::vector<nn::Param> DcnnModel::Params() {
+  std::vector<nn::Param> params{{&hop_weights_, &hop_weights_grad_}};
+  std::vector<nn::Param> head_params = head_.Params();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace deepmap::baselines

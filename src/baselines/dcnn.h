@@ -1,0 +1,62 @@
+// DCNN baseline (Atwood & Towsley, NeurIPS 2016): diffusion-convolutional
+// neural network. Vertex features are diffused over hop-powers of the
+// random-walk transition matrix; per-hop elementwise weights + nonlinearity
+// produce the diffusion representation, mean-pooled for graph
+// classification.
+#ifndef DEEPMAP_BASELINES_DCNN_H_
+#define DEEPMAP_BASELINES_DCNN_H_
+
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+
+namespace deepmap::baselines {
+
+/// DCNN hyperparameters.
+struct DcnnConfig {
+  /// Number of diffusion hops H (powers P^0..P^H).
+  int num_hops = 3;
+  int dense_units = 64;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One training sample: the mean-pooled diffused features
+/// D[h][c] = (1/n) sum_v (P^h X)[v][c], shape [(H+1), m].
+struct DcnnSample {
+  nn::Tensor diffused;  // [(H+1), m]
+};
+
+/// Builds DCNN samples (precomputes transition powers per graph).
+std::vector<DcnnSample> BuildDcnnSamples(const graph::GraphDataset& dataset,
+                                         const VertexFeatureProvider& provider,
+                                         int num_hops);
+
+/// The DCNN network; Model concept with Sample = DcnnSample.
+/// Z = ReLU(W (.) D) with elementwise weights W of shape [(H+1), m],
+/// followed by a dense classifier on the flattened Z.
+class DcnnModel {
+ public:
+  DcnnModel(int feature_dim, int num_hops, int num_classes,
+            const DcnnConfig& config);
+
+  nn::Tensor Forward(const DcnnSample& sample, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  int feature_dim_;
+  int num_hops_;
+  nn::Tensor hop_weights_;  // [(H+1), m]
+  nn::Tensor hop_weights_grad_;
+  nn::Tensor cached_diffused_;
+  nn::Tensor cached_pre_;  // W (.) D before ReLU
+  nn::Sequential head_;    // Flatten happens via reshape; Dense layers here
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_DCNN_H_

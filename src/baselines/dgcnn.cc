@@ -1,0 +1,93 @@
+#include "baselines/dgcnn.h"
+
+#include "common/check.h"
+
+namespace deepmap::baselines {
+
+std::vector<DgcnnSample> BuildDgcnnSamples(
+    const graph::GraphDataset& dataset,
+    const VertexFeatureProvider& provider) {
+  std::vector<DgcnnSample> samples;
+  samples.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    samples.push_back(
+        DgcnnSample{VertexFeatureTensor(dataset, provider, g),
+                    nn::GraphOp::RowNormAdj(dataset.graph(g))});
+  }
+  return samples;
+}
+
+DgcnnModel::DgcnnModel(int feature_dim, int num_classes,
+                       const DgcnnConfig& config)
+    : rng_(config.seed), config_(config), sortpool_(config.sortpool_k) {
+  DEEPMAP_CHECK(!config.conv_channels.empty());
+  int in = feature_dim;
+  concat_dim_ = 0;
+  for (int out : config.conv_channels) {
+    convs_.push_back(std::make_unique<GraphConvLayer>(
+        in, out, GraphConvLayer::Activation::kTanh, rng_));
+    layer_dims_.push_back(out);
+    concat_dim_ += out;
+    in = out;
+  }
+  head_.Emplace<nn::Conv1D>(concat_dim_, config.conv1d_channels, 1, 1, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Flatten>()
+      .Emplace<nn::Dense>(config.conv1d_channels * config.sortpool_k,
+                          config.dense_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.dense_units, num_classes, rng_);
+}
+
+nn::Tensor DgcnnModel::Forward(const DgcnnSample& sample, bool training) {
+  const int n = sample.features.dim(0);
+  cached_n_ = n;
+  // Stacked convolutions; concatenate every layer's output channel-wise.
+  nn::Tensor concat({n, concat_dim_});
+  nn::Tensor z = sample.features;
+  int offset = 0;
+  for (size_t l = 0; l < convs_.size(); ++l) {
+    z = convs_[l]->Forward(sample.op, z);
+    for (int v = 0; v < n; ++v) {
+      for (int c = 0; c < layer_dims_[l]; ++c) {
+        concat.at(v, offset + c) = z.at(v, c);
+      }
+    }
+    offset += layer_dims_[l];
+  }
+  nn::Tensor pooled = sortpool_.Forward(concat, training);
+  return head_.Forward(pooled, training);
+}
+
+void DgcnnModel::Backward(const nn::Tensor& grad_logits) {
+  nn::Tensor grad_pooled = head_.Backward(grad_logits);
+  nn::Tensor grad_concat = sortpool_.Backward(grad_pooled);
+  // Split the concat gradient and run the conv stack backward. The last
+  // layer's input is the previous layer's output, so gradients flow both
+  // from the concat slice and from the next layer.
+  const int n = cached_n_;
+  nn::Tensor grad_next;  // dLoss/d(output of layer l) from layer l+1
+  for (int l = static_cast<int>(convs_.size()) - 1; l >= 0; --l) {
+    int offset = 0;
+    for (int t = 0; t < l; ++t) offset += layer_dims_[t];
+    nn::Tensor grad_out({n, layer_dims_[l]});
+    for (int v = 0; v < n; ++v) {
+      for (int c = 0; c < layer_dims_[l]; ++c) {
+        grad_out.at(v, c) = grad_concat.at(v, offset + c);
+      }
+    }
+    if (!grad_next.empty()) grad_out.Add(grad_next);
+    grad_next = convs_[l]->Backward(grad_out);
+  }
+}
+
+std::vector<nn::Param> DgcnnModel::Params() {
+  std::vector<nn::Param> params;
+  for (auto& conv : convs_) conv->CollectParams(&params);
+  std::vector<nn::Param> head_params = head_.Params();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace deepmap::baselines

@@ -1,0 +1,65 @@
+// DGCNN baseline (Zhang et al., AAAI 2018): stacked graph convolutions with
+// row-normalized propagation and tanh, channel concatenation across layers,
+// SortPooling to a fixed number of vertices, then a 1-D conv + dense head.
+#ifndef DEEPMAP_BASELINES_DGCNN_H_
+#define DEEPMAP_BASELINES_DGCNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+
+namespace deepmap::baselines {
+
+/// DGCNN hyperparameters (defaults follow the original paper scaled to this
+/// benchmark's sizes).
+struct DgcnnConfig {
+  std::vector<int> conv_channels{32, 32, 32, 1};
+  /// SortPooling keeps this many vertices.
+  int sortpool_k = 10;
+  int conv1d_channels = 16;
+  int dense_units = 128;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One training sample: vertex features plus the propagation operator.
+struct DgcnnSample {
+  nn::Tensor features;  // [n, m]
+  nn::GraphOp op;       // row-normalized (A + I)
+};
+
+/// Builds DGCNN samples for every graph.
+std::vector<DgcnnSample> BuildDgcnnSamples(
+    const graph::GraphDataset& dataset, const VertexFeatureProvider& provider);
+
+/// The DGCNN network; Model concept with Sample = DgcnnSample.
+class DgcnnModel {
+ public:
+  DgcnnModel(int feature_dim, int num_classes, const DgcnnConfig& config);
+
+  nn::Tensor Forward(const DgcnnSample& sample, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  DgcnnConfig config_;
+  std::vector<std::unique_ptr<GraphConvLayer>> convs_;
+  int concat_dim_;
+  nn::SortPooling sortpool_;
+  nn::Sequential head_;  // Conv1D + ReLU + Flatten + Dense + Dropout + Dense
+  // Caches for the concat split in Backward.
+  std::vector<int> layer_dims_;
+  int cached_n_ = 0;
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_DGCNN_H_

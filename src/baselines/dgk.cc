@@ -1,0 +1,188 @@
+#include "baselines/dgk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace deepmap::baselines {
+namespace {
+
+using kernels::FeatureId;
+using kernels::Matrix;
+using kernels::SparseFeatureMap;
+
+// Gram-Schmidt orthonormalization of the columns of q (n x d, row-major
+// as vector<vector<double>> rows = n).
+void Orthonormalize(std::vector<std::vector<double>>& q) {
+  const size_t n = q.size();
+  if (n == 0) return;
+  const size_t d = q[0].size();
+  for (size_t col = 0; col < d; ++col) {
+    // Remove projections onto earlier columns.
+    for (size_t prev = 0; prev < col; ++prev) {
+      double dot = 0;
+      for (size_t row = 0; row < n; ++row) dot += q[row][col] * q[row][prev];
+      for (size_t row = 0; row < n; ++row) q[row][col] -= dot * q[row][prev];
+    }
+    double norm = 0;
+    for (size_t row = 0; row < n; ++row) norm += q[row][col] * q[row][col];
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (size_t row = 0; row < n; ++row) q[row][col] = 0.0;
+      continue;
+    }
+    for (size_t row = 0; row < n; ++row) q[row][col] /= norm;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> PpmiMatrix(
+    const std::vector<std::vector<double>>& counts) {
+  const size_t v = counts.size();
+  double total = 0;
+  std::vector<double> row_sums(v, 0.0);
+  for (size_t i = 0; i < v; ++i) {
+    DEEPMAP_CHECK_EQ(counts[i].size(), v);
+    for (size_t j = 0; j < v; ++j) {
+      row_sums[i] += counts[i][j];
+      total += counts[i][j];
+    }
+  }
+  std::vector<std::vector<double>> ppmi(v, std::vector<double>(v, 0.0));
+  if (total <= 0) return ppmi;
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) {
+      if (counts[i][j] <= 0 || row_sums[i] <= 0 || row_sums[j] <= 0) continue;
+      double pmi =
+          std::log(counts[i][j] * total / (row_sums[i] * row_sums[j]));
+      ppmi[i][j] = std::max(0.0, pmi);
+    }
+  }
+  return ppmi;
+}
+
+std::vector<std::vector<double>> TruncatedEigenEmbedding(
+    const std::vector<std::vector<double>>& sym, int dim, int iterations,
+    uint64_t seed) {
+  const size_t n = sym.size();
+  dim = std::min<int>(dim, static_cast<int>(n));
+  DEEPMAP_CHECK_GT(dim, 0);
+  Rng rng(seed);
+  // q: n x dim with orthonormal columns.
+  std::vector<std::vector<double>> q(n, std::vector<double>(dim));
+  for (auto& row : q) {
+    for (double& x : row) x = rng.Normal();
+  }
+  Orthonormalize(q);
+  std::vector<std::vector<double>> next(n, std::vector<double>(dim, 0.0));
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      std::fill(next[i].begin(), next[i].end(), 0.0);
+      for (size_t j = 0; j < n; ++j) {
+        const double s = sym[i][j];
+        if (s == 0.0) continue;
+        for (int c = 0; c < dim; ++c) next[i][c] += s * q[j][c];
+      }
+    }
+    q.swap(next);
+    Orthonormalize(q);
+  }
+  // Rayleigh eigenvalues lambda_c = q_c^T M q_c; embedding = q sqrt(lambda).
+  std::vector<double> lambda(dim, 0.0);
+  for (int c = 0; c < dim; ++c) {
+    double value = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double mi = 0;
+      for (size_t j = 0; j < n; ++j) mi += sym[i][j] * q[j][c];
+      value += q[i][c] * mi;
+    }
+    lambda[c] = std::max(0.0, value);  // clip negative directions
+  }
+  std::vector<std::vector<double>> embedding(n, std::vector<double>(dim));
+  for (size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < dim; ++c) {
+      embedding[i][c] = q[i][c] * std::sqrt(lambda[c]);
+    }
+  }
+  return embedding;
+}
+
+kernels::Matrix DgkKernelMatrix(const graph::GraphDataset& dataset,
+                                const DgkConfig& config) {
+  const std::vector<SparseFeatureMap> maps =
+      kernels::ComputeGraphFeatureMaps(dataset, config.features);
+
+  // Vocabulary: most frequent substructures across the dataset.
+  std::map<FeatureId, double> frequency;
+  for (const auto& map : maps) {
+    for (const auto& [id, count] : map.entries()) frequency[id] += count;
+  }
+  std::vector<std::pair<FeatureId, double>> ranked(frequency.begin(),
+                                                   frequency.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  size_t vocab_size = ranked.size();
+  if (config.max_vocabulary > 0) {
+    vocab_size = std::min(vocab_size,
+                          static_cast<size_t>(config.max_vocabulary));
+  }
+  std::map<FeatureId, int> column;
+  for (size_t i = 0; i < vocab_size; ++i) column[ranked[i].first] = i;
+
+  // Dense graph-by-substructure matrix Phi.
+  const size_t n = maps.size();
+  std::vector<std::vector<double>> phi(n, std::vector<double>(vocab_size, 0));
+  for (size_t g = 0; g < n; ++g) {
+    for (const auto& [id, count] : maps[g].entries()) {
+      auto it = column.find(id);
+      if (it != column.end()) phi[g][it->second] = count;
+    }
+  }
+
+  // Substructure co-occurrence within graphs: C = Phi^T Phi.
+  std::vector<std::vector<double>> cooc(vocab_size,
+                                        std::vector<double>(vocab_size, 0));
+  for (size_t g = 0; g < n; ++g) {
+    for (size_t a = 0; a < vocab_size; ++a) {
+      if (phi[g][a] == 0) continue;
+      for (size_t b = 0; b < vocab_size; ++b) {
+        if (phi[g][b] != 0) cooc[a][b] += phi[g][a] * phi[g][b];
+      }
+    }
+  }
+
+  const auto ppmi = PpmiMatrix(cooc);
+  const auto embedding = TruncatedEigenEmbedding(
+      ppmi, config.embedding_dim, config.power_iterations, config.seed);
+
+  // K = (Phi E)(Phi E)^T: project graphs into embedding space first.
+  const int d = embedding.empty() ? 0 : static_cast<int>(embedding[0].size());
+  std::vector<std::vector<double>> projected(n, std::vector<double>(d, 0.0));
+  for (size_t g = 0; g < n; ++g) {
+    for (size_t s = 0; s < vocab_size; ++s) {
+      if (phi[g][s] == 0) continue;
+      for (int c = 0; c < d; ++c) {
+        projected[g][c] += phi[g][s] * embedding[s][c];
+      }
+    }
+  }
+  Matrix k(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double dot = 0;
+      for (int c = 0; c < d; ++c) dot += projected[i][c] * projected[j][c];
+      k[i][j] = dot;
+      k[j][i] = dot;
+    }
+  }
+  kernels::NormalizeKernelMatrix(k);
+  return k;
+}
+
+}  // namespace deepmap::baselines

@@ -1,0 +1,53 @@
+// Deep Graph Kernels (Yanardag & Vishwanathan, KDD 2015).
+//
+// DGK replaces the R-convolution kernel K = Phi Phi^T with K = Phi M Phi^T,
+// where M encodes similarity between substructures learned from their
+// co-occurrence statistics. The original work trains word2vec over
+// substructure "sentences"; this implementation uses the standard
+// closed-form equivalent: a PPMI co-occurrence matrix factorized by
+// truncated eigendecomposition (subspace iteration), giving substructure
+// embeddings E with M = E E^T.
+#ifndef DEEPMAP_BASELINES_DGK_H_
+#define DEEPMAP_BASELINES_DGK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "kernels/kernel_matrix.h"
+#include "kernels/vertex_feature_map.h"
+
+namespace deepmap::baselines {
+
+/// DGK hyperparameters.
+struct DgkConfig {
+  /// Substructure family the feature maps come from.
+  kernels::VertexFeatureConfig features;
+  /// Embedding dimensionality for the substructure vectors.
+  int embedding_dim = 16;
+  /// Cap on the substructure vocabulary (most frequent kept); <= 0 = all.
+  int max_vocabulary = 512;
+  /// Subspace-iteration rounds for the truncated eigendecomposition.
+  int power_iterations = 30;
+  uint64_t seed = 42;
+};
+
+/// Computes the DGK kernel matrix over the dataset (cosine-normalized).
+kernels::Matrix DgkKernelMatrix(const graph::GraphDataset& dataset,
+                                const DgkConfig& config);
+
+/// Positive PMI matrix of substructure co-occurrence (substructures
+/// co-occur when they appear in the same graph). Exposed for tests.
+std::vector<std::vector<double>> PpmiMatrix(
+    const std::vector<std::vector<double>>& counts);
+
+/// Top-`dim` eigen-embedding of a symmetric PSD-truncated matrix via
+/// orthogonal subspace iteration: rows are embeddings, E E^T ~ M. Exposed
+/// for tests.
+std::vector<std::vector<double>> TruncatedEigenEmbedding(
+    const std::vector<std::vector<double>>& sym, int dim, int iterations,
+    uint64_t seed);
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_DGK_H_

@@ -1,0 +1,204 @@
+#include "baselines/gat.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+
+namespace deepmap::baselines {
+namespace {
+
+// Neighborhood of v including v itself, in a fixed order (self first).
+// Attention slots index into this list.
+inline int NeighborhoodSize(const graph::Graph& g, graph::Vertex v) {
+  return g.Degree(v) + 1;
+}
+
+inline graph::Vertex NeighborAt(const graph::Graph& g, graph::Vertex v,
+                                int slot) {
+  return slot == 0 ? v : g.Neighbors(v)[slot - 1];
+}
+
+}  // namespace
+
+std::vector<GatSample> BuildGatSamples(const graph::GraphDataset& dataset,
+                                       const VertexFeatureProvider& provider) {
+  std::vector<GatSample> samples;
+  samples.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    samples.push_back(GatSample{VertexFeatureTensor(dataset, provider, g),
+                                dataset.graph(g)});
+  }
+  return samples;
+}
+
+GatLayer::GatLayer(int in_features, int out_features, double leaky_slope,
+                   Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      leaky_slope_(static_cast<float>(leaky_slope)),
+      weights_({in_features, out_features}),
+      attn_src_({out_features}),
+      attn_dst_({out_features}),
+      weights_grad_({in_features, out_features}),
+      attn_src_grad_({out_features}),
+      attn_dst_grad_({out_features}) {
+  nn::GlorotInit(weights_, in_features, out_features, rng);
+  nn::GlorotInit(attn_src_, out_features, 1, rng);
+  nn::GlorotInit(attn_dst_, out_features, 1, rng);
+}
+
+nn::Tensor GatLayer::Forward(const graph::Graph& graph, const nn::Tensor& x) {
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(0), graph.NumVertices());
+  DEEPMAP_CHECK_EQ(x.dim(1), in_features_);
+  const int n = graph.NumVertices();
+  cached_graph_ = &graph;
+  cached_x_ = x;
+  cached_z_ = nn::MatMul(x, weights_);  // [n, out]
+
+  // Per-vertex attention scores s_v = a_src . z_v and t_v = a_dst . z_v.
+  std::vector<float> s(n, 0.0f), t(n, 0.0f);
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < out_features_; ++c) {
+      s[v] += attn_src_.at(c) * cached_z_.at(v, c);
+      t[v] += attn_dst_.at(c) * cached_z_.at(v, c);
+    }
+  }
+
+  alpha_.assign(n, {});
+  raw_.assign(n, {});
+  nn::Tensor out({n, out_features_});
+  for (int v = 0; v < n; ++v) {
+    const int k = NeighborhoodSize(graph, v);
+    raw_[v].resize(k);
+    alpha_[v].resize(k);
+    float max_logit = -1e30f;
+    for (int slot = 0; slot < k; ++slot) {
+      graph::Vertex u = NeighborAt(graph, v, slot);
+      float e = s[v] + t[u];
+      raw_[v][slot] = e;
+      float activated = e > 0 ? e : leaky_slope_ * e;
+      alpha_[v][slot] = activated;
+      max_logit = std::max(max_logit, activated);
+    }
+    double total = 0.0;
+    for (int slot = 0; slot < k; ++slot) {
+      alpha_[v][slot] = std::exp(alpha_[v][slot] - max_logit);
+      total += alpha_[v][slot];
+    }
+    for (int slot = 0; slot < k; ++slot) {
+      alpha_[v][slot] = static_cast<float>(alpha_[v][slot] / total);
+      graph::Vertex u = NeighborAt(graph, v, slot);
+      for (int c = 0; c < out_features_; ++c) {
+        out.at(v, c) += alpha_[v][slot] * cached_z_.at(u, c);
+      }
+    }
+  }
+  cached_pre_ = out;
+  for (int i = 0; i < out.NumElements(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;  // ReLU
+  }
+  return out;
+}
+
+nn::Tensor GatLayer::Backward(const nn::Tensor& grad_output) {
+  DEEPMAP_CHECK(cached_graph_ != nullptr);
+  const graph::Graph& graph = *cached_graph_;
+  const int n = graph.NumVertices();
+  // ReLU backward.
+  nn::Tensor grad_h = grad_output;
+  for (int i = 0; i < grad_h.NumElements(); ++i) {
+    if (cached_pre_.data()[i] <= 0.0f) grad_h.data()[i] = 0.0f;
+  }
+
+  nn::Tensor grad_z({n, out_features_});
+  std::vector<float> grad_s(n, 0.0f), grad_t(n, 0.0f);
+  for (int v = 0; v < n; ++v) {
+    const int k = NeighborhoodSize(graph, v);
+    // dL/dalpha_vu = grad_h[v] . z_u.
+    std::vector<double> grad_alpha(k, 0.0);
+    double weighted_sum = 0.0;  // sum_w alpha_vw * dL/dalpha_vw
+    for (int slot = 0; slot < k; ++slot) {
+      graph::Vertex u = NeighborAt(graph, v, slot);
+      double dot = 0.0;
+      for (int c = 0; c < out_features_; ++c) {
+        dot += static_cast<double>(grad_h.at(v, c)) * cached_z_.at(u, c);
+      }
+      grad_alpha[slot] = dot;
+      weighted_sum += alpha_[v][slot] * dot;
+      // Direct path: h_v += alpha_vu z_u.
+      for (int c = 0; c < out_features_; ++c) {
+        grad_z.at(u, c) += alpha_[v][slot] * grad_h.at(v, c);
+      }
+    }
+    // Softmax + LeakyReLU backward to the logits e_vu = s_v + t_u.
+    for (int slot = 0; slot < k; ++slot) {
+      graph::Vertex u = NeighborAt(graph, v, slot);
+      double grad_e = alpha_[v][slot] * (grad_alpha[slot] - weighted_sum);
+      grad_e *= raw_[v][slot] > 0 ? 1.0 : leaky_slope_;
+      grad_s[v] += static_cast<float>(grad_e);
+      grad_t[u] += static_cast<float>(grad_e);
+    }
+  }
+  // s_v = a_src . z_v, t_v = a_dst . z_v.
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < out_features_; ++c) {
+      attn_src_grad_.at(c) += grad_s[v] * cached_z_.at(v, c);
+      attn_dst_grad_.at(c) += grad_t[v] * cached_z_.at(v, c);
+      grad_z.at(v, c) +=
+          grad_s[v] * attn_src_.at(c) + grad_t[v] * attn_dst_.at(c);
+    }
+  }
+  // z = X W.
+  weights_grad_.Add(nn::MatMulTransposedA(cached_x_, grad_z));
+  return nn::MatMulTransposedB(grad_z, weights_);
+}
+
+void GatLayer::CollectParams(std::vector<nn::Param>* params) {
+  params->push_back({&weights_, &weights_grad_});
+  params->push_back({&attn_src_, &attn_src_grad_});
+  params->push_back({&attn_dst_, &attn_dst_grad_});
+}
+
+GatModel::GatModel(int feature_dim, int num_classes, const GatConfig& config)
+    : rng_(config.seed), config_(config) {
+  DEEPMAP_CHECK_GT(config.num_layers, 0);
+  int in = feature_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(std::make_unique<GatLayer>(in, config.hidden_units,
+                                                 config.leaky_slope, rng_));
+    in = config.hidden_units;
+  }
+  head_.Emplace<nn::Dense>(config.hidden_units, config.hidden_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.hidden_units, num_classes, rng_);
+}
+
+nn::Tensor GatModel::Forward(const GatSample& sample, bool training) {
+  nn::Tensor h = sample.features;
+  for (auto& layer : layers_) h = layer->Forward(sample.graph, h);
+  nn::Tensor pooled = readout_.Forward(h, training);
+  return head_.Forward(pooled, training);
+}
+
+void GatModel::Backward(const nn::Tensor& grad_logits) {
+  nn::Tensor g = head_.Backward(grad_logits);
+  g = readout_.Backward(g);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+}
+
+std::vector<nn::Param> GatModel::Params() {
+  std::vector<nn::Param> params;
+  for (auto& layer : layers_) layer->CollectParams(&params);
+  std::vector<nn::Param> head_params = head_.Params();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace deepmap::baselines

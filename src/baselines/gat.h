@@ -1,0 +1,94 @@
+// GAT graph-classification baseline (Velickovic et al., ICLR 2018 — the
+// paper's reference [29], discussed in its Section 2.2).
+//
+// Single-head graph attention layers: z = X W, attention logits
+// e_vu = LeakyReLU(a_src . z_v + a_dst . z_u) over u in N(v) u {v},
+// alpha = softmax_u(e_vu), h_v = ReLU(sum_u alpha_vu z_u); mean-pool
+// readout + dense head for graph classification. The backward pass
+// differentiates through the attention softmax exactly (verified by finite
+// differences in the test suite).
+#ifndef DEEPMAP_BASELINES_GAT_H_
+#define DEEPMAP_BASELINES_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "graph/graph.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+
+namespace deepmap::baselines {
+
+/// GAT hyperparameters.
+struct GatConfig {
+  int num_layers = 2;
+  int hidden_units = 16;
+  double leaky_slope = 0.2;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One training sample: vertex features plus the graph (attention needs the
+/// neighbor lists, not a fixed linear operator).
+struct GatSample {
+  nn::Tensor features;  // [n, m]
+  graph::Graph graph;
+};
+
+/// Builds GAT samples for every graph.
+std::vector<GatSample> BuildGatSamples(const graph::GraphDataset& dataset,
+                                       const VertexFeatureProvider& provider);
+
+/// One single-head attention layer with exact backward.
+class GatLayer {
+ public:
+  GatLayer(int in_features, int out_features, double leaky_slope, Rng& rng);
+
+  /// `graph` must stay alive until Backward returns.
+  nn::Tensor Forward(const graph::Graph& graph, const nn::Tensor& x);
+
+  /// Accumulates parameter gradients; returns dLoss/dX.
+  nn::Tensor Backward(const nn::Tensor& grad_output);
+
+  void CollectParams(std::vector<nn::Param>* params);
+
+ private:
+  int in_features_;
+  int out_features_;
+  float leaky_slope_;
+  nn::Tensor weights_;  // [in, out]
+  nn::Tensor attn_src_;  // [out]
+  nn::Tensor attn_dst_;  // [out]
+  nn::Tensor weights_grad_;
+  nn::Tensor attn_src_grad_;
+  nn::Tensor attn_dst_grad_;
+  // Forward caches.
+  const graph::Graph* cached_graph_ = nullptr;
+  nn::Tensor cached_x_;
+  nn::Tensor cached_z_;                      // X W
+  std::vector<std::vector<float>> alpha_;    // attention per (v, slot)
+  std::vector<std::vector<float>> raw_;      // pre-LeakyReLU logits
+  nn::Tensor cached_pre_;                    // pre-ReLU output
+};
+
+/// The GAT network; Model concept with Sample = GatSample.
+class GatModel {
+ public:
+  GatModel(int feature_dim, int num_classes, const GatConfig& config);
+
+  nn::Tensor Forward(const GatSample& sample, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  GatConfig config_;
+  std::vector<std::unique_ptr<GatLayer>> layers_;
+  nn::MeanPool readout_;
+  nn::Sequential head_;
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_GAT_H_

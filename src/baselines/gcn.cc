@@ -1,0 +1,59 @@
+#include "baselines/gcn.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+
+namespace deepmap::baselines {
+
+std::vector<GcnSample> BuildGcnSamples(const graph::GraphDataset& dataset,
+                                       const VertexFeatureProvider& provider) {
+  std::vector<GcnSample> samples;
+  samples.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    samples.push_back(GcnSample{VertexFeatureTensor(dataset, provider, g),
+                                nn::GraphOp::GcnNorm(dataset.graph(g))});
+  }
+  return samples;
+}
+
+GcnModel::GcnModel(int feature_dim, int num_classes, const GcnConfig& config)
+    : rng_(config.seed), config_(config) {
+  DEEPMAP_CHECK_GT(config.num_layers, 0);
+  int in = feature_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    convs_.push_back(std::make_unique<GraphConvLayer>(
+        in, config.hidden_units, GraphConvLayer::Activation::kRelu, rng_));
+    in = config.hidden_units;
+  }
+  head_.Emplace<nn::Dense>(config.hidden_units, config.hidden_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.hidden_units, num_classes, rng_);
+}
+
+nn::Tensor GcnModel::Forward(const GcnSample& sample, bool training) {
+  nn::Tensor h = sample.features;
+  for (auto& conv : convs_) h = conv->Forward(sample.op, h);
+  nn::Tensor pooled = readout_.Forward(h, training);
+  return head_.Forward(pooled, training);
+}
+
+void GcnModel::Backward(const nn::Tensor& grad_logits) {
+  nn::Tensor g = head_.Backward(grad_logits);
+  g = readout_.Backward(g);
+  for (auto it = convs_.rbegin(); it != convs_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+}
+
+std::vector<nn::Param> GcnModel::Params() {
+  std::vector<nn::Param> params;
+  for (auto& conv : convs_) conv->CollectParams(&params);
+  std::vector<nn::Param> head_params = head_.Params();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace deepmap::baselines

@@ -1,0 +1,57 @@
+// GCN graph-classification baseline (Kipf & Welling, ICLR 2017 — the
+// paper's reference [27], discussed in its Section 2.2).
+//
+// Layer-wise propagation rule H' = ReLU(D^-1/2 (A+I) D^-1/2 H W) with a
+// mean-pool readout and dense head. GCN was designed for vertex
+// classification; this graph-level adaptation (mean readout) is the
+// standard way it appears in graph-classification comparisons.
+#ifndef DEEPMAP_BASELINES_GCN_H_
+#define DEEPMAP_BASELINES_GCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+
+namespace deepmap::baselines {
+
+/// GCN hyperparameters.
+struct GcnConfig {
+  int num_layers = 2;
+  int hidden_units = 32;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One training sample: vertex features plus the symmetric-normalized op.
+struct GcnSample {
+  nn::Tensor features;  // [n, m]
+  nn::GraphOp op;       // D^-1/2 (A + I) D^-1/2
+};
+
+/// Builds GCN samples for every graph.
+std::vector<GcnSample> BuildGcnSamples(const graph::GraphDataset& dataset,
+                                       const VertexFeatureProvider& provider);
+
+/// The GCN network; Model concept with Sample = GcnSample.
+class GcnModel {
+ public:
+  GcnModel(int feature_dim, int num_classes, const GcnConfig& config);
+
+  nn::Tensor Forward(const GcnSample& sample, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  GcnConfig config_;
+  std::vector<std::unique_ptr<GraphConvLayer>> convs_;
+  nn::MeanPool readout_;
+  nn::Sequential head_;
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_GCN_H_

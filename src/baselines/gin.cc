@@ -1,0 +1,103 @@
+#include "baselines/gin.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+
+namespace deepmap::baselines {
+
+std::vector<GinSample> BuildGinSamples(const graph::GraphDataset& dataset,
+                                       const VertexFeatureProvider& provider,
+                                       double eps) {
+  std::vector<GinSample> samples;
+  samples.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    samples.push_back(GinSample{VertexFeatureTensor(dataset, provider, g),
+                                nn::GraphOp::SumAdj(dataset.graph(g), eps)});
+  }
+  return samples;
+}
+
+GinModel::GinModel(int feature_dim, int num_classes, const GinConfig& config)
+    : rng_(config.seed), config_(config) {
+  DEEPMAP_CHECK_GT(config.num_layers, 0);
+  int in = feature_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    GinLayer layer;
+    layer.mlp1 = std::make_unique<GraphConvLayer>(
+        in, config.hidden_units, GraphConvLayer::Activation::kRelu, rng_);
+    layer.mlp2 = std::make_unique<nn::Dense>(config.hidden_units,
+                                             config.hidden_units, rng_);
+    layer.relu2 = std::make_unique<nn::Relu>();
+    layer.norm = std::make_unique<nn::RowL2Normalize>();
+    layers_.push_back(std::move(layer));
+    in = config.hidden_units;
+  }
+  const int readout_dim = config.num_layers * config.hidden_units;
+  head_.Emplace<nn::Dense>(readout_dim, config.hidden_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.hidden_units, num_classes, rng_);
+}
+
+nn::Tensor GinModel::Forward(const GinSample& sample, bool training) {
+  const int n = sample.features.dim(0);
+  cached_n_ = n;
+  layer_outputs_.clear();
+  nn::Tensor h = sample.features;
+  for (auto& layer : layers_) {
+    h = layer.mlp1->Forward(sample.op, h);
+    h = layer.mlp2->Forward(h, training);
+    h = layer.relu2->Forward(h, training);
+    h = layer.norm->Forward(h, training);
+    layer_outputs_.push_back(h);
+  }
+  // Per-layer readout, concatenated. Mean pooling (sum / n) keeps the head
+  // input scale independent of the vertex count; without batch norm the raw
+  // sum saturates the softmax on large graphs.
+  nn::Tensor concat({config_.num_layers * config_.hidden_units});
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    for (int v = 0; v < n; ++v) {
+      for (int c = 0; c < config_.hidden_units; ++c) {
+        concat.at(l * config_.hidden_units + c) +=
+            layer_outputs_[l].at(v, c) * inv_n;
+      }
+    }
+  }
+  return head_.Forward(concat, training);
+}
+
+void GinModel::Backward(const nn::Tensor& grad_logits) {
+  nn::Tensor grad_concat = head_.Backward(grad_logits);
+  const int n = cached_n_;
+  // Walk layers from last to first; each layer's output receives gradient
+  // from its readout slice plus from the next layer's input.
+  nn::Tensor grad_from_next;  // dLoss/d(h_l) contributed by layer l+1
+  for (int l = config_.num_layers - 1; l >= 0; --l) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    nn::Tensor grad_h({n, config_.hidden_units});
+    for (int v = 0; v < n; ++v) {
+      for (int c = 0; c < config_.hidden_units; ++c) {
+        grad_h.at(v, c) = grad_concat.at(l * config_.hidden_units + c) * inv_n;
+      }
+    }
+    if (!grad_from_next.empty()) grad_h.Add(grad_from_next);
+    nn::Tensor g = layers_[l].norm->Backward(grad_h);
+    g = layers_[l].relu2->Backward(g);
+    g = layers_[l].mlp2->Backward(g);
+    grad_from_next = layers_[l].mlp1->Backward(g);
+  }
+}
+
+std::vector<nn::Param> GinModel::Params() {
+  std::vector<nn::Param> params;
+  for (auto& layer : layers_) {
+    layer.mlp1->CollectParams(&params);
+    layer.mlp2->CollectParams(&params);
+  }
+  std::vector<nn::Param> head_params = head_.Params();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace deepmap::baselines

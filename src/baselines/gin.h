@@ -1,0 +1,68 @@
+// GIN baseline (Xu et al., ICLR 2019): injective sum aggregation
+// h' = MLP((1 + eps) h + sum_{u in N(v)} h_u) per layer, with per-layer
+// sum-pooled readouts concatenated into the classifier head.
+#ifndef DEEPMAP_BASELINES_GIN_H_
+#define DEEPMAP_BASELINES_GIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/model.h"
+
+namespace deepmap::baselines {
+
+/// GIN hyperparameters.
+struct GinConfig {
+  int num_layers = 3;
+  int hidden_units = 32;
+  double eps = 0.0;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One training sample: vertex features plus the sum-aggregation operator.
+struct GinSample {
+  nn::Tensor features;  // [n, m]
+  nn::GraphOp op;       // (1 + eps) I + A
+};
+
+/// Builds GIN samples for every graph.
+std::vector<GinSample> BuildGinSamples(const graph::GraphDataset& dataset,
+                                       const VertexFeatureProvider& provider,
+                                       double eps = 0.0);
+
+/// The GIN network; Model concept with Sample = GinSample.
+class GinModel {
+ public:
+  GinModel(int feature_dim, int num_classes, const GinConfig& config);
+
+  nn::Tensor Forward(const GinSample& sample, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  // One GIN layer: aggregation (fixed op) followed by a 2-layer ReLU MLP
+  // and a row-L2 normalization (the batch-norm stand-in: sum aggregation
+  // otherwise grows activations with vertex count and diverges).
+  struct GinLayer {
+    std::unique_ptr<GraphConvLayer> mlp1;  // aggregation + first dense+relu
+    std::unique_ptr<nn::Dense> mlp2;
+    std::unique_ptr<nn::Layer> relu2;
+    std::unique_ptr<nn::Layer> norm;
+  };
+
+  Rng rng_;
+  GinConfig config_;
+  std::vector<GinLayer> layers_;
+  nn::Sequential head_;  // Dense + ReLU + Dropout + Dense over concat readout
+  // Forward caches.
+  std::vector<nn::Tensor> layer_outputs_;  // h_1..h_L, each [n, hidden]
+  int cached_n_ = 0;
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_GIN_H_

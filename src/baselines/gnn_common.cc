@@ -1,0 +1,136 @@
+#include "baselines/gnn_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deepmap::baselines {
+
+VertexFeatureProvider OneHotProvider(const graph::GraphDataset& dataset) {
+  // One column per distinct label value that occurs in the dataset.
+  const int dim = std::max(1, dataset.NumVertexLabels());
+  // Labels are compacted in generated datasets, but guard against sparse
+  // alphabets by mapping via label value order.
+  std::vector<graph::Label> labels;
+  for (const graph::Graph& g : dataset.graphs()) {
+    for (graph::Label l : g.Labels()) labels.push_back(l);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  // Capture by value: providers may outlive local scope.
+  const graph::GraphDataset* ds = &dataset;
+  VertexFeatureProvider provider;
+  provider.dim = dim;
+  provider.row = [ds, labels, dim](int g, int v) {
+    std::vector<double> row(dim, 0.0);
+    graph::Label l = ds->graph(g).GetLabel(v);
+    auto it = std::lower_bound(labels.begin(), labels.end(), l);
+    if (it != labels.end() && *it == l) {
+      row[static_cast<size_t>(it - labels.begin())] = 1.0;
+    }
+    return row;
+  };
+  return provider;
+}
+
+VertexFeatureProvider FeatureMapProvider(
+    const kernels::DatasetVertexFeatures& features) {
+  VertexFeatureProvider provider;
+  provider.dim = features.dim();
+  const kernels::DatasetVertexFeatures* f = &features;
+  provider.row = [f](int g, int v) { return f->DenseRow(g, v); };
+  return provider;
+}
+
+nn::Tensor VertexFeatureTensor(const graph::GraphDataset& dataset,
+                               const VertexFeatureProvider& provider,
+                               int graph_index) {
+  const graph::Graph& g = dataset.graph(graph_index);
+  const int n = std::max(1, g.NumVertices());
+  nn::Tensor features({n, provider.dim});
+  for (graph::Vertex v = 0; v < g.NumVertices(); ++v) {
+    std::vector<double> row = provider.row(graph_index, v);
+    DEEPMAP_CHECK_EQ(row.size(), static_cast<size_t>(provider.dim));
+    for (int c = 0; c < provider.dim; ++c) {
+      features.at(v, c) = static_cast<float>(row[c]);
+    }
+  }
+  return features;
+}
+
+std::vector<nn::Tensor> BuildVertexFeatureTensors(
+    const graph::GraphDataset& dataset,
+    const VertexFeatureProvider& provider) {
+  std::vector<nn::Tensor> tensors;
+  tensors.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    tensors.push_back(VertexFeatureTensor(dataset, provider, g));
+  }
+  return tensors;
+}
+
+GraphConvLayer::GraphConvLayer(int in_features, int out_features,
+                               Activation activation, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      activation_(activation),
+      weights_({in_features, out_features}),
+      weights_grad_({in_features, out_features}) {
+  nn::GlorotInit(weights_, in_features, out_features, rng);
+}
+
+nn::Tensor GraphConvLayer::Forward(const nn::GraphOp& op,
+                                   const nn::Tensor& x) {
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(1), in_features_);
+  cached_op_ = &op;
+  cached_h_ = op.Apply(x);
+  cached_pre_ = nn::MatMul(cached_h_, weights_);
+  nn::Tensor out = cached_pre_;
+  switch (activation_) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (int i = 0; i < out.NumElements(); ++i) {
+        if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+      }
+      break;
+    case Activation::kTanh:
+      for (int i = 0; i < out.NumElements(); ++i) {
+        out.data()[i] = std::tanh(out.data()[i]);
+      }
+      break;
+  }
+  return out;
+}
+
+nn::Tensor GraphConvLayer::Backward(const nn::Tensor& grad_output) {
+  DEEPMAP_CHECK(cached_op_ != nullptr);
+  nn::Tensor grad_pre = grad_output;
+  switch (activation_) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (int i = 0; i < grad_pre.NumElements(); ++i) {
+        if (cached_pre_.data()[i] <= 0.0f) grad_pre.data()[i] = 0.0f;
+      }
+      break;
+    case Activation::kTanh:
+      for (int i = 0; i < grad_pre.NumElements(); ++i) {
+        float y = std::tanh(cached_pre_.data()[i]);
+        grad_pre.data()[i] *= (1.0f - y * y);
+      }
+      break;
+  }
+  // dW = H^T dZ;  dH = dZ W^T;  dX = S^T dH.
+  weights_grad_.Add(nn::MatMulTransposedA(cached_h_, grad_pre));
+  nn::Tensor grad_h = nn::MatMulTransposedB(grad_pre, weights_);
+  return cached_op_->ApplyTranspose(grad_h);
+}
+
+void GraphConvLayer::CollectParams(std::vector<nn::Param>* params) {
+  params->push_back({&weights_, &weights_grad_});
+}
+
+}  // namespace deepmap::baselines

@@ -1,0 +1,74 @@
+// Shared infrastructure for the GNN baselines (DGCNN, GIN, DCNN,
+// PATCHY-SAN): vertex input construction (one-hot labels for Table 3, kernel
+// vertex feature maps for Table 4) and the trainable graph-convolution layer
+// they build on.
+#ifndef DEEPMAP_BASELINES_GNN_COMMON_H_
+#define DEEPMAP_BASELINES_GNN_COMMON_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dataset.h"
+#include "kernels/vertex_feature_map.h"
+#include "nn/graph_conv.h"
+#include "nn/layer.h"
+
+namespace deepmap::baselines {
+
+/// Supplies per-vertex dense feature rows for a dataset.
+struct VertexFeatureProvider {
+  int dim = 0;
+  /// row(g, v) -> dense vector of length dim.
+  std::function<std::vector<double>(int, int)> row;
+};
+
+/// One-hot vertex-label features (the paper's Table 3 GNN input).
+VertexFeatureProvider OneHotProvider(const graph::GraphDataset& dataset);
+
+/// Kernel vertex-feature-map features (the paper's Table 4 GNN input).
+/// `features` must outlive the provider.
+VertexFeatureProvider FeatureMapProvider(
+    const kernels::DatasetVertexFeatures& features);
+
+/// [n, dim] feature tensor of one graph.
+nn::Tensor VertexFeatureTensor(const graph::GraphDataset& dataset,
+                               const VertexFeatureProvider& provider,
+                               int graph_index);
+
+/// Feature tensors for every graph.
+std::vector<nn::Tensor> BuildVertexFeatureTensors(
+    const graph::GraphDataset& dataset, const VertexFeatureProvider& provider);
+
+/// Trainable graph convolution Z = act(S X W) for a per-sample operator S.
+class GraphConvLayer {
+ public:
+  enum class Activation { kNone, kRelu, kTanh };
+
+  GraphConvLayer(int in_features, int out_features, Activation activation,
+                 Rng& rng);
+
+  /// Forward for one sample; `op` must stay alive until Backward returns.
+  nn::Tensor Forward(const nn::GraphOp& op, const nn::Tensor& x);
+
+  /// Accumulates the weight gradient and returns dLoss/dX.
+  nn::Tensor Backward(const nn::Tensor& grad_output);
+
+  void CollectParams(std::vector<nn::Param>* params);
+
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Activation activation_;
+  nn::Tensor weights_;  // [in, out]
+  nn::Tensor weights_grad_;
+  const nn::GraphOp* cached_op_ = nullptr;
+  nn::Tensor cached_h_;    // S X
+  nn::Tensor cached_pre_;  // S X W (pre-activation)
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_GNN_COMMON_H_

@@ -1,0 +1,147 @@
+#include "baselines/gntk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deepmap::baselines {
+namespace {
+
+using graph::Graph;
+
+// Dense n1 x n2 matrix as nested vectors.
+using Mat = std::vector<std::vector<double>>;
+
+Mat Zeros(int rows, int cols) {
+  return Mat(static_cast<size_t>(rows), std::vector<double>(cols, 0.0));
+}
+
+// Aggregation T[u][v] = c_u c_v sum_{u' in N(u)+u} sum_{v' in N(v)+v}
+// M[u'][v'], computed as two one-sided passes.
+Mat Aggregate(const Graph& g1, const Graph& g2, const Mat& m) {
+  const int n1 = g1.NumVertices();
+  const int n2 = g2.NumVertices();
+  // Left pass: rows. tmp[u][v'] = c_u * sum_{u' in N(u)+u} m[u'][v'].
+  Mat tmp = Zeros(n1, n2);
+  for (int u = 0; u < n1; ++u) {
+    const double cu = 1.0 / (g1.Degree(u) + 1);
+    for (int v = 0; v < n2; ++v) tmp[u][v] = m[u][v];
+    for (graph::Vertex w : g1.Neighbors(u)) {
+      for (int v = 0; v < n2; ++v) tmp[u][v] += m[w][v];
+    }
+    for (int v = 0; v < n2; ++v) tmp[u][v] *= cu;
+  }
+  // Right pass: columns.
+  Mat out = Zeros(n1, n2);
+  for (int v = 0; v < n2; ++v) {
+    const double cv = 1.0 / (g2.Degree(v) + 1);
+    for (int u = 0; u < n1; ++u) out[u][v] = tmp[u][v];
+    for (graph::Vertex w : g2.Neighbors(v)) {
+      for (int u = 0; u < n1; ++u) out[u][v] += tmp[u][w];
+    }
+    for (int u = 0; u < n1; ++u) out[u][v] *= cv;
+  }
+  return out;
+}
+
+// State of the pair computation.
+struct PairState {
+  Mat sigma;
+  Mat theta;
+};
+
+// Initial covariance: one-hot label inner products.
+Mat InitialSigma(const Graph& g1, const Graph& g2) {
+  Mat s = Zeros(g1.NumVertices(), g2.NumVertices());
+  for (int u = 0; u < g1.NumVertices(); ++u) {
+    for (int v = 0; v < g2.NumVertices(); ++v) {
+      s[u][v] = g1.GetLabel(u) == g2.GetLabel(v) ? 1.0 : 0.0;
+    }
+  }
+  return s;
+}
+
+// One arc-cosine MLP layer applied to the cross state given the diagonal
+// self-covariances of both graphs.
+void MlpLayer(PairState& cross, const std::vector<double>& diag1,
+              const std::vector<double>& diag2) {
+  constexpr double kPi = std::numbers::pi;
+  const int n1 = static_cast<int>(cross.sigma.size());
+  const int n2 = n1 > 0 ? static_cast<int>(cross.sigma[0].size()) : 0;
+  for (int u = 0; u < n1; ++u) {
+    for (int v = 0; v < n2; ++v) {
+      const double p = std::max(diag1[u], 1e-12);
+      const double q = std::max(diag2[v], 1e-12);
+      const double denom = std::sqrt(p * q);
+      double cos_t = std::clamp(cross.sigma[u][v] / denom, -1.0, 1.0);
+      double t = std::acos(cos_t);
+      double new_sigma =
+          denom / (2.0 * kPi) * (std::sin(t) + (kPi - t) * cos_t);
+      double sigma_dot = (kPi - t) / (2.0 * kPi);
+      cross.theta[u][v] = cross.theta[u][v] * sigma_dot + new_sigma;
+      cross.sigma[u][v] = new_sigma;
+    }
+  }
+}
+
+// Extracts the diagonal of a square pair state.
+std::vector<double> Diagonal(const Mat& m) {
+  std::vector<double> d(m.size());
+  for (size_t i = 0; i < m.size(); ++i) d[i] = m[i][i];
+  return d;
+}
+
+}  // namespace
+
+double GntkPairKernel(const Graph& g1, const Graph& g2,
+                      const GntkConfig& config) {
+  DEEPMAP_CHECK_GT(config.num_blocks, 0);
+  DEEPMAP_CHECK_GT(config.mlp_layers, 0);
+  if (g1.NumVertices() == 0 || g2.NumVertices() == 0) return 0.0;
+  // Evolve the (1,1), (2,2) and (1,2) states in lockstep; the self states
+  // supply the diagonals the arc-cosine formulas need.
+  PairState s11{InitialSigma(g1, g1), InitialSigma(g1, g1)};
+  PairState s22{InitialSigma(g2, g2), InitialSigma(g2, g2)};
+  PairState s12{InitialSigma(g1, g2), InitialSigma(g1, g2)};
+  for (int block = 0; block < config.num_blocks; ++block) {
+    s11.sigma = Aggregate(g1, g1, s11.sigma);
+    s11.theta = Aggregate(g1, g1, s11.theta);
+    s22.sigma = Aggregate(g2, g2, s22.sigma);
+    s22.theta = Aggregate(g2, g2, s22.theta);
+    s12.sigma = Aggregate(g1, g2, s12.sigma);
+    s12.theta = Aggregate(g1, g2, s12.theta);
+    for (int layer = 0; layer < config.mlp_layers; ++layer) {
+      const std::vector<double> d1 = Diagonal(s11.sigma);
+      const std::vector<double> d2 = Diagonal(s22.sigma);
+      MlpLayer(s12, d1, d2);
+      MlpLayer(s11, d1, d1);
+      MlpLayer(s22, d2, d2);
+    }
+  }
+  double total = 0.0;
+  for (const auto& row : s12.theta) {
+    for (double value : row) total += value;
+  }
+  return total;
+}
+
+kernels::Matrix GntkKernelMatrix(const graph::GraphDataset& dataset,
+                                 const GntkConfig& config) {
+  const int n = dataset.size();
+  kernels::Matrix k(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double value = GntkPairKernel(dataset.graph(i), dataset.graph(j),
+                                    config);
+      k[i][j] = value;
+      k[j][i] = value;
+    }
+  }
+  kernels::NormalizeKernelMatrix(k);
+  return k;
+}
+
+}  // namespace deepmap::baselines

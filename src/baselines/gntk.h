@@ -1,0 +1,42 @@
+// Graph Neural Tangent Kernel (Du et al., NeurIPS 2019).
+//
+// GNTK is the exact kernel of an infinitely wide GNN trained by gradient
+// descent. For every pair of graphs it evolves two matrices over the vertex
+// pairs (u, v): the GP covariance Sigma and the tangent kernel Theta.
+// Each GNN block performs
+//   (1) neighborhood aggregation: Sigma <- c_u c_v * sum over N(u)+u x
+//       N(v)+v of Sigma (and the same for Theta), c_u = 1/(deg(u)+1);
+//   (2) R infinite-width ReLU MLP layers via the arc-cosine closed forms:
+//       Sigma' = sqrt(p q)/(2 pi) (sin t + (pi - t) cos t),
+//       dSigma = (pi - t)/(2 pi),  Theta <- Theta * dSigma + Sigma',
+//       where cos t = Sigma/sqrt(p q), p/q the self-covariances.
+// The graph kernel is the sum of the final Theta over all vertex pairs.
+#ifndef DEEPMAP_BASELINES_GNTK_H_
+#define DEEPMAP_BASELINES_GNTK_H_
+
+#include "graph/dataset.h"
+#include "graph/graph.h"
+#include "kernels/kernel_matrix.h"
+
+namespace deepmap::baselines {
+
+/// GNTK hyperparameters.
+struct GntkConfig {
+  /// Number of GNN blocks (aggregation + MLP).
+  int num_blocks = 2;
+  /// Infinite-width MLP layers per block.
+  int mlp_layers = 2;
+};
+
+/// GNTK value for one pair of graphs with one-hot label inputs
+/// (label_count = size of the shared label alphabet).
+double GntkPairKernel(const graph::Graph& g1, const graph::Graph& g2,
+                      const GntkConfig& config);
+
+/// Full GNTK kernel matrix over the dataset (cosine-normalized).
+kernels::Matrix GntkKernelMatrix(const graph::GraphDataset& dataset,
+                                 const GntkConfig& config = {});
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_GNTK_H_

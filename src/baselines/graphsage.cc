@@ -1,0 +1,108 @@
+#include "baselines/graphsage.h"
+
+#include "common/check.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+
+namespace deepmap::baselines {
+
+std::vector<GraphSageSample> BuildGraphSageSamples(
+    const graph::GraphDataset& dataset,
+    const VertexFeatureProvider& provider) {
+  std::vector<GraphSageSample> samples;
+  samples.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    samples.push_back(
+        GraphSageSample{VertexFeatureTensor(dataset, provider, g),
+                        nn::GraphOp::Transition(dataset.graph(g))});
+  }
+  return samples;
+}
+
+GraphSageLayer::GraphSageLayer(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      w_self_({in_features, out_features}),
+      w_neigh_({in_features, out_features}),
+      w_self_grad_({in_features, out_features}),
+      w_neigh_grad_({in_features, out_features}) {
+  nn::GlorotInit(w_self_, in_features, out_features, rng);
+  nn::GlorotInit(w_neigh_, in_features, out_features, rng);
+}
+
+nn::Tensor GraphSageLayer::Forward(const nn::GraphOp& mean_op,
+                                   const nn::Tensor& x) {
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(1), in_features_);
+  cached_op_ = &mean_op;
+  cached_x_ = x;
+  cached_mean_ = mean_op.Apply(x);
+  nn::Tensor pre = nn::MatMul(x, w_self_);
+  pre.Add(nn::MatMul(cached_mean_, w_neigh_));
+  cached_pre_ = pre;
+  for (int i = 0; i < pre.NumElements(); ++i) {
+    if (pre.data()[i] < 0.0f) pre.data()[i] = 0.0f;
+  }
+  return norm_.Forward(pre, /*training=*/false);
+}
+
+nn::Tensor GraphSageLayer::Backward(const nn::Tensor& grad_output) {
+  DEEPMAP_CHECK(cached_op_ != nullptr);
+  nn::Tensor grad = norm_.Backward(grad_output);
+  for (int i = 0; i < grad.NumElements(); ++i) {
+    if (cached_pre_.data()[i] <= 0.0f) grad.data()[i] = 0.0f;  // ReLU
+  }
+  w_self_grad_.Add(nn::MatMulTransposedA(cached_x_, grad));
+  w_neigh_grad_.Add(nn::MatMulTransposedA(cached_mean_, grad));
+  nn::Tensor grad_x = nn::MatMulTransposedB(grad, w_self_);
+  nn::Tensor grad_mean = nn::MatMulTransposedB(grad, w_neigh_);
+  grad_x.Add(cached_op_->ApplyTranspose(grad_mean));
+  return grad_x;
+}
+
+void GraphSageLayer::CollectParams(std::vector<nn::Param>* params) {
+  params->push_back({&w_self_, &w_self_grad_});
+  params->push_back({&w_neigh_, &w_neigh_grad_});
+}
+
+GraphSageModel::GraphSageModel(int feature_dim, int num_classes,
+                               const GraphSageConfig& config)
+    : rng_(config.seed) {
+  DEEPMAP_CHECK_GT(config.num_layers, 0);
+  int in = feature_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(
+        std::make_unique<GraphSageLayer>(in, config.hidden_units, rng_));
+    in = config.hidden_units;
+  }
+  head_.Emplace<nn::Dense>(config.hidden_units, config.hidden_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.hidden_units, num_classes, rng_);
+}
+
+nn::Tensor GraphSageModel::Forward(const GraphSageSample& sample,
+                                   bool training) {
+  nn::Tensor h = sample.features;
+  for (auto& layer : layers_) h = layer->Forward(sample.mean_op, h);
+  nn::Tensor pooled = readout_.Forward(h, training);
+  return head_.Forward(pooled, training);
+}
+
+void GraphSageModel::Backward(const nn::Tensor& grad_logits) {
+  nn::Tensor g = head_.Backward(grad_logits);
+  g = readout_.Backward(g);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+}
+
+std::vector<nn::Param> GraphSageModel::Params() {
+  std::vector<nn::Param> params;
+  for (auto& layer : layers_) layer->CollectParams(&params);
+  std::vector<nn::Param> head_params = head_.Params();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace deepmap::baselines

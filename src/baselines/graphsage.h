@@ -1,0 +1,81 @@
+// GraphSAGE graph-classification baseline (Hamilton, Ying & Leskovec,
+// NeurIPS 2017 — the paper's reference [32], discussed in its Section 2.2).
+//
+// Inductive aggregate-and-concat layers:
+//   h'_v = ReLU(W_self h_v + W_neigh * mean_{u in N(v)} h_u)
+// followed by row L2 normalization (as in the original), a mean-pool
+// readout, and a dense head. The mean aggregator is the canonical variant;
+// neighbor sampling is unnecessary at these graph sizes (full neighborhoods
+// are used, equivalent to sampling with sample size >= max degree).
+#ifndef DEEPMAP_BASELINES_GRAPHSAGE_H_
+#define DEEPMAP_BASELINES_GRAPHSAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "nn/activations.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+
+namespace deepmap::baselines {
+
+/// GraphSAGE hyperparameters.
+struct GraphSageConfig {
+  int num_layers = 2;
+  int hidden_units = 16;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One training sample: vertex features plus the mean-neighbor operator.
+struct GraphSageSample {
+  nn::Tensor features;  // [n, m]
+  nn::GraphOp mean_op;  // D^-1 A (rows of isolated vertices are zero)
+};
+
+/// Builds GraphSAGE samples for every graph.
+std::vector<GraphSageSample> BuildGraphSageSamples(
+    const graph::GraphDataset& dataset, const VertexFeatureProvider& provider);
+
+/// One SAGE layer: self transform + mean-neighbor transform, ReLU, row L2.
+class GraphSageLayer {
+ public:
+  GraphSageLayer(int in_features, int out_features, Rng& rng);
+
+  nn::Tensor Forward(const nn::GraphOp& mean_op, const nn::Tensor& x);
+  nn::Tensor Backward(const nn::Tensor& grad_output);
+  void CollectParams(std::vector<nn::Param>* params);
+
+ private:
+  int in_features_;
+  int out_features_;
+  nn::Tensor w_self_, w_neigh_;  // [in, out]
+  nn::Tensor w_self_grad_, w_neigh_grad_;
+  const nn::GraphOp* cached_op_ = nullptr;
+  nn::Tensor cached_x_;
+  nn::Tensor cached_mean_;  // mean_op(x)
+  nn::Tensor cached_pre_;   // pre-ReLU
+  nn::RowL2Normalize norm_;
+};
+
+/// The GraphSAGE network; Model concept with Sample = GraphSageSample.
+class GraphSageModel {
+ public:
+  GraphSageModel(int feature_dim, int num_classes,
+                 const GraphSageConfig& config);
+
+  nn::Tensor Forward(const GraphSageSample& sample, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  std::vector<std::unique_ptr<GraphSageLayer>> layers_;
+  nn::MeanPool readout_;
+  nn::Sequential head_;
+};
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_GRAPHSAGE_H_

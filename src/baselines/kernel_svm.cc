@@ -1,0 +1,83 @@
+#include "baselines/kernel_svm.h"
+
+#include "common/check.h"
+
+namespace deepmap::baselines {
+namespace {
+
+// Mean inner-CV accuracy of one C candidate on the training split.
+double InnerCvAccuracy(const kernels::Matrix& gram,
+                       const std::vector<int>& labels,
+                       const std::vector<int>& train_indices, double c,
+                       const KernelSvmConfig& config) {
+  // Build inner folds over positions within train_indices.
+  std::vector<int> inner_labels;
+  inner_labels.reserve(train_indices.size());
+  for (int i : train_indices) inner_labels.push_back(labels[i]);
+  const auto splits = eval::StratifiedKFold(inner_labels, config.inner_folds,
+                                            config.svm.seed + 77);
+  double total = 0.0;
+  for (const auto& split : splits) {
+    std::vector<int> inner_train, inner_test;
+    inner_train.reserve(split.train_indices.size());
+    for (int p : split.train_indices) inner_train.push_back(train_indices[p]);
+    for (int p : split.test_indices) inner_test.push_back(train_indices[p]);
+    SvmConfig svm_config = config.svm;
+    svm_config.c = c;
+    KernelSvm svm;
+    svm.Train(gram, labels, inner_train, svm_config);
+    total += svm.Evaluate(gram, labels, inner_test);
+  }
+  return total / splits.size();
+}
+
+}  // namespace
+
+double RunKernelSvmFold(const kernels::Matrix& gram,
+                        const std::vector<int>& labels,
+                        const eval::FoldSplit& split,
+                        const KernelSvmConfig& config) {
+  DEEPMAP_CHECK(!config.c_candidates.empty());
+  double best_c = config.c_candidates.front();
+  if (config.c_candidates.size() > 1 &&
+      static_cast<int>(split.train_indices.size()) >= 2 * config.inner_folds) {
+    double best_accuracy = -1.0;
+    for (double c : config.c_candidates) {
+      double accuracy =
+          InnerCvAccuracy(gram, labels, split.train_indices, c, config);
+      if (accuracy > best_accuracy) {
+        best_accuracy = accuracy;
+        best_c = c;
+      }
+    }
+  }
+  SvmConfig svm_config = config.svm;
+  svm_config.c = best_c;
+  KernelSvm svm;
+  svm.Train(gram, labels, split.train_indices, svm_config);
+  return svm.Evaluate(gram, labels, split.test_indices);
+}
+
+eval::CvResult KernelSvmCrossValidate(const kernels::Matrix& gram,
+                                      const std::vector<int>& labels,
+                                      int num_folds, uint64_t seed,
+                                      const KernelSvmConfig& config) {
+  return eval::CrossValidate(
+      labels, num_folds, seed, [&](const eval::FoldSplit& split, int fold) {
+        KernelSvmConfig fold_config = config;
+        fold_config.svm.seed = config.svm.seed + static_cast<uint64_t>(fold);
+        return RunKernelSvmFold(gram, labels, split, fold_config);
+      });
+}
+
+eval::CvResult GraphKernelBaseline(
+    const graph::GraphDataset& dataset,
+    const kernels::VertexFeatureConfig& feature_config, int num_folds,
+    uint64_t seed, const KernelSvmConfig& config) {
+  const auto maps = kernels::ComputeGraphFeatureMaps(dataset, feature_config);
+  const kernels::Matrix gram = kernels::GramMatrix(maps, config.normalize);
+  return KernelSvmCrossValidate(gram, dataset.labels(), num_folds, seed,
+                                config);
+}
+
+}  // namespace deepmap::baselines

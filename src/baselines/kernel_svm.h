@@ -1,0 +1,50 @@
+// Graph-kernel + C-SVM pipelines (the paper's GK / SP / WL baselines),
+// including the paper's per-fold C tuning over {1, 10, 100, 1000} via inner
+// cross-validation on the fold's training data.
+#ifndef DEEPMAP_BASELINES_KERNEL_SVM_H_
+#define DEEPMAP_BASELINES_KERNEL_SVM_H_
+
+#include <vector>
+
+#include "baselines/svm.h"
+#include "eval/cross_validation.h"
+#include "graph/dataset.h"
+#include "kernels/vertex_feature_map.h"
+
+namespace deepmap::baselines {
+
+/// Pipeline configuration.
+struct KernelSvmConfig {
+  /// Candidate soft-margin penalties (paper Section 5.1).
+  std::vector<double> c_candidates{1.0, 10.0, 100.0, 1000.0};
+  /// Inner folds used to tune C on each outer fold's training data.
+  int inner_folds = 3;
+  SvmConfig svm;
+  /// Cosine-normalize the Gram matrix (standard for graph kernels).
+  bool normalize = true;
+};
+
+/// Runs one outer fold: tunes C on the training split via inner CV, trains
+/// with the best C, returns test accuracy in [0, 1].
+double RunKernelSvmFold(const kernels::Matrix& gram,
+                        const std::vector<int>& labels,
+                        const eval::FoldSplit& split,
+                        const KernelSvmConfig& config);
+
+/// Full k-fold cross validation for a precomputed Gram matrix.
+eval::CvResult KernelSvmCrossValidate(const kernels::Matrix& gram,
+                                      const std::vector<int>& labels,
+                                      int num_folds, uint64_t seed,
+                                      const KernelSvmConfig& config = {});
+
+/// Convenience: computes graph feature maps for `dataset` under
+/// `feature_config`, builds the (normalized) Gram matrix, and cross
+/// validates. This is the paper's GK/SP/WL+SVM baseline in one call.
+eval::CvResult GraphKernelBaseline(
+    const graph::GraphDataset& dataset,
+    const kernels::VertexFeatureConfig& feature_config, int num_folds,
+    uint64_t seed, const KernelSvmConfig& config = {});
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_KERNEL_SVM_H_

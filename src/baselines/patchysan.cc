@@ -1,0 +1,89 @@
+#include "baselines/patchysan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/receptive_field.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace deepmap::baselines {
+
+nn::Tensor BuildPatchySanInput(const graph::GraphDataset& dataset,
+                               const VertexFeatureProvider& provider,
+                               int graph_index,
+                               const PatchySanConfig& config) {
+  const graph::Graph& g = dataset.graph(graph_index);
+  const int w = config.sequence_length;
+  const int k = config.field_size;
+  nn::Tensor input({w * k, provider.dim});
+  const std::vector<double> centrality =
+      core::ComputeCentrality(g, core::AlignmentMeasure::kEigenvector,
+                              nullptr);
+  const std::vector<graph::Vertex> order =
+      graph::SortByCentralityDescending(centrality);
+  const int selected = std::min<int>(w, g.NumVertices());
+  for (int slot = 0; slot < selected; ++slot) {
+    const std::vector<graph::Vertex> field =
+        core::BuildReceptiveField(g, order[slot], k, centrality);
+    for (int pos = 0; pos < k; ++pos) {
+      const graph::Vertex u = field[pos];
+      if (u == core::kDummyVertex) continue;
+      std::vector<double> row = provider.row(graph_index, u);
+      float* dst =
+          input.data() + (static_cast<size_t>(slot) * k + pos) * provider.dim;
+      for (int c = 0; c < provider.dim; ++c) dst[c] = static_cast<float>(row[c]);
+    }
+  }
+  return input;
+}
+
+std::vector<nn::Tensor> BuildPatchySanInputs(
+    const graph::GraphDataset& dataset, const VertexFeatureProvider& provider,
+    const PatchySanConfig& config) {
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    inputs.push_back(BuildPatchySanInput(dataset, provider, g, config));
+  }
+  return inputs;
+}
+
+PatchySanModel::PatchySanModel(int feature_dim, int num_classes,
+                               const PatchySanConfig& config)
+    : rng_(config.seed) {
+  const int k = config.field_size;
+  net_.Emplace<nn::Conv1D>(feature_dim, config.conv_channels, k, k, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Conv1D>(config.conv_channels, config.conv2_channels, 1, 1,
+                           rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Flatten>()
+      .Emplace<nn::Dense>(config.conv2_channels * config.sequence_length,
+                          config.dense_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.dense_units, num_classes, rng_);
+}
+
+nn::Tensor PatchySanModel::Forward(const nn::Tensor& input, bool training) {
+  return net_.Forward(input, training);
+}
+
+void PatchySanModel::Backward(const nn::Tensor& grad_logits) {
+  net_.Backward(grad_logits);
+}
+
+std::vector<nn::Param> PatchySanModel::Params() { return net_.Params(); }
+
+int DefaultPatchySanSequenceLength(const graph::GraphDataset& dataset) {
+  double total = 0;
+  for (const graph::Graph& g : dataset.graphs()) total += g.NumVertices();
+  return std::max(2, static_cast<int>(std::lround(total / dataset.size())));
+}
+
+}  // namespace deepmap::baselines

@@ -1,0 +1,66 @@
+// PATCHY-SAN baseline (Niepert et al., ICML 2016): select a fixed-length
+// vertex sequence, assemble a size-k receptive field per selected vertex,
+// normalize by a canonical order, and run a CNN.
+//
+// Substitution (DESIGN.md #2): the original normalizes with NAUTY; this
+// implementation orders vertices by eigenvector centrality — the replacement
+// the DEEPMAP paper itself argues for. Unlike DEEPMAP, PATCHY-SAN keeps only
+// the top `sequence_length` vertices (not all w), which is its documented
+// information loss.
+#ifndef DEEPMAP_BASELINES_PATCHYSAN_H_
+#define DEEPMAP_BASELINES_PATCHYSAN_H_
+
+#include <vector>
+
+#include "baselines/gnn_common.h"
+#include "core/alignment.h"
+#include "nn/model.h"
+
+namespace deepmap::baselines {
+
+/// PATCHY-SAN hyperparameters.
+struct PatchySanConfig {
+  /// Number of selected vertices (the original uses the dataset's average
+  /// vertex count).
+  int sequence_length = 10;
+  /// Receptive-field size k.
+  int field_size = 5;
+  int conv_channels = 16;
+  int conv2_channels = 8;
+  int dense_units = 128;
+  double dropout_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Builds the [sequence_length * field_size, dim] input of one graph.
+nn::Tensor BuildPatchySanInput(const graph::GraphDataset& dataset,
+                               const VertexFeatureProvider& provider,
+                               int graph_index, const PatchySanConfig& config);
+
+/// Inputs for every graph.
+std::vector<nn::Tensor> BuildPatchySanInputs(
+    const graph::GraphDataset& dataset, const VertexFeatureProvider& provider,
+    const PatchySanConfig& config);
+
+/// The PATCHY-SAN CNN; Model concept with Sample = nn::Tensor.
+class PatchySanModel {
+ public:
+  PatchySanModel(int feature_dim, int num_classes,
+                 const PatchySanConfig& config);
+
+  nn::Tensor Forward(const nn::Tensor& input, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  nn::Sequential net_;
+};
+
+/// Default sequence length for a dataset: its average vertex count (the
+/// original paper's w).
+int DefaultPatchySanSequenceLength(const graph::GraphDataset& dataset);
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_PATCHYSAN_H_

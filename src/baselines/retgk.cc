@@ -1,0 +1,65 @@
+#include "baselines/retgk.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/graph_conv.h"
+
+namespace deepmap::baselines {
+
+std::vector<std::vector<double>> ReturnProbabilityFeatures(
+    const graph::Graph& g, int walk_steps) {
+  DEEPMAP_CHECK_GT(walk_steps, 0);
+  const int n = g.NumVertices();
+  std::vector<std::vector<double>> rpf(
+      n, std::vector<double>(walk_steps, 0.0));
+  if (n == 0) return rpf;
+  const nn::GraphOp p = nn::GraphOp::Transition(g);
+  nn::GraphOp power = p;
+  for (int t = 1; t <= walk_steps; ++t) {
+    for (int v = 0; v < n; ++v) rpf[v][t - 1] = power.entry(v, v);
+    if (t < walk_steps) power = power.Compose(p);
+  }
+  return rpf;
+}
+
+kernels::Matrix RetGkKernelMatrix(const graph::GraphDataset& dataset,
+                                  const RetGkConfig& config) {
+  const int n = dataset.size();
+  // Precompute RPFs for every graph.
+  std::vector<std::vector<std::vector<double>>> rpf(n);
+  for (int g = 0; g < n; ++g) {
+    rpf[g] = ReturnProbabilityFeatures(dataset.graph(g), config.walk_steps);
+  }
+  auto vertex_kernel = [&](int gi, int u, int gj, int v) {
+    if (config.use_labels &&
+        dataset.graph(gi).GetLabel(u) != dataset.graph(gj).GetLabel(v)) {
+      return 0.0;
+    }
+    double squared = 0.0;
+    for (int t = 0; t < config.walk_steps; ++t) {
+      double diff = rpf[gi][u][t] - rpf[gj][v][t];
+      squared += diff * diff;
+    }
+    return std::exp(-config.gamma * squared);
+  };
+  kernels::Matrix k(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    const int ni = dataset.graph(i).NumVertices();
+    for (int j = i; j < n; ++j) {
+      const int nj = dataset.graph(j).NumVertices();
+      if (ni == 0 || nj == 0) continue;
+      double total = 0.0;
+      for (int u = 0; u < ni; ++u) {
+        for (int v = 0; v < nj; ++v) total += vertex_kernel(i, u, j, v);
+      }
+      double value = total / (static_cast<double>(ni) * nj);
+      k[i][j] = value;
+      k[j][i] = value;
+    }
+  }
+  kernels::NormalizeKernelMatrix(k);
+  return k;
+}
+
+}  // namespace deepmap::baselines

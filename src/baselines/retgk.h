@@ -1,0 +1,42 @@
+// RetGK (Zhang et al., NeurIPS 2018): graph kernels from return
+// probabilities of random walks.
+//
+// Each vertex gets a return-probability feature (RPF) vector
+// r(v) = [P(v->v in 1 step), ..., P(v->v in S steps)], an isomorphism-
+// invariant structural-role descriptor. The graph kernel is the mean map /
+// MMD-style kernel between the vertex sets in the RPF Hilbert space:
+//   K(G1, G2) = (1/(n1 n2)) sum_{u in G1} sum_{v in G2}
+//               [l(u) == l(v)] * exp(-gamma ||r(u) - r(v)||^2),
+// with the label indicator matching RetGK's treatment of labeled graphs.
+#ifndef DEEPMAP_BASELINES_RETGK_H_
+#define DEEPMAP_BASELINES_RETGK_H_
+
+#include <vector>
+
+#include "graph/dataset.h"
+#include "graph/graph.h"
+#include "kernels/kernel_matrix.h"
+
+namespace deepmap::baselines {
+
+/// RetGK hyperparameters.
+struct RetGkConfig {
+  /// Random-walk horizon S (number of steps in the RPF).
+  int walk_steps = 8;
+  /// RBF bandwidth on RPF vectors.
+  double gamma = 10.0;
+  /// Require matching vertex labels in the vertex kernel.
+  bool use_labels = true;
+};
+
+/// Return-probability features: result[v][t-1] = (P^t)_{vv}, t = 1..S.
+std::vector<std::vector<double>> ReturnProbabilityFeatures(
+    const graph::Graph& g, int walk_steps);
+
+/// RetGK kernel matrix over the dataset (cosine-normalized).
+kernels::Matrix RetGkKernelMatrix(const graph::GraphDataset& dataset,
+                                  const RetGkConfig& config = {});
+
+}  // namespace deepmap::baselines
+
+#endif  // DEEPMAP_BASELINES_RETGK_H_

@@ -1,0 +1,159 @@
+#include "baselines/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace deepmap::baselines {
+
+void BinarySmoSvm::Train(const kernels::Matrix& gram,
+                         const std::vector<int>& train_indices,
+                         const std::vector<int>& binary_labels,
+                         const SvmConfig& config) {
+  DEEPMAP_CHECK_EQ(train_indices.size(), binary_labels.size());
+  const int n = static_cast<int>(train_indices.size());
+  DEEPMAP_CHECK_GT(n, 0);
+  train_indices_ = train_indices;
+  y_ = binary_labels;
+  for (int y : y_) DEEPMAP_CHECK(y == 1 || y == -1);
+  alpha_.assign(n, 0.0);
+  b_ = 0.0;
+
+  auto k = [&](int i, int j) {
+    return gram[train_indices_[i]][train_indices_[j]];
+  };
+  auto f = [&](int i) {
+    double sum = b_;
+    for (int t = 0; t < n; ++t) {
+      if (alpha_[t] > 0.0) sum += alpha_[t] * y_[t] * k(t, i);
+    }
+    return sum;
+  };
+
+  // Simplified SMO (Platt; CS229 variant): pick i violating KKT, pair with
+  // a random j, solve the 2-variable subproblem analytically.
+  Rng rng(config.seed);
+  const double c = config.c;
+  const double tol = config.tolerance;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config.max_passes && iterations < config.max_iterations) {
+    int changed = 0;
+    for (int i = 0; i < n; ++i) {
+      ++iterations;
+      double ei = f(i) - y_[i];
+      bool violates = (y_[i] * ei < -tol && alpha_[i] < c) ||
+                      (y_[i] * ei > tol && alpha_[i] > 0.0);
+      if (!violates) continue;
+      int j = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+      if (j == i) j = (j + 1) % n;
+      if (n == 1) continue;
+      double ej = f(j) - y_[j];
+      double ai_old = alpha_[i], aj_old = alpha_[j];
+      double lo, hi;
+      if (y_[i] != y_[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+      if (eta >= 0.0) continue;
+      double aj = aj_old - y_[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::fabs(aj - aj_old) < 1e-5) continue;
+      double ai = ai_old + y_[i] * y_[j] * (aj_old - aj);
+      alpha_[i] = ai;
+      alpha_[j] = aj;
+      double b1 = b_ - ei - y_[i] * (ai - ai_old) * k(i, i) -
+                  y_[j] * (aj - aj_old) * k(i, j);
+      double b2 = b_ - ej - y_[i] * (ai - ai_old) * k(i, j) -
+                  y_[j] * (aj - aj_old) * k(j, j);
+      if (ai > 0.0 && ai < c) {
+        b_ = b1;
+      } else if (aj > 0.0 && aj < c) {
+        b_ = b2;
+      } else {
+        b_ = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+}
+
+double BinarySmoSvm::DecisionValue(const kernels::Matrix& gram,
+                                   int sample_index) const {
+  double sum = b_;
+  for (size_t t = 0; t < train_indices_.size(); ++t) {
+    if (alpha_[t] > 0.0) {
+      sum += alpha_[t] * y_[t] * gram[train_indices_[t]][sample_index];
+    }
+  }
+  return sum;
+}
+
+int BinarySmoSvm::NumSupportVectors() const {
+  int count = 0;
+  for (double a : alpha_) {
+    if (a > 1e-12) ++count;
+  }
+  return count;
+}
+
+void KernelSvm::Train(const kernels::Matrix& gram,
+                      const std::vector<int>& labels,
+                      const std::vector<int>& train_indices,
+                      const SvmConfig& config) {
+  int num_classes = 0;
+  for (int i : train_indices) {
+    num_classes = std::max(num_classes, labels[i] + 1);
+  }
+  DEEPMAP_CHECK_GE(num_classes, 2);
+  // Binary problems need a single machine; multiclass gets one per class.
+  const int num_machines = num_classes == 2 ? 1 : num_classes;
+  machines_.assign(num_machines, BinarySmoSvm());
+  for (int c = 0; c < num_machines; ++c) {
+    std::vector<int> binary;
+    binary.reserve(train_indices.size());
+    for (int i : train_indices) binary.push_back(labels[i] == c ? 1 : -1);
+    SvmConfig machine_config = config;
+    machine_config.seed = config.seed + static_cast<uint64_t>(c);
+    machines_[c].Train(gram, train_indices, binary, machine_config);
+  }
+}
+
+int KernelSvm::Predict(const kernels::Matrix& gram, int sample_index) const {
+  DEEPMAP_CHECK(!machines_.empty());
+  if (machines_.size() == 1) {
+    // Binary: machine 0 separates class 0 (+1) from class 1 (-1).
+    return machines_[0].DecisionValue(gram, sample_index) >= 0.0 ? 0 : 1;
+  }
+  int best = 0;
+  double best_value = machines_[0].DecisionValue(gram, sample_index);
+  for (size_t c = 1; c < machines_.size(); ++c) {
+    double value = machines_[c].DecisionValue(gram, sample_index);
+    if (value > best_value) {
+      best_value = value;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double KernelSvm::Evaluate(const kernels::Matrix& gram,
+                           const std::vector<int>& labels,
+                           const std::vector<int>& test_indices) const {
+  if (test_indices.empty()) return 0.0;
+  int correct = 0;
+  for (int i : test_indices) {
+    if (Predict(gram, i) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / test_indices.size();
+}
+
+}  // namespace deepmap::baselines

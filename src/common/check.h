@@ -1,0 +1,58 @@
+// Lightweight CHECK macros for programming-error assertions.
+//
+// These are enabled in all build types (unlike assert): a failed check prints
+// the failing condition with file/line context and aborts. Library code uses
+// them for contract violations only; fallible operations (I/O, parsing)
+// return Status instead.
+#ifndef DEEPMAP_COMMON_CHECK_H_
+#define DEEPMAP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deepmap {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* cond,
+                                   const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, cond,
+               message.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatBinary(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs. " << b << ")";
+  return os.str();
+}
+
+}  // namespace internal_check
+}  // namespace deepmap
+
+#define DEEPMAP_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::deepmap::internal_check::CheckFail(__FILE__, __LINE__, #cond, ""); \
+    }                                                                     \
+  } while (0)
+
+#define DEEPMAP_CHECK_OP(op, a, b)                                          \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      ::deepmap::internal_check::CheckFail(                                 \
+          __FILE__, __LINE__, #a " " #op " " #b,                            \
+          ::deepmap::internal_check::FormatBinary((a), (b)));               \
+    }                                                                       \
+  } while (0)
+
+#define DEEPMAP_CHECK_EQ(a, b) DEEPMAP_CHECK_OP(==, a, b)
+#define DEEPMAP_CHECK_NE(a, b) DEEPMAP_CHECK_OP(!=, a, b)
+#define DEEPMAP_CHECK_LT(a, b) DEEPMAP_CHECK_OP(<, a, b)
+#define DEEPMAP_CHECK_LE(a, b) DEEPMAP_CHECK_OP(<=, a, b)
+#define DEEPMAP_CHECK_GT(a, b) DEEPMAP_CHECK_OP(>, a, b)
+#define DEEPMAP_CHECK_GE(a, b) DEEPMAP_CHECK_OP(>=, a, b)
+
+#endif  // DEEPMAP_COMMON_CHECK_H_

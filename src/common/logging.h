@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr.
+#ifndef DEEPMAP_COMMON_LOGGING_H_
+#define DEEPMAP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace deepmap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// Stream-style log line emitter; writes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace deepmap
+
+#define DEEPMAP_LOG(level)                                                  \
+  ::deepmap::internal_log::LogMessage(::deepmap::LogLevel::k##level,        \
+                                      __FILE__, __LINE__)                   \
+      .stream()
+
+#endif  // DEEPMAP_COMMON_LOGGING_H_

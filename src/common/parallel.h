@@ -1,0 +1,55 @@
+// Minimal thread pool and parallel-for.
+//
+// Used for embarrassingly parallel work: Gram-matrix rows, per-fold cross
+// validation, per-graph feature extraction. On single-core machines the pool
+// degrades gracefully to sequential execution.
+#ifndef DEEPMAP_COMMON_PARALLEL_H_
+#define DEEPMAP_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deepmap {
+
+/// Fixed-size worker pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, n). Work is split into contiguous chunks across
+/// `num_threads` threads (0 = hardware concurrency; 1 = run inline).
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 size_t num_threads = 0);
+
+}  // namespace deepmap
+
+#endif  // DEEPMAP_COMMON_PARALLEL_H_

@@ -1,0 +1,67 @@
+// Seeded random number generation.
+//
+// All stochastic components in the library (graphlet sampling, dropout,
+// weight init, dataset generators, fold shuffling) take an explicit Rng so
+// every experiment is reproducible bit-for-bit.
+#ifndef DEEPMAP_COMMON_RNG_H_
+#define DEEPMAP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deepmap {
+
+/// Deterministic pseudo-random generator (mersenne twister) with convenience
+/// sampling helpers. Copyable; copies continue independent streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform size_t in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal sample.
+  double Normal();
+
+  /// Normal with given mean and stddev.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derive a new generator with an independent stream.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace deepmap
+
+#endif  // DEEPMAP_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for runtime experiments (Table 5).
+#ifndef DEEPMAP_COMMON_STOPWATCH_H_
+#define DEEPMAP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace deepmap {
+
+/// Monotonic wall-clock timer. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepmap
+
+#endif  // DEEPMAP_COMMON_STOPWATCH_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across the library.
+#ifndef DEEPMAP_COMMON_STRING_UTIL_H_
+#define DEEPMAP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepmap {
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Formats a double with fixed precision (default 2 digits).
+std::string FormatDouble(double value, int precision = 2);
+
+/// "mean±std" accuracy formatting used in result tables (percent values).
+std::string FormatAccuracy(double mean, double stddev);
+
+}  // namespace deepmap
+
+#endif  // DEEPMAP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,40 @@
+// Aligned plain-text table printer used by the benchmark harnesses to emit
+// the same rows the paper's tables report, plus CSV export.
+#ifndef DEEPMAP_COMMON_TABLE_H_
+#define DEEPMAP_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deepmap {
+
+/// Column-aligned text table. Rows are appended as vectors of cells; Print
+/// pads every column to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes the aligned table (with a separator under the header).
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (header + rows). Cells containing commas
+  /// are quoted.
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes the CSV to a file; returns false on I/O failure.
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepmap
+
+#endif  // DEEPMAP_COMMON_TABLE_H_

@@ -1,0 +1,55 @@
+#include "core/alignment.h"
+
+#include "common/check.h"
+
+namespace deepmap::core {
+
+std::string AlignmentMeasureName(AlignmentMeasure measure) {
+  switch (measure) {
+    case AlignmentMeasure::kEigenvector:
+      return "eigenvector";
+    case AlignmentMeasure::kDegree:
+      return "degree";
+    case AlignmentMeasure::kPageRank:
+      return "pagerank";
+    case AlignmentMeasure::kBetweenness:
+      return "betweenness";
+    case AlignmentMeasure::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<double> ComputeCentrality(const graph::Graph& g,
+                                      AlignmentMeasure measure, Rng* rng) {
+  switch (measure) {
+    case AlignmentMeasure::kEigenvector:
+      return graph::EigenvectorCentrality(g);
+    case AlignmentMeasure::kDegree:
+      return graph::DegreeCentrality(g);
+    case AlignmentMeasure::kPageRank:
+      return graph::PageRankCentrality(g);
+    case AlignmentMeasure::kBetweenness:
+      return graph::BetweennessCentrality(g);
+    case AlignmentMeasure::kRandom: {
+      DEEPMAP_CHECK(rng != nullptr);
+      std::vector<double> scores(g.NumVertices());
+      for (double& s : scores) s = rng->Uniform();
+      return scores;
+    }
+  }
+  return {};
+}
+
+std::vector<graph::Vertex> GenerateVertexSequence(
+    const graph::Graph& g, const std::vector<double>& centrality,
+    int target_length) {
+  DEEPMAP_CHECK_EQ(centrality.size(), static_cast<size_t>(g.NumVertices()));
+  DEEPMAP_CHECK_GE(target_length, g.NumVertices());
+  std::vector<graph::Vertex> sequence =
+      graph::SortByCentralityDescending(centrality);
+  sequence.resize(static_cast<size_t>(target_length), kDummyVertex);
+  return sequence;
+}
+
+}  // namespace deepmap::core

@@ -1,0 +1,48 @@
+// Vertex alignment across graphs (the paper's Section 4.1, step 1).
+//
+// DEEPMAP orders each graph's vertices by descending eigenvector centrality
+// so that sequences are aligned across graphs; degree / PageRank / random
+// orderings are provided for the alignment ablation. Sequences are padded
+// with dummy vertices (id kDummyVertex) to the dataset-wide maximum length w.
+#ifndef DEEPMAP_CORE_ALIGNMENT_H_
+#define DEEPMAP_CORE_ALIGNMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/centrality.h"
+#include "graph/graph.h"
+
+namespace deepmap::core {
+
+/// Sentinel id for padding positions in a vertex sequence.
+inline constexpr graph::Vertex kDummyVertex = -1;
+
+/// Which vertex-importance measure drives the alignment.
+enum class AlignmentMeasure {
+  kEigenvector,
+  kDegree,
+  kPageRank,
+  kBetweenness,
+  kRandom
+};
+
+/// Human-readable measure name.
+std::string AlignmentMeasureName(AlignmentMeasure measure);
+
+/// Centrality scores under the chosen measure. `rng` is only used by
+/// kRandom (may be null otherwise).
+std::vector<double> ComputeCentrality(const graph::Graph& g,
+                                      AlignmentMeasure measure, Rng* rng);
+
+/// The aligned vertex sequence of one graph: all vertices sorted by
+/// descending centrality (stable id tie-break), padded with kDummyVertex up
+/// to `target_length` (>= |V|; pass |V| for no padding).
+std::vector<graph::Vertex> GenerateVertexSequence(
+    const graph::Graph& g, const std::vector<double>& centrality,
+    int target_length);
+
+}  // namespace deepmap::core
+
+#endif  // DEEPMAP_CORE_ALIGNMENT_H_

@@ -1,0 +1,127 @@
+// DEEPMAP: the paper's primary contribution. Learns a deep graph
+// representation by running a 1-D CNN over aligned vertex sequences whose
+// positions carry the kernel vertex feature maps of BFS receptive fields.
+//
+// Architecture (paper Fig. 4): input [w*r, m] ->
+//   Conv1D(m -> 32, kernel r, stride r) + ReLU   (one output per vertex slot)
+//   Conv1D(32 -> 16, kernel 1) + ReLU
+//   Conv1D(16 -> 8, kernel 1) + ReLU
+//   summation layer over the w slots (Eq. 7)     [8]
+//   Dense(8 -> 128) + ReLU, Dropout(0.5), Dense(128 -> C) softmax
+// where m = vertex-feature dimension, w = max #vertices in the dataset,
+// r = receptive-field size.
+#ifndef DEEPMAP_CORE_DEEPMAP_H_
+#define DEEPMAP_CORE_DEEPMAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/alignment.h"
+#include "core/receptive_field.h"
+#include "graph/dataset.h"
+#include "kernels/vertex_feature_map.h"
+#include "nn/model.h"
+
+namespace deepmap::core {
+
+/// Graph-level readout after the convolution stack (Sec. 6 discusses sum vs
+/// concatenation; mean is included for the ablation).
+enum class ReadoutKind { kSum, kMean, kConcat };
+
+std::string ReadoutKindName(ReadoutKind readout);
+
+/// Full DEEPMAP configuration. Defaults reproduce the paper's single
+/// architecture (Section 5.1).
+struct DeepMapConfig {
+  /// Which vertex feature maps to use (DEEPMAP-GK / -SP / -WL).
+  kernels::VertexFeatureConfig features;
+  /// Receptive-field size r.
+  int receptive_field_size = 5;
+  /// Vertex-alignment measure (paper: eigenvector centrality).
+  AlignmentMeasure alignment = AlignmentMeasure::kEigenvector;
+  /// Convolution channel widths.
+  int conv1_channels = 32;
+  int conv2_channels = 16;
+  int conv3_channels = 8;
+  /// Dense layer width (paper: 128) and dropout rate (paper: 0.5).
+  int dense_units = 128;
+  double dropout_rate = 0.5;
+  ReadoutKind readout = ReadoutKind::kSum;
+  /// Optimization settings (paper: RMSprop, lr 0.01, plateau x0.5 / 5).
+  nn::TrainConfig train;
+  /// Seed for model init / dropout / graphlet sampling.
+  uint64_t seed = 42;
+};
+
+/// Builds the CNN input Phi'_g for one graph: a [w*r, m] tensor where slot i
+/// holds the dense feature rows of the receptive field of the i-th vertex in
+/// the aligned sequence (zero rows for dummy vertices / padding).
+nn::Tensor BuildDeepMapInput(const graph::Graph& g,
+                             const kernels::DatasetVertexFeatures& features,
+                             int graph_index, int sequence_length, int r,
+                             AlignmentMeasure alignment, Rng* rng);
+
+/// Inputs for every graph of the dataset (sequence_length = max |V|).
+std::vector<nn::Tensor> BuildDeepMapInputs(
+    const graph::GraphDataset& dataset,
+    const kernels::DatasetVertexFeatures& features,
+    const DeepMapConfig& config);
+
+/// The DEEPMAP network (Fig. 4). Satisfies the trainer's Model concept with
+/// Sample = nn::Tensor.
+class DeepMapModel {
+ public:
+  /// `feature_dim` = m, `sequence_length` = w, `num_classes` = C.
+  DeepMapModel(int feature_dim, int sequence_length, int num_classes,
+               const DeepMapConfig& config);
+
+  nn::Tensor Forward(const nn::Tensor& input, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+  int64_t NumParameters() { return net_.NumParameters(); }
+
+ private:
+  Rng rng_;
+  nn::Sequential net_;
+};
+
+/// Result of one train/test split.
+struct EvaluationResult {
+  double test_accuracy = 0.0;
+  nn::TrainHistory history;
+};
+
+/// End-to-end DEEPMAP pipeline over one dataset: computes vertex feature
+/// maps and CNN inputs once, then trains/evaluates per fold.
+class DeepMapPipeline {
+ public:
+  DeepMapPipeline(const graph::GraphDataset& dataset,
+                  const DeepMapConfig& config);
+
+  /// Dense feature dimension m.
+  int feature_dim() const { return features_.dim(); }
+  /// Sequence length w.
+  int sequence_length() const { return sequence_length_; }
+  int num_classes() const { return num_classes_; }
+
+  const std::vector<nn::Tensor>& inputs() const { return inputs_; }
+  const kernels::DatasetVertexFeatures& features() const { return features_; }
+
+  /// Trains a fresh model on `train_indices`, evaluates on `test_indices`.
+  EvaluationResult RunFold(const std::vector<int>& train_indices,
+                           const std::vector<int>& test_indices,
+                           uint64_t fold_seed) const;
+
+ private:
+  const graph::GraphDataset* dataset_;  // not owned
+  DeepMapConfig config_;
+  kernels::DatasetVertexFeatures features_;
+  std::vector<nn::Tensor> inputs_;
+  int sequence_length_;
+  int num_classes_;
+};
+
+}  // namespace deepmap::core
+
+#endif  // DEEPMAP_CORE_DEEPMAP_H_

@@ -1,0 +1,63 @@
+#include "core/receptive_field.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace deepmap::core {
+
+std::vector<graph::Vertex> BuildReceptiveField(
+    const graph::Graph& g, graph::Vertex v, int r,
+    const std::vector<double>& centrality) {
+  DEEPMAP_CHECK_GT(r, 0);
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(v, g.NumVertices());
+  DEEPMAP_CHECK_EQ(centrality.size(), static_cast<size_t>(g.NumVertices()));
+
+  auto by_centrality_desc = [&](graph::Vertex a, graph::Vertex b) {
+    if (centrality[a] != centrality[b]) return centrality[a] > centrality[b];
+    return a < b;
+  };
+
+  std::vector<graph::Vertex> field{v};
+  std::vector<bool> taken(g.NumVertices(), false);
+  taken[v] = true;
+  // BFS hop expansion: `hop` holds the current frontier.
+  std::vector<graph::Vertex> hop{v};
+  while (static_cast<int>(field.size()) < r && !hop.empty()) {
+    std::vector<graph::Vertex> next_hop;
+    for (graph::Vertex u : hop) {
+      for (graph::Vertex w : g.Neighbors(u)) {
+        if (!taken[w]) {
+          taken[w] = true;
+          next_hop.push_back(w);
+        }
+      }
+    }
+    const int room = r - static_cast<int>(field.size());
+    if (static_cast<int>(next_hop.size()) > room) {
+      // Keep the top-`room` by centrality (the paper's top r-1 rule applied
+      // within the hop that overflows the field).
+      std::sort(next_hop.begin(), next_hop.end(), by_centrality_desc);
+      next_hop.resize(static_cast<size_t>(room));
+    }
+    field.insert(field.end(), next_hop.begin(), next_hop.end());
+    hop = std::move(next_hop);
+  }
+  // The field is presented in descending centrality order.
+  std::sort(field.begin(), field.end(), by_centrality_desc);
+  field.resize(static_cast<size_t>(r), kDummyVertex);
+  return field;
+}
+
+std::vector<std::vector<graph::Vertex>> BuildAllReceptiveFields(
+    const graph::Graph& g, int r, const std::vector<double>& centrality) {
+  std::vector<std::vector<graph::Vertex>> fields;
+  fields.reserve(g.NumVertices());
+  for (graph::Vertex v = 0; v < g.NumVertices(); ++v) {
+    fields.push_back(BuildReceptiveField(g, v, r, centrality));
+  }
+  return fields;
+}
+
+}  // namespace deepmap::core

@@ -1,0 +1,31 @@
+// Receptive-field construction (the paper's Section 4.1, step 2).
+//
+// The receptive field of a vertex v is v plus up to r-1 neighbors gathered
+// by BFS hop expansion: if the one-hop neighborhood has >= r-1 vertices,
+// take the r-1 with the highest centrality; otherwise take all of it and
+// continue with two-hop neighbors, and so on. The resulting field is sorted
+// by descending centrality and padded with kDummyVertex to exactly r slots.
+#ifndef DEEPMAP_CORE_RECEPTIVE_FIELD_H_
+#define DEEPMAP_CORE_RECEPTIVE_FIELD_H_
+
+#include <vector>
+
+#include "core/alignment.h"
+#include "graph/graph.h"
+
+namespace deepmap::core {
+
+/// Builds the size-r receptive field of `v`. `centrality` must have one
+/// score per vertex of `g`. The returned vector has exactly r entries; the
+/// tail is kDummyVertex when fewer than r vertices are reachable.
+std::vector<graph::Vertex> BuildReceptiveField(
+    const graph::Graph& g, graph::Vertex v, int r,
+    const std::vector<double>& centrality);
+
+/// Receptive fields for every vertex of `g` in one pass.
+std::vector<std::vector<graph::Vertex>> BuildAllReceptiveFields(
+    const graph::Graph& g, int r, const std::vector<double>& centrality);
+
+}  // namespace deepmap::core
+
+#endif  // DEEPMAP_CORE_RECEPTIVE_FIELD_H_

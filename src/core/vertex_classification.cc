@@ -1,0 +1,116 @@
+#include "core/vertex_classification.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace deepmap::core {
+
+VertexClassifierModel::VertexClassifierModel(
+    int feature_dim, int num_classes, const VertexClassifierConfig& config)
+    : rng_(config.seed) {
+  DEEPMAP_CHECK_GT(feature_dim, 0);
+  DEEPMAP_CHECK_GT(num_classes, 0);
+  const int r = config.receptive_field_size;
+  net_.Emplace<nn::Conv1D>(feature_dim, config.conv_channels, r, r, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Flatten>()  // [1, C] -> [C]
+      .Emplace<nn::Dense>(config.conv_channels, config.dense_units, rng_)
+      .Emplace<nn::Relu>()
+      .Emplace<nn::Dropout>(config.dropout_rate, rng_)
+      .Emplace<nn::Dense>(config.dense_units, num_classes, rng_);
+}
+
+nn::Tensor VertexClassifierModel::Forward(const nn::Tensor& input,
+                                          bool training) {
+  return net_.Forward(input, training);
+}
+
+void VertexClassifierModel::Backward(const nn::Tensor& grad_logits) {
+  net_.Backward(grad_logits);
+}
+
+std::vector<nn::Param> VertexClassifierModel::Params() {
+  return net_.Params();
+}
+
+VertexClassifierPipeline::VertexClassifierPipeline(
+    const graph::GraphDataset& dataset,
+    std::vector<std::vector<int>> vertex_labels,
+    const VertexClassifierConfig& config)
+    : dataset_(&dataset),
+      config_(config),
+      vertex_labels_(std::move(vertex_labels)),
+      features_(kernels::ComputeDatasetVertexFeatures(dataset,
+                                                      config.features)) {
+  DEEPMAP_CHECK_EQ(vertex_labels_.size(), static_cast<size_t>(dataset.size()));
+  const int r = config_.receptive_field_size;
+  const int m = features_.dim();
+  Rng rng(config_.seed + 0xf00d);
+  for (int g = 0; g < dataset.size(); ++g) {
+    const graph::Graph& graph = dataset.graph(g);
+    DEEPMAP_CHECK_EQ(vertex_labels_[g].size(),
+                     static_cast<size_t>(graph.NumVertices()));
+    const std::vector<double> centrality =
+        ComputeCentrality(graph, config_.alignment, &rng);
+    for (graph::Vertex v = 0; v < graph.NumVertices(); ++v) {
+      num_classes_ = std::max(num_classes_, vertex_labels_[g][v] + 1);
+      std::vector<graph::Vertex> field =
+          BuildReceptiveField(graph, v, r, centrality);
+      // Unlike graph classification (where fields are summed anyway), the
+      // classified vertex must be identifiable in its sample: move v to the
+      // front of the centrality-sorted field.
+      for (size_t pos = 0; pos < field.size(); ++pos) {
+        if (field[pos] == v) {
+          std::rotate(field.begin(), field.begin() + pos,
+                      field.begin() + pos + 1);
+          break;
+        }
+      }
+      nn::Tensor input({r, m});
+      for (int pos = 0; pos < r; ++pos) {
+        if (field[pos] == kDummyVertex) continue;
+        const std::vector<double> row = features_.DenseRow(g, field[pos]);
+        for (int c = 0; c < m; ++c) {
+          input.at(pos, c) = static_cast<float>(row[c]);
+        }
+      }
+      refs_.push_back(VertexRef{g, v});
+      inputs_.push_back(std::move(input));
+    }
+  }
+}
+
+int VertexClassifierPipeline::label(size_t ref_index) const {
+  DEEPMAP_CHECK_LT(ref_index, refs_.size());
+  const VertexRef& ref = refs_[ref_index];
+  return vertex_labels_[ref.graph][ref.vertex];
+}
+
+double VertexClassifierPipeline::TrainAndEvaluate(
+    const std::vector<int>& train_ref_indices,
+    const std::vector<int>& test_ref_indices, uint64_t seed) const {
+  std::vector<nn::Tensor> train_inputs, test_inputs;
+  std::vector<int> train_labels, test_labels;
+  for (int i : train_ref_indices) {
+    train_inputs.push_back(inputs_[i]);
+    train_labels.push_back(label(i));
+  }
+  for (int i : test_ref_indices) {
+    test_inputs.push_back(inputs_[i]);
+    test_labels.push_back(label(i));
+  }
+  VertexClassifierConfig fold_config = config_;
+  fold_config.seed = seed;
+  fold_config.train.seed = seed + 1;
+  VertexClassifierModel model(features_.dim(), num_classes_, fold_config);
+  nn::TrainClassifier(model, train_inputs, train_labels, fold_config.train);
+  return nn::EvaluateAccuracy(model, test_inputs, test_labels);
+}
+
+}  // namespace deepmap::core

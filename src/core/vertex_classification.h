@@ -1,0 +1,97 @@
+// Vertex-level classification with deep vertex feature maps.
+//
+// The paper's conclusion notes that "the learned deep feature map of each
+// vertex can also be considered as vertex embedding and used for vertex
+// classification". This module realizes that extension: every vertex
+// becomes one training sample whose input is the feature-map block of its
+// BFS receptive field ([r, m], exactly one DEEPMAP slot), classified by a
+// small CNN head.
+#ifndef DEEPMAP_CORE_VERTEX_CLASSIFICATION_H_
+#define DEEPMAP_CORE_VERTEX_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "core/alignment.h"
+#include "core/receptive_field.h"
+#include "graph/dataset.h"
+#include "kernels/vertex_feature_map.h"
+#include "nn/model.h"
+
+namespace deepmap::core {
+
+/// Configuration for the vertex classifier.
+struct VertexClassifierConfig {
+  kernels::VertexFeatureConfig features;
+  int receptive_field_size = 5;
+  AlignmentMeasure alignment = AlignmentMeasure::kEigenvector;
+  int conv_channels = 32;
+  int dense_units = 64;
+  double dropout_rate = 0.5;
+  nn::TrainConfig train;
+  uint64_t seed = 42;
+};
+
+/// Identifies one vertex of one graph.
+struct VertexRef {
+  int graph;
+  graph::Vertex vertex;
+};
+
+/// The per-vertex CNN: Conv1D(m -> C, kernel r) + ReLU + Flatten +
+/// Dense + ReLU + Dropout + Dense softmax head. Model concept with
+/// Sample = nn::Tensor of shape [r, m].
+class VertexClassifierModel {
+ public:
+  VertexClassifierModel(int feature_dim, int num_classes,
+                        const VertexClassifierConfig& config);
+
+  nn::Tensor Forward(const nn::Tensor& input, bool training);
+  void Backward(const nn::Tensor& grad_logits);
+  std::vector<nn::Param> Params();
+
+ private:
+  Rng rng_;
+  nn::Sequential net_;
+};
+
+/// End-to-end vertex-classification pipeline over a dataset with per-vertex
+/// labels (vertex_labels[g][v] in [0, C)).
+class VertexClassifierPipeline {
+ public:
+  VertexClassifierPipeline(const graph::GraphDataset& dataset,
+                           std::vector<std::vector<int>> vertex_labels,
+                           const VertexClassifierConfig& config);
+
+  int feature_dim() const { return features_.dim(); }
+  int num_classes() const { return num_classes_; }
+
+  /// All vertices as (graph, vertex) refs, in graph-major order.
+  const std::vector<VertexRef>& vertices() const { return refs_; }
+
+  /// The [r, m] input tensor of one vertex.
+  const nn::Tensor& input(size_t ref_index) const {
+    return inputs_[ref_index];
+  }
+
+  /// Label of one vertex ref.
+  int label(size_t ref_index) const;
+
+  /// Trains on the refs at `train_ref_indices`, evaluates accuracy on
+  /// `test_ref_indices` (indices into vertices()).
+  double TrainAndEvaluate(const std::vector<int>& train_ref_indices,
+                          const std::vector<int>& test_ref_indices,
+                          uint64_t seed) const;
+
+ private:
+  const graph::GraphDataset* dataset_;  // not owned
+  VertexClassifierConfig config_;
+  std::vector<std::vector<int>> vertex_labels_;
+  kernels::DatasetVertexFeatures features_;
+  std::vector<VertexRef> refs_;
+  std::vector<nn::Tensor> inputs_;
+  int num_classes_ = 0;
+};
+
+}  // namespace deepmap::core
+
+#endif  // DEEPMAP_CORE_VERTEX_CLASSIFICATION_H_

@@ -1,0 +1,184 @@
+#include "datasets/random_graphs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace deepmap::datasets {
+
+using graph::Graph;
+using graph::Vertex;
+
+Graph ErdosRenyi(int n, double p, Rng& rng) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph BarabasiAlbert(int n, int edges_per_vertex, Rng& rng) {
+  DEEPMAP_CHECK_GE(n, edges_per_vertex + 1);
+  DEEPMAP_CHECK_GE(edges_per_vertex, 1);
+  Graph g(n);
+  // Start from a small clique.
+  for (int i = 0; i <= edges_per_vertex; ++i) {
+    for (int j = i + 1; j <= edges_per_vertex; ++j) g.AddEdge(i, j);
+  }
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<Vertex> endpoints;
+  for (const auto& [u, v] : g.EdgeList()) {
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  }
+  for (int v = edges_per_vertex + 1; v < n; ++v) {
+    int added = 0;
+    int guard = 0;
+    while (added < edges_per_vertex && guard < 100 * edges_per_vertex) {
+      Vertex target = endpoints[rng.Index(endpoints.size())];
+      if (g.AddEdge(v, target)) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++added;
+      }
+      ++guard;
+    }
+  }
+  return g;
+}
+
+Graph WattsStrogatz(int n, int k, double beta, Rng& rng) {
+  DEEPMAP_CHECK_GE(n, 2 * k + 1);
+  // Ring lattice, then rewire each lattice edge with probability beta to a
+  // random vertex that is not already a neighbor of u.
+  Graph lattice(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 1; j <= k; ++j) lattice.AddEdge(i, (i + j) % n);
+  }
+  Graph out(n);
+  for (const auto& [u, v] : lattice.EdgeList()) {
+    if (rng.Bernoulli(beta)) {
+      int guard = 0;
+      Vertex w = v;
+      while (guard++ < 50) {
+        Vertex candidate =
+            static_cast<Vertex>(rng.Index(static_cast<size_t>(n)));
+        if (candidate != u && !out.HasEdge(u, candidate)) {
+          w = candidate;
+          break;
+        }
+      }
+      out.AddEdge(u, w);
+    } else {
+      out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+Graph RandomGeometric(int n, double radius, Rng& rng) {
+  std::vector<std::pair<double, double>> points(n);
+  for (auto& [x, y] : points) {
+    x = rng.Uniform();
+    y = rng.Uniform();
+  }
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double dx = points[i].first - points[j].first;
+      double dy = points[i].second - points[j].second;
+      if (dx * dx + dy * dy <= r2) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph SubsampleAndRewire(const Graph& seed, double keep_fraction,
+                         double rewire_prob, Rng& rng) {
+  const int n = seed.NumVertices();
+  int keep = std::max(2, static_cast<int>(std::lround(n * keep_fraction)));
+  keep = std::min(keep, n);
+  auto kept_idx = rng.SampleWithoutReplacement(static_cast<size_t>(n),
+                                               static_cast<size_t>(keep));
+  std::vector<Vertex> kept(kept_idx.begin(), kept_idx.end());
+  std::sort(kept.begin(), kept.end());
+  Graph sub = seed.InducedSubgraph(kept);
+  // Rewire: each edge moves to a random non-edge with prob rewire_prob.
+  Graph out(sub.NumVertices());
+  for (Vertex v = 0; v < sub.NumVertices(); ++v) {
+    out.SetLabel(v, sub.GetLabel(v));
+  }
+  for (const auto& [u, v] : sub.EdgeList()) {
+    if (rewire_prob > 0.0 && rng.Bernoulli(rewire_prob)) {
+      int guard = 0;
+      bool placed = false;
+      while (guard++ < 50) {
+        Vertex a = static_cast<Vertex>(rng.Index(out.NumVertices()));
+        Vertex b = static_cast<Vertex>(rng.Index(out.NumVertices()));
+        if (a != b && !out.HasEdge(a, b)) {
+          out.AddEdge(a, b);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) out.AddEdge(u, v);
+    } else {
+      out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+void AttachRing(Graph& g, Vertex anchor, int ring_size, int label_count,
+                Rng& rng) {
+  DEEPMAP_CHECK_GE(ring_size, 3);
+  DEEPMAP_CHECK_GE(anchor, 0);
+  DEEPMAP_CHECK_LT(anchor, g.NumVertices());
+  std::vector<Vertex> ring;
+  ring.reserve(ring_size);
+  for (int i = 0; i < ring_size; ++i) {
+    ring.push_back(g.AddVertex(
+        static_cast<graph::Label>(rng.Index(static_cast<size_t>(label_count)))));
+  }
+  for (int i = 0; i < ring_size; ++i) {
+    g.AddEdge(ring[i], ring[(i + 1) % ring_size]);
+  }
+  g.AddEdge(anchor, ring[0]);
+}
+
+Graph RandomTree(int n, int label_count, Rng& rng) {
+  DEEPMAP_CHECK_GE(n, 1);
+  Graph g;
+  g.AddVertex(
+      static_cast<graph::Label>(rng.Index(static_cast<size_t>(label_count))));
+  for (int v = 1; v < n; ++v) {
+    Vertex parent = static_cast<Vertex>(rng.Index(static_cast<size_t>(v)));
+    Vertex child = g.AddVertex(
+        static_cast<graph::Label>(rng.Index(static_cast<size_t>(label_count))));
+    g.AddEdge(parent, child);
+  }
+  return g;
+}
+
+void MakeConnected(Graph& g, Rng& rng) {
+  if (g.NumVertices() <= 1) return;
+  for (;;) {
+    std::vector<int> comp = graph::ConnectedComponents(g);
+    int num_components = *std::max_element(comp.begin(), comp.end()) + 1;
+    if (num_components <= 1) return;
+    // Connect a random vertex of component 0 to one of another component.
+    std::vector<Vertex> in0, rest;
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      (comp[v] == 0 ? in0 : rest).push_back(v);
+    }
+    g.AddEdge(in0[rng.Index(in0.size())], rest[rng.Index(rest.size())]);
+  }
+}
+
+}  // namespace deepmap::datasets

@@ -1,0 +1,49 @@
+// Random-graph building blocks for the synthetic benchmark generators.
+#ifndef DEEPMAP_DATASETS_RANDOM_GRAPHS_H_
+#define DEEPMAP_DATASETS_RANDOM_GRAPHS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace deepmap::datasets {
+
+/// Erdos-Renyi G(n, p): every pair is an edge independently with prob. p.
+graph::Graph ErdosRenyi(int n, double p, Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices with probability proportional to
+/// degree. n must be >= edges_per_vertex + 1.
+graph::Graph BarabasiAlbert(int n, int edges_per_vertex, Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbors per
+/// side rewired with probability beta.
+graph::Graph WattsStrogatz(int n, int k, double beta, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edge when
+/// Euclidean distance <= radius.
+graph::Graph RandomGeometric(int n, double radius, Rng& rng);
+
+/// Vertex subsample + edge rewiring of a seed graph: keeps `keep_fraction`
+/// of the vertices (induced) and rewires each edge with prob. `rewire_prob`
+/// to a random non-edge. The backbone of the SYNTHIE-style generator.
+graph::Graph SubsampleAndRewire(const graph::Graph& seed, double keep_fraction,
+                                double rewire_prob, Rng& rng);
+
+/// Adds a cycle through `ring_size` fresh vertices attached to `anchor`
+/// (molecule-style ring motif). Labels of new vertices are drawn uniformly
+/// from [0, label_count).
+void AttachRing(graph::Graph& g, graph::Vertex anchor, int ring_size,
+                int label_count, Rng& rng);
+
+/// Random labeled tree on n vertices (uniform attachment), labels uniform
+/// in [0, label_count).
+graph::Graph RandomTree(int n, int label_count, Rng& rng);
+
+/// Connects `g` by adding a random edge between components until connected.
+void MakeConnected(graph::Graph& g, Rng& rng);
+
+}  // namespace deepmap::datasets
+
+#endif  // DEEPMAP_DATASETS_RANDOM_GRAPHS_H_

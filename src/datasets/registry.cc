@@ -1,0 +1,169 @@
+#include "datasets/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/synthetic.h"
+
+namespace deepmap::datasets {
+namespace {
+
+using graph::GraphDataset;
+
+const PaperDatasetSpec kSpecs[] = {
+    {"SYNTHIE", 400, 4, 95.00, 172.93, -1},
+    {"KKI", 83, 2, 26.96, 48.42, 190},
+    {"BZR_MD", 306, 2, 21.30, 225.06, 8},
+    {"COX2_MD", 303, 2, 26.28, 335.12, 7},
+    {"DHFR", 467, 2, 42.43, 44.54, 9},
+    {"NCI1", 4110, 2, 17.93, 19.79, 37},
+    {"PTC_MM", 336, 2, 13.97, 14.32, 20},
+    {"PTC_MR", 344, 2, 14.29, 14.69, 18},
+    {"PTC_FM", 349, 2, 14.11, 14.48, 18},
+    {"PTC_FR", 351, 2, 14.56, 15.00, 19},
+    {"ENZYMES", 600, 6, 32.63, 62.14, 3},
+    {"PROTEINS", 1113, 2, 39.06, 72.82, 3},
+    {"IMDB-BINARY", 1000, 2, 19.77, 96.53, -1},
+    {"IMDB-MULTI", 1500, 3, 13.00, 65.94, -1},
+    {"COLLAB", 5000, 3, 74.49, 2457.78, -1},
+};
+
+int ScaledCount(const PaperDatasetSpec& spec, const DatasetOptions& options) {
+  int count = static_cast<int>(std::lround(spec.size * options.scale));
+  count = std::max(count, options.min_graphs);
+  count = std::min(count, spec.size);
+  // Round up to a multiple of the class count so classes stay balanced.
+  int rem = count % spec.num_classes;
+  if (rem != 0) count += spec.num_classes - rem;
+  return count;
+}
+
+GraphDataset Generate(const PaperDatasetSpec& spec, int count, uint64_t seed) {
+  const std::string& name = spec.name;
+  if (name == "SYNTHIE") return MakeSynthie(count, seed);
+  if (name == "KKI") return MakeKki(count, seed);
+  if (name == "BZR_MD") {
+    return MakeChemical({.name = name,
+                         .num_classes = 2,
+                         .avg_vertices = 21.3,
+                         .label_count = 8,
+                         .complete_graph = true},
+                        count, seed);
+  }
+  if (name == "COX2_MD") {
+    return MakeChemical({.name = name,
+                         .num_classes = 2,
+                         .avg_vertices = 26.3,
+                         .label_count = 7,
+                         .complete_graph = true},
+                        count, seed);
+  }
+  if (name == "DHFR") {
+    return MakeChemical({.name = name,
+                         .num_classes = 2,
+                         .avg_vertices = 42.4,
+                         .label_count = 9},
+                        count, seed);
+  }
+  if (name == "NCI1") {
+    return MakeChemical({.name = name,
+                         .num_classes = 2,
+                         .avg_vertices = 17.9,
+                         .label_count = 37},
+                        count, seed);
+  }
+  if (name.rfind("PTC_", 0) == 0) {
+    // The four PTC screens share a family; the label alphabet and slight
+    // size differences come from the spec. Carcinogenicity screens are
+    // noisy, so the planted signal is weak (paper accuracies ~60-70%).
+    return MakeChemical({.name = name,
+                         .num_classes = 2,
+                         .avg_vertices = spec.avg_vertices,
+                         .label_count = spec.label_count,
+                         .ring_prob_base = 0.2,
+                         .ring_prob_step = 0.2,
+                         .label_shift = 0.18,
+                         .label_noise = 0.45},
+                        count, seed);
+  }
+  if (name == "ENZYMES") {
+    return MakeProtein({.name = name,
+                        .num_classes = 6,
+                        .avg_vertices = 32.6,
+                        .shortcut_base = 0.5,
+                        .shortcut_step = 0.25},
+                       count, seed);
+  }
+  if (name == "PROTEINS") {
+    return MakeProtein({.name = name,
+                        .num_classes = 2,
+                        .avg_vertices = 39.1,
+                        .shortcut_base = 0.55,
+                        .shortcut_step = 0.35},
+                       count, seed);
+  }
+  if (name == "IMDB-BINARY") {
+    return MakeEgo({.name = name,
+                    .num_classes = 2,
+                    .avg_vertices = 19.8,
+                    .base_groups = 1,
+                    .within_group_density = 0.55},
+                   count, seed);
+  }
+  if (name == "IMDB-MULTI") {
+    return MakeEgo({.name = name,
+                    .num_classes = 3,
+                    .avg_vertices = 13.0,
+                    .base_groups = 1,
+                    .within_group_density = 0.95},
+                   count, seed);
+  }
+  if (name == "COLLAB") {
+    return MakeEgo({.name = name,
+                    .num_classes = 3,
+                    .avg_vertices = 74.5,
+                    .base_groups = 1,
+                    .within_group_density = 0.97},
+                   count, seed);
+  }
+  DEEPMAP_CHECK(false);  // registry and Generate() must stay in sync
+  return GraphDataset();
+}
+
+}  // namespace
+
+const std::vector<PaperDatasetSpec>& PaperDatasets() {
+  static const std::vector<PaperDatasetSpec>& specs =
+      *new std::vector<PaperDatasetSpec>(std::begin(kSpecs), std::end(kSpecs));
+  return specs;
+}
+
+StatusOr<PaperDatasetSpec> FindPaperDataset(const std::string& name) {
+  for (const PaperDatasetSpec& spec : PaperDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+StatusOr<graph::GraphDataset> MakeDataset(const std::string& name,
+                                          const DatasetOptions& options) {
+  auto spec = FindPaperDataset(name);
+  if (!spec.ok()) return spec.status();
+  int count = ScaledCount(spec.value(), options);
+  GraphDataset dataset = Generate(spec.value(), count, options.seed);
+  if (options.degrees_as_labels && !dataset.has_vertex_labels()) {
+    dataset.UseDegreesAsLabels();
+  }
+  return dataset;
+}
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  names.reserve(PaperDatasets().size());
+  for (const PaperDatasetSpec& spec : PaperDatasets()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace deepmap::datasets

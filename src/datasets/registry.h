@@ -1,0 +1,53 @@
+// Named registry of the 15 benchmark datasets (paper Table 1) backed by the
+// synthetic generators, plus the paper's reference statistics for the
+// Table 1 reproduction bench.
+#ifndef DEEPMAP_DATASETS_REGISTRY_H_
+#define DEEPMAP_DATASETS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/dataset.h"
+
+namespace deepmap::datasets {
+
+/// Reference statistics from the paper's Table 1.
+struct PaperDatasetSpec {
+  std::string name;
+  int size;
+  int num_classes;
+  double avg_vertices;
+  double avg_edges;
+  int label_count;  // -1 means N/A (unlabeled)
+};
+
+/// All 15 benchmark specs in the paper's Table 1 order.
+const std::vector<PaperDatasetSpec>& PaperDatasets();
+
+/// Spec lookup by name.
+StatusOr<PaperDatasetSpec> FindPaperDataset(const std::string& name);
+
+/// Generation options.
+struct DatasetOptions {
+  /// Fraction of the paper's graph count to generate (benches default to a
+  /// scaled-down run on this single-core machine; --full uses 1.0).
+  double scale = 1.0;
+  /// Lower bound on the generated graph count (keeps CV folds meaningful).
+  int min_graphs = 40;
+  uint64_t seed = 42;
+  /// Apply the paper's degrees-as-labels rule to unlabeled datasets.
+  bool degrees_as_labels = true;
+};
+
+/// Generates the synthetic stand-in for the named benchmark dataset.
+StatusOr<graph::GraphDataset> MakeDataset(const std::string& name,
+                                          const DatasetOptions& options = {});
+
+/// Names of all registered datasets (Table 1 order).
+std::vector<std::string> DatasetNames();
+
+}  // namespace deepmap::datasets
+
+#endif  // DEEPMAP_DATASETS_REGISTRY_H_

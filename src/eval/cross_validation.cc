@@ -1,0 +1,98 @@
+#include "eval/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace deepmap::eval {
+
+std::vector<FoldSplit> StratifiedKFold(const std::vector<int>& labels,
+                                       int num_folds, uint64_t seed) {
+  DEEPMAP_CHECK_GE(num_folds, 2);
+  DEEPMAP_CHECK_GE(static_cast<int>(labels.size()), num_folds);
+  Rng rng(seed);
+  int num_classes = 0;
+  for (int y : labels) num_classes = std::max(num_classes, y + 1);
+
+  // Shuffle within each class, then deal round-robin over folds.
+  std::vector<std::vector<int>> fold_members(num_folds);
+  int deal = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<int> members;
+    for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+      if (labels[i] == c) members.push_back(i);
+    }
+    rng.Shuffle(members);
+    for (int i : members) {
+      fold_members[deal % num_folds].push_back(i);
+      ++deal;
+    }
+  }
+
+  std::vector<FoldSplit> splits(num_folds);
+  for (int f = 0; f < num_folds; ++f) {
+    splits[f].test_indices = fold_members[f];
+    std::sort(splits[f].test_indices.begin(), splits[f].test_indices.end());
+    for (int g = 0; g < num_folds; ++g) {
+      if (g == f) continue;
+      splits[f].train_indices.insert(splits[f].train_indices.end(),
+                                     fold_members[g].begin(),
+                                     fold_members[g].end());
+    }
+    std::sort(splits[f].train_indices.begin(), splits[f].train_indices.end());
+  }
+  return splits;
+}
+
+namespace {
+
+CvResult Aggregate(std::vector<double> fold_accuracies) {
+  CvResult result;
+  result.fold_accuracies = std::move(fold_accuracies);
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / result.fold_accuracies.size();
+  double var = 0.0;
+  for (double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev = std::sqrt(var / result.fold_accuracies.size());
+  return result;
+}
+
+}  // namespace
+
+CvResult CrossValidate(
+    const std::vector<int>& labels, int num_folds, uint64_t seed,
+    const std::function<double(const FoldSplit&, int)>& run_fold) {
+  const std::vector<FoldSplit> splits =
+      StratifiedKFold(labels, num_folds, seed);
+  std::vector<double> accuracies;
+  accuracies.reserve(splits.size());
+  for (int f = 0; f < static_cast<int>(splits.size()); ++f) {
+    accuracies.push_back(100.0 * run_fold(splits[f], f));
+  }
+  return Aggregate(std::move(accuracies));
+}
+
+CvResult CrossValidateParallel(
+    const std::vector<int>& labels, int num_folds, uint64_t seed,
+    const std::function<double(const FoldSplit&, int)>& run_fold,
+    size_t num_threads) {
+  const std::vector<FoldSplit> splits =
+      StratifiedKFold(labels, num_folds, seed);
+  std::vector<double> accuracies(splits.size(), 0.0);
+  ParallelFor(
+      splits.size(),
+      [&](size_t f) {
+        accuracies[f] =
+            100.0 * run_fold(splits[f], static_cast<int>(f));
+      },
+      num_threads);
+  return Aggregate(std::move(accuracies));
+}
+
+}  // namespace deepmap::eval

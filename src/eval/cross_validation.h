@@ -1,0 +1,49 @@
+// Stratified k-fold cross-validation (the paper's 10-fold protocol).
+#ifndef DEEPMAP_EVAL_CROSS_VALIDATION_H_
+#define DEEPMAP_EVAL_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace deepmap::eval {
+
+/// One train/test split (indices into the dataset).
+struct FoldSplit {
+  std::vector<int> train_indices;
+  std::vector<int> test_indices;
+};
+
+/// Stratified folds: class proportions are preserved in every fold.
+/// `labels[i]` is the class of sample i. Samples of each class are shuffled
+/// with `seed`, then dealt round-robin across the k folds.
+std::vector<FoldSplit> StratifiedKFold(const std::vector<int>& labels,
+                                       int num_folds, uint64_t seed);
+
+/// Aggregate of a cross-validation run (accuracies in percent).
+struct CvResult {
+  double mean_accuracy = 0.0;
+  double stddev = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+/// Runs `run_fold(split, fold_index)` (returning accuracy in [0, 1]) for
+/// every fold and aggregates to percent mean +- population stddev, matching
+/// the paper's reporting.
+CvResult CrossValidate(
+    const std::vector<int>& labels, int num_folds, uint64_t seed,
+    const std::function<double(const FoldSplit&, int)>& run_fold);
+
+/// Parallel variant: folds run concurrently on up to `num_threads` threads
+/// (0 = hardware concurrency). `run_fold` must be safe to call from
+/// multiple threads for distinct folds (DeepMapPipeline::RunFold and the
+/// other method runners are). Produces the same CvResult as the sequential
+/// CrossValidate for the same inputs.
+CvResult CrossValidateParallel(
+    const std::vector<int>& labels, int num_folds, uint64_t seed,
+    const std::function<double(const FoldSplit&, int)>& run_fold,
+    size_t num_threads = 0);
+
+}  // namespace deepmap::eval
+
+#endif  // DEEPMAP_EVAL_CROSS_VALIDATION_H_

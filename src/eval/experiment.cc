@@ -1,0 +1,333 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "baselines/dcnn.h"
+#include "baselines/dgcnn.h"
+#include "baselines/dgk.h"
+#include "baselines/gin.h"
+#include "baselines/gntk.h"
+#include "baselines/kernel_svm.h"
+#include "baselines/patchysan.h"
+#include "baselines/retgk.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace deepmap::eval {
+namespace {
+
+[[noreturn]] void Usage(const char* flag) {
+  std::fprintf(stderr,
+               "unknown flag '%s'\n"
+               "usage: bench [--full] [--scale=F] [--folds=N] [--epochs=N]\n"
+               "             [--seed=N] [--datasets=A,B|all]\n",
+               flag);
+  std::exit(2);
+}
+
+bool ParseValueFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
+  BenchOptions options;
+  const char* env_full = std::getenv("DEEPMAP_BENCH_FULL");
+  if (env_full != nullptr && std::string(env_full) == "1") {
+    options.full = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--full") == 0) {
+      options.full = true;
+    } else if (ParseValueFlag(argv[i], "--scale", &value)) {
+      options.scale = std::stod(value);
+    } else if (ParseValueFlag(argv[i], "--folds", &value)) {
+      options.folds = std::stoi(value);
+    } else if (ParseValueFlag(argv[i], "--epochs", &value)) {
+      options.epochs = std::stoi(value);
+    } else if (ParseValueFlag(argv[i], "--seed", &value)) {
+      options.seed = std::stoull(value);
+    } else if (ParseValueFlag(argv[i], "--datasets", &value)) {
+      options.datasets = Split(value, ',');
+    } else {
+      Usage(argv[i]);
+    }
+  }
+  if (options.full) {
+    options.scale = 1.0;
+    options.folds = 10;
+    options.epochs = 100;
+    options.batch_size = 32;  // paper selects from {32, 256}
+    options.max_dense_dim = 256;
+  }
+  return options;
+}
+
+void BenchOptions::PrintBanner(const std::string& bench_name) const {
+  std::printf("== %s ==\n", bench_name.c_str());
+  std::printf(
+      "mode=%s scale=%.2f folds=%d epochs=%d seed=%llu max_dense_dim=%d\n",
+      full ? "FULL (paper protocol)" : "scaled-down (pass --full for paper "
+                                       "protocol)",
+      scale, folds, epochs, static_cast<unsigned long long>(seed),
+      max_dense_dim);
+}
+
+datasets::DatasetOptions BenchOptions::dataset_options() const {
+  datasets::DatasetOptions opts;
+  opts.scale = scale;
+  opts.min_graphs = min_graphs;
+  opts.seed = seed;
+  return opts;
+}
+
+std::vector<std::string> BenchOptions::SelectedDatasets(
+    const std::vector<std::string>& defaults) const {
+  if (datasets.empty()) return defaults;
+  if (datasets.size() == 1 && datasets[0] == "all") {
+    return datasets::DatasetNames();
+  }
+  return datasets;
+}
+
+std::string GnnKindName(GnnKind kind) {
+  switch (kind) {
+    case GnnKind::kDgcnn:
+      return "DGCNN";
+    case GnnKind::kGin:
+      return "GIN";
+    case GnnKind::kDcnn:
+      return "DCNN";
+    case GnnKind::kPatchySan:
+      return "PATCHYSAN";
+  }
+  return "?";
+}
+
+kernels::VertexFeatureConfig DefaultFeatureConfig(
+    kernels::FeatureMapKind kind, const BenchOptions& options) {
+  kernels::VertexFeatureConfig config;
+  config.kind = kind;
+  config.graphlet.k = options.full ? 5 : 4;
+  config.graphlet.samples_per_vertex = 20;  // paper: 20 samples of size 5
+  config.wl.iterations = 3;
+  config.max_dense_dim = options.max_dense_dim;
+  config.seed = options.seed;
+  return config;
+}
+
+core::DeepMapConfig DefaultDeepMapConfig(kernels::FeatureMapKind kind,
+                                         const BenchOptions& options) {
+  core::DeepMapConfig config;
+  config.features = DefaultFeatureConfig(kind, options);
+  config.receptive_field_size = 5;
+  config.train.epochs = options.epochs;
+  config.train.batch_size = options.batch_size;
+  config.train.learning_rate = 0.01;  // paper: RMSprop lr 0.01
+  config.seed = options.seed;
+  return config;
+}
+
+MethodRun RunDeepMap(const graph::GraphDataset& dataset,
+                     const core::DeepMapConfig& config,
+                     const BenchOptions& options) {
+  core::DeepMapPipeline pipeline(dataset, config);
+  MethodRun run;
+  double total_epoch_seconds = 0.0;
+  int total_epochs = 0;
+  run.cv = CrossValidate(
+      dataset.labels(), options.folds, options.seed,
+      [&](const FoldSplit& split, int fold) {
+        core::EvaluationResult result = pipeline.RunFold(
+            split.train_indices, split.test_indices,
+            options.seed + 1000 + static_cast<uint64_t>(fold));
+        for (const nn::EpochStats& e : result.history.epochs) {
+          total_epoch_seconds += e.seconds;
+          ++total_epochs;
+        }
+        return result.test_accuracy;
+      });
+  if (total_epochs > 0) {
+    run.mean_epoch_ms = 1e3 * total_epoch_seconds / total_epochs;
+  }
+  return run;
+}
+
+MethodRun RunDeepMap(const graph::GraphDataset& dataset,
+                     kernels::FeatureMapKind kind,
+                     const BenchOptions& options) {
+  return RunDeepMap(dataset, DefaultDeepMapConfig(kind, options), options);
+}
+
+MethodRun RunGraphKernel(const graph::GraphDataset& dataset,
+                         kernels::FeatureMapKind kind,
+                         const BenchOptions& options) {
+  MethodRun run;
+  run.cv = baselines::GraphKernelBaseline(
+      dataset, DefaultFeatureConfig(kind, options), options.folds,
+      options.seed);
+  return run;
+}
+
+namespace {
+
+MethodRun RunPrecomputedKernel(const kernels::Matrix& gram,
+                               const std::vector<int>& labels,
+                               const BenchOptions& options) {
+  MethodRun run;
+  run.cv = baselines::KernelSvmCrossValidate(gram, labels, options.folds,
+                                             options.seed);
+  return run;
+}
+
+}  // namespace
+
+MethodRun RunDgk(const graph::GraphDataset& dataset,
+                 const BenchOptions& options) {
+  baselines::DgkConfig config;
+  config.features =
+      DefaultFeatureConfig(kernels::FeatureMapKind::kWlSubtree, options);
+  config.seed = options.seed;
+  return RunPrecomputedKernel(baselines::DgkKernelMatrix(dataset, config),
+                              dataset.labels(), options);
+}
+
+MethodRun RunRetGk(const graph::GraphDataset& dataset,
+                   const BenchOptions& options) {
+  baselines::RetGkConfig config;
+  return RunPrecomputedKernel(
+      baselines::RetGkKernelMatrix(dataset, config), dataset.labels(),
+      options);
+}
+
+MethodRun RunGntk(const graph::GraphDataset& dataset,
+                  const BenchOptions& options) {
+  baselines::GntkConfig config;
+  return RunPrecomputedKernel(
+      baselines::GntkKernelMatrix(dataset, config), dataset.labels(),
+      options);
+}
+
+namespace {
+
+// Generic fold loop for a GNN baseline over prebuilt samples.
+template <typename Model, typename Sample, typename MakeModel>
+MethodRun RunGnnFolds(const std::vector<Sample>& samples,
+                      const std::vector<int>& labels,
+                      const BenchOptions& options, MakeModel make_model) {
+  nn::TrainConfig train;
+  train.epochs = options.epochs;
+  train.batch_size = options.batch_size;
+  train.learning_rate = 0.01;
+  MethodRun run;
+  double total_epoch_seconds = 0.0;
+  int total_epochs = 0;
+  run.cv = CrossValidate(
+      labels, options.folds, options.seed,
+      [&](const FoldSplit& split, int fold) {
+        Model model = make_model(options.seed + 500 + fold);
+        std::vector<Sample> train_samples, test_samples;
+        std::vector<int> train_labels, test_labels;
+        for (int i : split.train_indices) {
+          train_samples.push_back(samples[i]);
+          train_labels.push_back(labels[i]);
+        }
+        for (int i : split.test_indices) {
+          test_samples.push_back(samples[i]);
+          test_labels.push_back(labels[i]);
+        }
+        nn::TrainConfig fold_train = train;
+        fold_train.seed = options.seed + 900 + fold;
+        auto history =
+            nn::TrainClassifier(model, train_samples, train_labels,
+                                fold_train);
+        for (const nn::EpochStats& e : history.epochs) {
+          total_epoch_seconds += e.seconds;
+          ++total_epochs;
+        }
+        return nn::EvaluateAccuracy(model, test_samples, test_labels);
+      });
+  if (total_epochs > 0) {
+    run.mean_epoch_ms = 1e3 * total_epoch_seconds / total_epochs;
+  }
+  return run;
+}
+
+}  // namespace
+
+MethodRun RunGnn(const graph::GraphDataset& dataset, GnnKind kind,
+                 bool use_vertex_feature_maps, const BenchOptions& options) {
+  // Input features: one-hot labels (Table 3) or WL vertex feature maps
+  // (Table 4).
+  std::optional<kernels::DatasetVertexFeatures> features;
+  baselines::VertexFeatureProvider provider;
+  if (use_vertex_feature_maps) {
+    features = kernels::ComputeDatasetVertexFeatures(
+        dataset,
+        DefaultFeatureConfig(kernels::FeatureMapKind::kWlSubtree, options));
+    provider = baselines::FeatureMapProvider(*features);
+  } else {
+    provider = baselines::OneHotProvider(dataset);
+  }
+  const int num_classes = dataset.NumClasses();
+  switch (kind) {
+    case GnnKind::kDgcnn: {
+      auto samples = baselines::BuildDgcnnSamples(dataset, provider);
+      baselines::DgcnnConfig config;
+      config.sortpool_k =
+          std::max(2, static_cast<int>(dataset.Stats().avg_vertices * 0.6));
+      return RunGnnFolds<baselines::DgcnnModel>(
+          samples, dataset.labels(), options, [&](uint64_t seed) {
+            baselines::DgcnnConfig c = config;
+            c.seed = seed;
+            return baselines::DgcnnModel(provider.dim, num_classes, c);
+          });
+    }
+    case GnnKind::kGin: {
+      auto samples = baselines::BuildGinSamples(dataset, provider);
+      return RunGnnFolds<baselines::GinModel>(
+          samples, dataset.labels(), options, [&](uint64_t seed) {
+            baselines::GinConfig c;
+            c.seed = seed;
+            return baselines::GinModel(provider.dim, num_classes, c);
+          });
+    }
+    case GnnKind::kDcnn: {
+      const int hops = 3;
+      auto samples = baselines::BuildDcnnSamples(dataset, provider, hops);
+      return RunGnnFolds<baselines::DcnnModel>(
+          samples, dataset.labels(), options, [&](uint64_t seed) {
+            baselines::DcnnConfig c;
+            c.seed = seed;
+            return baselines::DcnnModel(provider.dim, hops, num_classes, c);
+          });
+    }
+    case GnnKind::kPatchySan: {
+      baselines::PatchySanConfig config;
+      config.sequence_length =
+          baselines::DefaultPatchySanSequenceLength(dataset);
+      config.field_size = 5;
+      auto samples =
+          baselines::BuildPatchySanInputs(dataset, provider, config);
+      return RunGnnFolds<baselines::PatchySanModel>(
+          samples, dataset.labels(), options, [&](uint64_t seed) {
+            baselines::PatchySanConfig c = config;
+            c.seed = seed;
+            return baselines::PatchySanModel(provider.dim, num_classes, c);
+          });
+    }
+  }
+  return MethodRun{};
+}
+
+}  // namespace deepmap::eval

@@ -1,0 +1,109 @@
+// Experiment harness shared by all bench binaries: command-line options,
+// scaled-down defaults for this single-core environment, and one runner per
+// method family (DEEPMAP variants, kernel+SVM baselines, DGK/RetGK/GNTK,
+// and the four GNN baselines with either input kind).
+#ifndef DEEPMAP_EVAL_EXPERIMENT_H_
+#define DEEPMAP_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/deepmap.h"
+#include "datasets/registry.h"
+#include "eval/cross_validation.h"
+#include "graph/dataset.h"
+#include "kernels/vertex_feature_map.h"
+
+namespace deepmap::eval {
+
+/// Options common to every bench binary.
+///
+/// Defaults are scaled down (fewer graphs, folds, epochs) so the whole bench
+/// suite completes on a single core; pass --full (or set
+/// DEEPMAP_BENCH_FULL=1) for the paper-scale protocol (10-fold CV, full
+/// dataset sizes, longer training).
+struct BenchOptions {
+  bool full = false;
+  double scale = 0.12;
+  int min_graphs = 80;
+  int folds = 3;
+  int epochs = 24;
+  int batch_size = 8;
+  /// Feature-hashing cap on the dense vertex-feature dimension.
+  int max_dense_dim = 96;
+  uint64_t seed = 42;
+  /// Dataset-name filter; empty means the bench's own default list.
+  std::vector<std::string> datasets;
+
+  /// Parses --full, --scale=, --folds=, --epochs=, --seed=, --datasets=a,b
+  /// plus the DEEPMAP_BENCH_FULL env var. Unknown flags abort with usage.
+  static BenchOptions FromArgs(int argc, char** argv);
+
+  /// Prints the run configuration header.
+  void PrintBanner(const std::string& bench_name) const;
+
+  datasets::DatasetOptions dataset_options() const;
+
+  /// The datasets this run covers: the --datasets filter if given (the
+  /// special value "all" selects all 15), otherwise `defaults`.
+  std::vector<std::string> SelectedDatasets(
+      const std::vector<std::string>& defaults) const;
+};
+
+/// Which GNN baseline to run.
+enum class GnnKind { kDgcnn, kGin, kDcnn, kPatchySan };
+
+std::string GnnKindName(GnnKind kind);
+
+/// Result of one method on one dataset.
+struct MethodRun {
+  CvResult cv;
+  /// Mean wall-clock per training epoch (Table 5 metric); 0 for SVM-based
+  /// methods, which have no epochs.
+  double mean_epoch_ms = 0.0;
+};
+
+/// Feature-map configuration used across methods for a given family.
+kernels::VertexFeatureConfig DefaultFeatureConfig(
+    kernels::FeatureMapKind kind, const BenchOptions& options);
+
+/// DEEPMAP configuration the benches share (paper architecture).
+core::DeepMapConfig DefaultDeepMapConfig(kernels::FeatureMapKind kind,
+                                         const BenchOptions& options);
+
+/// DEEPMAP-{GK,SP,WL} with k-fold CV.
+MethodRun RunDeepMap(const graph::GraphDataset& dataset,
+                     const core::DeepMapConfig& config,
+                     const BenchOptions& options);
+
+/// Convenience overload with the default config for `kind`.
+MethodRun RunDeepMap(const graph::GraphDataset& dataset,
+                     kernels::FeatureMapKind kind,
+                     const BenchOptions& options);
+
+/// GK/SP/WL + C-SVM baseline.
+MethodRun RunGraphKernel(const graph::GraphDataset& dataset,
+                         kernels::FeatureMapKind kind,
+                         const BenchOptions& options);
+
+/// DGK baseline (WL substructures).
+MethodRun RunDgk(const graph::GraphDataset& dataset,
+                 const BenchOptions& options);
+
+/// RetGK baseline.
+MethodRun RunRetGk(const graph::GraphDataset& dataset,
+                   const BenchOptions& options);
+
+/// GNTK baseline.
+MethodRun RunGntk(const graph::GraphDataset& dataset,
+                  const BenchOptions& options);
+
+/// One of the four GNN baselines. `use_vertex_feature_maps` selects the
+/// Table 4 input (kernel vertex feature maps, WL by default) instead of the
+/// Table 3 one-hot labels.
+MethodRun RunGnn(const graph::GraphDataset& dataset, GnnKind kind,
+                 bool use_vertex_feature_maps, const BenchOptions& options);
+
+}  // namespace deepmap::eval
+
+#endif  // DEEPMAP_EVAL_EXPERIMENT_H_

@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include "common/check.h"
+
+namespace deepmap::eval {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truths) {
+  DEEPMAP_CHECK_EQ(predictions.size(), truths.size());
+  if (predictions.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == truths[i]) ++correct;
+  }
+  return static_cast<double>(correct) / predictions.size();
+}
+
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& predictions, const std::vector<int>& truths,
+    int num_classes) {
+  DEEPMAP_CHECK_EQ(predictions.size(), truths.size());
+  std::vector<std::vector<int>> matrix(num_classes,
+                                       std::vector<int>(num_classes, 0));
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    DEEPMAP_CHECK_GE(truths[i], 0);
+    DEEPMAP_CHECK_LT(truths[i], num_classes);
+    DEEPMAP_CHECK_GE(predictions[i], 0);
+    DEEPMAP_CHECK_LT(predictions[i], num_classes);
+    matrix[truths[i]][predictions[i]]++;
+  }
+  return matrix;
+}
+
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& truths, int num_classes) {
+  auto cm = ConfusionMatrix(predictions, truths, num_classes);
+  double total_f1 = 0.0;
+  int counted = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    int tp = cm[c][c];
+    int fp = 0, fn = 0;
+    for (int o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fp += cm[o][c];
+      fn += cm[c][o];
+    }
+    if (tp + fp + fn == 0) continue;  // class absent entirely
+    double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0;
+    double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0;
+    double f1 = precision + recall > 0
+                    ? 2 * precision * recall / (precision + recall)
+                    : 0;
+    total_f1 += f1;
+    ++counted;
+  }
+  return counted > 0 ? total_f1 / counted : 0.0;
+}
+
+}  // namespace deepmap::eval

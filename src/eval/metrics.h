@@ -1,0 +1,25 @@
+// Classification metrics.
+#ifndef DEEPMAP_EVAL_METRICS_H_
+#define DEEPMAP_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace deepmap::eval {
+
+/// Fraction of predictions equal to the true label, in [0, 1].
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truths);
+
+/// Confusion matrix C[truth][prediction] over `num_classes` classes.
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& predictions, const std::vector<int>& truths,
+    int num_classes);
+
+/// Macro-averaged F1 score in [0, 1] (classes absent from both vectors are
+/// skipped).
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& truths, int num_classes);
+
+}  // namespace deepmap::eval
+
+#endif  // DEEPMAP_EVAL_METRICS_H_

@@ -1,0 +1,179 @@
+#include "eval/paper_reference.h"
+
+#include <array>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace deepmap::eval {
+namespace {
+
+constexpr int kNumDatasets = 15;
+
+const char* const kDatasets[kNumDatasets] = {
+    "SYNTHIE", "KKI",    "BZR_MD",  "COX2_MD",     "DHFR",
+    "NCI1",    "PTC_MM", "PTC_MR",  "PTC_FM",      "PTC_FR",
+    "ENZYMES", "PROTEINS", "IMDB-BINARY", "IMDB-MULTI", "COLLAB"};
+
+int DatasetIndex(const std::string& name) {
+  for (int i = 0; i < kNumDatasets; ++i) {
+    if (name == kDatasets[i]) return i;
+  }
+  return -1;
+}
+
+constexpr double kNa = -1.0;  // sentinel for N/A cells
+
+// Table 2: GK, DEEPMAP-GK, SP, DEEPMAP-SP, WL, DEEPMAP-WL.
+constexpr double kTable2[kNumDatasets][6][2] = {
+    {{23.68, 2.11}, {54.48, 4.34}, {50.73, 1.74}, {54.03, 2.38}, {50.88, 1.04}, {54.53, 6.16}},
+    {{51.88, 3.19}, {56.77, 9.69}, {50.13, 3.46}, {62.92, 7.94}, {50.38, 2.77}, {61.65, 15.0}},
+    {{49.27, 2.15}, {63.11, 10.0}, {68.60, 1.94}, {73.55, 5.76}, {59.67, 1.47}, {71.56, 6.66}},
+    {{48.17, 1.88}, {52.44, 7.36}, {65.70, 1.66}, {72.28, 9.37}, {56.30, 1.55}, {69.66, 7.32}},
+    {{61.01, 0.23}, {61.64, 2.07}, {77.80, 0.98}, {81.35, 4.08}, {82.39, 0.90}, {85.17, 2.19}},
+    {{62.11, 0.19}, {63.26, 2.04}, {73.12, 0.29}, {79.90, 1.78}, {84.79, 0.22}, {83.07, 1.07}},
+    {{50.82, 6.20}, {66.68, 5.71}, {62.18, 2.22}, {66.30, 4.87}, {67.18, 1.62}, {69.59, 7.39}},
+    {{49.68, 2.03}, {63.38, 6.04}, {59.88, 2.02}, {67.73, 6.61}, {61.32, 0.89}, {63.59, 5.31}},
+    {{51.94, 4.05}, {62.83, 6.23}, {61.38, 1.66}, {64.45, 5.04}, {64.44, 2.09}, {65.16, 5.62}},
+    {{49.54, 6.00}, {65.82, 1.07}, {66.91, 1.46}, {68.39, 3.57}, {66.17, 1.02}, {67.82, 5.03}},
+    {{23.88, 1.78}, {30.50, 3.88}, {41.07, 0.77}, {50.33, 4.70}, {51.98, 1.24}, {54.33, 6.11}},
+    {{71.44, 0.25}, {73.77, 2.33}, {75.77, 0.58}, {76.19, 2.91}, {75.45, 0.20}, {75.47, 3.26}},
+    {{67.03, 0.79}, {69.60, 4.80}, {72.20, 0.78}, {74.60, 4.74}, {72.26, 0.78}, {78.10, 5.26}},
+    {{40.83, 0.57}, {42.80, 2.84}, {50.89, 0.90}, {48.33, 2.70}, {50.39, 0.49}, {53.33, 3.89}},
+    {{72.84, 0.28}, {73.92, 2.03}, {kNa, kNa},    {kNa, kNa},    {78.90, 1.90}, {75.54, 2.78}},
+};
+
+// Table 3: DEEPMAP, DGCNN, GIN, DCNN, PATCHYSAN, DGK, RETGK, GNTK.
+constexpr double kTable3[kNumDatasets][8][2] = {
+    {{54.53, 6.16}, {47.50, 7.99}, {53.48, 3.64}, {54.18, 4.49}, {44.25, 14.36}, {52.43, 1.02}, {49.95, 1.96}, {53.98, 0.87}},
+    {{62.92, 7.94}, {56.25, 18.8}, {60.34, 12.5}, {48.93, 7.50}, {43.75, 13.98}, {51.25, 4.17}, {48.50, 2.99}, {46.75, 5.75}},
+    {{73.55, 5.76}, {64.67, 9.32}, {70.53, 8.00}, {59.61, 11.2}, {67.00, 9.48}, {58.50, 1.52}, {62.77, 1.69}, {66.47, 1.20}},
+    {{72.28, 9.37}, {64.00, 8.86}, {65.97, 5.70}, {51.29, 5.31}, {65.33, 7.78}, {51.57, 1.71}, {59.47, 1.66}, {64.27, 1.55}},
+    {{85.17, 2.19}, {70.67, 4.95}, {82.15, 4.02}, {59.80, 2.45}, {77.00, 3.59}, {64.13, 0.89}, {82.33, 0.66}, {73.48, 0.65}},
+    {{83.07, 1.07}, {71.73, 2.14}, {82.70, 1.70}, {57.10, 0.69}, {78.60, 1.90}, {80.31, 0.46}, {84.50, 0.20}, {84.20, 1.50}},
+    {{69.59, 7.39}, {62.12, 14.1}, {67.19, 7.41}, {63.04, 2.71}, {56.58, 9.01}, {67.09, 0.49}, {67.90, 1.40}, {65.94, 1.21}},
+    {{67.73, 6.61}, {55.29, 9.38}, {62.57, 5.18}, {55.65, 4.92}, {55.25, 7.98}, {62.03, 1.68}, {62.50, 1.60}, {58.32, 1.00}},
+    {{65.16, 5.62}, {60.29, 6.69}, {64.22, 2.36}, {63.50, 3.78}, {58.38, 9.27}, {64.47, 0.76}, {63.90, 1.30}, {63.85, 1.20}},
+    {{68.39, 3.57}, {65.43, 11.3}, {66.97, 6.17}, {66.24, 3.83}, {61.00, 5.61}, {67.66, 0.32}, {67.80, 1.10}, {66.97, 0.56}},
+    {{54.33, 6.11}, {43.83, 6.85}, {50.50, 6.01}, {17.50, 2.67}, {22.50, 7.08}, {53.43, 0.91}, {60.40, 0.80}, {32.35, 1.17}},
+    {{76.19, 2.91}, {73.06, 4.81}, {76.20, 2.80}, {66.47, 1.10}, {75.90, 2.80}, {75.68, 0.54}, {75.80, 0.60}, {75.60, 4.20}},
+    {{78.10, 5.26}, {70.03, 0.86}, {75.10, 5.10}, {71.38, 2.08}, {71.00, 2.29}, {66.96, 0.56}, {72.30, 0.60}, {76.90, 3.60}},
+    {{53.33, 3.89}, {47.83, 0.85}, {52.30, 2.80}, {45.02, 1.73}, {45.23, 2.84}, {44.55, 0.52}, {48.70, 0.60}, {52.80, 4.60}},
+    {{75.54, 2.78}, {73.76, 2.52}, {80.20, 1.90}, {76.24, 0.60}, {72.60, 2.20}, {73.09, 0.25}, {81.00, 0.30}, {83.60, 1.00}},
+};
+
+// Table 4: DEEPMAP, DGCNN, GIN, DCNN, PATCHYSAN (vertex-feature-map input).
+constexpr double kTable4[kNumDatasets][5][2] = {
+    {{54.53, 6.16}, {47.25, 7.86}, {53.68, 8.25}, {50.67, 4.41}, {42.00, 10.36}},
+    {{62.92, 7.94}, {56.25, 18.87}, {64.93, 17.15}, {53.93, 7.22}, {48.75, 15.26}},
+    {{73.55, 5.76}, {64.33, 8.90}, {73.00, 10.70}, {68.73, 3.46}, {67.33, 8.41}},
+    {{72.28, 9.37}, {59.00, 9.30}, {65.76, 7.65}, {61.98, 4.99}, {62.00, 10.13}},
+    {{85.17, 2.19}, {79.33, 5.56}, {80.16, 5.27}, {76.51, 6.47}, {71.00, 16.76}},
+    {{83.07, 1.07}, {71.05, 2.03}, {75.38, 2.03}, {77.34, 0.98}, {80.14, 1.58}},
+    {{69.59, 7.39}, {61.21, 12.27}, {68.40, 7.78}, {64.64, 2.74}, {62.00, 7.69}},
+    {{67.73, 6.61}, {54.12, 7.74}, {64.87, 8.41}, {57.57, 4.26}, {58.88, 8.19}},
+    {{65.16, 5.62}, {58.53, 6.86}, {61.89, 8.54}, {57.78, 4.07}, {58.38, 5.09}},
+    {{68.39, 3.57}, {65.43, 11.38}, {66.08, 5.99}, {62.99, 4.17}, {58.25, 8.81}},
+    {{54.33, 6.11}, {35.33, 5.02}, {37.50, 3.59}, {42.75, 1.81}, {25.17, 5.19}},
+    {{76.19, 2.91}, {76.58, 4.37}, {75.10, 5.04}, {65.55, 3.36}, {65.50, 6.80}},
+    {{78.10, 5.26}, {69.20, 5.73}, {74.10, 3.18}, {74.55, 2.50}, {68.70, 5.27}},
+    {{53.33, 3.89}, {47.67, 4.41}, {49.87, 3.14}, {48.32, 3.40}, {43.33, 7.25}},
+    {{75.54, 2.78}, {73.50, 2.10}, {71.68, 2.10}, {76.50, 1.26}, {72.38, 2.18}},
+};
+
+// Table 5: per-epoch runtime in milliseconds (DEEPMAP, DGCNN, GIN, DCNN,
+// PATCHYSAN). A few rows of the source render with shuffled columns; they
+// are reordered here so that GIN carries its documented >1s cost and
+// DEEPMAP is the worst on NCI1/ENZYMES/IMDB-* as the text states.
+constexpr double kTable5Ms[kNumDatasets][5] = {
+    {166.7, 313.5, 1400.0, 338.5, 566.0},    // SYNTHIE
+    {428.8, 61.5, 1100.0, 63.1, 343.9},      // KKI
+    {99.2, 224.0, 1100.0, 93.3, 366.0},      // BZR_MD
+    {106.9, 200.5, 1200.0, 95.0, 367.8},     // COX2_MD
+    {564.2, 442.5, 1200.0, 375.8, 654.1},    // DHFR
+    {7300.0, 3000.0, 1600.0, 3400.0, 2500.0},// NCI1
+    {104.3, 212.5, 1100.0, 138.3, 381.2},    // PTC_MM
+    {212.5, 213.0, 1100.0, 148.1, 390.5},    // PTC_MR
+    {430.3, 217.5, 1100.0, 147.2, 382.9},    // PTC_FM
+    {121.1, 219.5, 1100.0, 143.8, 385.0},    // PTC_FR
+    {9900.0, 359.5, 1200.0, 279.1, 530.6},   // ENZYMES
+    {334.1, 727.5, 1200.0, 1200.0, 887.2},   // PROTEINS
+    {2900.0, 638.0, 1200.0, 514.0, 932.8},   // IMDB-BINARY
+    {2600.0, 882.0, 1300.0, 665.7, 1100.0},  // IMDB-MULTI
+    {8400.0, 6300.0, 10400.0, 4100.0, 3800.0},  // COLLAB
+};
+
+int MethodIndex(const std::vector<std::string>& methods,
+                const std::string& method) {
+  for (size_t i = 0; i < methods.size(); ++i) {
+    if (methods[i] == method) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<PaperAccuracy> Lookup(const double cell[2]) {
+  if (cell[0] == kNa) return std::nullopt;
+  return PaperAccuracy{cell[0], cell[1]};
+}
+
+}  // namespace
+
+const std::vector<std::string>& Table2Methods() {
+  static const std::vector<std::string>& methods = *new std::vector<std::string>{
+      "GK", "DEEPMAP-GK", "SP", "DEEPMAP-SP", "WL", "DEEPMAP-WL"};
+  return methods;
+}
+
+const std::vector<std::string>& Table3Methods() {
+  static const std::vector<std::string>& methods = *new std::vector<std::string>{
+      "DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN", "DGK", "RETGK", "GNTK"};
+  return methods;
+}
+
+const std::vector<std::string>& Table4Methods() {
+  static const std::vector<std::string>& methods = *new std::vector<std::string>{
+      "DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN"};
+  return methods;
+}
+
+const std::vector<std::string>& Table5Methods() { return Table4Methods(); }
+
+std::optional<PaperAccuracy> PaperTable2(const std::string& dataset,
+                                         const std::string& method) {
+  int d = DatasetIndex(dataset);
+  int m = MethodIndex(Table2Methods(), method);
+  if (d < 0 || m < 0) return std::nullopt;
+  return Lookup(kTable2[d][m]);
+}
+
+std::optional<PaperAccuracy> PaperTable3(const std::string& dataset,
+                                         const std::string& method) {
+  int d = DatasetIndex(dataset);
+  int m = MethodIndex(Table3Methods(), method);
+  if (d < 0 || m < 0) return std::nullopt;
+  return Lookup(kTable3[d][m]);
+}
+
+std::optional<PaperAccuracy> PaperTable4(const std::string& dataset,
+                                         const std::string& method) {
+  int d = DatasetIndex(dataset);
+  int m = MethodIndex(Table4Methods(), method);
+  if (d < 0 || m < 0) return std::nullopt;
+  return Lookup(kTable4[d][m]);
+}
+
+std::optional<double> PaperTable5Ms(const std::string& dataset,
+                                    const std::string& method) {
+  int d = DatasetIndex(dataset);
+  int m = MethodIndex(Table5Methods(), method);
+  if (d < 0 || m < 0) return std::nullopt;
+  return kTable5Ms[d][m];
+}
+
+std::string FormatPaperAccuracy(
+    const std::optional<PaperAccuracy>& accuracy) {
+  if (!accuracy.has_value()) return "N/A";
+  return FormatAccuracy(accuracy->mean, accuracy->stddev);
+}
+
+}  // namespace deepmap::eval

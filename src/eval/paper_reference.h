@@ -1,0 +1,55 @@
+// Reference numbers from the paper's evaluation section (Tables 2-5),
+// printed next to measured values by the benchmark harnesses so shape
+// comparisons (who wins, by roughly what factor) are immediate.
+#ifndef DEEPMAP_EVAL_PAPER_REFERENCE_H_
+#define DEEPMAP_EVAL_PAPER_REFERENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deepmap::eval {
+
+/// Accuracy entry: mean +- std in percent.
+struct PaperAccuracy {
+  double mean;
+  double stddev;
+};
+
+/// Method column names of Table 2 in paper order.
+const std::vector<std::string>& Table2Methods();
+/// Method column names of Table 3 in paper order.
+const std::vector<std::string>& Table3Methods();
+/// Method column names of Table 4 in paper order.
+const std::vector<std::string>& Table4Methods();
+/// Method column names of Table 5 in paper order.
+const std::vector<std::string>& Table5Methods();
+
+/// Reference accuracy from Table 2 (deep maps vs their kernels).
+/// Methods: GK, DEEPMAP-GK, SP, DEEPMAP-SP, WL, DEEPMAP-WL.
+/// nullopt when the paper reports N/A (e.g. SP on COLLAB).
+std::optional<PaperAccuracy> PaperTable2(const std::string& dataset,
+                                         const std::string& method);
+
+/// Reference accuracy from Table 3 (DEEPMAP vs kernels and GNNs).
+/// Methods: DEEPMAP, DGCNN, GIN, DCNN, PATCHYSAN, DGK, RETGK, GNTK.
+std::optional<PaperAccuracy> PaperTable3(const std::string& dataset,
+                                         const std::string& method);
+
+/// Reference accuracy from Table 4 (GNNs fed vertex feature maps).
+/// Methods: DEEPMAP, DGCNN, GIN, DCNN, PATCHYSAN.
+std::optional<PaperAccuracy> PaperTable4(const std::string& dataset,
+                                         const std::string& method);
+
+/// Reference per-epoch runtime in milliseconds from Table 5. Column order
+/// follows the printed table; a few rows are best-effort reorderings of the
+/// source's garbled columns (see EXPERIMENTS.md).
+std::optional<double> PaperTable5Ms(const std::string& dataset,
+                                    const std::string& method);
+
+/// Formats an optional accuracy as "54.53+-6.16" or "N/A".
+std::string FormatPaperAccuracy(const std::optional<PaperAccuracy>& accuracy);
+
+}  // namespace deepmap::eval
+
+#endif  // DEEPMAP_EVAL_PAPER_REFERENCE_H_

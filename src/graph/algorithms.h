@@ -1,0 +1,53 @@
+// Classic graph algorithms used throughout the library: BFS, connected
+// components, all-pairs shortest paths (the SP kernel substrate), diameter.
+#ifndef DEEPMAP_GRAPH_ALGORITHMS_H_
+#define DEEPMAP_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace deepmap::graph {
+
+/// Distance value meaning "unreachable".
+inline constexpr int kUnreachable = -1;
+
+/// BFS hop distances from `source`; kUnreachable for disconnected vertices.
+std::vector<int> BfsDistances(const Graph& g, Vertex source);
+
+/// Vertices in BFS visitation order from `source` (neighbors expanded in
+/// sorted order). Only reachable vertices are included.
+std::vector<Vertex> BfsOrder(const Graph& g, Vertex source);
+
+/// All-pairs hop distances via one BFS per vertex: O(n(n+m)).
+/// result[u][v] == kUnreachable when v is not reachable from u.
+std::vector<std::vector<int>> AllPairsShortestPaths(const Graph& g);
+
+/// All-pairs distances via Floyd-Warshall: O(n^3). Used as a test oracle for
+/// the BFS version and matches the complexity analysis quoted in the paper.
+std::vector<std::vector<int>> FloydWarshallShortestPaths(const Graph& g);
+
+/// Component id per vertex (ids are 0-based, assigned in vertex order).
+std::vector<int> ConnectedComponents(const Graph& g);
+
+/// Number of connected components.
+int NumConnectedComponents(const Graph& g);
+
+/// Longest finite shortest-path distance; 0 for graphs with < 2 vertices.
+int Diameter(const Graph& g);
+
+/// Degrees sorted descending (graph-isomorphism invariant).
+std::vector<int> DegreeSequence(const Graph& g);
+
+/// True if the graph has every possible edge.
+bool IsCompleteGraph(const Graph& g);
+
+/// True if the graph has no cycles (forest).
+bool IsForest(const Graph& g);
+
+/// Number of triangles (3-cycles) in the graph.
+int64_t CountTriangles(const Graph& g);
+
+}  // namespace deepmap::graph
+
+#endif  // DEEPMAP_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,141 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace deepmap::graph {
+
+std::vector<double> EigenvectorCentrality(const Graph& g,
+                                          const CentralityOptions& options) {
+  const int n = g.NumVertices();
+  if (n == 0) return {};
+  if (g.NumEdges() == 0) {
+    // Adjacency matrix is zero: every vertex is equally (un)central.
+    return std::vector<double>(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  }
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Iterate on A + I: same eigenvectors as A, but the top eigenvalue is
+    // strictly dominant in magnitude, so the iteration also converges on
+    // bipartite graphs (where A's spectrum is symmetric and plain power
+    // iteration oscillates with period two).
+    for (Vertex v = 0; v < n; ++v) {
+      double sum = x[v];
+      for (Vertex u : g.Neighbors(v)) sum += x[u];
+      next[v] = sum;
+    }
+    double norm = 0.0;
+    for (double value : next) norm += value * value;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;  // x was orthogonal to every eigenvector reached
+    double delta = 0.0;
+    for (int v = 0; v < n; ++v) {
+      next[v] /= norm;
+      delta = std::max(delta, std::fabs(next[v] - x[v]));
+    }
+    x.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  // Power iteration on a nonnegative matrix from a positive start stays
+  // nonnegative; clamp tiny negative rounding noise.
+  for (double& value : x) value = std::max(value, 0.0);
+  return x;
+}
+
+std::vector<double> DegreeCentrality(const Graph& g) {
+  std::vector<double> c(g.NumVertices());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    c[v] = static_cast<double>(g.Degree(v));
+  }
+  return c;
+}
+
+std::vector<double> PageRankCentrality(const Graph& g,
+                                       const CentralityOptions& options) {
+  const int n = g.NumVertices();
+  if (n == 0) return {};
+  const double d = options.damping;
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (g.Degree(v) == 0) dangling += rank[v];
+    }
+    std::fill(next.begin(), next.end(),
+              (1.0 - d) / n + d * dangling / n);
+    for (Vertex v = 0; v < n; ++v) {
+      if (g.Degree(v) == 0) continue;
+      double share = d * rank[v] / g.Degree(v);
+      for (Vertex u : g.Neighbors(v)) next[u] += share;
+    }
+    double delta = 0.0;
+    for (int v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<double> BetweennessCentrality(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  // Brandes' algorithm: one BFS per source with dependency accumulation.
+  std::vector<int> dist(n);
+  std::vector<double> sigma(n);  // number of shortest paths
+  std::vector<double> delta(n);  // dependency
+  std::vector<std::vector<Vertex>> predecessors(n);
+  std::vector<Vertex> order;  // vertices in non-decreasing distance
+  order.reserve(n);
+  for (Vertex s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : predecessors) p.clear();
+    order.clear();
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    std::vector<Vertex> queue{s};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      Vertex u = queue[head];
+      order.push_back(u);
+      for (Vertex w : g.Neighbors(u)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[u] + 1) {
+          sigma[w] += sigma[u];
+          predecessors[w].push_back(u);
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      Vertex w = *it;
+      for (Vertex u : predecessors[w]) {
+        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Each unordered pair was counted from both endpoints.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+std::vector<Vertex> SortByCentralityDescending(
+    const std::vector<double>& centrality) {
+  std::vector<Vertex> order(centrality.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    if (centrality[a] != centrality[b]) return centrality[a] > centrality[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace deepmap::graph

@@ -1,0 +1,145 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace deepmap::graph {
+
+Graph::Graph(int num_vertices, Label label) {
+  DEEPMAP_CHECK_GE(num_vertices, 0);
+  adjacency_.resize(num_vertices);
+  labels_.assign(num_vertices, label);
+}
+
+Graph Graph::FromEdges(int num_vertices,
+                       const std::vector<std::pair<Vertex, Vertex>>& edges,
+                       const std::vector<Label>& labels) {
+  Graph g(num_vertices);
+  if (!labels.empty()) {
+    DEEPMAP_CHECK_EQ(labels.size(), static_cast<size_t>(num_vertices));
+    g.labels_ = labels;
+  }
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  return g;
+}
+
+Vertex Graph::AddVertex(Label label) {
+  adjacency_.emplace_back();
+  labels_.push_back(label);
+  return static_cast<Vertex>(adjacency_.size() - 1);
+}
+
+bool Graph::AddEdge(Vertex u, Vertex v) {
+  DEEPMAP_CHECK_GE(u, 0);
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(u, NumVertices());
+  DEEPMAP_CHECK_LT(v, NumVertices());
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adjacency_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(Vertex u, Vertex v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return false;
+  const auto& nu = adjacency_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+const std::vector<Vertex>& Graph::Neighbors(Vertex v) const {
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(v, NumVertices());
+  return adjacency_[v];
+}
+
+Label Graph::GetLabel(Vertex v) const {
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(v, NumVertices());
+  return labels_[v];
+}
+
+void Graph::SetLabel(Vertex v, Label label) {
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(v, NumVertices());
+  labels_[v] = label;
+}
+
+std::vector<std::pair<Vertex, Vertex>> Graph::EdgeList() const {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(num_edges_);
+  for (Vertex u = 0; u < NumVertices(); ++u) {
+    for (Vertex v : adjacency_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Label Graph::LabelAlphabetSize() const {
+  Label max_label = -1;
+  for (Label l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<Vertex>& vertices) const {
+  Graph sub(static_cast<int>(vertices.size()));
+  std::vector<Vertex> position(NumVertices(), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    Vertex v = vertices[i];
+    DEEPMAP_CHECK_GE(v, 0);
+    DEEPMAP_CHECK_LT(v, NumVertices());
+    DEEPMAP_CHECK_EQ(position[v], -1);  // no duplicates
+    position[v] = static_cast<Vertex>(i);
+    sub.SetLabel(static_cast<Vertex>(i), labels_[v]);
+  }
+  for (Vertex v : vertices) {
+    for (Vertex w : adjacency_[v]) {
+      if (position[w] >= 0 && position[v] < position[w]) {
+        sub.AddEdge(position[v], position[w]);
+      }
+    }
+  }
+  return sub;
+}
+
+Graph Graph::Permuted(const std::vector<Vertex>& perm) const {
+  DEEPMAP_CHECK_EQ(perm.size(), static_cast<size_t>(NumVertices()));
+  Graph out(NumVertices());
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    DEEPMAP_CHECK_GE(perm[v], 0);
+    DEEPMAP_CHECK_LT(perm[v], NumVertices());
+    out.SetLabel(perm[v], labels_[v]);
+  }
+  for (Vertex u = 0; u < NumVertices(); ++u) {
+    for (Vertex v : adjacency_[u]) {
+      if (u < v) out.AddEdge(perm[u], perm[v]);
+    }
+  }
+  return out;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "Graph(n=" << NumVertices() << ", m=" << NumEdges()
+     << ", labels=" << LabelAlphabetSize() << ")";
+  return os.str();
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices()) return false;
+  if (a.NumEdges() != b.NumEdges()) return false;
+  if (a.Labels() != b.Labels()) return false;
+  for (Vertex v = 0; v < a.NumVertices(); ++v) {
+    if (a.Neighbors(v) != b.Neighbors(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace deepmap::graph

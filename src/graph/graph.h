@@ -1,0 +1,88 @@
+// Core graph type: undirected, vertex-labeled, simple (no self loops or
+// multi-edges). This is the substrate every kernel, feature map, and model in
+// the library operates on.
+#ifndef DEEPMAP_GRAPH_GRAPH_H_
+#define DEEPMAP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deepmap::graph {
+
+/// Vertex index within a graph.
+using Vertex = int32_t;
+
+/// Vertex label (non-negative small integer; the paper's Sigma).
+using Label = int32_t;
+
+/// Undirected labeled graph with contiguous vertex ids [0, NumVertices()).
+///
+/// Adjacency lists are kept sorted, enabling O(log d) HasEdge and
+/// deterministic iteration. Vertices carry integer labels; unlabeled datasets
+/// assign degrees as labels (see GraphDataset::UseDegreesAsLabels).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `num_vertices` vertices, all labeled `label`.
+  explicit Graph(int num_vertices, Label label = 0);
+
+  /// Builds a graph from an edge list. Duplicate and self-loop edges are
+  /// ignored. `labels` must be empty or have size `num_vertices`.
+  static Graph FromEdges(int num_vertices,
+                         const std::vector<std::pair<Vertex, Vertex>>& edges,
+                         const std::vector<Label>& labels = {});
+
+  /// Adds a vertex with the given label; returns its id.
+  Vertex AddVertex(Label label = 0);
+
+  /// Adds undirected edge {u, v}. Returns false (and does nothing) for self
+  /// loops or already-present edges.
+  bool AddEdge(Vertex u, Vertex v);
+
+  int NumVertices() const { return static_cast<int>(adjacency_.size()); }
+  int NumEdges() const { return num_edges_; }
+
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  /// Sorted neighbor list of v.
+  const std::vector<Vertex>& Neighbors(Vertex v) const;
+
+  int Degree(Vertex v) const { return static_cast<int>(Neighbors(v).size()); }
+
+  Label GetLabel(Vertex v) const;
+  void SetLabel(Vertex v, Label label);
+
+  /// All vertex labels, indexed by vertex.
+  const std::vector<Label>& Labels() const { return labels_; }
+
+  /// Each undirected edge exactly once, as (u, v) with u < v, sorted.
+  std::vector<std::pair<Vertex, Vertex>> EdgeList() const;
+
+  /// Largest label value + 1 (0 for the empty graph).
+  Label LabelAlphabetSize() const;
+
+  /// Induced subgraph on `vertices` (order defines new vertex ids).
+  Graph InducedSubgraph(const std::vector<Vertex>& vertices) const;
+
+  /// New graph with vertices renamed by `perm`: vertex v becomes perm[v].
+  /// `perm` must be a permutation of [0, NumVertices()).
+  Graph Permuted(const std::vector<Vertex>& perm) const;
+
+  /// Human-readable summary, e.g. "Graph(n=5, m=6, labels=3)".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::vector<Label> labels_;
+  int num_edges_ = 0;
+};
+
+/// Equality: identical vertex count, labels, and adjacency (NOT isomorphism).
+bool operator==(const Graph& a, const Graph& b);
+
+}  // namespace deepmap::graph
+
+#endif  // DEEPMAP_GRAPH_GRAPH_H_

@@ -1,0 +1,83 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+
+namespace deepmap::graph {
+
+double Density(const Graph& g) {
+  const int64_t n = g.NumVertices();
+  if (n < 2) return 0.0;
+  return static_cast<double>(g.NumEdges()) / (n * (n - 1) / 2.0);
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  int64_t triples = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    int64_t d = g.Degree(v);
+    triples += d * (d - 1) / 2;
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) / triples;
+}
+
+double AverageLocalClustering(const Graph& g) {
+  if (g.NumVertices() == 0) return 0.0;
+  double total = 0.0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    const auto& neighbors = g.Neighbors(v);
+    const int d = static_cast<int>(neighbors.size());
+    if (d < 2) continue;
+    int links = 0;
+    for (int i = 0; i < d; ++i) {
+      for (int j = i + 1; j < d; ++j) {
+        if (g.HasEdge(neighbors[i], neighbors[j])) ++links;
+      }
+    }
+    total += 2.0 * links / (static_cast<double>(d) * (d - 1));
+  }
+  return total / g.NumVertices();
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation over the 2m directed edge endpoints.
+  const auto edges = g.EdgeList();
+  if (edges.size() < 2) return 0.0;
+  double sum_x = 0, sum_xx = 0, sum_xy = 0;
+  const double count = 2.0 * edges.size();
+  for (const auto& [u, v] : edges) {
+    double du = g.Degree(u);
+    double dv = g.Degree(v);
+    sum_x += du + dv;
+    sum_xx += du * du + dv * dv;
+    sum_xy += 2.0 * du * dv;
+  }
+  double mean = sum_x / count;
+  double var = sum_xx / count - mean * mean;
+  double cov = sum_xy / count - mean * mean;
+  if (var <= 1e-12) return 0.0;
+  return cov / var;
+}
+
+ExtendedStats ComputeExtendedStats(const GraphDataset& dataset) {
+  ExtendedStats stats;
+  if (dataset.size() == 0) return stats;
+  for (const Graph& g : dataset.graphs()) {
+    stats.density += Density(g);
+    stats.clustering += GlobalClusteringCoefficient(g);
+    stats.assortativity += DegreeAssortativity(g);
+    stats.components += NumConnectedComponents(g);
+    stats.diameter += Diameter(g);
+  }
+  const double n = dataset.size();
+  stats.density /= n;
+  stats.clustering /= n;
+  stats.assortativity /= n;
+  stats.components /= n;
+  stats.diameter /= n;
+  return stats;
+}
+
+}  // namespace deepmap::graph

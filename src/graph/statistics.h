@@ -1,0 +1,40 @@
+// Descriptive graph statistics beyond Table 1's columns: density, clustering,
+// degree assortativity. Used by the CLI's `stats` command and the dataset
+// generators' calibration tests.
+#ifndef DEEPMAP_GRAPH_STATISTICS_H_
+#define DEEPMAP_GRAPH_STATISTICS_H_
+
+#include "graph/dataset.h"
+#include "graph/graph.h"
+
+namespace deepmap::graph {
+
+/// |E| / C(|V|, 2); 0 for graphs with < 2 vertices.
+double Density(const Graph& g);
+
+/// Global clustering coefficient: 3 * #triangles / #connected-triples
+/// (0 when there are no triples).
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Average of the per-vertex local clustering coefficients (vertices with
+/// degree < 2 count as 0).
+double AverageLocalClustering(const Graph& g);
+
+/// Pearson correlation of the degrees at the two ends of each edge
+/// (degree assortativity, Newman 2002). 0 for degenerate cases.
+double DegreeAssortativity(const Graph& g);
+
+/// Extended per-dataset aggregate statistics (means over graphs).
+struct ExtendedStats {
+  double density = 0.0;
+  double clustering = 0.0;       // mean global clustering coefficient
+  double assortativity = 0.0;    // mean degree assortativity
+  double components = 0.0;       // mean connected-component count
+  double diameter = 0.0;         // mean diameter (largest component)
+};
+
+ExtendedStats ComputeExtendedStats(const GraphDataset& dataset);
+
+}  // namespace deepmap::graph
+
+#endif  // DEEPMAP_GRAPH_STATISTICS_H_

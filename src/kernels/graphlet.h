@@ -1,0 +1,83 @@
+// Graphlet kernel (GK) feature maps: counts of non-isomorphic induced
+// subgraphs of size k (Shervashidze et al., AISTATS 2009; the paper's Eq. 2).
+//
+// Graphlets are unlabeled, identified by their canonical edge mask, and
+// indexed by a precomputed catalog (2/4 graphlets for k=2/3, 11 for k=4,
+// 34 for k=5 — all non-isomorphic graphs, connected or not, matching the
+// induced random-sampling scheme the paper uses).
+//
+// Both graph-level maps (Definition 2) and per-vertex maps (Definition 3,
+// graphlets sampled around each vertex) are provided. Per-vertex sampling
+// follows the paper's setup: for each vertex, sample `samples_per_vertex`
+// graphlets of size k whose vertex set contains the vertex, grown by random
+// neighborhood expansion.
+#ifndef DEEPMAP_KERNELS_GRAPHLET_H_
+#define DEEPMAP_KERNELS_GRAPHLET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "kernels/feature_map.h"
+
+namespace deepmap::kernels {
+
+/// Configuration for graphlet feature extraction.
+struct GraphletConfig {
+  /// Graphlet size; the paper selects from {3, 4, 5}.
+  int k = 5;
+  /// Random samples drawn per vertex (paper: 20 graphlets of size 5).
+  int samples_per_vertex = 20;
+  /// If true and k == 3, enumerate all induced size-3 subgraphs exactly
+  /// instead of sampling (used by tests and small graphs).
+  bool exhaustive = false;
+};
+
+/// Catalog of the non-isomorphic unlabeled graphs on k vertices. Maps a
+/// canonical edge mask to a dense graphlet index.
+class GraphletCatalog {
+ public:
+  /// Builds the catalog for size-k graphlets, 2 <= k <= 5.
+  explicit GraphletCatalog(int k);
+
+  int k() const { return k_; }
+
+  /// Number of non-isomorphic graphlets of size k.
+  int size() const { return static_cast<int>(canonical_masks_.size()); }
+
+  /// Dense index of the graphlet isomorphic to `g` (|V(g)| must equal k).
+  int IndexOf(const graph::Graph& g) const;
+
+  /// Dense index for a canonical edge mask (must be in the catalog).
+  int IndexOfCanonicalMask(uint32_t mask) const;
+
+  /// Representative graph of graphlet `index`.
+  graph::Graph Exemplar(int index) const;
+
+ private:
+  int k_;
+  std::vector<uint32_t> canonical_masks_;  // sorted; index = position
+};
+
+/// Shared catalog instance for size k (catalogs are immutable).
+const GraphletCatalog& GetGraphletCatalog(int k);
+
+/// Per-vertex graphlet feature maps (Definition 3). features[v] counts the
+/// graphlet types of induced subgraphs sampled around vertex v. Feature ids
+/// are catalog indices.
+std::vector<SparseFeatureMap> VertexGraphletFeatureMaps(
+    const graph::Graph& g, const GraphletConfig& config, Rng& rng);
+
+/// Graph-level graphlet feature map (Definition 2 / Eq. 2): the sum of the
+/// per-vertex maps (Eq. 7).
+SparseFeatureMap GraphletFeatureMap(const graph::Graph& g,
+                                    const GraphletConfig& config, Rng& rng);
+
+/// Exact counts of all induced size-3 subgraph types (4 features), used as a
+/// test oracle for the sampling estimator.
+SparseFeatureMap ExactSize3GraphletCounts(const graph::Graph& g);
+
+}  // namespace deepmap::kernels
+
+#endif  // DEEPMAP_KERNELS_GRAPHLET_H_

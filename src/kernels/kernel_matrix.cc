@@ -1,0 +1,86 @@
+#include "kernels/kernel_matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deepmap::kernels {
+
+Matrix GramMatrix(const std::vector<SparseFeatureMap>& maps, bool normalize) {
+  const size_t n = maps.size();
+  Matrix k(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double value = maps[i].Dot(maps[j]);
+      k[i][j] = value;
+      k[j][i] = value;
+    }
+  }
+  if (normalize) NormalizeKernelMatrix(k);
+  return k;
+}
+
+void NormalizeKernelMatrix(Matrix& k) {
+  const size_t n = k.size();
+  std::vector<double> inv_sqrt_diag(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    DEEPMAP_CHECK_EQ(k[i].size(), n);
+    if (k[i][i] > 0.0) inv_sqrt_diag[i] = 1.0 / std::sqrt(k[i][i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      k[i][j] *= inv_sqrt_diag[i] * inv_sqrt_diag[j];
+    }
+  }
+}
+
+bool IsPositiveSemidefinite(const Matrix& k, double tolerance) {
+  const size_t n = k.size();
+  // LDL^T without pivoting, tolerating zero pivots: PSD iff all pivots are
+  // >= -tolerance (columns under a ~zero pivot must also be ~zero).
+  Matrix a = k;
+  std::vector<double> d(n, 0.0);
+  std::vector<std::vector<double>> l(n, std::vector<double>(n, 0.0));
+  for (size_t j = 0; j < n; ++j) {
+    double dj = a[j][j];
+    for (size_t s = 0; s < j; ++s) dj -= l[j][s] * l[j][s] * d[s];
+    d[j] = dj;
+    if (dj < -tolerance) return false;
+    l[j][j] = 1.0;
+    for (size_t i = j + 1; i < n; ++i) {
+      double lij = a[i][j];
+      for (size_t s = 0; s < j; ++s) lij -= l[i][s] * l[j][s] * d[s];
+      if (std::fabs(dj) <= tolerance) {
+        // Zero pivot: the rest of the column must be ~zero or the matrix is
+        // indefinite.
+        if (std::fabs(lij) > 1e-6) return false;
+        l[i][j] = 0.0;
+      } else {
+        l[i][j] = lij / dj;
+      }
+    }
+  }
+  return true;
+}
+
+Matrix RbfKernelMatrix(const std::vector<std::vector<double>>& rows,
+                       double gamma) {
+  const size_t n = rows.size();
+  Matrix k(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      DEEPMAP_CHECK_EQ(rows[i].size(), rows[j].size());
+      double squared = 0.0;
+      for (size_t t = 0; t < rows[i].size(); ++t) {
+        double diff = rows[i][t] - rows[j][t];
+        squared += diff * diff;
+      }
+      double value = std::exp(-gamma * squared);
+      k[i][j] = value;
+      k[j][i] = value;
+    }
+  }
+  return k;
+}
+
+}  // namespace deepmap::kernels

@@ -1,0 +1,34 @@
+// Gram-matrix construction from graph feature maps, cosine normalization,
+// and a positive-semidefiniteness check (R-convolution kernels are PSD by
+// construction; the check is a test/diagnostic facility).
+#ifndef DEEPMAP_KERNELS_KERNEL_MATRIX_H_
+#define DEEPMAP_KERNELS_KERNEL_MATRIX_H_
+
+#include <vector>
+
+#include "kernels/feature_map.h"
+
+namespace deepmap::kernels {
+
+using Matrix = std::vector<std::vector<double>>;
+
+/// Gram matrix K[i][j] = <phi_i, phi_j>. When `normalize` is set, applies
+/// cosine normalization K'[i][j] = K[i][j] / sqrt(K[i][i] K[j][j]) (entries
+/// with zero self-similarity are left as 0).
+Matrix GramMatrix(const std::vector<SparseFeatureMap>& maps,
+                  bool normalize = true);
+
+/// Cosine-normalizes an arbitrary symmetric kernel matrix in place.
+void NormalizeKernelMatrix(Matrix& k);
+
+/// True if the symmetric matrix is PSD up to `tolerance`, established via a
+/// pivoted LDL^T factorization (all pivots >= -tolerance).
+bool IsPositiveSemidefinite(const Matrix& k, double tolerance = 1e-8);
+
+/// RBF kernel matrix from dense vectors: exp(-gamma * ||x - y||^2).
+Matrix RbfKernelMatrix(const std::vector<std::vector<double>>& rows,
+                       double gamma);
+
+}  // namespace deepmap::kernels
+
+#endif  // DEEPMAP_KERNELS_KERNEL_MATRIX_H_

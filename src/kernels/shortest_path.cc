@@ -1,0 +1,42 @@
+#include "kernels/shortest_path.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace deepmap::kernels {
+
+FeatureId PackSpTriplet(graph::Label a, graph::Label b, int length) {
+  DEEPMAP_CHECK_GE(a, 0);
+  DEEPMAP_CHECK_GE(b, 0);
+  DEEPMAP_CHECK_GE(length, 1);
+  graph::Label lo = std::min(a, b);
+  graph::Label hi = std::max(a, b);
+  DEEPMAP_CHECK_LT(lo, 1 << 24);
+  DEEPMAP_CHECK_LT(hi, 1 << 24);
+  DEEPMAP_CHECK_LT(length, 1 << 16);
+  return (static_cast<FeatureId>(lo) << 40) |
+         (static_cast<FeatureId>(hi) << 16) | static_cast<FeatureId>(length);
+}
+
+std::vector<SparseFeatureMap> VertexSpFeatureMaps(
+    const graph::Graph& g, const ShortestPathConfig& config) {
+  std::vector<SparseFeatureMap> features(g.NumVertices());
+  for (graph::Vertex s = 0; s < g.NumVertices(); ++s) {
+    const std::vector<int> dist = graph::BfsDistances(g, s);
+    for (graph::Vertex t = 0; t < g.NumVertices(); ++t) {
+      if (t == s || dist[t] == graph::kUnreachable) continue;
+      if (config.max_length > 0 && dist[t] > config.max_length) continue;
+      features[s].Add(PackSpTriplet(g.GetLabel(s), g.GetLabel(t), dist[t]));
+    }
+  }
+  return features;
+}
+
+SparseFeatureMap SpFeatureMap(const graph::Graph& g,
+                              const ShortestPathConfig& config) {
+  return SumFeatureMaps(VertexSpFeatureMaps(g, config));
+}
+
+}  // namespace deepmap::kernels

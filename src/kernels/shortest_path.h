@@ -1,0 +1,41 @@
+// Shortest-path kernel (SP) feature maps (Borgwardt & Kriegel, ICDM 2005;
+// the paper's Eq. 3): each shortest path is represented by the triplet
+// (label(source), label(sink), length).
+//
+// Per-vertex maps (Definition 3) count the triplets of shortest paths with
+// the vertex as source; summing over vertices (Eq. 7) counts every path from
+// both endpoints, i.e. twice the classic SP feature map — a constant factor
+// that cancels under kernel normalization.
+#ifndef DEEPMAP_KERNELS_SHORTEST_PATH_H_
+#define DEEPMAP_KERNELS_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "kernels/feature_map.h"
+
+namespace deepmap::kernels {
+
+/// Configuration for SP feature extraction.
+struct ShortestPathConfig {
+  /// Ignore paths longer than this (<= 0 means no cap). The paper's small
+  /// world discussion caps interesting lengths around six.
+  int max_length = 0;
+};
+
+/// Packs an SP triplet into a FeatureId. Label order is canonicalized
+/// (min, max) so that a path contributes the same feature from either end.
+FeatureId PackSpTriplet(graph::Label a, graph::Label b, int length);
+
+/// Per-vertex SP feature maps: features[v] counts triplets of shortest paths
+/// from v to every other reachable vertex.
+std::vector<SparseFeatureMap> VertexSpFeatureMaps(
+    const graph::Graph& g, const ShortestPathConfig& config = {});
+
+/// Graph-level SP feature map (sum of the per-vertex maps, Eq. 7).
+SparseFeatureMap SpFeatureMap(const graph::Graph& g,
+                              const ShortestPathConfig& config = {});
+
+}  // namespace deepmap::kernels
+
+#endif  // DEEPMAP_KERNELS_SHORTEST_PATH_H_

@@ -1,0 +1,48 @@
+// Tree++ path-pattern feature maps (Ye, Wang, Redberg & Singh, TKDE 2019 —
+// the paper's reference [8], by the same authors).
+//
+// Tree++ builds a truncated BFS tree of depth d rooted at every vertex and
+// uses the label sequences of root-to-node paths in that tree as features,
+// comparing graphs at multiple granularities (one feature block per depth).
+// This implementation provides the path-pattern core as a fourth vertex
+// feature map family: psi(v, p) counts the BFS-tree paths rooted at v whose
+// label sequence is p, for every depth 0..max_depth.
+//
+// (The full Tree++ "super path" extension additionally hashes the BFS trees
+// of the vertices on each path; the path-pattern core is what DEEPMAP
+// consumes as per-vertex features.)
+#ifndef DEEPMAP_KERNELS_TREEPP_H_
+#define DEEPMAP_KERNELS_TREEPP_H_
+
+#include <vector>
+
+#include "graph/dataset.h"
+#include "graph/graph.h"
+#include "kernels/feature_map.h"
+#include "kernels/kernel_matrix.h"
+
+namespace deepmap::kernels {
+
+/// Tree++ configuration.
+struct TreePpConfig {
+  /// Depth of the truncated BFS tree (path length cap).
+  int max_depth = 3;
+};
+
+/// Per-vertex Tree++ path-pattern feature maps: features[v] counts the
+/// label-sequence paths of the depth-limited BFS tree rooted at v. Feature
+/// ids are stable hashes of (depth, label sequence).
+std::vector<SparseFeatureMap> VertexTreePpFeatureMaps(
+    const graph::Graph& g, const TreePpConfig& config = {});
+
+/// Graph-level Tree++ feature map (Eq. 7 sum of the vertex maps).
+SparseFeatureMap TreePpFeatureMap(const graph::Graph& g,
+                                  const TreePpConfig& config = {});
+
+/// Tree++ kernel matrix over a dataset (cosine-normalized).
+Matrix TreePpKernelMatrix(const graph::GraphDataset& dataset,
+                          const TreePpConfig& config = {});
+
+}  // namespace deepmap::kernels
+
+#endif  // DEEPMAP_KERNELS_TREEPP_H_

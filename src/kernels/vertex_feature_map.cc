@@ -1,0 +1,145 @@
+#include "kernels/vertex_feature_map.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deepmap::kernels {
+
+std::string FeatureMapKindName(FeatureMapKind kind) {
+  switch (kind) {
+    case FeatureMapKind::kGraphlet:
+      return "GK";
+    case FeatureMapKind::kShortestPath:
+      return "SP";
+    case FeatureMapKind::kWlSubtree:
+      return "WL";
+    case FeatureMapKind::kTreePp:
+      return "TREEPP";
+  }
+  return "?";
+}
+
+DatasetVertexFeatures::DatasetVertexFeatures(
+    std::vector<std::vector<SparseFeatureMap>> features, int max_dense_dim,
+    bool log_scale_dense, bool normalize_dense)
+    : features_(std::move(features)), log_scale_dense_(log_scale_dense) {
+  for (const auto& per_graph : features_) {
+    for (const SparseFeatureMap& map : per_graph) vocabulary_.AddAll(map);
+  }
+  dim_ = static_cast<int>(vocabulary_.size());
+  if (max_dense_dim > 0 && dim_ > max_dense_dim) {
+    dim_ = max_dense_dim;
+    uses_hashing_ = true;
+  }
+  if (dim_ == 0) dim_ = 1;  // degenerate datasets still need a column
+  if (normalize_dense) {
+    // Per-column inverse RMS over all vertex rows (after log scaling).
+    std::vector<double> sum_squares(static_cast<size_t>(dim_), 0.0);
+    int64_t num_rows = 0;
+    for (size_t g = 0; g < features_.size(); ++g) {
+      for (size_t v = 0; v < features_[g].size(); ++v) {
+        std::vector<double> row =
+            DenseRow(static_cast<int>(g), static_cast<int>(v));
+        for (int c = 0; c < dim_; ++c) sum_squares[c] += row[c] * row[c];
+        ++num_rows;
+      }
+    }
+    // Soft normalization: 1/sqrt(rms_c^2 + mean_rms^2). Frequent columns are
+    // scaled toward unit RMS while rare (often noisy) columns are boosted at
+    // most by ~1/mean_rms, unlike a plain inverse-RMS which would blow them
+    // up arbitrarily.
+    double mean_square = 0.0;
+    if (num_rows > 0) {
+      for (int c = 0; c < dim_; ++c) mean_square += sum_squares[c];
+      mean_square /= static_cast<double>(num_rows) * dim_;
+    }
+    column_scale_.assign(static_cast<size_t>(dim_), 0.0);
+    for (int c = 0; c < dim_; ++c) {
+      double square = num_rows > 0 ? sum_squares[c] / num_rows : 0.0;
+      double denom = std::sqrt(square + mean_square);
+      column_scale_[c] = denom > 1e-10 ? 1.0 / denom : 0.0;
+    }
+  }
+}
+
+const SparseFeatureMap& DatasetVertexFeatures::Get(int g, int v) const {
+  DEEPMAP_CHECK_GE(g, 0);
+  DEEPMAP_CHECK_LT(g, static_cast<int>(features_.size()));
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(v, static_cast<int>(features_[g].size()));
+  return features_[g][v];
+}
+
+std::vector<double> DatasetVertexFeatures::DenseRow(int g, int v) const {
+  const SparseFeatureMap& map = Get(g, v);
+  std::vector<double> dense;
+  if (uses_hashing_) {
+    dense = DensifyHashed(map, static_cast<size_t>(dim_));
+  } else {
+    dense = vocabulary_.Densify(map);
+    dense.resize(static_cast<size_t>(dim_), 0.0);
+  }
+  if (log_scale_dense_) {
+    for (double& x : dense) x = std::log1p(x);
+  }
+  if (!column_scale_.empty()) {
+    for (int c = 0; c < dim_; ++c) dense[c] *= column_scale_[c];
+  }
+  return dense;
+}
+
+SparseFeatureMap DatasetVertexFeatures::GraphFeatureMap(int g) const {
+  DEEPMAP_CHECK_GE(g, 0);
+  DEEPMAP_CHECK_LT(g, static_cast<int>(features_.size()));
+  return SumFeatureMaps(features_[g]);
+}
+
+DatasetVertexFeatures ComputeDatasetVertexFeatures(
+    const graph::GraphDataset& dataset, const VertexFeatureConfig& config) {
+  std::vector<std::vector<SparseFeatureMap>> features;
+  features.reserve(dataset.size());
+  switch (config.kind) {
+    case FeatureMapKind::kGraphlet: {
+      Rng rng(config.seed);
+      for (const graph::Graph& g : dataset.graphs()) {
+        features.push_back(
+            VertexGraphletFeatureMaps(g, config.graphlet, rng));
+      }
+      break;
+    }
+    case FeatureMapKind::kShortestPath: {
+      for (const graph::Graph& g : dataset.graphs()) {
+        features.push_back(VertexSpFeatureMaps(g, config.shortest_path));
+      }
+      break;
+    }
+    case FeatureMapKind::kWlSubtree: {
+      features = VertexWlFeatureMapsForGraphs(dataset.graphs(), config.wl);
+      break;
+    }
+    case FeatureMapKind::kTreePp: {
+      for (const graph::Graph& g : dataset.graphs()) {
+        features.push_back(VertexTreePpFeatureMaps(g, config.treepp));
+      }
+      break;
+    }
+  }
+  return DatasetVertexFeatures(std::move(features), config.max_dense_dim,
+                               config.log_scale_dense,
+                               config.normalize_dense);
+}
+
+std::vector<SparseFeatureMap> ComputeGraphFeatureMaps(
+    const graph::GraphDataset& dataset, const VertexFeatureConfig& config) {
+  DatasetVertexFeatures features =
+      ComputeDatasetVertexFeatures(dataset, config);
+  std::vector<SparseFeatureMap> graph_maps;
+  graph_maps.reserve(dataset.size());
+  for (int g = 0; g < dataset.size(); ++g) {
+    graph_maps.push_back(features.GraphFeatureMap(g));
+  }
+  return graph_maps;
+}
+
+}  // namespace deepmap::kernels

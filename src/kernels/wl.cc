@@ -1,0 +1,80 @@
+#include "kernels/wl.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace deepmap::kernels {
+
+WlRefinement::WlRefinement(const WlConfig& config) : config_(config) {
+  DEEPMAP_CHECK_GE(config.iterations, 0);
+  dictionaries_.resize(config.iterations);
+}
+
+std::vector<std::vector<int64_t>> WlRefinement::Refine(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<std::vector<int64_t>> colors(config_.iterations + 1);
+  colors[0].resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) colors[0][v] = g.GetLabel(v);
+  for (int h = 1; h <= config_.iterations; ++h) {
+    const std::vector<int64_t>& prev = colors[h - 1];
+    auto& dict = dictionaries_[h - 1];
+    colors[h].resize(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      std::vector<int64_t> signature;
+      signature.reserve(g.Degree(v) + 1);
+      signature.push_back(prev[v]);
+      for (graph::Vertex u : g.Neighbors(v)) signature.push_back(prev[u]);
+      std::sort(signature.begin() + 1, signature.end());
+      auto [it, inserted] =
+          dict.try_emplace(std::move(signature),
+                           static_cast<int64_t>(dict.size()));
+      colors[h][v] = it->second;
+    }
+  }
+  return colors;
+}
+
+size_t WlRefinement::NumColorsAtIteration(int h) const {
+  DEEPMAP_CHECK_GE(h, 1);
+  DEEPMAP_CHECK_LE(h, config_.iterations);
+  return dictionaries_[h - 1].size();
+}
+
+FeatureId PackWlFeature(int iteration, int64_t color) {
+  DEEPMAP_CHECK_GE(iteration, 0);
+  DEEPMAP_CHECK_LT(iteration, 1 << 8);
+  DEEPMAP_CHECK_GE(color, 0);
+  DEEPMAP_CHECK_LT(color, int64_t{1} << 48);
+  return (static_cast<FeatureId>(iteration) << 48) |
+         static_cast<FeatureId>(color);
+}
+
+std::vector<SparseFeatureMap> VertexWlFeatureMaps(const graph::Graph& g,
+                                                  WlRefinement& refinery) {
+  const auto colors = refinery.Refine(g);
+  std::vector<SparseFeatureMap> features(g.NumVertices());
+  for (int h = 0; h < static_cast<int>(colors.size()); ++h) {
+    for (graph::Vertex v = 0; v < g.NumVertices(); ++v) {
+      features[v].Add(PackWlFeature(h, colors[h][v]));
+    }
+  }
+  return features;
+}
+
+SparseFeatureMap WlFeatureMap(const graph::Graph& g, WlRefinement& refinery) {
+  return SumFeatureMaps(VertexWlFeatureMaps(g, refinery));
+}
+
+std::vector<std::vector<SparseFeatureMap>> VertexWlFeatureMapsForGraphs(
+    const std::vector<graph::Graph>& graphs, const WlConfig& config) {
+  WlRefinement refinery(config);
+  std::vector<std::vector<SparseFeatureMap>> result;
+  result.reserve(graphs.size());
+  for (const graph::Graph& g : graphs) {
+    result.push_back(VertexWlFeatureMaps(g, refinery));
+  }
+  return result;
+}
+
+}  // namespace deepmap::kernels

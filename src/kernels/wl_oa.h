@@ -1,0 +1,31 @@
+// Weisfeiler-Lehman Optimal Assignment kernel (Kriege, Giscard & Wilson,
+// NeurIPS 2016 — the paper's OA reference [21]).
+//
+// Instead of summing all pairwise substructure matches (R-convolution),
+// OA kernels find the optimal 1:1 assignment between the vertices of two
+// graphs under a hierarchy-induced vertex similarity. For the WL hierarchy
+// the optimal assignment has a closed form: the histogram intersection of
+// per-iteration color counts,
+//   K(G1, G2) = sum_{h=0..H} sum_{colors c} min(count_1^h(c), count_2^h(c)).
+#ifndef DEEPMAP_KERNELS_WL_OA_H_
+#define DEEPMAP_KERNELS_WL_OA_H_
+
+#include "graph/dataset.h"
+#include "kernels/feature_map.h"
+#include "kernels/kernel_matrix.h"
+#include "kernels/wl.h"
+
+namespace deepmap::kernels {
+
+/// Histogram intersection sum_f min(a(f), b(f)) over the union of features.
+double HistogramIntersection(const SparseFeatureMap& a,
+                             const SparseFeatureMap& b);
+
+/// WL-OA kernel matrix over the dataset (cosine-normalized). `config`
+/// controls the number of WL refinement iterations.
+Matrix WlOptimalAssignmentKernelMatrix(const graph::GraphDataset& dataset,
+                                       const WlConfig& config = {});
+
+}  // namespace deepmap::kernels
+
+#endif  // DEEPMAP_KERNELS_WL_OA_H_

@@ -1,0 +1,85 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace deepmap::nn {
+
+Tensor Relu::Forward(const Tensor& input, bool training) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (int i = 0; i < out.NumElements(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.NumElements(), cached_input_.NumElements());
+  Tensor grad = grad_output;
+  for (int i = 0; i < grad.NumElements(); ++i) {
+    if (cached_input_.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  for (int i = 0; i < out.NumElements(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.NumElements(), cached_output_.NumElements());
+  Tensor grad = grad_output;
+  for (int i = 0; i < grad.NumElements(); ++i) {
+    float y = cached_output_.data()[i];
+    grad.data()[i] *= (1.0f - y * y);
+  }
+  return grad;
+}
+
+Tensor RowL2Normalize::Forward(const Tensor& input, bool training) {
+  DEEPMAP_CHECK_EQ(input.rank(), 2);
+  cached_input_ = input;
+  const int rows = input.dim(0);
+  const int cols = input.dim(1);
+  cached_norms_.assign(rows, 0.0f);
+  Tensor out = input;
+  for (int i = 0; i < rows; ++i) {
+    double sq = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      sq += static_cast<double>(input.at(i, c)) * input.at(i, c);
+    }
+    float norm = std::max(epsilon_, static_cast<float>(std::sqrt(sq)));
+    cached_norms_[i] = norm;
+    for (int c = 0; c < cols; ++c) out.at(i, c) /= norm;
+  }
+  return out;
+}
+
+Tensor RowL2Normalize::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.rank(), 2);
+  const int rows = cached_input_.dim(0);
+  const int cols = cached_input_.dim(1);
+  Tensor grad({rows, cols});
+  for (int i = 0; i < rows; ++i) {
+    const float norm = cached_norms_[i];
+    // y = x / n with n = ||x||: dL/dx = (g - y <g, y>) / n.
+    double dot = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      dot += static_cast<double>(grad_output.at(i, c)) *
+             cached_input_.at(i, c) / norm;
+    }
+    for (int c = 0; c < cols; ++c) {
+      float y = cached_input_.at(i, c) / norm;
+      grad.at(i, c) =
+          (grad_output.at(i, c) - y * static_cast<float>(dot)) / norm;
+    }
+  }
+  return grad;
+}
+
+}  // namespace deepmap::nn

@@ -1,0 +1,50 @@
+// Elementwise activation layers (shape-preserving, any rank).
+#ifndef DEEPMAP_NN_ACTIVATIONS_H_
+#define DEEPMAP_NN_ACTIVATIONS_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Rectified linear unit: max(0, x).
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent (used by the DGCNN baseline's graph convolutions).
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Per-row L2 normalization of a [L, C] tensor: y_i = x_i / max(||x_i||, eps).
+/// Stabilizes GNNs whose sum aggregation grows activations with vertex count
+/// (GIN without batch normalization). Rows with tiny norm pass through
+/// scaled by 1/eps-capped factor (identity-safe for zero rows).
+class RowL2Normalize : public Layer {
+ public:
+  explicit RowL2Normalize(float epsilon = 1e-6f) : epsilon_(epsilon) {}
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  float epsilon_;
+  Tensor cached_input_;
+  std::vector<float> cached_norms_;
+};
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_ACTIVATIONS_H_

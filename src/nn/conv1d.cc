@@ -1,0 +1,79 @@
+#include "nn/conv1d.h"
+
+namespace deepmap::nn {
+
+Conv1D::Conv1D(int in_channels, int out_channels, int kernel_size, int stride,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      weights_({out_channels, kernel_size * in_channels}),
+      bias_({out_channels}),
+      weights_grad_({out_channels, kernel_size * in_channels}),
+      bias_grad_({out_channels}) {
+  DEEPMAP_CHECK_GT(kernel_size, 0);
+  DEEPMAP_CHECK_GT(stride, 0);
+  GlorotInit(weights_, kernel_size * in_channels, out_channels, rng);
+}
+
+int Conv1D::OutputLength(int input_length) const {
+  DEEPMAP_CHECK_GE(input_length, kernel_size_);
+  return (input_length - kernel_size_) / stride_ + 1;
+}
+
+Tensor Conv1D::Forward(const Tensor& input, bool training) {
+  DEEPMAP_CHECK_EQ(input.rank(), 2);
+  DEEPMAP_CHECK_EQ(input.dim(1), in_channels_);
+  cached_input_ = input;
+  const int out_length = OutputLength(input.dim(0));
+  Tensor out({out_length, out_channels_});
+  for (int p = 0; p < out_length; ++p) {
+    const int start = p * stride_;
+    for (int o = 0; o < out_channels_; ++o) {
+      float sum = bias_.at(o);
+      const float* w = weights_.data() +
+                       static_cast<size_t>(o) * kernel_size_ * in_channels_;
+      const float* x = input.data() +
+                       static_cast<size_t>(start) * in_channels_;
+      for (int t = 0; t < kernel_size_ * in_channels_; ++t) sum += w[t] * x[t];
+      out.at(p, o) = sum;
+    }
+  }
+  return out;
+}
+
+Tensor Conv1D::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.rank(), 2);
+  DEEPMAP_CHECK_EQ(grad_output.dim(1), out_channels_);
+  const int out_length = grad_output.dim(0);
+  DEEPMAP_CHECK_EQ(out_length, OutputLength(cached_input_.dim(0)));
+  Tensor grad_input({cached_input_.dim(0), in_channels_});
+  for (int p = 0; p < out_length; ++p) {
+    const int start = p * stride_;
+    const float* x = cached_input_.data() +
+                     static_cast<size_t>(start) * in_channels_;
+    float* gx = grad_input.data() + static_cast<size_t>(start) * in_channels_;
+    for (int o = 0; o < out_channels_; ++o) {
+      const float g = grad_output.at(p, o);
+      if (g == 0.0f) continue;
+      bias_grad_.at(o) += g;
+      const size_t offset =
+          static_cast<size_t>(o) * kernel_size_ * in_channels_;
+      const float* w = weights_.data() + offset;
+      float* gw = weights_grad_.data() + offset;
+      for (int t = 0; t < kernel_size_ * in_channels_; ++t) {
+        gw[t] += g * x[t];
+        gx[t] += g * w[t];
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv1D::CollectParams(std::vector<Param>* params) {
+  params->push_back({&weights_, &weights_grad_});
+  params->push_back({&bias_, &bias_grad_});
+}
+
+}  // namespace deepmap::nn

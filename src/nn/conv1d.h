@@ -1,0 +1,46 @@
+// One-dimensional convolution over a vertex sequence.
+//
+// Input [L, Cin] (sequence length x channels), output [Lout, Cout] with
+// Lout = (L - kernel) / stride + 1. DEEPMAP's first layer uses kernel = r,
+// stride = r so each vertex's receptive field maps to one output position;
+// the following layers use kernel = stride = 1 (pointwise).
+#ifndef DEEPMAP_NN_CONV1D_H_
+#define DEEPMAP_NN_CONV1D_H_
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// 1-D convolution layer (no padding).
+class Conv1D : public Layer {
+ public:
+  Conv1D(int in_channels, int out_channels, int kernel_size, int stride,
+         Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param>* params) override;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel_size() const { return kernel_size_; }
+  int stride() const { return stride_; }
+
+  /// Output length for an input of length `input_length`.
+  int OutputLength(int input_length) const;
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_size_;
+  int stride_;
+  Tensor weights_;       // [out_channels, kernel * in_channels]
+  Tensor bias_;          // [out_channels]
+  Tensor weights_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;  // [L, in_channels]
+};
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_CONV1D_H_

@@ -1,0 +1,53 @@
+#include "nn/dense.h"
+
+namespace deepmap::nn {
+
+Dense::Dense(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_({out_features, in_features}),
+      bias_({out_features}),
+      weights_grad_({out_features, in_features}),
+      bias_grad_({out_features}) {
+  GlorotInit(weights_, in_features, out_features, rng);
+}
+
+Tensor Dense::Forward(const Tensor& input, bool training) {
+  input_was_rank1_ = input.rank() == 1;
+  cached_input_ = input_was_rank1_ ? input.Reshaped({1, in_features_}) : input;
+  DEEPMAP_CHECK_EQ(cached_input_.rank(), 2);
+  DEEPMAP_CHECK_EQ(cached_input_.dim(1), in_features_);
+  // [L, in] x [out, in]^T -> [L, out]
+  Tensor out = MatMulTransposedB(cached_input_, weights_);
+  for (int l = 0; l < out.dim(0); ++l) {
+    for (int o = 0; o < out_features_; ++o) out.at(l, o) += bias_.at(o);
+  }
+  if (input_was_rank1_) return out.Reshaped({out_features_});
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output.rank() == 1
+                    ? grad_output.Reshaped({1, out_features_})
+                    : grad_output;
+  DEEPMAP_CHECK_EQ(grad.dim(1), out_features_);
+  DEEPMAP_CHECK_EQ(grad.dim(0), cached_input_.dim(0));
+  // dW = grad^T x  ([out, L] x [L, in]).
+  weights_grad_.Add(MatMulTransposedA(grad, cached_input_));
+  for (int l = 0; l < grad.dim(0); ++l) {
+    for (int o = 0; o < out_features_; ++o) {
+      bias_grad_.at(o) += grad.at(l, o);
+    }
+  }
+  // dX = grad W  ([L, out] x [out, in]).
+  Tensor grad_input = MatMul(grad, weights_);
+  if (input_was_rank1_) return grad_input.Reshaped({in_features_});
+  return grad_input;
+}
+
+void Dense::CollectParams(std::vector<Param>* params) {
+  params->push_back({&weights_, &weights_grad_});
+  params->push_back({&bias_, &bias_grad_});
+}
+
+}  // namespace deepmap::nn

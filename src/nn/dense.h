@@ -1,0 +1,41 @@
+// Dense (fully-connected) layer: y = x W^T + b.
+//
+// Accepts rank-1 inputs [Din] (one vector) or rank-2 inputs [L, Din] (the
+// same affine map applied to every row), which is how GNN baselines apply
+// per-vertex transforms.
+#ifndef DEEPMAP_NN_DENSE_H_
+#define DEEPMAP_NN_DENSE_H_
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Affine layer with Glorot-initialized weights.
+class Dense : public Layer {
+ public:
+  Dense(int in_features, int out_features, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<Param>* params) override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+  Tensor& weights() { return weights_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weights_;       // [out, in]
+  Tensor bias_;          // [out]
+  Tensor weights_grad_;  // [out, in]
+  Tensor bias_grad_;     // [out]
+  Tensor cached_input_;  // [L, in] (rank-1 inputs are lifted to L = 1)
+  bool input_was_rank1_ = false;
+};
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_DENSE_H_

@@ -1,0 +1,38 @@
+#include "nn/dropout.h"
+
+namespace deepmap::nn {
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.Fork()) {
+  DEEPMAP_CHECK_GE(rate, 0.0);
+  DEEPMAP_CHECK_LT(rate, 1.0);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  was_training_ = training;
+  if (!training || rate_ == 0.0) return input;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (int i = 0; i < input.NumElements(); ++i) {
+    if (rng_.Bernoulli(rate_)) {
+      mask_.data()[i] = 0.0f;
+      out.data()[i] = 0.0f;
+    } else {
+      mask_.data()[i] = keep_scale;
+      out.data()[i] *= keep_scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!was_training_ || rate_ == 0.0) return grad_output;
+  DEEPMAP_CHECK_EQ(grad_output.NumElements(), mask_.NumElements());
+  Tensor grad = grad_output;
+  for (int i = 0; i < grad.NumElements(); ++i) {
+    grad.data()[i] *= mask_.data()[i];
+  }
+  return grad;
+}
+
+}  // namespace deepmap::nn

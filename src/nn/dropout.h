@@ -1,0 +1,30 @@
+// Inverted dropout: active only during training; outputs are scaled by
+// 1/(1-p) so inference needs no rescaling (the paper uses rate 0.5 after the
+// dense layer).
+#ifndef DEEPMAP_NN_DROPOUT_H_
+#define DEEPMAP_NN_DROPOUT_H_
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Dropout layer with drop probability `rate`. The layer owns an
+/// independent random stream forked from the constructor's generator, so
+/// models holding Dropout layers stay safely movable.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  double rate_;
+  Rng rng_;            // owned, forked from the constructor argument
+  Tensor mask_;        // scaled keep-mask of the last training forward
+  bool was_training_ = false;
+};
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_DROPOUT_H_

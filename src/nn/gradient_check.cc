@@ -1,0 +1,64 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepmap::nn {
+namespace {
+
+void UpdateResult(GradientCheckResult& result, double analytic,
+                  double numeric) {
+  double abs_error = std::fabs(analytic - numeric);
+  double scale = std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+  result.max_abs_error = std::max(result.max_abs_error, abs_error);
+  result.max_rel_error = std::max(result.max_rel_error, abs_error / scale);
+  ++result.coordinates_checked;
+}
+
+}  // namespace
+
+GradientCheckResult CheckParameterGradients(
+    const std::vector<Param>& params, const std::function<double()>& loss,
+    const std::function<void()>& forward_backward, double epsilon) {
+  forward_backward();
+  // Snapshot analytic gradients before perturbing anything.
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const Param& p : params) analytic.push_back(*p.grad);
+
+  GradientCheckResult result;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = *params[pi].value;
+    for (int i = 0; i < value.NumElements(); ++i) {
+      const float original = value.data()[i];
+      value.data()[i] = original + static_cast<float>(epsilon);
+      double loss_plus = loss();
+      value.data()[i] = original - static_cast<float>(epsilon);
+      double loss_minus = loss();
+      value.data()[i] = original;
+      double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      UpdateResult(result, analytic[pi].data()[i], numeric);
+    }
+  }
+  return result;
+}
+
+GradientCheckResult CheckInputGradient(Tensor& input,
+                                       const Tensor& analytic_grad,
+                                       const std::function<double()>& loss,
+                                       double epsilon) {
+  GradientCheckResult result;
+  for (int i = 0; i < input.NumElements(); ++i) {
+    const float original = input.data()[i];
+    input.data()[i] = original + static_cast<float>(epsilon);
+    double loss_plus = loss();
+    input.data()[i] = original - static_cast<float>(epsilon);
+    double loss_minus = loss();
+    input.data()[i] = original;
+    double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    UpdateResult(result, analytic_grad.data()[i], numeric);
+  }
+  return result;
+}
+
+}  // namespace deepmap::nn

@@ -1,0 +1,41 @@
+// Finite-difference gradient verification used by the test suite to certify
+// every layer's backward pass.
+#ifndef DEEPMAP_NN_GRADIENT_CHECK_H_
+#define DEEPMAP_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Outcome of a gradient check.
+struct GradientCheckResult {
+  /// Largest |analytic - numeric| over all checked coordinates.
+  double max_abs_error = 0.0;
+  /// Largest |analytic - numeric| / max(1, |analytic|, |numeric|).
+  double max_rel_error = 0.0;
+  int coordinates_checked = 0;
+};
+
+/// Verifies analytic parameter gradients against central finite differences.
+///
+/// `loss` evaluates the scalar loss at the current parameter values.
+/// `forward_backward` must (re)compute the analytic gradients into each
+/// Param's grad tensor (zeroing first). Each parameter coordinate is
+/// perturbed by +-epsilon.
+GradientCheckResult CheckParameterGradients(
+    const std::vector<Param>& params, const std::function<double()>& loss,
+    const std::function<void()>& forward_backward, double epsilon = 1e-2);
+
+/// Verifies an input gradient: `analytic_grad` vs central differences of
+/// `loss` as the entries of `input` are perturbed.
+GradientCheckResult CheckInputGradient(Tensor& input,
+                                       const Tensor& analytic_grad,
+                                       const std::function<double()>& loss,
+                                       double epsilon = 1e-2);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_GRADIENT_CHECK_H_

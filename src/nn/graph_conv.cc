@@ -1,0 +1,140 @@
+#include "nn/graph_conv.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deepmap::nn {
+
+GraphOp::GraphOp(int n) : n_(n), matrix_(static_cast<size_t>(n) * n, 0.0) {
+  DEEPMAP_CHECK_GE(n, 0);
+}
+
+GraphOp GraphOp::Identity(int n) {
+  GraphOp op(n);
+  for (int i = 0; i < n; ++i) op.matrix_[static_cast<size_t>(i) * n + i] = 1.0;
+  return op;
+}
+
+GraphOp GraphOp::GcnNorm(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  GraphOp op(n);
+  std::vector<double> inv_sqrt_deg(n);
+  for (int v = 0; v < n; ++v) {
+    inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.Degree(v) + 1));
+  }
+  for (int v = 0; v < n; ++v) {
+    op.matrix_[static_cast<size_t>(v) * n + v] =
+        inv_sqrt_deg[v] * inv_sqrt_deg[v];
+    for (graph::Vertex u : g.Neighbors(v)) {
+      op.matrix_[static_cast<size_t>(v) * n + u] =
+          inv_sqrt_deg[v] * inv_sqrt_deg[u];
+    }
+  }
+  return op;
+}
+
+GraphOp GraphOp::RowNormAdj(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  GraphOp op(n);
+  for (int v = 0; v < n; ++v) {
+    const double inv = 1.0 / static_cast<double>(g.Degree(v) + 1);
+    op.matrix_[static_cast<size_t>(v) * n + v] = inv;
+    for (graph::Vertex u : g.Neighbors(v)) {
+      op.matrix_[static_cast<size_t>(v) * n + u] = inv;
+    }
+  }
+  return op;
+}
+
+GraphOp GraphOp::Transition(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  GraphOp op(n);
+  for (int v = 0; v < n; ++v) {
+    if (g.Degree(v) == 0) continue;
+    const double inv = 1.0 / static_cast<double>(g.Degree(v));
+    for (graph::Vertex u : g.Neighbors(v)) {
+      op.matrix_[static_cast<size_t>(v) * n + u] = inv;
+    }
+  }
+  return op;
+}
+
+GraphOp GraphOp::SumAdj(const graph::Graph& g, double eps) {
+  const int n = g.NumVertices();
+  GraphOp op(n);
+  for (int v = 0; v < n; ++v) {
+    op.matrix_[static_cast<size_t>(v) * n + v] = 1.0 + eps;
+    for (graph::Vertex u : g.Neighbors(v)) {
+      op.matrix_[static_cast<size_t>(v) * n + u] = 1.0;
+    }
+  }
+  return op;
+}
+
+Tensor GraphOp::Apply(const Tensor& x) const {
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(0), n_);
+  const int c = x.dim(1);
+  Tensor out({n_, c});
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      const double s = matrix_[static_cast<size_t>(i) * n_ + j];
+      if (s == 0.0) continue;
+      for (int t = 0; t < c; ++t) {
+        out.at(i, t) += static_cast<float>(s) * x.at(j, t);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GraphOp::ApplyTranspose(const Tensor& g) const {
+  DEEPMAP_CHECK_EQ(g.rank(), 2);
+  DEEPMAP_CHECK_EQ(g.dim(0), n_);
+  const int c = g.dim(1);
+  Tensor out({n_, c});
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      const double s = matrix_[static_cast<size_t>(i) * n_ + j];
+      if (s == 0.0) continue;
+      for (int t = 0; t < c; ++t) {
+        out.at(j, t) += static_cast<float>(s) * g.at(i, t);
+      }
+    }
+  }
+  return out;
+}
+
+GraphOp GraphOp::Compose(const GraphOp& other) const {
+  DEEPMAP_CHECK_EQ(n_, other.n_);
+  GraphOp out(n_);
+  for (int i = 0; i < n_; ++i) {
+    for (int k = 0; k < n_; ++k) {
+      const double a = matrix_[static_cast<size_t>(i) * n_ + k];
+      if (a == 0.0) continue;
+      for (int j = 0; j < n_; ++j) {
+        out.matrix_[static_cast<size_t>(i) * n_ + j] +=
+            a * other.matrix_[static_cast<size_t>(k) * n_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+GraphOp GraphOp::Power(int h) const {
+  DEEPMAP_CHECK_GE(h, 0);
+  GraphOp result = Identity(n_);
+  for (int i = 0; i < h; ++i) result = result.Compose(*this);
+  return result;
+}
+
+double GraphOp::entry(int i, int j) const {
+  DEEPMAP_CHECK_GE(i, 0);
+  DEEPMAP_CHECK_LT(i, n_);
+  DEEPMAP_CHECK_GE(j, 0);
+  DEEPMAP_CHECK_LT(j, n_);
+  return matrix_[static_cast<size_t>(i) * n_ + j];
+}
+
+}  // namespace deepmap::nn

@@ -1,0 +1,65 @@
+// Linear graph propagation operators used by the GNN baselines.
+//
+// Each operator is a fixed (per-graph) dense n x n matrix S; applying it to
+// vertex features X [n, c] gives S X, and the backward pass applies S^T.
+// Provided constructions:
+//   - GcnNorm:      D^-1/2 (A + I) D^-1/2            (GCN / GIN-style)
+//   - RowNormAdj:   D_hat^-1 (A + I)                  (DGCNN propagation)
+//   - Transition:   D^-1 A                            (random-walk, DCNN)
+//   - SumAdj:       A + eps-weighted I                (GIN aggregation)
+// plus Power() for the diffusion hops P^h that DCNN stacks.
+#ifndef DEEPMAP_NN_GRAPH_CONV_H_
+#define DEEPMAP_NN_GRAPH_CONV_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/tensor.h"
+
+namespace deepmap::nn {
+
+/// Dense linear operator over a graph's vertex set.
+class GraphOp {
+ public:
+  /// Identity operator on n vertices.
+  static GraphOp Identity(int n);
+
+  /// Symmetric GCN normalization D^-1/2 (A + I) D^-1/2.
+  static GraphOp GcnNorm(const graph::Graph& g);
+
+  /// Row-normalized D_hat^-1 (A + I) (DGCNN's propagation rule).
+  static GraphOp RowNormAdj(const graph::Graph& g);
+
+  /// Random-walk transition matrix D^-1 A (rows of isolated vertices are 0).
+  static GraphOp Transition(const graph::Graph& g);
+
+  /// (1 + eps) I + A — GIN's injective sum aggregation.
+  static GraphOp SumAdj(const graph::Graph& g, double eps = 0.0);
+
+  int n() const { return n_; }
+
+  /// S x for x of shape [n, c]; returns [n, c].
+  Tensor Apply(const Tensor& x) const;
+
+  /// S^T g (the backward map).
+  Tensor ApplyTranspose(const Tensor& g) const;
+
+  /// Operator composition: this * other.
+  GraphOp Compose(const GraphOp& other) const;
+
+  /// S^h (h >= 0; h == 0 gives the identity).
+  GraphOp Power(int h) const;
+
+  /// Matrix entry (i, j).
+  double entry(int i, int j) const;
+
+ private:
+  explicit GraphOp(int n);
+
+  int n_ = 0;
+  std::vector<double> matrix_;  // row-major n x n
+};
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_GRAPH_CONV_H_

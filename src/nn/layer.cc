@@ -1,0 +1,31 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace deepmap::nn {
+
+void GlorotInit(Tensor& weights, int fan_in, int fan_out, Rng& rng) {
+  DEEPMAP_CHECK_GT(fan_in + fan_out, 0);
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  for (int i = 0; i < weights.NumElements(); ++i) {
+    weights.data()[i] = static_cast<float>(rng.Uniform(-a, a));
+  }
+}
+
+void HeInit(Tensor& weights, int fan_in, Rng& rng) {
+  DEEPMAP_CHECK_GT(fan_in, 0);
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (int i = 0; i < weights.NumElements(); ++i) {
+    weights.data()[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+void ZeroGrads(const std::vector<Param>& params) {
+  for (const Param& p : params) p.grad->Zero();
+}
+
+void ScaleGrads(const std::vector<Param>& params, float scale) {
+  for (const Param& p : params) p.grad->Scale(scale);
+}
+
+}  // namespace deepmap::nn

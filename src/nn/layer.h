@@ -1,0 +1,56 @@
+// Layer interface for the sample-at-a-time neural-network substrate.
+//
+// Layers process ONE sample per Forward/Backward pair (mini-batching is done
+// by the trainer via gradient accumulation); each layer caches whatever it
+// needs between the calls. Parameters expose (value, grad) pairs that
+// optimizers update in place.
+#ifndef DEEPMAP_NN_LAYER_H_
+#define DEEPMAP_NN_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace deepmap::nn {
+
+/// A trainable parameter: the value tensor and its gradient accumulator.
+struct Param {
+  Tensor* value;
+  Tensor* grad;
+};
+
+/// Base class of all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for one sample. `training` toggles
+  /// train-only behavior (dropout). The input is cached as needed for
+  /// Backward, which must be called before the next Forward.
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients (+=) and returns
+  /// dLoss/dInput.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Appends this layer's parameters to `params`. Default: none.
+  virtual void CollectParams(std::vector<Param>* params) {}
+};
+
+/// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void GlorotInit(Tensor& weights, int fan_in, int fan_out, Rng& rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2/fan_in)).
+void HeInit(Tensor& weights, int fan_in, Rng& rng);
+
+/// Zeroes the gradients of every parameter.
+void ZeroGrads(const std::vector<Param>& params);
+
+/// Scales the gradients of every parameter (e.g. 1/batch averaging).
+void ScaleGrads(const std::vector<Param>& params, float scale);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_LAYER_H_

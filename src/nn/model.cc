@@ -1,0 +1,36 @@
+#include "nn/model.h"
+
+namespace deepmap::nn {
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, training);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param> Sequential::Params() {
+  std::vector<Param> params;
+  for (auto& layer : layers_) layer->CollectParams(&params);
+  return params;
+}
+
+int64_t Sequential::NumParameters() {
+  int64_t total = 0;
+  for (const Param& p : Params()) total += p.value->NumElements();
+  return total;
+}
+
+}  // namespace deepmap::nn

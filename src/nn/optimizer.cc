@@ -1,0 +1,98 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace deepmap::nn {
+namespace {
+
+// Lazily sizes per-parameter state tensors to match `params`.
+void EnsureState(std::vector<Tensor>& state, const std::vector<Param>& params) {
+  if (state.size() == params.size()) return;
+  DEEPMAP_CHECK(state.empty());  // parameter set must not change mid-training
+  state.reserve(params.size());
+  for (const Param& p : params) state.emplace_back(p.value->shape());
+}
+
+}  // namespace
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : Optimizer(learning_rate), momentum_(momentum) {}
+
+void Sgd::Step(const std::vector<Param>& params) {
+  EnsureState(velocity_, params);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = *params[i].value;
+    const Tensor& grad = *params[i].grad;
+    Tensor& vel = velocity_[i];
+    for (int t = 0; t < value.NumElements(); ++t) {
+      float v = static_cast<float>(momentum_) * vel.data()[t] -
+                static_cast<float>(learning_rate_) * grad.data()[t];
+      vel.data()[t] = v;
+      value.data()[t] += v;
+    }
+  }
+}
+
+RmsProp::RmsProp(double learning_rate, double decay, double epsilon)
+    : Optimizer(learning_rate), decay_(decay), epsilon_(epsilon) {}
+
+void RmsProp::Step(const std::vector<Param>& params) {
+  EnsureState(cache_, params);
+  const float rho = static_cast<float>(decay_);
+  const float lr = static_cast<float>(learning_rate_);
+  const float eps = static_cast<float>(epsilon_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = *params[i].value;
+    const Tensor& grad = *params[i].grad;
+    Tensor& cache = cache_[i];
+    for (int t = 0; t < value.NumElements(); ++t) {
+      float g = grad.data()[t];
+      cache.data()[t] = rho * cache.data()[t] + (1.0f - rho) * g * g;
+      value.data()[t] -= lr * g / (std::sqrt(cache.data()[t]) + eps);
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void Adam::Step(const std::vector<Param>& params) {
+  EnsureState(m_, params);
+  EnsureState(v_, params);
+  ++t_;
+  const double correction1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = *params[i].value;
+    const Tensor& grad = *params[i].grad;
+    for (int t = 0; t < value.NumElements(); ++t) {
+      float g = grad.data()[t];
+      m_[i].data()[t] = b1 * m_[i].data()[t] + (1.0f - b1) * g;
+      v_[i].data()[t] = b2 * v_[i].data()[t] + (1.0f - b2) * g * g;
+      double m_hat = m_[i].data()[t] / correction1;
+      double v_hat = v_[i].data()[t] / correction2;
+      value.data()[t] -= static_cast<float>(
+          learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_));
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(learning_rate);
+    case OptimizerKind::kRmsProp:
+      return std::make_unique<RmsProp>(learning_rate);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(learning_rate);
+  }
+  return nullptr;
+}
+
+}  // namespace deepmap::nn

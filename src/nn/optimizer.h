@@ -1,0 +1,77 @@
+// First-order optimizers. The paper trains DEEPMAP with RMSprop (initial
+// learning rate 0.01, halved after 5 epochs without loss improvement); SGD
+// and Adam are provided for completeness and for baseline parity.
+#ifndef DEEPMAP_NN_OPTIMIZER_H_
+#define DEEPMAP_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Base optimizer interface: applies accumulated gradients to parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(double learning_rate) : learning_rate_(learning_rate) {}
+  virtual ~Optimizer() = default;
+
+  /// One update step; gradients are NOT zeroed (the trainer does that).
+  virtual void Step(const std::vector<Param>& params) = 0;
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ protected:
+  double learning_rate_;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0);
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// RMSprop (Tieleman & Hinton), the paper's optimizer.
+class RmsProp : public Optimizer {
+ public:
+  explicit RmsProp(double learning_rate = 0.01, double decay = 0.9,
+                   double epsilon = 1e-7);
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  double decay_;
+  double epsilon_;
+  std::vector<Tensor> cache_;  // running mean of squared gradients
+};
+
+/// Adam (Kingma & Ba).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate = 0.001, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8);
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Which optimizer a training config selects.
+enum class OptimizerKind { kSgd, kRmsProp, kAdam };
+
+/// Factory for a fresh optimizer of the given kind.
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_OPTIMIZER_H_

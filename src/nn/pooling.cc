@@ -1,0 +1,96 @@
+#include "nn/pooling.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace deepmap::nn {
+
+Tensor SumPool::Forward(const Tensor& input, bool training) {
+  DEEPMAP_CHECK_EQ(input.rank(), 2);
+  cached_length_ = input.dim(0);
+  Tensor out({input.dim(1)});
+  for (int l = 0; l < input.dim(0); ++l) {
+    for (int c = 0; c < input.dim(1); ++c) out.at(c) += input.at(l, c);
+  }
+  return out;
+}
+
+Tensor SumPool::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.rank(), 1);
+  Tensor grad({cached_length_, grad_output.dim(0)});
+  for (int l = 0; l < cached_length_; ++l) {
+    for (int c = 0; c < grad_output.dim(0); ++c) {
+      grad.at(l, c) = grad_output.at(c);
+    }
+  }
+  return grad;
+}
+
+Tensor MeanPool::Forward(const Tensor& input, bool training) {
+  DEEPMAP_CHECK_EQ(input.rank(), 2);
+  cached_length_ = input.dim(0);
+  Tensor out({input.dim(1)});
+  for (int l = 0; l < input.dim(0); ++l) {
+    for (int c = 0; c < input.dim(1); ++c) out.at(c) += input.at(l, c);
+  }
+  out.Scale(1.0f / static_cast<float>(cached_length_));
+  return out;
+}
+
+Tensor MeanPool::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.rank(), 1);
+  const float inv = 1.0f / static_cast<float>(cached_length_);
+  Tensor grad({cached_length_, grad_output.dim(0)});
+  for (int l = 0; l < cached_length_; ++l) {
+    for (int c = 0; c < grad_output.dim(0); ++c) {
+      grad.at(l, c) = grad_output.at(c) * inv;
+    }
+  }
+  return grad;
+}
+
+Tensor Flatten::Forward(const Tensor& input, bool training) {
+  cached_shape_ = input.shape();
+  return input.Reshaped({input.NumElements()});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  return grad_output.Reshaped(cached_shape_);
+}
+
+SortPooling::SortPooling(int k) : k_(k) { DEEPMAP_CHECK_GT(k, 0); }
+
+Tensor SortPooling::Forward(const Tensor& input, bool training) {
+  DEEPMAP_CHECK_EQ(input.rank(), 2);
+  cached_length_ = input.dim(0);
+  cached_channels_ = input.dim(1);
+  const int last = cached_channels_ - 1;
+  std::vector<int> order(cached_length_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return input.at(a, last) > input.at(b, last);
+  });
+  const int keep = std::min(k_, cached_length_);
+  kept_rows_.assign(order.begin(), order.begin() + keep);
+  Tensor out({k_, cached_channels_});
+  for (int r = 0; r < keep; ++r) {
+    for (int c = 0; c < cached_channels_; ++c) {
+      out.at(r, c) = input.at(kept_rows_[r], c);
+    }
+  }
+  return out;  // rows beyond `keep` stay zero (padding)
+}
+
+Tensor SortPooling::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK_EQ(grad_output.dim(0), k_);
+  DEEPMAP_CHECK_EQ(grad_output.dim(1), cached_channels_);
+  Tensor grad({cached_length_, cached_channels_});
+  for (size_t r = 0; r < kept_rows_.size(); ++r) {
+    for (int c = 0; c < cached_channels_; ++c) {
+      grad.at(kept_rows_[r], c) += grad_output.at(static_cast<int>(r), c);
+    }
+  }
+  return grad;
+}
+
+}  // namespace deepmap::nn

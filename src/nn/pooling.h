@@ -1,0 +1,64 @@
+// Pooling / readout layers over the sequence axis.
+//
+// SumPool implements the paper's summation layer (Eq. 7): it makes the graph
+// representation invariant to trailing dummy vertices (whose rows are zero)
+// and to vertex count. MeanPool and Flatten/SortPooling back the readout
+// ablation and the DGCNN baseline respectively.
+#ifndef DEEPMAP_NN_POOLING_H_
+#define DEEPMAP_NN_POOLING_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Sums over the sequence axis: [L, C] -> [C].
+class SumPool : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int cached_length_ = 0;
+};
+
+/// Averages over the sequence axis: [L, C] -> [C].
+class MeanPool : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int cached_length_ = 0;
+};
+
+/// Flattens [L, C] -> [L*C] (the concatenation readout discussed in Sec. 6).
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// DGCNN's SortPooling: sorts rows by the LAST channel (descending) and
+/// keeps the top k rows; shorter inputs are zero-padded to k. Output [k, C].
+class SortPooling : public Layer {
+ public:
+  explicit SortPooling(int k);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int k_;
+  int cached_length_ = 0;
+  int cached_channels_ = 0;
+  std::vector<int> kept_rows_;  // source row of each kept output row
+};
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_POOLING_H_

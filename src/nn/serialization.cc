@@ -1,0 +1,94 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace deepmap::nn {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'M', 'N', 'N'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Param>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(params.size()));
+  for (const Param& p : params) {
+    const Tensor& t = *p.value;
+    WritePod(out, static_cast<uint32_t>(t.rank()));
+    for (int d = 0; d < t.rank(); ++d) {
+      WritePod(out, static_cast<uint32_t>(t.dim(d)));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float)) * t.NumElements());
+  }
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::vector<Param>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a DEEPMAP model file");
+  }
+  uint32_t version = 0, count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported model file version");
+  }
+  if (!ReadPod(in, &count) || count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch (file has " + std::to_string(count) +
+        ", model has " + std::to_string(params.size()) + ")");
+  }
+  // Stage into temporaries first so a shape mismatch leaves the model
+  // untouched.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (const Param& p : params) {
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(p.value->rank())) {
+      return Status::InvalidArgument("parameter rank mismatch");
+    }
+    std::vector<int> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint32_t dim = 0;
+      if (!ReadPod(in, &dim) ||
+          dim != static_cast<uint32_t>(p.value->dim(static_cast<int>(d)))) {
+        return Status::InvalidArgument("parameter shape mismatch");
+      }
+      shape[d] = static_cast<int>(dim);
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float)) * t.NumElements());
+    if (!in) return Status::IoError("short read from " + path);
+    staged.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    *params[i].value = std::move(staged[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace deepmap::nn

@@ -1,0 +1,29 @@
+// Parameter (de)serialization: persist trained models to disk and reload
+// them, e.g. to train once and serve classifications later.
+//
+// Format: "DMNN" magic + version, parameter count, then each tensor as
+// rank, dims, raw little-endian float32 data. Loading requires the exact
+// same parameter shapes (i.e. the same model architecture).
+#ifndef DEEPMAP_NN_SERIALIZATION_H_
+#define DEEPMAP_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layer.h"
+
+namespace deepmap::nn {
+
+/// Writes every parameter's value tensor to `path`.
+Status SaveParameters(const std::vector<Param>& params,
+                      const std::string& path);
+
+/// Reads parameters from `path` into the value tensors of `params`.
+/// Fails (without partial writes) if the count or any shape differs.
+Status LoadParameters(const std::vector<Param>& params,
+                      const std::string& path);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_SERIALIZATION_H_

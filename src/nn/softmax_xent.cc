@@ -1,0 +1,39 @@
+#include "nn/softmax_xent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deepmap::nn {
+
+Tensor Softmax(const Tensor& logits) {
+  DEEPMAP_CHECK_EQ(logits.rank(), 1);
+  DEEPMAP_CHECK_GT(logits.NumElements(), 0);
+  float max_logit = logits.data()[0];
+  for (int i = 1; i < logits.NumElements(); ++i) {
+    max_logit = std::max(max_logit, logits.data()[i]);
+  }
+  Tensor probs(logits.shape());
+  double total = 0.0;
+  for (int i = 0; i < logits.NumElements(); ++i) {
+    double e = std::exp(static_cast<double>(logits.data()[i] - max_logit));
+    probs.data()[i] = static_cast<float>(e);
+    total += e;
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (int i = 0; i < probs.NumElements(); ++i) probs.data()[i] *= inv;
+  return probs;
+}
+
+LossAndGrad SoftmaxCrossEntropy(const Tensor& logits, int label) {
+  DEEPMAP_CHECK_GE(label, 0);
+  DEEPMAP_CHECK_LT(label, logits.NumElements());
+  Tensor probs = Softmax(logits);
+  const double p = std::max(1e-12, static_cast<double>(probs.at(label)));
+  LossAndGrad result{-std::log(p), probs};
+  result.grad_logits.at(label) -= 1.0f;
+  return result;
+}
+
+}  // namespace deepmap::nn

@@ -1,0 +1,25 @@
+// Softmax + cross-entropy loss (combined for numerical stability).
+#ifndef DEEPMAP_NN_SOFTMAX_XENT_H_
+#define DEEPMAP_NN_SOFTMAX_XENT_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace deepmap::nn {
+
+/// Numerically stable softmax of a rank-1 logits tensor.
+Tensor Softmax(const Tensor& logits);
+
+/// Loss value and gradient for one sample.
+struct LossAndGrad {
+  double loss;
+  Tensor grad_logits;  // dLoss/dLogits, same shape as logits
+};
+
+/// -log softmax(logits)[label], with the standard (softmax - onehot) grad.
+LossAndGrad SoftmaxCrossEntropy(const Tensor& logits, int label);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_SOFTMAX_XENT_H_

@@ -1,0 +1,180 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace deepmap::nn {
+namespace {
+
+int Volume(const std::vector<int>& shape) {
+  int v = 1;
+  for (int d : shape) {
+    DEEPMAP_CHECK_GT(d, 0);
+    v *= d;
+  }
+  return v;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(Volume(shape_)), 0.0f);
+}
+
+Tensor Tensor::FromVector(std::vector<int> shape, std::vector<float> data) {
+  Tensor t;
+  DEEPMAP_CHECK_EQ(static_cast<size_t>(Volume(shape)), data.size());
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::FromFlat(std::vector<float> data) {
+  int n = static_cast<int>(data.size());
+  return FromVector({n}, std::move(data));
+}
+
+int Tensor::dim(int i) const {
+  DEEPMAP_CHECK_GE(i, 0);
+  DEEPMAP_CHECK_LT(i, rank());
+  return shape_[i];
+}
+
+float& Tensor::at(int i) {
+  DEEPMAP_CHECK_EQ(rank(), 1);
+  DEEPMAP_CHECK_GE(i, 0);
+  DEEPMAP_CHECK_LT(i, shape_[0]);
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int i) const { return const_cast<Tensor*>(this)->at(i); }
+
+float& Tensor::at(int i, int j) {
+  DEEPMAP_CHECK_EQ(rank(), 2);
+  DEEPMAP_CHECK_GE(i, 0);
+  DEEPMAP_CHECK_LT(i, shape_[0]);
+  DEEPMAP_CHECK_GE(j, 0);
+  DEEPMAP_CHECK_LT(j, shape_[1]);
+  return data_[static_cast<size_t>(i) * shape_[1] + j];
+}
+
+float Tensor::at(int i, int j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int i, int j, int k) {
+  DEEPMAP_CHECK_EQ(rank(), 3);
+  DEEPMAP_CHECK_GE(i, 0);
+  DEEPMAP_CHECK_LT(i, shape_[0]);
+  DEEPMAP_CHECK_GE(j, 0);
+  DEEPMAP_CHECK_LT(j, shape_[1]);
+  DEEPMAP_CHECK_GE(k, 0);
+  DEEPMAP_CHECK_LT(k, shape_[2]);
+  return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(int i, int j, int k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+Tensor Tensor::Reshaped(std::vector<int> new_shape) const {
+  DEEPMAP_CHECK_EQ(Volume(new_shape), NumElements());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Add(const Tensor& other) {
+  DEEPMAP_CHECK_EQ(NumElements(), other.NumElements());
+  for (int i = 0; i < NumElements(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AddScaled(const Tensor& other, float scale) {
+  DEEPMAP_CHECK_EQ(NumElements(), other.NumElements());
+  for (int i = 0; i < NumElements(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Tensor::Scale(float scale) {
+  for (float& x : data_) x *= scale;
+}
+
+int Tensor::ArgMax() const {
+  DEEPMAP_CHECK_GT(NumElements(), 0);
+  int best = 0;
+  for (int i = 1; i < NumElements(); ++i) {
+    if (data_[i] > data_[best]) best = i;
+  }
+  return best;
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "Tensor[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DEEPMAP_CHECK_EQ(a.rank(), 2);
+  DEEPMAP_CHECK_EQ(b.rank(), 2);
+  DEEPMAP_CHECK_EQ(a.dim(1), b.dim(0));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int t = 0; t < k; ++t) {
+      float av = a.at(i, t);
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  DEEPMAP_CHECK_EQ(a.rank(), 2);
+  DEEPMAP_CHECK_EQ(b.rank(), 2);
+  DEEPMAP_CHECK_EQ(a.dim(0), b.dim(0));
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int t = 0; t < k; ++t) {
+    for (int i = 0; i < m; ++i) {
+      float av = a.at(t, i);
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  DEEPMAP_CHECK_EQ(a.rank(), 2);
+  DEEPMAP_CHECK_EQ(b.rank(), 2);
+  DEEPMAP_CHECK_EQ(a.dim(1), b.dim(1));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (int t = 0; t < k; ++t) sum += a.at(i, t) * b.at(j, t);
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmap::nn

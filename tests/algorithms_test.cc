@@ -1,0 +1,130 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace deepmap::graph {
+namespace {
+
+Graph PathGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  Graph g = PathGraph(n);
+  if (n >= 3) g.AddEdge(0, n - 1);
+  return g;
+}
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph RandomGraph(int n, double p, Rng& rng) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = PathGraph(5);
+  auto dist = BfsDistances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsTest, OrderVisitsNeighborsSorted) {
+  // Star with center 2.
+  Graph g(4);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 1);
+  auto order = BfsOrder(g, 2);
+  std::vector<Vertex> expected{2, 0, 1, 3};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ShortestPathsTest, BfsMatchesFloydWarshall) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = RandomGraph(rng.UniformInt(2, 15), rng.Uniform(0.1, 0.6), rng);
+    EXPECT_EQ(AllPairsShortestPaths(g), FloydWarshallShortestPaths(g));
+  }
+}
+
+TEST(ShortestPathsTest, CompleteGraphAllOnes) {
+  Graph g = CompleteGraph(5);
+  auto dist = AllPairsShortestPaths(g);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(dist[i][j], i == j ? 0 : 1);
+    }
+  }
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(NumConnectedComponents(g), 3);  // {0,1},{2,3,4},{5}
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[0]);
+}
+
+TEST(DiameterTest, PathAndCycle) {
+  EXPECT_EQ(Diameter(PathGraph(6)), 5);
+  EXPECT_EQ(Diameter(CycleGraph(6)), 3);
+  EXPECT_EQ(Diameter(CompleteGraph(7)), 1);
+  EXPECT_EQ(Diameter(Graph(1)), 0);
+}
+
+TEST(DegreeSequenceTest, SortedDescending) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  std::vector<int> expected{3, 1, 1, 1};
+  EXPECT_EQ(DegreeSequence(g), expected);
+}
+
+TEST(PredicatesTest, CompleteAndForest) {
+  EXPECT_TRUE(IsCompleteGraph(CompleteGraph(4)));
+  EXPECT_FALSE(IsCompleteGraph(PathGraph(4)));
+  EXPECT_TRUE(IsForest(PathGraph(4)));
+  EXPECT_FALSE(IsForest(CycleGraph(4)));
+  EXPECT_TRUE(IsForest(Graph(3)));  // empty graph is a forest
+}
+
+TEST(TrianglesTest, CountsExactly) {
+  EXPECT_EQ(CountTriangles(CompleteGraph(4)), 4);
+  EXPECT_EQ(CountTriangles(CompleteGraph(5)), 10);
+  EXPECT_EQ(CountTriangles(CycleGraph(5)), 0);
+  EXPECT_EQ(CountTriangles(CycleGraph(3)), 1);
+}
+
+}  // namespace
+}  // namespace deepmap::graph

@@ -1,0 +1,110 @@
+// Contract tests: DEEPMAP_CHECK violations abort with a diagnostic (death
+// tests), and miscellaneous I/O paths not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "core/deepmap.h"
+#include "eval/cross_validation.h"
+#include "graph/graph.h"
+#include "nn/tensor.h"
+
+namespace deepmap {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(DEEPMAP_CHECK(1 == 2), "CHECK failed");
+  EXPECT_DEATH(DEEPMAP_CHECK_EQ(3, 4), "3 == 4");
+  EXPECT_DEATH(DEEPMAP_CHECK_LT(5, 5), "5 < 5");
+}
+
+TEST(ContractsDeathTest, GraphBoundsChecked) {
+  graph::Graph g(2);
+  EXPECT_DEATH(g.GetLabel(5), "CHECK failed");
+  EXPECT_DEATH(g.Neighbors(-1), "CHECK failed");
+  EXPECT_DEATH(g.AddEdge(0, 7), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, TensorShapeChecked) {
+  nn::Tensor t({2, 3});
+  EXPECT_DEATH(t.at(5, 0), "CHECK failed");
+  EXPECT_DEATH(t.at(0), "CHECK failed");  // rank mismatch
+  EXPECT_DEATH(t.Reshaped({4}), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, DatasetLabelMismatchChecked) {
+  std::vector<graph::Graph> graphs{graph::Graph(2)};
+  std::vector<int> labels{0, 1};  // one graph, two labels
+  EXPECT_DEATH(graph::GraphDataset("bad", graphs, labels), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, FoldCountChecked) {
+  std::vector<int> labels{0, 1, 0};
+  EXPECT_DEATH(eval::StratifiedKFold(labels, 1, 0), "CHECK failed");
+  EXPECT_DEATH(eval::StratifiedKFold(labels, 5, 0), "CHECK failed");
+}
+
+TEST(TableIoTest, WriteCsvFileRoundTrips) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4,5"});
+  auto path = std::filesystem::temp_directory_path() /
+              ("deepmap_table_" + std::to_string(::getpid()) + ".csv");
+  ASSERT_TRUE(t.WriteCsvFile(path.string()));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"4,5\"");
+  std::filesystem::remove(path);
+}
+
+TEST(TableIoTest, WriteCsvFileFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsvFile("/nonexistent_dir/x.csv"));
+}
+
+TEST(ParallelPipelineTest, CrossValidateParallelDrivesDeepMap) {
+  // End-to-end smoke: DeepMapPipeline::RunFold is safe under parallel folds
+  // and gives the same result as sequential execution.
+  std::vector<graph::Graph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 12; ++i) {
+    graph::Graph g(4, i % 2);
+    g.AddEdge(0, 1);
+    if (i % 2 == 1) g.AddEdge(2, 3);
+    graphs.push_back(g);
+    labels.push_back(i % 2);
+  }
+  graph::GraphDataset ds("par", std::move(graphs), std::move(labels));
+  core::DeepMapConfig config;
+  config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+  config.receptive_field_size = 2;
+  config.conv1_channels = 4;
+  config.conv2_channels = 4;
+  config.conv3_channels = 4;
+  config.dense_units = 8;
+  config.train.epochs = 4;
+  core::DeepMapPipeline pipeline(ds, config);
+  auto run_fold = [&](const eval::FoldSplit& split, int fold) {
+    return pipeline
+        .RunFold(split.train_indices, split.test_indices, 10 + fold)
+        .test_accuracy;
+  };
+  auto sequential = eval::CrossValidate(ds.labels(), 3, 5, run_fold);
+  auto parallel =
+      eval::CrossValidateParallel(ds.labels(), 3, 5, run_fold, 3);
+  EXPECT_EQ(sequential.fold_accuracies, parallel.fold_accuracies);
+}
+
+}  // namespace
+}  // namespace deepmap

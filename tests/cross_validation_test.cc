@@ -1,0 +1,136 @@
+#include "eval/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+
+#include "eval/metrics.h"
+
+namespace deepmap::eval {
+namespace {
+
+std::vector<int> AlternatingLabels(int n, int classes) {
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = i % classes;
+  return labels;
+}
+
+TEST(StratifiedKFoldTest, PartitionsAllSamples) {
+  auto labels = AlternatingLabels(50, 2);
+  auto splits = StratifiedKFold(labels, 5, 1);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<int> all_test;
+  for (const auto& split : splits) {
+    for (int i : split.test_indices) {
+      EXPECT_TRUE(all_test.insert(i).second) << "duplicate test index";
+    }
+    EXPECT_EQ(split.train_indices.size() + split.test_indices.size(), 50u);
+  }
+  EXPECT_EQ(all_test.size(), 50u);
+}
+
+TEST(StratifiedKFoldTest, TrainAndTestDisjoint) {
+  auto labels = AlternatingLabels(30, 3);
+  auto splits = StratifiedKFold(labels, 3, 2);
+  for (const auto& split : splits) {
+    std::set<int> train(split.train_indices.begin(),
+                        split.train_indices.end());
+    for (int i : split.test_indices) EXPECT_EQ(train.count(i), 0u);
+  }
+}
+
+TEST(StratifiedKFoldTest, PreservesClassBalance) {
+  auto labels = AlternatingLabels(100, 2);
+  auto splits = StratifiedKFold(labels, 10, 3);
+  for (const auto& split : splits) {
+    int c0 = 0, c1 = 0;
+    for (int i : split.test_indices) (labels[i] == 0 ? c0 : c1)++;
+    EXPECT_EQ(c0, 5);
+    EXPECT_EQ(c1, 5);
+  }
+}
+
+TEST(StratifiedKFoldTest, DeterministicBySeed) {
+  auto labels = AlternatingLabels(40, 2);
+  auto a = StratifiedKFold(labels, 4, 7);
+  auto b = StratifiedKFold(labels, 4, 7);
+  for (size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test_indices, b[f].test_indices);
+  }
+  auto c = StratifiedKFold(labels, 4, 8);
+  bool any_different = false;
+  for (size_t f = 0; f < a.size(); ++f) {
+    if (a[f].test_indices != c[f].test_indices) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(CrossValidateTest, AggregatesMeanAndStd) {
+  auto labels = AlternatingLabels(20, 2);
+  int calls = 0;
+  auto result = CrossValidate(labels, 4, 5,
+                              [&](const FoldSplit&, int fold) {
+                                ++calls;
+                                return fold < 2 ? 1.0 : 0.5;
+                              });
+  EXPECT_EQ(calls, 4);
+  EXPECT_NEAR(result.mean_accuracy, 75.0, 1e-9);
+  EXPECT_NEAR(result.stddev, 25.0, 1e-9);
+}
+
+
+TEST(CrossValidateParallelTest, MatchesSequentialResult) {
+  auto labels = AlternatingLabels(24, 2);
+  auto run_fold = [](const FoldSplit& split, int fold) {
+    // Pure function of the split: deterministic in any execution order.
+    return static_cast<double>(split.train_indices.size() % 7 + fold) / 10.0;
+  };
+  CvResult sequential = CrossValidate(labels, 4, 11, run_fold);
+  CvResult parallel = CrossValidateParallel(labels, 4, 11, run_fold, 3);
+  EXPECT_EQ(sequential.fold_accuracies, parallel.fold_accuracies);
+  EXPECT_DOUBLE_EQ(sequential.mean_accuracy, parallel.mean_accuracy);
+  EXPECT_DOUBLE_EQ(sequential.stddev, parallel.stddev);
+}
+
+TEST(CrossValidateParallelTest, AllFoldsExecuted) {
+  auto labels = AlternatingLabels(20, 2);
+  std::atomic<int> calls{0};
+  auto result = CrossValidateParallel(
+      labels, 5, 3,
+      [&](const FoldSplit&, int) {
+        calls++;
+        return 1.0;
+      },
+      2);
+  EXPECT_EQ(calls.load(), 5);
+  EXPECT_DOUBLE_EQ(result.mean_accuracy, 100.0);
+}
+
+TEST(MetricsTest, AccuracyBasic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, ConfusionMatrixEntries) {
+  auto cm = ConfusionMatrix({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  EXPECT_EQ(cm[0][0], 2);  // truth 0 predicted 0
+  EXPECT_EQ(cm[0][1], 1);  // truth 0 predicted 1
+  EXPECT_EQ(cm[1][1], 1);
+  EXPECT_EQ(cm[1][0], 0);
+}
+
+TEST(MetricsTest, MacroF1PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({1, 1, 1}, {0, 0, 0}, 2), 0.0);
+}
+
+TEST(MetricsTest, MacroF1SkipsAbsentClasses) {
+  // Class 2 never appears: macro average over classes 0 and 1 only.
+  double f1 = MacroF1({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(f1, 1.0);
+}
+
+}  // namespace
+}  // namespace deepmap::eval

@@ -1,0 +1,208 @@
+#include "core/deepmap.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datasets/synthetic.h"
+#include "eval/cross_validation.h"
+#include "graph/graph.h"
+
+namespace deepmap::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphDataset;
+
+// A tiny, strongly separable dataset: cycles (class 0, triangle-free) vs
+// complete graphs (class 1, triangle-rich) — separable by all three feature
+// map kinds (graphlet types, path-length spectrum, degree-based WL colors).
+GraphDataset SeparableDataset(int per_class) {
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < per_class; ++i) {
+    int n = 5 + static_cast<int>(rng.Index(3));
+    // Class 0: cycle graph.
+    Graph cycle(n, /*label=*/0);
+    for (int v = 0; v < n; ++v) cycle.AddEdge(v, (v + 1) % n);
+    graphs.push_back(cycle);
+    labels.push_back(0);
+    // Class 1: complete graph.
+    Graph complete(n, /*label=*/0);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) complete.AddEdge(u, v);
+    }
+    graphs.push_back(complete);
+    labels.push_back(1);
+  }
+  GraphDataset ds("SEP", std::move(graphs), std::move(labels),
+                  /*has_vertex_labels=*/false);
+  ds.UseDegreesAsLabels();
+  return ds;
+}
+
+DeepMapConfig SmallConfig(kernels::FeatureMapKind kind) {
+  DeepMapConfig config;
+  config.features.kind = kind;
+  config.features.wl.iterations = 2;
+  config.features.graphlet.k = 3;
+  config.features.graphlet.samples_per_vertex = 10;
+  config.receptive_field_size = 3;
+  config.conv1_channels = 8;
+  config.conv2_channels = 8;
+  config.conv3_channels = 8;
+  config.dense_units = 16;
+  config.train.epochs = 25;
+  config.train.batch_size = 8;
+  return config;
+}
+
+TEST(BuildDeepMapInputTest, ShapeIsSequenceTimesFieldByFeatureDim) {
+  GraphDataset ds = SeparableDataset(3);
+  DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+  auto features = kernels::ComputeDatasetVertexFeatures(ds, config.features);
+  auto inputs = BuildDeepMapInputs(ds, features, config);
+  ASSERT_EQ(inputs.size(), static_cast<size_t>(ds.size()));
+  const int w = ds.MaxVertices();
+  for (const auto& input : inputs) {
+    EXPECT_EQ(input.dim(0), w * config.receptive_field_size);
+    EXPECT_EQ(input.dim(1), features.dim());
+  }
+}
+
+TEST(BuildDeepMapInputTest, DummySlotsAreZero) {
+  GraphDataset ds = SeparableDataset(2);
+  DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+  auto features = kernels::ComputeDatasetVertexFeatures(ds, config.features);
+  // Find a graph smaller than w.
+  const int w = ds.MaxVertices();
+  int small = -1;
+  for (int g = 0; g < ds.size(); ++g) {
+    if (ds.graph(g).NumVertices() < w) {
+      small = g;
+      break;
+    }
+  }
+  ASSERT_GE(small, 0);
+  auto input = BuildDeepMapInput(ds.graph(small), features, small, w,
+                                 config.receptive_field_size,
+                                 config.alignment, nullptr);
+  const int r = config.receptive_field_size;
+  const int n = ds.graph(small).NumVertices();
+  // Rows of the dummy tail must be all zero.
+  for (int slot = n; slot < w; ++slot) {
+    for (int pos = 0; pos < r; ++pos) {
+      for (int c = 0; c < features.dim(); ++c) {
+        EXPECT_EQ(input.at(slot * r + pos, c), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(BuildDeepMapInputTest, RealVertexRowsNonZero) {
+  GraphDataset ds = SeparableDataset(2);
+  DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+  auto features = kernels::ComputeDatasetVertexFeatures(ds, config.features);
+  auto input = BuildDeepMapInput(ds.graph(0), features, 0, ds.MaxVertices(),
+                                 config.receptive_field_size,
+                                 config.alignment, nullptr);
+  // First slot, first position = highest-centrality vertex: WL maps always
+  // have at least one nonzero count.
+  float sum = 0;
+  for (int c = 0; c < features.dim(); ++c) sum += input.at(0, c);
+  EXPECT_GT(sum, 0.0f);
+}
+
+TEST(DeepMapModelTest, LogitShapeMatchesClasses) {
+  DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+  DeepMapModel model(/*feature_dim=*/7, /*sequence_length=*/6,
+                     /*num_classes=*/4, config);
+  nn::Tensor input({6 * config.receptive_field_size, 7});
+  nn::Tensor logits = model.Forward(input, false);
+  EXPECT_EQ(logits.rank(), 1);
+  EXPECT_EQ(logits.NumElements(), 4);
+}
+
+TEST(DeepMapModelTest, ReadoutVariantsProduceLogits) {
+  for (ReadoutKind readout :
+       {ReadoutKind::kSum, ReadoutKind::kMean, ReadoutKind::kConcat}) {
+    DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+    config.readout = readout;
+    DeepMapModel model(5, 4, 2, config);
+    nn::Tensor input({4 * config.receptive_field_size, 5});
+    nn::Tensor logits = model.Forward(input, false);
+    EXPECT_EQ(logits.NumElements(), 2) << ReadoutKindName(readout);
+  }
+}
+
+TEST(DeepMapModelTest, Theorem1IsomorphicGraphsSameLogits) {
+  // Isomorphic graphs must produce identical deep feature maps (and thus
+  // logits) when the feature maps are deterministic (WL, not sampled GK).
+  // Note: the graph must not be regular — on regular graphs eigenvector
+  // centrality cannot order the vertices and the aligned sequences of two
+  // isomorphic copies may legitimately differ (Theorem 1's construction
+  // presupposes the centrality-sorted sequence is canonical).
+  Rng rng(11);
+  Graph g = Graph::FromEdges(
+      7, {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 5}, {4, 6}},
+      {0, 1, 1, 2, 3, 3, 0});
+  std::vector<graph::Vertex> perm(7);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  GraphDataset ds("iso", {g, h}, {0, 0});
+  DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+  auto features = kernels::ComputeDatasetVertexFeatures(ds, config.features);
+  auto inputs = BuildDeepMapInputs(ds, features, config);
+  DeepMapModel model(features.dim(), ds.MaxVertices(), 2, config);
+  nn::Tensor la = model.Forward(inputs[0], false);
+  nn::Tensor lb = model.Forward(inputs[1], false);
+  for (int c = 0; c < la.NumElements(); ++c) {
+    EXPECT_NEAR(la.at(c), lb.at(c), 1e-4);
+  }
+}
+
+class DeepMapKindTest
+    : public ::testing::TestWithParam<kernels::FeatureMapKind> {};
+
+TEST_P(DeepMapKindTest, LearnsSeparableDataset) {
+  GraphDataset ds = SeparableDataset(12);
+  DeepMapConfig config = SmallConfig(GetParam());
+  DeepMapPipeline pipeline(ds, config);
+  // Single split: first 2/3 train, last 1/3 test (classes alternate).
+  std::vector<int> train_idx, test_idx;
+  for (int i = 0; i < ds.size(); ++i) {
+    (i < 2 * ds.size() / 3 ? train_idx : test_idx).push_back(i);
+  }
+  EvaluationResult result = pipeline.RunFold(train_idx, test_idx, 5);
+  EXPECT_GT(result.test_accuracy, 0.85)
+      << kernels::FeatureMapKindName(GetParam());
+  EXPECT_GT(result.history.final_accuracy(), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DeepMapKindTest,
+                         ::testing::Values(kernels::FeatureMapKind::kGraphlet,
+                                           kernels::FeatureMapKind::kShortestPath,
+                                           kernels::FeatureMapKind::kWlSubtree),
+                         [](const auto& info) {
+                           return kernels::FeatureMapKindName(info.param);
+                         });
+
+TEST(DeepMapPipelineTest, CrossValidationOnSeparableData) {
+  GraphDataset ds = SeparableDataset(10);
+  DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+  config.train.epochs = 20;
+  DeepMapPipeline pipeline(ds, config);
+  auto cv = eval::CrossValidate(
+      ds.labels(), 4, 17, [&](const eval::FoldSplit& split, int fold) {
+        return pipeline
+            .RunFold(split.train_indices, split.test_indices, 100 + fold)
+            .test_accuracy;
+      });
+  EXPECT_GT(cv.mean_accuracy, 85.0);
+  EXPECT_EQ(cv.fold_accuracies.size(), 4u);
+}
+
+}  // namespace
+}  // namespace deepmap::core

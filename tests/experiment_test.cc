@@ -1,0 +1,115 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/registry.h"
+
+namespace deepmap::eval {
+namespace {
+
+BenchOptions TinyOptions() {
+  BenchOptions options;
+  options.min_graphs = 24;
+  options.folds = 2;
+  options.epochs = 4;
+  options.max_dense_dim = 32;
+  return options;
+}
+
+TEST(BenchOptionsTest, ParsesFlags) {
+  const char* argv[] = {"bench", "--full", "--seed=7",
+                        "--datasets=KKI,PTC_MR"};
+  BenchOptions options =
+      BenchOptions::FromArgs(4, const_cast<char**>(argv));
+  EXPECT_TRUE(options.full);
+  EXPECT_EQ(options.seed, 7u);
+  EXPECT_EQ(options.folds, 10);  // --full implies the paper protocol
+  ASSERT_EQ(options.datasets.size(), 2u);
+  EXPECT_EQ(options.datasets[0], "KKI");
+}
+
+TEST(BenchOptionsTest, ScaleAndEpochFlags) {
+  const char* argv[] = {"bench", "--scale=0.5", "--epochs=3", "--folds=4"};
+  BenchOptions options =
+      BenchOptions::FromArgs(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.scale, 0.5);
+  EXPECT_EQ(options.epochs, 3);
+  EXPECT_EQ(options.folds, 4);
+  EXPECT_FALSE(options.full);
+}
+
+TEST(BenchOptionsTest, SelectedDatasetsFilter) {
+  BenchOptions options;
+  EXPECT_EQ(options.SelectedDatasets({"A", "B"}),
+            (std::vector<std::string>{"A", "B"}));
+  options.datasets = {"KKI"};
+  EXPECT_EQ(options.SelectedDatasets({"A"}),
+            (std::vector<std::string>{"KKI"}));
+  options.datasets = {"all"};
+  EXPECT_EQ(options.SelectedDatasets({"A"}).size(), 15u);
+}
+
+TEST(GnnKindNameTest, Names) {
+  EXPECT_EQ(GnnKindName(GnnKind::kDgcnn), "DGCNN");
+  EXPECT_EQ(GnnKindName(GnnKind::kGin), "GIN");
+  EXPECT_EQ(GnnKindName(GnnKind::kDcnn), "DCNN");
+  EXPECT_EQ(GnnKindName(GnnKind::kPatchySan), "PATCHYSAN");
+}
+
+class MethodRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_ = TinyOptions();
+    auto ds = datasets::MakeDataset("PTC_MR", options_.dataset_options());
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::move(ds).value();
+  }
+  BenchOptions options_;
+  graph::GraphDataset dataset_;
+};
+
+TEST_F(MethodRunnerTest, RunDeepMapProducesFoldsAndTimings) {
+  MethodRun run = RunDeepMap(dataset_, kernels::FeatureMapKind::kWlSubtree,
+                             options_);
+  EXPECT_EQ(run.cv.fold_accuracies.size(), 2u);
+  EXPECT_GE(run.cv.mean_accuracy, 0.0);
+  EXPECT_LE(run.cv.mean_accuracy, 100.0);
+  EXPECT_GT(run.mean_epoch_ms, 0.0);
+}
+
+TEST_F(MethodRunnerTest, RunGraphKernelProducesResult) {
+  MethodRun run = RunGraphKernel(dataset_,
+                                 kernels::FeatureMapKind::kShortestPath,
+                                 options_);
+  EXPECT_EQ(run.cv.fold_accuracies.size(), 2u);
+  EXPECT_EQ(run.mean_epoch_ms, 0.0);  // SVMs have no epochs
+}
+
+TEST_F(MethodRunnerTest, KernelBaselinesRun) {
+  EXPECT_GT(RunDgk(dataset_, options_).cv.mean_accuracy, 0.0);
+  EXPECT_GT(RunRetGk(dataset_, options_).cv.mean_accuracy, 0.0);
+  EXPECT_GT(RunGntk(dataset_, options_).cv.mean_accuracy, 0.0);
+}
+
+TEST_F(MethodRunnerTest, AllGnnBaselinesRunBothInputKinds) {
+  for (auto kind : {GnnKind::kDgcnn, GnnKind::kGin, GnnKind::kDcnn,
+                    GnnKind::kPatchySan}) {
+    for (bool vfm : {false, true}) {
+      MethodRun run = RunGnn(dataset_, kind, vfm, options_);
+      EXPECT_EQ(run.cv.fold_accuracies.size(), 2u)
+          << GnnKindName(kind) << " vfm=" << vfm;
+      EXPECT_GT(run.mean_epoch_ms, 0.0);
+    }
+  }
+}
+
+TEST_F(MethodRunnerTest, DeterministicAcrossRuns) {
+  MethodRun a = RunDeepMap(dataset_, kernels::FeatureMapKind::kWlSubtree,
+                           options_);
+  MethodRun b = RunDeepMap(dataset_, kernels::FeatureMapKind::kWlSubtree,
+                           options_);
+  EXPECT_EQ(a.cv.fold_accuracies, b.cv.fold_accuracies);
+}
+
+}  // namespace
+}  // namespace deepmap::eval

@@ -1,0 +1,103 @@
+#include "kernels/feature_map.h"
+
+#include <gtest/gtest.h>
+
+namespace deepmap::kernels {
+namespace {
+
+TEST(SparseFeatureMapTest, AddAndGet) {
+  SparseFeatureMap m;
+  m.Add(3);
+  m.Add(3, 2.0);
+  m.Add(7, 0.5);
+  EXPECT_DOUBLE_EQ(m.Get(3), 3.0);
+  EXPECT_DOUBLE_EQ(m.Get(7), 0.5);
+  EXPECT_DOUBLE_EQ(m.Get(99), 0.0);
+  EXPECT_EQ(m.NumNonZero(), 2u);
+}
+
+TEST(SparseFeatureMapTest, ZeroCountIgnored) {
+  SparseFeatureMap m;
+  m.Add(1, 0.0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(SparseFeatureMapTest, DotProduct) {
+  SparseFeatureMap a, b;
+  a.Add(1, 2.0);
+  a.Add(2, 3.0);
+  b.Add(2, 4.0);
+  b.Add(3, 5.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 12.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), 12.0);
+  EXPECT_DOUBLE_EQ(a.Dot(a), 13.0);
+}
+
+TEST(SparseFeatureMapTest, SumEqualsEq7) {
+  SparseFeatureMap a, b;
+  a.Add(1, 1.0);
+  b.Add(1, 2.0);
+  b.Add(5, 1.0);
+  SparseFeatureMap sum = SumFeatureMaps({a, b});
+  EXPECT_DOUBLE_EQ(sum.Get(1), 3.0);
+  EXPECT_DOUBLE_EQ(sum.Get(5), 1.0);
+}
+
+TEST(SparseFeatureMapTest, L2NormAndTotal) {
+  SparseFeatureMap m;
+  m.Add(1, 3.0);
+  m.Add(2, 4.0);
+  EXPECT_DOUBLE_EQ(m.L2Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.TotalCount(), 7.0);
+}
+
+TEST(VocabularyTest, AssignsDenseColumns) {
+  SparseFeatureMap a, b;
+  a.Add(100);
+  a.Add(200);
+  b.Add(200);
+  b.Add(300);
+  Vocabulary vocab;
+  vocab.AddAll(a);
+  vocab.AddAll(b);
+  EXPECT_EQ(vocab.size(), 3u);
+  EXPECT_EQ(vocab.ColumnOf(100), 0);
+  EXPECT_EQ(vocab.ColumnOf(200), 1);
+  EXPECT_EQ(vocab.ColumnOf(300), 2);
+  EXPECT_EQ(vocab.ColumnOf(999), -1);
+}
+
+TEST(VocabularyTest, DensifyDropsUnseen) {
+  Vocabulary vocab;
+  SparseFeatureMap seen;
+  seen.Add(10, 2.0);
+  vocab.AddAll(seen);
+  SparseFeatureMap query;
+  query.Add(10, 4.0);
+  query.Add(11, 9.0);  // unseen
+  auto dense = vocab.Densify(query);
+  ASSERT_EQ(dense.size(), 1u);
+  EXPECT_DOUBLE_EQ(dense[0], 4.0);
+}
+
+TEST(DensifyHashedTest, PreservesTotalMass) {
+  SparseFeatureMap m;
+  m.Add(1, 2.0);
+  m.Add(1000003, 3.0);
+  m.Add(77777777, 1.5);
+  auto dense = DensifyHashed(m, 16);
+  double total = 0;
+  for (double d : dense) total += d;
+  EXPECT_DOUBLE_EQ(total, 6.5);
+}
+
+TEST(DensifyHashedTest, DeterministicColumns) {
+  SparseFeatureMap m;
+  m.Add(42, 1.0);
+  auto a = DensifyHashed(m, 8);
+  auto b = DensifyHashed(m, 8);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace deepmap::kernels

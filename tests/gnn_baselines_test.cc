@@ -1,0 +1,230 @@
+// Tests for the GNN baselines: DGCNN, GIN, DCNN, PATCHY-SAN.
+#include <gtest/gtest.h>
+
+#include "baselines/dcnn.h"
+#include "baselines/dgcnn.h"
+#include "baselines/gin.h"
+#include "baselines/gnn_common.h"
+#include "baselines/patchysan.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "nn/gradient_check.h"
+
+namespace deepmap::baselines {
+namespace {
+
+using graph::Graph;
+using graph::GraphDataset;
+
+GraphDataset CyclesVsCompletes(int per_class, uint64_t seed = 3) {
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  Rng rng(seed);
+  for (int i = 0; i < per_class; ++i) {
+    int n = 5 + static_cast<int>(rng.Index(3));
+    Graph cycle(n);
+    for (int v = 0; v < n; ++v) cycle.AddEdge(v, (v + 1) % n);
+    graphs.push_back(cycle);
+    labels.push_back(0);
+    Graph complete(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) complete.AddEdge(u, v);
+    }
+    graphs.push_back(complete);
+    labels.push_back(1);
+  }
+  GraphDataset ds("cvk", std::move(graphs), std::move(labels),
+                  /*has_vertex_labels=*/false);
+  ds.UseDegreesAsLabels();
+  return ds;
+}
+
+nn::TrainConfig QuickTrain(int epochs = 30) {
+  nn::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 8;
+  config.learning_rate = 0.01;
+  return config;
+}
+
+TEST(VertexFeatureProviderTest, OneHotShapeAndContent) {
+  GraphDataset ds = CyclesVsCompletes(2);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  EXPECT_EQ(provider.dim, ds.NumVertexLabels());
+  auto row = provider.row(0, 0);
+  double sum = 0;
+  for (double x : row) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 1.0);  // exactly one hot entry
+}
+
+TEST(VertexFeatureProviderTest, FeatureMapProviderMatchesDenseRow) {
+  GraphDataset ds = CyclesVsCompletes(2);
+  kernels::VertexFeatureConfig config;
+  config.kind = kernels::FeatureMapKind::kWlSubtree;
+  auto features = kernels::ComputeDatasetVertexFeatures(ds, config);
+  VertexFeatureProvider provider = FeatureMapProvider(features);
+  EXPECT_EQ(provider.dim, features.dim());
+  EXPECT_EQ(provider.row(1, 0), features.DenseRow(1, 0));
+}
+
+TEST(VertexFeatureTensorTest, ShapeIsNByDim) {
+  GraphDataset ds = CyclesVsCompletes(2);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  nn::Tensor t = VertexFeatureTensor(ds, provider, 0);
+  EXPECT_EQ(t.dim(0), ds.graph(0).NumVertices());
+  EXPECT_EQ(t.dim(1), provider.dim);
+}
+
+TEST(GraphConvLayerTest, GradientCheck) {
+  Rng rng(5);
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  nn::GraphOp op = nn::GraphOp::RowNormAdj(g);
+  GraphConvLayer layer(3, 2, GraphConvLayer::Activation::kTanh, rng);
+  nn::Tensor x({4, 3});
+  for (int i = 0; i < x.NumElements(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal());
+  }
+  std::vector<nn::Param> params;
+  layer.CollectParams(&params);
+  auto scalar_loss = [&](const nn::Tensor& out) {
+    double s = 0;
+    for (int i = 0; i < out.NumElements(); ++i) {
+      s += (0.1 * (i % 5) + 0.05) * out.data()[i];
+    }
+    return s;
+  };
+  auto loss = [&]() { return scalar_loss(layer.Forward(op, x)); };
+  nn::Tensor input_grad;
+  auto forward_backward = [&]() {
+    nn::ZeroGrads(params);
+    nn::Tensor out = layer.Forward(op, x);
+    nn::Tensor g_out(out.shape());
+    for (int i = 0; i < g_out.NumElements(); ++i) {
+      g_out.data()[i] = static_cast<float>(0.1 * (i % 5) + 0.05);
+    }
+    input_grad = layer.Backward(g_out);
+  };
+  auto result = nn::CheckParameterGradients(params, loss, forward_backward);
+  EXPECT_LT(result.max_rel_error, 5e-3);
+  auto input_result = nn::CheckInputGradient(x, input_grad, loss);
+  EXPECT_LT(input_result.max_rel_error, 5e-3);
+}
+
+TEST(DgcnnTest, ForwardShape) {
+  GraphDataset ds = CyclesVsCompletes(2);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildDgcnnSamples(ds, provider);
+  DgcnnConfig config;
+  config.sortpool_k = 5;
+  DgcnnModel model(provider.dim, 2, config);
+  nn::Tensor logits = model.Forward(samples[0], false);
+  EXPECT_EQ(logits.NumElements(), 2);
+}
+
+TEST(DgcnnTest, LearnsSeparableData) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildDgcnnSamples(ds, provider);
+  DgcnnConfig config;
+  config.sortpool_k = 5;
+  config.conv_channels = {16, 16, 1};
+  DgcnnModel model(provider.dim, 2, config);
+  auto history =
+      nn::TrainClassifier(model, samples, ds.labels(), QuickTrain(40));
+  EXPECT_GT(history.best_accuracy(), 0.9);
+}
+
+TEST(GinTest, LearnsSeparableData) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildGinSamples(ds, provider);
+  GinConfig config;
+  config.num_layers = 2;
+  config.hidden_units = 16;
+  GinModel model(provider.dim, 2, config);
+  auto history =
+      nn::TrainClassifier(model, samples, ds.labels(), QuickTrain(40));
+  EXPECT_GT(history.best_accuracy(), 0.9);
+}
+
+TEST(GinTest, SumAggregationUsesNeighborhoods) {
+  GraphDataset ds = CyclesVsCompletes(1);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildGinSamples(ds, provider);
+  GinConfig config;
+  config.num_layers = 1;
+  config.hidden_units = 4;
+  GinModel model(provider.dim, 2, config);
+  // Two graphs with different structure must give different logits.
+  nn::Tensor a = model.Forward(samples[0], false);
+  nn::Tensor b = model.Forward(samples[1], false);
+  bool different = false;
+  for (int c = 0; c < 2; ++c) {
+    if (std::abs(a.at(c) - b.at(c)) > 1e-6) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(DcnnTest, DiffusedFeaturesShape) {
+  GraphDataset ds = CyclesVsCompletes(2);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildDcnnSamples(ds, provider, 3);
+  ASSERT_EQ(samples.size(), static_cast<size_t>(ds.size()));
+  EXPECT_EQ(samples[0].diffused.dim(0), 4);
+  EXPECT_EQ(samples[0].diffused.dim(1), provider.dim);
+}
+
+TEST(DcnnTest, HopZeroIsFeatureMean) {
+  GraphDataset ds = CyclesVsCompletes(1);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildDcnnSamples(ds, provider, 2);
+  // Hop 0 of one-hot features = label distribution over vertices.
+  double sum = 0;
+  for (int c = 0; c < provider.dim; ++c) sum += samples[0].diffused.at(0, c);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(DcnnTest, LearnsSeparableData) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  auto samples = BuildDcnnSamples(ds, provider, 3);
+  DcnnConfig config;
+  DcnnModel model(provider.dim, 3, 2, config);
+  auto history =
+      nn::TrainClassifier(model, samples, ds.labels(), QuickTrain(40));
+  EXPECT_GT(history.best_accuracy(), 0.9);
+}
+
+TEST(PatchySanTest, InputShape) {
+  GraphDataset ds = CyclesVsCompletes(2);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  PatchySanConfig config;
+  config.sequence_length = 4;
+  config.field_size = 3;
+  auto inputs = BuildPatchySanInputs(ds, provider, config);
+  EXPECT_EQ(inputs[0].dim(0), 12);
+  EXPECT_EQ(inputs[0].dim(1), provider.dim);
+}
+
+TEST(PatchySanTest, LearnsSeparableData) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  VertexFeatureProvider provider = OneHotProvider(ds);
+  PatchySanConfig config;
+  config.sequence_length = DefaultPatchySanSequenceLength(ds);
+  config.field_size = 4;
+  auto inputs = BuildPatchySanInputs(ds, provider, config);
+  PatchySanModel model(provider.dim, 2, config);
+  auto history =
+      nn::TrainClassifier(model, inputs, ds.labels(), QuickTrain(40));
+  EXPECT_GT(history.best_accuracy(), 0.9);
+}
+
+TEST(DefaultPatchySanSequenceLengthTest, IsAverageVertexCount) {
+  GraphDataset ds = CyclesVsCompletes(5);
+  int w = DefaultPatchySanSequenceLength(ds);
+  auto stats = ds.Stats();
+  EXPECT_NEAR(w, stats.avg_vertices, 1.0);
+}
+
+}  // namespace
+}  // namespace deepmap::baselines

@@ -1,0 +1,146 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dataset.h"
+
+namespace deepmap::graph {
+namespace {
+
+Graph Triangle() {
+  return Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}, {1, 2, 3});
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.LabelAlphabetSize(), 0);
+}
+
+TEST(GraphTest, AddVertexAndEdge) {
+  Graph g;
+  Vertex a = g.AddVertex(5);
+  Vertex b = g.AddVertex(7);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_TRUE(g.AddEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(b, a));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.GetLabel(a), 5);
+  EXPECT_EQ(g.GetLabel(b), 7);
+}
+
+TEST(GraphTest, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_FALSE(g.AddEdge(1, 1));
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(4);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 1);
+  std::vector<Vertex> expected{0, 1, 3};
+  EXPECT_EQ(g.Neighbors(2), expected);
+  EXPECT_EQ(g.Degree(2), 3);
+}
+
+TEST(GraphTest, FromEdgesWithLabels) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.GetLabel(2), 3);
+  EXPECT_EQ(g.LabelAlphabetSize(), 4);
+}
+
+TEST(GraphTest, EdgeListSortedCanonical) {
+  Graph g = Graph::FromEdges(4, {{3, 1}, {0, 2}, {2, 1}});
+  auto edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(Vertex{0}, Vertex{2}));
+  EXPECT_EQ(edges[1], std::make_pair(Vertex{1}, Vertex{2}));
+  EXPECT_EQ(edges[2], std::make_pair(Vertex{1}, Vertex{3}));
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  // Path 0-1-2-3 plus labels.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {10, 11, 12, 13});
+  Graph sub = g.InducedSubgraph({1, 2, 3});
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(sub.NumEdges(), 2);
+  EXPECT_EQ(sub.GetLabel(0), 11);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+}
+
+TEST(GraphTest, InducedSubgraphRespectsOrder) {
+  Graph g = Graph::FromEdges(3, {{0, 1}}, {5, 6, 7});
+  Graph sub = g.InducedSubgraph({2, 0, 1});
+  EXPECT_EQ(sub.GetLabel(0), 7);
+  EXPECT_EQ(sub.GetLabel(1), 5);
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+}
+
+TEST(GraphTest, PermutedPreservesStructure) {
+  Graph g = Triangle();
+  Graph p = g.Permuted({2, 0, 1});
+  EXPECT_EQ(p.NumEdges(), 3);
+  EXPECT_EQ(p.GetLabel(2), 1);  // vertex 0 (label 1) moved to slot 2
+  EXPECT_EQ(p.GetLabel(0), 2);
+}
+
+TEST(GraphTest, EqualityIsExact) {
+  Graph a = Triangle();
+  Graph b = Triangle();
+  EXPECT_TRUE(a == b);
+  b.SetLabel(0, 9);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GraphDatasetTest, StatsMatchContents) {
+  std::vector<Graph> graphs{Triangle(), Graph::FromEdges(5, {{0, 1}, {1, 2}})};
+  GraphDataset ds("toy", std::move(graphs), {0, 1});
+  DatasetStats stats = ds.Stats();
+  EXPECT_EQ(stats.size, 2);
+  EXPECT_EQ(stats.num_classes, 2);
+  EXPECT_DOUBLE_EQ(stats.avg_vertices, 4.0);
+  EXPECT_DOUBLE_EQ(stats.avg_edges, 2.5);
+  EXPECT_EQ(ds.MaxVertices(), 5);
+}
+
+TEST(GraphDatasetTest, UseDegreesAsLabels) {
+  std::vector<Graph> graphs{Graph::FromEdges(3, {{0, 1}, {1, 2}})};
+  GraphDataset ds("toy", std::move(graphs), {0}, /*has_vertex_labels=*/false);
+  ds.UseDegreesAsLabels();
+  EXPECT_TRUE(ds.has_vertex_labels());
+  EXPECT_EQ(ds.graph(0).GetLabel(0), 1);
+  EXPECT_EQ(ds.graph(0).GetLabel(1), 2);
+}
+
+TEST(GraphDatasetTest, CompactVertexLabels) {
+  std::vector<Graph> graphs{Graph::FromEdges(2, {{0, 1}}, {100, 7})};
+  GraphDataset ds("toy", std::move(graphs), {0});
+  int k = ds.CompactVertexLabels();
+  EXPECT_EQ(k, 2);
+  EXPECT_LT(ds.graph(0).GetLabel(0), 2);
+  EXPECT_LT(ds.graph(0).GetLabel(1), 2);
+  EXPECT_NE(ds.graph(0).GetLabel(0), ds.graph(0).GetLabel(1));
+}
+
+TEST(GraphDatasetTest, SubsetCopiesSelectedGraphs) {
+  std::vector<Graph> graphs{Triangle(), Graph(2), Graph(4)};
+  GraphDataset ds("toy", std::move(graphs), {0, 1, 0});
+  GraphDataset sub = ds.Subset({2, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.graph(0).NumVertices(), 4);
+  EXPECT_EQ(sub.label(1), 0);
+}
+
+}  // namespace
+}  // namespace deepmap::graph

@@ -1,0 +1,146 @@
+#include "kernels/graphlet.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace deepmap::kernels {
+namespace {
+
+using graph::Graph;
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+TEST(GraphletCatalogTest, SizesMatchKnownCounts) {
+  EXPECT_EQ(GetGraphletCatalog(2).size(), 2);
+  EXPECT_EQ(GetGraphletCatalog(3).size(), 4);   // Figure 1 of the paper
+  EXPECT_EQ(GetGraphletCatalog(4).size(), 11);
+  EXPECT_EQ(GetGraphletCatalog(5).size(), 34);
+}
+
+TEST(GraphletCatalogTest, IndexRoundTripsExemplar) {
+  const GraphletCatalog& catalog = GetGraphletCatalog(4);
+  for (int i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog.IndexOf(catalog.Exemplar(i)), i);
+  }
+}
+
+TEST(GraphletCatalogTest, IsomorphicGraphletsShareIndex) {
+  const GraphletCatalog& catalog = GetGraphletCatalog(3);
+  Graph path_a = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  Graph path_b = Graph::FromEdges(3, {{0, 2}, {2, 1}});
+  EXPECT_EQ(catalog.IndexOf(path_a), catalog.IndexOf(path_b));
+  Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_NE(catalog.IndexOf(path_a), catalog.IndexOf(triangle));
+}
+
+TEST(ExactSize3Test, TriangleCounts) {
+  Graph k4 = CompleteGraph(4);
+  SparseFeatureMap counts = ExactSize3GraphletCounts(k4);
+  // All C(4,3)=4 induced subgraphs of K4 are triangles.
+  const GraphletCatalog& catalog = GetGraphletCatalog(3);
+  Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  FeatureId triangle_id = static_cast<FeatureId>(catalog.IndexOf(triangle));
+  EXPECT_DOUBLE_EQ(counts.Get(triangle_id), 4.0);
+  EXPECT_DOUBLE_EQ(counts.TotalCount(), 4.0);
+}
+
+TEST(ExactSize3Test, EmptyGraphAllEmptyTriples) {
+  Graph g(5);  // no edges
+  SparseFeatureMap counts = ExactSize3GraphletCounts(g);
+  const GraphletCatalog& catalog = GetGraphletCatalog(3);
+  FeatureId empty_id = static_cast<FeatureId>(catalog.IndexOf(Graph(3)));
+  EXPECT_DOUBLE_EQ(counts.Get(empty_id), 10.0);  // C(5,3)
+}
+
+TEST(VertexGraphletTest, ExhaustiveCreditsEachVertex) {
+  Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  GraphletConfig config;
+  config.k = 3;
+  config.exhaustive = true;
+  Rng rng(1);
+  auto features = VertexGraphletFeatureMaps(triangle, config, rng);
+  ASSERT_EQ(features.size(), 3u);
+  for (const auto& f : features) EXPECT_DOUBLE_EQ(f.TotalCount(), 1.0);
+}
+
+TEST(VertexGraphletTest, SamplingProducesRequestedSamples) {
+  Graph g = CompleteGraph(8);
+  GraphletConfig config;
+  config.k = 5;
+  config.samples_per_vertex = 20;
+  Rng rng(7);
+  auto features = VertexGraphletFeatureMaps(g, config, rng);
+  ASSERT_EQ(features.size(), 8u);
+  for (const auto& f : features) EXPECT_DOUBLE_EQ(f.TotalCount(), 20.0);
+}
+
+TEST(VertexGraphletTest, CompleteGraphSamplesAreCliques) {
+  Graph g = CompleteGraph(10);
+  GraphletConfig config;
+  config.k = 4;
+  config.samples_per_vertex = 10;
+  Rng rng(3);
+  auto features = VertexGraphletFeatureMaps(g, config, rng);
+  const GraphletCatalog& catalog = GetGraphletCatalog(4);
+  FeatureId clique_id = static_cast<FeatureId>(catalog.IndexOf(
+      CompleteGraph(4)));
+  for (const auto& f : features) {
+    EXPECT_DOUBLE_EQ(f.Get(clique_id), 10.0);
+    EXPECT_EQ(f.NumNonZero(), 1u);
+  }
+}
+
+TEST(VertexGraphletTest, SmallGraphPaddedWithIsolates) {
+  // Graph with 2 vertices but k = 4: samples must land on the graphlet that
+  // is one edge plus two isolated vertices.
+  Graph g = Graph::FromEdges(2, {{0, 1}});
+  GraphletConfig config;
+  config.k = 4;
+  config.samples_per_vertex = 5;
+  Rng rng(9);
+  auto features = VertexGraphletFeatureMaps(g, config, rng);
+  Graph expected(4);
+  expected.AddEdge(0, 1);
+  FeatureId id = static_cast<FeatureId>(GetGraphletCatalog(4).IndexOf(expected));
+  EXPECT_DOUBLE_EQ(features[0].Get(id), 5.0);
+  EXPECT_DOUBLE_EQ(features[1].Get(id), 5.0);
+}
+
+TEST(VertexGraphletTest, SamplingApproximatesExactDistribution) {
+  // On a fixed graph, heavy sampling should roughly recover exact size-3
+  // frequencies (sampling is biased toward connected graphlets, so compare
+  // only which types occur).
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  GraphletConfig sampled;
+  sampled.k = 3;
+  sampled.samples_per_vertex = 200;
+  Rng rng(17);
+  SparseFeatureMap approx = GraphletFeatureMap(g, sampled, rng);
+  const GraphletCatalog& catalog = GetGraphletCatalog(3);
+  Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  FeatureId triangle_id = static_cast<FeatureId>(catalog.IndexOf(triangle));
+  EXPECT_GT(approx.Get(triangle_id), 0.0);  // the one triangle is found
+}
+
+TEST(GraphletFeatureMapTest, IsSumOfVertexMaps) {
+  Graph g = CompleteGraph(5);
+  GraphletConfig config;
+  config.k = 3;
+  config.exhaustive = true;
+  Rng rng(5);
+  auto vertex_maps = VertexGraphletFeatureMaps(g, config, rng);
+  SparseFeatureMap sum = SumFeatureMaps(vertex_maps);
+  Rng rng2(5);
+  SparseFeatureMap direct = GraphletFeatureMap(g, config, rng2);
+  EXPECT_DOUBLE_EQ(sum.TotalCount(), direct.TotalCount());
+}
+
+}  // namespace
+}  // namespace deepmap::kernels

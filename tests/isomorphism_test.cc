@@ -1,0 +1,161 @@
+#include "graph/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace deepmap::graph {
+namespace {
+
+Graph CycleGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+TEST(CanonicalCodeTest, InvariantUnderPermutation) {
+  Rng rng(42);
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 4}},
+                             {0, 1, 0, 1, 0, 1});
+  std::string base = CanonicalCode(g);
+  std::vector<Vertex> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.Shuffle(perm);
+    EXPECT_EQ(CanonicalCode(g.Permuted(perm)), base);
+  }
+}
+
+TEST(CanonicalCodeTest, DistinguishesLabels) {
+  Graph a = Graph::FromEdges(2, {{0, 1}}, {0, 0});
+  Graph b = Graph::FromEdges(2, {{0, 1}}, {0, 1});
+  EXPECT_NE(CanonicalCode(a), CanonicalCode(b));
+}
+
+TEST(CanonicalCodeTest, DistinguishesStructure) {
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Graph star = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_NE(CanonicalCode(path), CanonicalCode(star));
+}
+
+TEST(CanonicalEdgeMaskTest, CountsNonIsomorphicSize3Graphlets) {
+  // Figure 1 of the paper: exactly 4 non-isomorphic graphs on 3 vertices.
+  std::set<uint32_t> masks;
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    masks.insert(CanonicalEdgeMask(GraphFromEdgeMask(3, mask)));
+  }
+  EXPECT_EQ(masks.size(), 4u);
+}
+
+TEST(CanonicalEdgeMaskTest, CountsNonIsomorphicSize4Graphlets) {
+  std::set<uint32_t> masks;
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    masks.insert(CanonicalEdgeMask(GraphFromEdgeMask(4, mask)));
+  }
+  EXPECT_EQ(masks.size(), 11u);
+}
+
+TEST(CanonicalEdgeMaskTest, CountsNonIsomorphicSize5Graphlets) {
+  std::set<uint32_t> masks;
+  for (uint32_t mask = 0; mask < (1u << 10); ++mask) {
+    masks.insert(CanonicalEdgeMask(GraphFromEdgeMask(5, mask)));
+  }
+  EXPECT_EQ(masks.size(), 34u);
+}
+
+TEST(GraphFromEdgeMaskTest, RoundTripsEdges) {
+  Graph g = GraphFromEdgeMask(4, 0b101001);
+  EXPECT_EQ(g.NumEdges(), 3);
+  uint32_t mask = 0;
+  for (const auto& [u, v] : g.EdgeList()) {
+    mask |= uint32_t{1} << PairBitIndex(u, v, 4);
+  }
+  EXPECT_EQ(mask, 0b101001u);
+}
+
+TEST(TestIsomorphismTest, IsomorphicSmall) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  Graph h = g.Permuted({3, 1, 4, 0, 2});
+  EXPECT_EQ(TestIsomorphism(g, h), IsoResult::kIsomorphic);
+  EXPECT_TRUE(AreIsomorphic(g, h));
+}
+
+TEST(TestIsomorphismTest, DifferentEdgeCounts) {
+  Graph a(3);
+  a.AddEdge(0, 1);
+  Graph b(3);
+  EXPECT_EQ(TestIsomorphism(a, b), IsoResult::kNonIsomorphic);
+}
+
+TEST(TestIsomorphismTest, SameDegreesDifferentStructure) {
+  // C6 vs two triangles: both 2-regular on 6 vertices.
+  Graph c6 = CycleGraph(6);
+  Graph two_triangles =
+      Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(TestIsomorphism(c6, two_triangles), IsoResult::kNonIsomorphic);
+}
+
+TEST(TestIsomorphismTest, LabelMultisetMismatch) {
+  Graph a = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {0, 0, 1});
+  Graph b = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {0, 1, 1});
+  EXPECT_EQ(TestIsomorphism(a, b), IsoResult::kNonIsomorphic);
+}
+
+TEST(TestIsomorphismTest, LargeIsomorphicIsPossibly) {
+  Rng rng(7);
+  Graph g(12);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i + 1; j < 12; ++j) {
+      if (rng.Bernoulli(0.3)) g.AddEdge(i, j);
+    }
+  }
+  std::vector<Vertex> perm(12);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  IsoResult result = TestIsomorphism(g, h);
+  EXPECT_NE(result, IsoResult::kNonIsomorphic);
+}
+
+TEST(TestIsomorphismTest, LargeNonIsomorphicDetectedByWl) {
+  // C12 vs two C6: same degree sequence; WL colors also match for regular
+  // graphs, but component-based fingerprints differ after enough rounds only
+  // via... they do NOT differ under 1-WL. Use a non-regular example instead.
+  Graph a(12);
+  for (int i = 0; i + 1 < 12; ++i) a.AddEdge(i, i + 1);  // path P12
+  Graph b(12);
+  for (int i = 1; i < 12; ++i) b.AddEdge(0, i);  // star S11
+  EXPECT_EQ(TestIsomorphism(a, b), IsoResult::kNonIsomorphic);
+}
+
+TEST(WlFingerprintTest, PermutationInvariant) {
+  Rng rng(9);
+  Graph g = Graph::FromEdges(
+      7, {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}, {5, 6}},
+      {0, 1, 1, 0, 2, 2, 0});
+  std::vector<Vertex> perm(7);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  EXPECT_EQ(WlFingerprint(g, 3), WlFingerprint(g.Permuted(perm), 3));
+}
+
+TEST(WlFingerprintTest, ZeroIterationsIsLabelHistogram) {
+  Graph a = Graph::FromEdges(3, {{0, 1}}, {2, 1, 0});
+  Graph b = Graph::FromEdges(3, {{1, 2}}, {0, 2, 1});
+  EXPECT_EQ(WlFingerprint(a, 0), WlFingerprint(b, 0));
+}
+
+TEST(WlFingerprintTest, CannotSeparateRegularPair) {
+  // Classic 1-WL blind spot: C6 vs 2xC3 (both 2-regular, same size).
+  Graph c6 = CycleGraph(6);
+  Graph two_triangles =
+      Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(WlFingerprint(c6, 3), WlFingerprint(two_triangles, 3));
+}
+
+}  // namespace
+}  // namespace deepmap::graph

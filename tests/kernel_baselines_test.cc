@@ -1,0 +1,199 @@
+// Tests for the kernel-method baselines: GK/SP/WL + SVM, DGK, RetGK, GNTK.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/dgk.h"
+#include "baselines/gntk.h"
+#include "baselines/kernel_svm.h"
+#include "baselines/retgk.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace deepmap::baselines {
+namespace {
+
+using graph::Graph;
+using graph::GraphDataset;
+
+GraphDataset CyclesVsCompletes(int per_class, uint64_t seed = 3) {
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  Rng rng(seed);
+  for (int i = 0; i < per_class; ++i) {
+    int n = 5 + static_cast<int>(rng.Index(3));
+    Graph cycle(n);
+    for (int v = 0; v < n; ++v) cycle.AddEdge(v, (v + 1) % n);
+    graphs.push_back(cycle);
+    labels.push_back(0);
+    Graph complete(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) complete.AddEdge(u, v);
+    }
+    graphs.push_back(complete);
+    labels.push_back(1);
+  }
+  GraphDataset ds("cvk", std::move(graphs), std::move(labels),
+                  /*has_vertex_labels=*/false);
+  ds.UseDegreesAsLabels();
+  return ds;
+}
+
+class KernelBaselineKindTest
+    : public ::testing::TestWithParam<kernels::FeatureMapKind> {};
+
+TEST_P(KernelBaselineKindTest, SeparatesEasyClasses) {
+  GraphDataset ds = CyclesVsCompletes(12);
+  kernels::VertexFeatureConfig feature_config;
+  feature_config.kind = GetParam();
+  feature_config.graphlet.k = 3;
+  feature_config.graphlet.samples_per_vertex = 10;
+  feature_config.wl.iterations = 2;
+  auto cv = GraphKernelBaseline(ds, feature_config, 4, 11);
+  EXPECT_GT(cv.mean_accuracy, 90.0)
+      << kernels::FeatureMapKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, KernelBaselineKindTest,
+                         ::testing::Values(kernels::FeatureMapKind::kGraphlet,
+                                           kernels::FeatureMapKind::kShortestPath,
+                                           kernels::FeatureMapKind::kWlSubtree),
+                         [](const auto& info) {
+                           return kernels::FeatureMapKindName(info.param);
+                         });
+
+TEST(KernelSvmCvTest, TunesCOverCandidates) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  kernels::VertexFeatureConfig feature_config;
+  feature_config.kind = kernels::FeatureMapKind::kWlSubtree;
+  auto maps = kernels::ComputeGraphFeatureMaps(ds, feature_config);
+  auto gram = kernels::GramMatrix(maps, true);
+  KernelSvmConfig config;
+  config.c_candidates = {0.001, 1.0};  // tiny C should lose the inner vote
+  auto cv = KernelSvmCrossValidate(gram, ds.labels(), 4, 13, config);
+  // WL colors partition complete graphs by size, so folds whose training
+  // split lacks one size lose a few test graphs; 80% is still far above the
+  // 50% chance level.
+  EXPECT_GE(cv.mean_accuracy, 80.0);
+}
+
+TEST(DgkTest, PpmiNonNegativeAndZeroDiagonalSafe) {
+  std::vector<std::vector<double>> counts{{4, 2, 0}, {2, 1, 0}, {0, 0, 0}};
+  auto ppmi = PpmiMatrix(counts);
+  for (const auto& row : ppmi) {
+    for (double value : row) EXPECT_GE(value, 0.0);
+  }
+  EXPECT_EQ(ppmi[2][2], 0.0);
+}
+
+TEST(DgkTest, EigenEmbeddingReconstructsRankOne) {
+  // M = v v^T with v = (3, 4): a 1-dim embedding must reproduce M.
+  std::vector<std::vector<double>> m{{9, 12}, {12, 16}};
+  auto e = TruncatedEigenEmbedding(m, 1, 50, 5);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_NEAR(e[0][0] * e[0][0], 9.0, 1e-6);
+  EXPECT_NEAR(e[0][0] * e[1][0], 12.0, 1e-6);
+  EXPECT_NEAR(e[1][0] * e[1][0], 16.0, 1e-6);
+}
+
+TEST(DgkTest, KernelMatrixNormalizedAndPsdish) {
+  GraphDataset ds = CyclesVsCompletes(8);
+  DgkConfig config;
+  config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+  auto k = DgkKernelMatrix(ds, config);
+  ASSERT_EQ(k.size(), static_cast<size_t>(ds.size()));
+  for (size_t i = 0; i < k.size(); ++i) {
+    EXPECT_NEAR(k[i][i], 1.0, 1e-6);
+    for (size_t j = 0; j < k.size(); ++j) {
+      EXPECT_NEAR(k[i][j], k[j][i], 1e-9);
+      EXPECT_LE(k[i][j], 1.0 + 1e-6);
+    }
+  }
+  // K = (Phi E)(Phi E)^T is PSD by construction.
+  EXPECT_TRUE(kernels::IsPositiveSemidefinite(k, 1e-6));
+}
+
+TEST(DgkTest, ClassifiesSeparableData) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  DgkConfig config;
+  config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+  auto k = DgkKernelMatrix(ds, config);
+  auto cv = KernelSvmCrossValidate(k, ds.labels(), 4, 21);
+  EXPECT_GT(cv.mean_accuracy, 85.0);
+}
+
+TEST(RetGkTest, ReturnProbabilitiesAreProbabilities) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  auto rpf = ReturnProbabilityFeatures(g, 6);
+  for (const auto& row : rpf) {
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  // One-step return probability on a simple graph is zero.
+  for (const auto& row : rpf) EXPECT_EQ(row[0], 0.0);
+}
+
+TEST(RetGkTest, RpfIsIsomorphismInvariant) {
+  Rng rng(5);
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                 {5, 0}, {0, 3}});
+  std::vector<graph::Vertex> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  auto rg = ReturnProbabilityFeatures(g, 5);
+  auto rh = ReturnProbabilityFeatures(h, 5);
+  for (int v = 0; v < 6; ++v) {
+    for (int t = 0; t < 5; ++t) {
+      EXPECT_NEAR(rg[v][t], rh[perm[v]][t], 1e-12);
+    }
+  }
+}
+
+TEST(RetGkTest, KernelSeparatesClasses) {
+  GraphDataset ds = CyclesVsCompletes(10);
+  auto k = RetGkKernelMatrix(ds);
+  auto cv = KernelSvmCrossValidate(k, ds.labels(), 4, 23);
+  EXPECT_GT(cv.mean_accuracy, 85.0);
+}
+
+TEST(GntkTest, PairKernelSymmetric) {
+  Graph a = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {0, 1, 0, 1});
+  Graph b = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}},
+                             {1, 0, 0, 1, 1});
+  GntkConfig config;
+  EXPECT_NEAR(GntkPairKernel(a, b, config), GntkPairKernel(b, a, config),
+              1e-9);
+}
+
+TEST(GntkTest, SelfKernelPositive) {
+  Graph a = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {0, 1, 0, 1});
+  EXPECT_GT(GntkPairKernel(a, a, GntkConfig{}), 0.0);
+}
+
+TEST(GntkTest, IsomorphismInvariant) {
+  Rng rng(17);
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}},
+                             {0, 1, 2, 1, 0});
+  std::vector<graph::Vertex> perm(5);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  Graph probe = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}}, {0, 1, 1, 2});
+  GntkConfig config;
+  EXPECT_NEAR(GntkPairKernel(g, probe, config),
+              GntkPairKernel(h, probe, config), 1e-9);
+}
+
+TEST(GntkTest, MatrixSeparatesClasses) {
+  GraphDataset ds = CyclesVsCompletes(8);
+  auto k = GntkKernelMatrix(ds);
+  for (size_t i = 0; i < k.size(); ++i) EXPECT_NEAR(k[i][i], 1.0, 1e-9);
+  auto cv = KernelSvmCrossValidate(k, ds.labels(), 4, 29);
+  EXPECT_GT(cv.mean_accuracy, 80.0);
+}
+
+}  // namespace
+}  // namespace deepmap::baselines

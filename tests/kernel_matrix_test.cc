@@ -1,0 +1,77 @@
+#include "kernels/kernel_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepmap::kernels {
+namespace {
+
+SparseFeatureMap MapOf(std::initializer_list<std::pair<FeatureId, double>> e) {
+  SparseFeatureMap m;
+  for (const auto& [id, count] : e) m.Add(id, count);
+  return m;
+}
+
+TEST(GramMatrixTest, UnnormalizedDotProducts) {
+  std::vector<SparseFeatureMap> maps{MapOf({{1, 1.0}, {2, 2.0}}),
+                                     MapOf({{2, 3.0}})};
+  Matrix k = GramMatrix(maps, /*normalize=*/false);
+  EXPECT_DOUBLE_EQ(k[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(k[0][1], 6.0);
+  EXPECT_DOUBLE_EQ(k[1][0], 6.0);
+  EXPECT_DOUBLE_EQ(k[1][1], 9.0);
+}
+
+TEST(GramMatrixTest, NormalizedHasUnitDiagonal) {
+  std::vector<SparseFeatureMap> maps{MapOf({{1, 2.0}}), MapOf({{1, 5.0}}),
+                                     MapOf({{2, 1.0}})};
+  Matrix k = GramMatrix(maps, /*normalize=*/true);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(k[i][i], 1.0);
+  EXPECT_DOUBLE_EQ(k[0][1], 1.0);  // colinear maps
+  EXPECT_DOUBLE_EQ(k[0][2], 0.0);  // orthogonal maps
+}
+
+TEST(GramMatrixTest, EmptyMapRowStaysZero) {
+  std::vector<SparseFeatureMap> maps{MapOf({{1, 1.0}}), SparseFeatureMap{}};
+  Matrix k = GramMatrix(maps, /*normalize=*/true);
+  EXPECT_DOUBLE_EQ(k[1][1], 0.0);
+  EXPECT_DOUBLE_EQ(k[0][1], 0.0);
+}
+
+TEST(PsdTest, GramOfExplicitFeaturesIsPsd) {
+  std::vector<SparseFeatureMap> maps{
+      MapOf({{1, 1.0}, {2, 2.0}}), MapOf({{2, 3.0}, {3, 1.0}}),
+      MapOf({{1, 4.0}}), MapOf({{3, 2.0}, {1, 1.0}})};
+  EXPECT_TRUE(IsPositiveSemidefinite(GramMatrix(maps, false)));
+  EXPECT_TRUE(IsPositiveSemidefinite(GramMatrix(maps, true)));
+}
+
+TEST(PsdTest, DetectsIndefiniteMatrix) {
+  Matrix k{{0.0, 1.0}, {1.0, 0.0}};  // eigenvalues +-1
+  EXPECT_FALSE(IsPositiveSemidefinite(k));
+}
+
+TEST(PsdTest, DetectsNegativeDiagonal) {
+  Matrix k{{-1.0}};
+  EXPECT_FALSE(IsPositiveSemidefinite(k));
+}
+
+TEST(PsdTest, AcceptsSingularPsd) {
+  // Rank-1 matrix [[1,1],[1,1]].
+  Matrix k{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_TRUE(IsPositiveSemidefinite(k));
+}
+
+TEST(RbfKernelTest, DiagonalOneAndSymmetric) {
+  std::vector<std::vector<double>> rows{{0.0, 0.0}, {1.0, 0.0}, {0.0, 2.0}};
+  Matrix k = RbfKernelMatrix(rows, 0.5);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(k[i][i], 1.0);
+  EXPECT_DOUBLE_EQ(k[0][1], std::exp(-0.5));
+  EXPECT_DOUBLE_EQ(k[0][2], std::exp(-2.0));
+  EXPECT_DOUBLE_EQ(k[1][2], k[2][1]);
+  EXPECT_TRUE(IsPositiveSemidefinite(k));
+}
+
+}  // namespace
+}  // namespace deepmap::kernels

@@ -1,0 +1,428 @@
+// Gradient-checks every layer's backward pass against finite differences and
+// verifies forward semantics on hand-computable cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/gradient_check.h"
+#include "nn/graph_conv.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+#include "nn/softmax_xent.h"
+
+namespace deepmap::nn {
+namespace {
+
+Tensor RandomTensor(std::vector<int> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (int i = 0; i < t.NumElements(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+// Loss used for layer checks: cross entropy of flattened layer output
+// against class 0 via a fixed linear head (sum of entries as one logit and
+// its negation as the other keeps everything differentiable and scalar).
+double ScalarLoss(const Tensor& out) {
+  double s = 0.0;
+  for (int i = 0; i < out.NumElements(); ++i) {
+    // Weighted sum so no gradient coordinate degenerates to the same value.
+    s += (0.1 * (i % 7) + 0.05) * out.data()[i];
+  }
+  return s;
+}
+
+Tensor ScalarLossGrad(const Tensor& out) {
+  Tensor g(out.shape());
+  for (int i = 0; i < g.NumElements(); ++i) {
+    g.data()[i] = static_cast<float>(0.1 * (i % 7) + 0.05);
+  }
+  return g;
+}
+
+// Runs parameter + input gradient checks for one layer.
+void CheckLayer(Layer& layer, Tensor input, double tol = 2e-3) {
+  std::vector<Param> params;
+  layer.CollectParams(&params);
+  auto loss = [&]() {
+    Tensor out = layer.Forward(input, /*training=*/false);
+    return ScalarLoss(out);
+  };
+  Tensor analytic_input_grad;
+  auto forward_backward = [&]() {
+    ZeroGrads(params);
+    Tensor out = layer.Forward(input, /*training=*/false);
+    analytic_input_grad = layer.Backward(ScalarLossGrad(out));
+  };
+  if (!params.empty()) {
+    auto result = CheckParameterGradients(params, loss, forward_backward);
+    EXPECT_LT(result.max_rel_error, tol) << "parameter gradients";
+  } else {
+    forward_backward();
+  }
+  auto input_result = CheckInputGradient(input, analytic_input_grad, loss);
+  EXPECT_LT(input_result.max_rel_error, tol) << "input gradients";
+}
+
+TEST(DenseTest, ForwardKnownValues) {
+  Rng rng(1);
+  Dense dense(2, 2, rng);
+  dense.weights() = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  dense.bias() = Tensor::FromFlat({10, 20});
+  Tensor out = dense.Forward(Tensor::FromFlat({1, 1}), false);
+  EXPECT_FLOAT_EQ(out.at(0), 13.0f);  // 1+2+10
+  EXPECT_FLOAT_EQ(out.at(1), 27.0f);  // 3+4+20
+}
+
+TEST(DenseTest, RowwiseApplication) {
+  Rng rng(2);
+  Dense dense(3, 2, rng);
+  Tensor x = RandomTensor({4, 3}, rng);
+  Tensor out = dense.Forward(x, false);
+  EXPECT_EQ(out.dim(0), 4);
+  EXPECT_EQ(out.dim(1), 2);
+  // Row i of the output equals applying the layer to row i alone.
+  Tensor row = Tensor::FromVector({3}, {x.at(2, 0), x.at(2, 1), x.at(2, 2)});
+  Tensor row_out = dense.Forward(row, false);
+  EXPECT_FLOAT_EQ(row_out.at(0), out.at(2, 0));
+  EXPECT_FLOAT_EQ(row_out.at(1), out.at(2, 1));
+}
+
+TEST(DenseTest, GradientCheckRank1) {
+  Rng rng(3);
+  Dense dense(4, 3, rng);
+  CheckLayer(dense, RandomTensor({4}, rng));
+}
+
+TEST(DenseTest, GradientCheckRank2) {
+  Rng rng(4);
+  Dense dense(3, 5, rng);
+  CheckLayer(dense, RandomTensor({6, 3}, rng));
+}
+
+TEST(Conv1DTest, OutputLengthStride) {
+  Rng rng(5);
+  Conv1D conv(2, 3, /*kernel=*/4, /*stride=*/4, rng);
+  EXPECT_EQ(conv.OutputLength(12), 3);
+  EXPECT_EQ(conv.OutputLength(4), 1);
+}
+
+TEST(Conv1DTest, PointwiseConvMatchesDense) {
+  // kernel=1, stride=1 conv is a row-wise dense layer.
+  Rng rng(6);
+  Conv1D conv(3, 2, 1, 1, rng);
+  Tensor x = RandomTensor({5, 3}, rng);
+  Tensor out = conv.Forward(x, false);
+  EXPECT_EQ(out.dim(0), 5);
+  EXPECT_EQ(out.dim(1), 2);
+}
+
+TEST(Conv1DTest, GradientCheckStrided) {
+  Rng rng(7);
+  Conv1D conv(2, 3, /*kernel=*/3, /*stride=*/3, rng);
+  CheckLayer(conv, RandomTensor({9, 2}, rng));
+}
+
+TEST(Conv1DTest, GradientCheckOverlapping) {
+  Rng rng(8);
+  Conv1D conv(2, 2, /*kernel=*/3, /*stride=*/1, rng);
+  CheckLayer(conv, RandomTensor({7, 2}, rng));
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  Tensor out = relu.Forward(Tensor::FromFlat({-1, 0, 2}), false);
+  EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 2.0f);
+}
+
+TEST(ReluTest, GradientCheck) {
+  Rng rng(9);
+  Relu relu;
+  // Keep inputs away from the kink at 0.
+  Tensor x = RandomTensor({10}, rng);
+  for (int i = 0; i < x.NumElements(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.1f) x.data()[i] = 0.5f;
+  }
+  CheckLayer(relu, x);
+}
+
+TEST(TanhTest, GradientCheck) {
+  Rng rng(10);
+  Tanh tanh_layer;
+  CheckLayer(tanh_layer, RandomTensor({8}, rng));
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Rng rng(11);
+  Dropout dropout(0.5, rng);
+  Tensor x = RandomTensor({20}, rng);
+  Tensor out = dropout.Forward(x, /*training=*/false);
+  for (int i = 0; i < 20; ++i) EXPECT_FLOAT_EQ(out.data()[i], x.data()[i]);
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Rng rng(12);
+  Dropout dropout(0.5, rng);
+  Tensor x(std::vector<int>{1000});
+  x.Fill(1.0f);
+  Tensor out = dropout.Forward(x, /*training=*/true);
+  int zeros = 0;
+  double total = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    if (out.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out.data()[i], 2.0f);  // 1/(1-0.5)
+      total += out.data()[i];
+    }
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+  EXPECT_NEAR(total / 1000.0, 1.0, 0.15);  // expectation preserved
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(13);
+  Dropout dropout(0.5, rng);
+  Tensor x(std::vector<int>{100});
+  x.Fill(1.0f);
+  Tensor out = dropout.Forward(x, /*training=*/true);
+  Tensor grad_in(std::vector<int>{100});
+  grad_in.Fill(1.0f);
+  Tensor grad = dropout.Backward(grad_in);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(grad.data()[i], out.data()[i]);  // both x*mask with x=1
+  }
+}
+
+TEST(SumPoolTest, ForwardAndGradient) {
+  SumPool pool;
+  Tensor x = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = pool.Forward(x, false);
+  EXPECT_FLOAT_EQ(out.at(0), 9.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 12.0f);
+  Rng rng(14);
+  CheckLayer(pool, RandomTensor({4, 3}, rng));
+}
+
+TEST(MeanPoolTest, ForwardAndGradient) {
+  MeanPool pool;
+  Tensor x = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor out = pool.Forward(x, false);
+  EXPECT_FLOAT_EQ(out.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 3.0f);
+  Rng rng(15);
+  CheckLayer(pool, RandomTensor({5, 2}, rng));
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor out = flatten.Forward(x, false);
+  EXPECT_EQ(out.rank(), 1);
+  EXPECT_EQ(out.NumElements(), 6);
+  Tensor grad = flatten.Backward(out);
+  EXPECT_EQ(grad.rank(), 2);
+  EXPECT_EQ(grad.dim(0), 2);
+}
+
+TEST(SortPoolingTest, KeepsTopRowsByLastChannel) {
+  SortPooling pool(2);
+  Tensor x = Tensor::FromVector({3, 2}, {10, 0.1f, 20, 0.9f, 30, 0.5f});
+  Tensor out = pool.Forward(x, false);
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 20.0f);  // largest last-channel value
+  EXPECT_FLOAT_EQ(out.at(1, 0), 30.0f);
+}
+
+TEST(SortPoolingTest, PadsShortInputs) {
+  SortPooling pool(4);
+  Tensor x = Tensor::FromVector({2, 1}, {5, 7});
+  Tensor out = pool.Forward(x, false);
+  EXPECT_EQ(out.dim(0), 4);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(3, 0), 0.0f);
+}
+
+TEST(SortPoolingTest, GradientScattersToKeptRows) {
+  SortPooling pool(1);
+  Tensor x = Tensor::FromVector({2, 1}, {5, 7});
+  pool.Forward(x, false);
+  Tensor grad = pool.Backward(Tensor::FromVector({1, 1}, {3}));
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 0), 3.0f);
+}
+
+
+TEST(RowL2NormalizeTest, ForwardUnitRows) {
+  RowL2Normalize norm;
+  Tensor x = Tensor::FromVector({2, 2}, {3, 4, 0.6f, 0.8f});
+  Tensor out = norm.Forward(x, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 0.8f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.6f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 0.8f);
+}
+
+TEST(RowL2NormalizeTest, ZeroRowStaysFinite) {
+  RowL2Normalize norm;
+  Tensor x({2, 3});
+  x.at(1, 0) = 5.0f;
+  Tensor out = norm.Forward(x, false);
+  for (int c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(out.at(0, c), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 1.0f);
+}
+
+TEST(RowL2NormalizeTest, GradientCheck) {
+  Rng rng(21);
+  RowL2Normalize norm;
+  // Keep rows away from the epsilon clamp.
+  Tensor x = RandomTensor({4, 3}, rng);
+  for (int i = 0; i < x.NumElements(); ++i) x.data()[i] += 2.0f;
+  CheckLayer(norm, x);
+}
+
+TEST(RowL2NormalizeTest, ScaleInvariantForward) {
+  RowL2Normalize norm;
+  Rng rng(22);
+  Tensor x = RandomTensor({3, 4}, rng);
+  Tensor scaled = x;
+  scaled.Scale(7.5f);
+  Tensor a = norm.Forward(x, false);
+  Tensor b = norm.Forward(scaled, false);
+  for (int i = 0; i < a.NumElements(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  Tensor probs = Softmax(Tensor::FromFlat({1, 2, 3}));
+  double sum = 0;
+  for (int i = 0; i < 3; ++i) sum += probs.at(i);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(probs.at(2), probs.at(1));
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Tensor probs = Softmax(Tensor::FromFlat({1000, 1001}));
+  EXPECT_NEAR(probs.at(0) + probs.at(1), 1.0, 1e-6);
+  EXPECT_FALSE(std::isnan(probs.at(0)));
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsProbsMinusOneHot) {
+  Tensor logits = Tensor::FromFlat({0.5f, -1.0f, 2.0f});
+  LossAndGrad lg = SoftmaxCrossEntropy(logits, 1);
+  Tensor probs = Softmax(logits);
+  EXPECT_NEAR(lg.grad_logits.at(0), probs.at(0), 1e-6);
+  EXPECT_NEAR(lg.grad_logits.at(1), probs.at(1) - 1.0f, 1e-6);
+  EXPECT_NEAR(lg.loss, -std::log(probs.at(1)), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericGradient) {
+  Rng rng(16);
+  Tensor logits = RandomTensor({4}, rng);
+  LossAndGrad lg = SoftmaxCrossEntropy(logits, 2);
+  auto loss = [&]() { return SoftmaxCrossEntropy(logits, 2).loss; };
+  auto result = CheckInputGradient(logits, lg.grad_logits, loss, 1e-3);
+  EXPECT_LT(result.max_rel_error, 1e-3);
+}
+
+TEST(GraphOpTest, GcnNormRowsOfRegularGraph) {
+  // Triangle: every vertex has degree 2; D^-1/2 (A+I) D^-1/2 entries = 1/3.
+  graph::Graph g = graph::Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  GraphOp op = GraphOp::GcnNorm(g);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(op.entry(i, j), 1.0 / 3, 1e-12);
+  }
+}
+
+TEST(GraphOpTest, TransitionRowsSumToOne) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  GraphOp op = GraphOp::Transition(g);
+  for (int i = 0; i < 4; ++i) {
+    double row = 0;
+    for (int j = 0; j < 4; ++j) row += op.entry(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(GraphOpTest, PowerOfTransitionStaysStochastic) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  GraphOp p3 = GraphOp::Transition(g).Power(3);
+  for (int i = 0; i < 4; ++i) {
+    double row = 0;
+    for (int j = 0; j < 4; ++j) row += p3.entry(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(GraphOpTest, ApplyTransposeIsAdjoint) {
+  // <S x, y> == <x, S^T y>.
+  Rng rng(17);
+  graph::Graph g = graph::Graph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  GraphOp op = GraphOp::RowNormAdj(g);
+  Tensor x = RandomTensor({5, 2}, rng);
+  Tensor y = RandomTensor({5, 2}, rng);
+  Tensor sx = op.Apply(x);
+  Tensor sty = op.ApplyTranspose(y);
+  double lhs = 0, rhs = 0;
+  for (int i = 0; i < 10; ++i) {
+    lhs += sx.data()[i] * y.data()[i];
+    rhs += x.data()[i] * sty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(GraphOpTest, IdentityPowerZero) {
+  graph::Graph g = graph::Graph::FromEdges(3, {{0, 1}});
+  GraphOp p0 = GraphOp::Transition(g).Power(0);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(p0.entry(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(SequentialTest, GradientCheckSmallCnn) {
+  // Conv(2ch->3, k2 s2) -> ReLU -> SumPool -> Dense(3->2): the DEEPMAP
+  // architecture in miniature, checked end to end.
+  Rng rng(18);
+  Sequential net;
+  net.Emplace<Conv1D>(2, 3, 2, 2, rng)
+      .Emplace<Relu>()
+      .Emplace<SumPool>()
+      .Emplace<Dense>(3, 2, rng);
+  Tensor input = RandomTensor({6, 2}, rng);
+  auto params = net.Params();
+  const int label = 1;
+  auto loss = [&]() {
+    return SoftmaxCrossEntropy(net.Forward(input, false), label).loss;
+  };
+  auto forward_backward = [&]() {
+    ZeroGrads(params);
+    Tensor logits = net.Forward(input, false);
+    net.Backward(SoftmaxCrossEntropy(logits, label).grad_logits);
+  };
+  auto result = CheckParameterGradients(params, loss, forward_backward, 1e-2);
+  EXPECT_LT(result.max_rel_error, 5e-3);
+  EXPECT_GT(result.coordinates_checked, 20);
+}
+
+TEST(SequentialTest, NumParametersCounts) {
+  Rng rng(19);
+  Sequential net;
+  net.Emplace<Dense>(4, 3, rng).Emplace<Relu>().Emplace<Dense>(3, 2, rng);
+  EXPECT_EQ(net.NumParameters(), 4 * 3 + 3 + 3 * 2 + 2);
+}
+
+}  // namespace
+}  // namespace deepmap::nn

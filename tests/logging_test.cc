@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace deepmap {
+namespace {
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  // Smoke test: the macro must accept stream expressions at every level.
+  SetLogLevel(LogLevel::kError);  // suppress output during tests
+  DEEPMAP_LOG(Debug) << "debug " << 1;
+  DEEPMAP_LOG(Info) << "info " << 2.5;
+  DEEPMAP_LOG(Warning) << "warning " << 'c';
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Busy-wait a tiny amount.
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(sink, 0.0);  // keep the loop observable
+  double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 100);
+}
+
+TEST(StopwatchTest, ResetRestartsClock) {
+  Stopwatch watch;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sink, 0.0);
+  double before = watch.ElapsedSeconds();
+  watch.Reset();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace deepmap

@@ -1,0 +1,128 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+
+namespace deepmap::nn {
+namespace {
+
+// Minimizes f(w) = (w - 3)^2 with each optimizer; all must reach the optimum.
+class QuadraticProblem {
+ public:
+  QuadraticProblem() : w_(std::vector<int>{1}), g_(std::vector<int>{1}) {
+    w_.at(0) = 10.0f;
+  }
+  std::vector<Param> params() { return {{&w_, &g_}}; }
+  void ComputeGrad() { g_.at(0) = 2.0f * (w_.at(0) - 3.0f); }
+  float w() const { return w_.at(0); }
+
+ private:
+  Tensor w_, g_;
+};
+
+template <typename Opt>
+float Optimize(Opt&& opt, int steps) {
+  QuadraticProblem problem;
+  auto params = problem.params();
+  for (int i = 0; i < steps; ++i) {
+    problem.ComputeGrad();
+    opt.Step(params);
+  }
+  return problem.w();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  EXPECT_NEAR(Optimize(Sgd(0.1), 100), 3.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  EXPECT_NEAR(Optimize(Sgd(0.05, 0.9), 300), 3.0f, 1e-2);
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  EXPECT_NEAR(Optimize(RmsProp(0.05), 500), 3.0f, 1e-2);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  EXPECT_NEAR(Optimize(Adam(0.1), 500), 3.0f, 1e-2);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  RmsProp opt(0.01);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+  opt.set_learning_rate(0.005);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.005);
+}
+
+TEST(MakeOptimizerTest, ProducesRequestedKind) {
+  EXPECT_NE(MakeOptimizer(OptimizerKind::kSgd, 0.1), nullptr);
+  EXPECT_NE(MakeOptimizer(OptimizerKind::kRmsProp, 0.1), nullptr);
+  EXPECT_NE(MakeOptimizer(OptimizerKind::kAdam, 0.1), nullptr);
+}
+
+TEST(TrainClassifierTest, LearnsLinearlySeparableData) {
+  // Two Gaussian blobs in 2-D; a 2-layer net must fit them near perfectly.
+  Rng rng(42);
+  std::vector<Tensor> samples;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    int y = i % 2;
+    float cx = y == 0 ? -2.0f : 2.0f;
+    samples.push_back(Tensor::FromFlat(
+        {cx + static_cast<float>(rng.Normal(0, 0.5)),
+         static_cast<float>(rng.Normal(0, 0.5))}));
+    labels.push_back(y);
+  }
+  Sequential net;
+  net.Emplace<Dense>(2, 8, rng).Emplace<Relu>().Emplace<Dense>(8, 2, rng);
+  TrainConfig config;
+  config.epochs = 40;
+  config.batch_size = 8;
+  config.learning_rate = 0.01;
+  TrainHistory history = TrainClassifier(net, samples, labels, config);
+  EXPECT_GT(history.final_accuracy(), 0.95);
+  EXPECT_LT(history.final_loss(), history.epochs.front().loss);
+  EXPECT_GT(EvaluateAccuracy(net, samples, labels), 0.95);
+}
+
+TEST(TrainClassifierTest, PlateauDecaysLearningRate) {
+  // A constant-input dataset stops improving immediately; the plateau
+  // scheduler must halve the learning rate.
+  Rng rng(1);
+  std::vector<Tensor> samples(10, Tensor::FromFlat({1.0f}));
+  std::vector<int> labels(10);
+  for (int i = 0; i < 10; ++i) labels[i] = i % 2;  // impossible task
+  Sequential net;
+  net.Emplace<Dense>(1, 2, rng);
+  TrainConfig config;
+  config.epochs = 30;
+  config.batch_size = 10;
+  config.learning_rate = 0.01;
+  config.plateau_patience = 5;
+  TrainHistory history = TrainClassifier(net, samples, labels, config);
+  EXPECT_LT(history.epochs.back().learning_rate, 0.01);
+}
+
+TEST(TrainClassifierTest, HistoryTracksEpochs) {
+  Rng rng(2);
+  std::vector<Tensor> samples{Tensor::FromFlat({1.0f}),
+                              Tensor::FromFlat({-1.0f})};
+  std::vector<int> labels{0, 1};
+  Sequential net;
+  net.Emplace<Dense>(1, 2, rng);
+  TrainConfig config;
+  config.epochs = 7;
+  TrainHistory history = TrainClassifier(net, samples, labels, config);
+  EXPECT_EQ(history.epochs.size(), 7u);
+  EXPECT_GE(history.best_accuracy(), history.epochs.front().accuracy);
+  EXPECT_GT(history.mean_epoch_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace deepmap::nn

@@ -1,0 +1,85 @@
+#include "eval/paper_reference.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/registry.h"
+
+namespace deepmap::eval {
+namespace {
+
+TEST(PaperReferenceTest, Table2KnownCells) {
+  auto wl_synthie = PaperTable2("SYNTHIE", "DEEPMAP-WL");
+  ASSERT_TRUE(wl_synthie.has_value());
+  EXPECT_DOUBLE_EQ(wl_synthie->mean, 54.53);
+  EXPECT_DOUBLE_EQ(wl_synthie->stddev, 6.16);
+  auto gk_kki = PaperTable2("KKI", "GK");
+  ASSERT_TRUE(gk_kki.has_value());
+  EXPECT_DOUBLE_EQ(gk_kki->mean, 51.88);
+}
+
+TEST(PaperReferenceTest, Table2NaCells) {
+  EXPECT_FALSE(PaperTable2("COLLAB", "SP").has_value());
+  EXPECT_FALSE(PaperTable2("COLLAB", "DEEPMAP-SP").has_value());
+  EXPECT_TRUE(PaperTable2("COLLAB", "WL").has_value());
+}
+
+TEST(PaperReferenceTest, Table3KnownCells) {
+  auto retgk_nci1 = PaperTable3("NCI1", "RETGK");
+  ASSERT_TRUE(retgk_nci1.has_value());
+  EXPECT_DOUBLE_EQ(retgk_nci1->mean, 84.50);
+  auto deepmap_cox2 = PaperTable3("COX2_MD", "DEEPMAP");
+  ASSERT_TRUE(deepmap_cox2.has_value());
+  EXPECT_DOUBLE_EQ(deepmap_cox2->mean, 72.28);
+}
+
+TEST(PaperReferenceTest, Table4KnownCells) {
+  auto gin_kki = PaperTable4("KKI", "GIN");
+  ASSERT_TRUE(gin_kki.has_value());
+  EXPECT_DOUBLE_EQ(gin_kki->mean, 64.93);  // GIN beats DEEPMAP on KKI here
+}
+
+TEST(PaperReferenceTest, Table5KnownCells) {
+  auto deepmap_nci1 = PaperTable5Ms("NCI1", "DEEPMAP");
+  ASSERT_TRUE(deepmap_nci1.has_value());
+  EXPECT_DOUBLE_EQ(*deepmap_nci1, 7300.0);
+}
+
+TEST(PaperReferenceTest, UnknownLookupsAreEmpty) {
+  EXPECT_FALSE(PaperTable2("MUTAG", "WL").has_value());
+  EXPECT_FALSE(PaperTable3("KKI", "NOSUCH").has_value());
+  EXPECT_FALSE(PaperTable5Ms("KKI", "NOSUCH").has_value());
+}
+
+TEST(PaperReferenceTest, EveryDatasetHasEveryTable3Method) {
+  for (const auto& spec : datasets::PaperDatasets()) {
+    for (const std::string& method : Table3Methods()) {
+      EXPECT_TRUE(PaperTable3(spec.name, method).has_value())
+          << spec.name << " / " << method;
+    }
+  }
+}
+
+TEST(PaperReferenceTest, DeepMapWinsTable2OnMostDatasets) {
+  // Sanity-check the transcription: the paper's headline claim is that the
+  // deep maps beat their kernels in most cells.
+  int wins = 0, comparisons = 0;
+  for (const auto& spec : datasets::PaperDatasets()) {
+    for (const char* base : {"GK", "SP", "WL"}) {
+      auto kernel = PaperTable2(spec.name, base);
+      auto deep = PaperTable2(spec.name, std::string("DEEPMAP-") + base);
+      if (!kernel || !deep) continue;
+      ++comparisons;
+      if (deep->mean > kernel->mean) ++wins;
+    }
+  }
+  EXPECT_GE(comparisons, 40);
+  EXPECT_GT(static_cast<double>(wins) / comparisons, 0.85);
+}
+
+TEST(PaperReferenceTest, FormatAccuracy) {
+  EXPECT_EQ(FormatPaperAccuracy(PaperAccuracy{54.53, 6.16}), "54.53+-6.16");
+  EXPECT_EQ(FormatPaperAccuracy(std::nullopt), "N/A");
+}
+
+}  // namespace
+}  // namespace deepmap::eval

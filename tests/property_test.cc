@@ -1,0 +1,258 @@
+// Property-based tests: invariants that must hold across randomized graphs,
+// seeds, and feature-map kinds (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "baselines/gntk.h"
+#include "baselines/retgk.h"
+#include "common/rng.h"
+#include "core/alignment.h"
+#include "core/receptive_field.h"
+#include "datasets/random_graphs.h"
+#include "graph/algorithms.h"
+#include "graph/centrality.h"
+#include "graph/isomorphism.h"
+#include "kernels/kernel_matrix.h"
+#include "kernels/vertex_feature_map.h"
+
+namespace deepmap {
+namespace {
+
+using graph::Graph;
+using graph::GraphDataset;
+using graph::Vertex;
+
+Graph RandomLabeledGraph(int n, double p, int labels, Rng& rng) {
+  Graph g = datasets::ErdosRenyi(n, p, rng);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    g.SetLabel(v, static_cast<graph::Label>(rng.Index(labels)));
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Permutation invariance of graph-level feature maps, across kinds & seeds.
+// ---------------------------------------------------------------------------
+
+class FeatureInvarianceTest
+    : public ::testing::TestWithParam<std::tuple<kernels::FeatureMapKind,
+                                                 int>> {};
+
+TEST_P(FeatureInvarianceTest, GraphFeatureMapPermutationInvariant) {
+  auto [kind, seed] = GetParam();
+  Rng rng(seed);
+  Graph g = RandomLabeledGraph(rng.UniformInt(4, 12), rng.Uniform(0.2, 0.6),
+                               3, rng);
+  std::vector<Vertex> perm(g.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  GraphDataset ds("pair", {g, h}, {0, 0});
+  kernels::VertexFeatureConfig config;
+  config.kind = kind;
+  config.graphlet.k = 3;
+  config.graphlet.exhaustive = true;  // deterministic for invariance check
+  auto maps = kernels::ComputeGraphFeatureMaps(ds, config);
+  EXPECT_NEAR(maps[0].Dot(maps[0]), maps[1].Dot(maps[1]), 1e-9);
+  EXPECT_NEAR(maps[0].Dot(maps[0]), maps[0].Dot(maps[1]), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeatureInvarianceTest,
+    ::testing::Combine(::testing::Values(kernels::FeatureMapKind::kGraphlet,
+                                         kernels::FeatureMapKind::kShortestPath,
+                                         kernels::FeatureMapKind::kWlSubtree),
+                       ::testing::Range(1, 6)),
+    [](const auto& info) {
+      return kernels::FeatureMapKindName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Gram matrices of random datasets are PSD for every kind.
+// ---------------------------------------------------------------------------
+
+class GramPsdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GramPsdTest, RandomDatasetGramIsPsd) {
+  Rng rng(GetParam());
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    graphs.push_back(RandomLabeledGraph(rng.UniformInt(3, 10),
+                                        rng.Uniform(0.1, 0.7), 4, rng));
+    labels.push_back(i % 2);
+  }
+  GraphDataset ds("rand", std::move(graphs), std::move(labels));
+  for (auto kind : {kernels::FeatureMapKind::kGraphlet,
+                    kernels::FeatureMapKind::kShortestPath,
+                    kernels::FeatureMapKind::kWlSubtree}) {
+    kernels::VertexFeatureConfig config;
+    config.kind = kind;
+    config.graphlet.k = 3;
+    config.seed = GetParam();
+    auto maps = kernels::ComputeGraphFeatureMaps(ds, config);
+    EXPECT_TRUE(kernels::IsPositiveSemidefinite(
+        kernels::GramMatrix(maps, true), 1e-7))
+        << kernels::FeatureMapKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GramPsdTest, ::testing::Range(10, 16));
+
+// ---------------------------------------------------------------------------
+// Baseline kernel matrices: symmetry + unit diagonal + PSD-ish.
+// ---------------------------------------------------------------------------
+
+TEST(BaselineKernelPropertyTest, RetGkAndGntkAreValidKernels) {
+  Rng rng(77);
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 8; ++i) {
+    graphs.push_back(RandomLabeledGraph(rng.UniformInt(4, 9),
+                                        rng.Uniform(0.2, 0.7), 3, rng));
+    labels.push_back(i % 2);
+  }
+  GraphDataset ds("rand", std::move(graphs), std::move(labels));
+  for (const kernels::Matrix& k :
+       {baselines::RetGkKernelMatrix(ds), baselines::GntkKernelMatrix(ds)}) {
+    for (size_t i = 0; i < k.size(); ++i) {
+      EXPECT_NEAR(k[i][i], 1.0, 1e-9);
+      for (size_t j = 0; j < k.size(); ++j) {
+        EXPECT_NEAR(k[i][j], k[j][i], 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receptive fields: structural properties on random graphs.
+// ---------------------------------------------------------------------------
+
+class ReceptiveFieldPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReceptiveFieldPropertyTest, FieldsWellFormed) {
+  Rng rng(GetParam());
+  Graph g = datasets::ErdosRenyi(rng.UniformInt(2, 20),
+                                 rng.Uniform(0.05, 0.5), rng);
+  auto centrality = graph::EigenvectorCentrality(g);
+  const int r = rng.UniformInt(1, 7);
+  auto component = graph::ConnectedComponents(g);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    auto field = core::BuildReceptiveField(g, v, r, centrality);
+    ASSERT_EQ(field.size(), static_cast<size_t>(r));
+    // Contains v; no duplicates; non-dummies are in v's component; dummies
+    // only at the tail.
+    bool saw_dummy = false;
+    std::set<Vertex> seen;
+    bool contains_v = false;
+    for (Vertex u : field) {
+      if (u == core::kDummyVertex) {
+        saw_dummy = true;
+        continue;
+      }
+      EXPECT_FALSE(saw_dummy) << "dummy before real vertex";
+      EXPECT_TRUE(seen.insert(u).second) << "duplicate in field";
+      EXPECT_EQ(component[u], component[v]);
+      if (u == v) contains_v = true;
+    }
+    EXPECT_TRUE(contains_v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReceptiveFieldPropertyTest,
+                         ::testing::Range(20, 28));
+
+// ---------------------------------------------------------------------------
+// Centrality sanity on random graphs.
+// ---------------------------------------------------------------------------
+
+class CentralityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CentralityPropertyTest, EigenvectorNonNegativeAndNormalized) {
+  Rng rng(GetParam());
+  Graph g = datasets::ErdosRenyi(rng.UniformInt(2, 30),
+                                 rng.Uniform(0.05, 0.6), rng);
+  auto c = graph::EigenvectorCentrality(g);
+  double norm = 0;
+  for (double x : c) {
+    EXPECT_GE(x, 0.0);
+    norm += x * x;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST_P(CentralityPropertyTest, SequenceIsPermutation) {
+  Rng rng(GetParam() + 100);
+  Graph g = datasets::ErdosRenyi(rng.UniformInt(2, 25),
+                                 rng.Uniform(0.1, 0.5), rng);
+  auto c = graph::EigenvectorCentrality(g);
+  auto seq = core::GenerateVertexSequence(g, c, g.NumVertices() + 3);
+  std::set<Vertex> seen;
+  int dummies = 0;
+  for (Vertex v : seq) {
+    if (v == core::kDummyVertex) {
+      ++dummies;
+    } else {
+      EXPECT_TRUE(seen.insert(v).second);
+    }
+  }
+  EXPECT_EQ(dummies, 3);
+  EXPECT_EQ(static_cast<int>(seen.size()), g.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CentralityPropertyTest,
+                         ::testing::Range(30, 38));
+
+// ---------------------------------------------------------------------------
+// Isomorphism invariance of RPF across random graphs.
+// ---------------------------------------------------------------------------
+
+class RpfInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RpfInvarianceTest, SortedRpfMatchesUnderPermutation) {
+  Rng rng(GetParam());
+  Graph g = datasets::ErdosRenyi(rng.UniformInt(3, 15),
+                                 rng.Uniform(0.2, 0.6), rng);
+  std::vector<Vertex> perm(g.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  auto rg = baselines::ReturnProbabilityFeatures(g, 5);
+  auto rh = baselines::ReturnProbabilityFeatures(h, 5);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (int t = 0; t < 5; ++t) {
+      EXPECT_NEAR(rg[v][t], rh[perm[v]][t], 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpfInvarianceTest, ::testing::Range(40, 46));
+
+// ---------------------------------------------------------------------------
+// WL fingerprint never produces false "non-isomorphic" on isomorphic pairs.
+// ---------------------------------------------------------------------------
+
+class WlSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WlSoundnessTest, IsomorphicPairsNeverDistinguished) {
+  Rng rng(GetParam());
+  Graph g = RandomLabeledGraph(rng.UniformInt(3, 20), rng.Uniform(0.1, 0.6),
+                               3, rng);
+  std::vector<Vertex> perm(g.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  EXPECT_NE(graph::TestIsomorphism(g, h), graph::IsoResult::kNonIsomorphic);
+  for (int rounds : {0, 1, 3, 5}) {
+    EXPECT_EQ(graph::WlFingerprint(g, rounds),
+              graph::WlFingerprint(h, rounds));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WlSoundnessTest, ::testing::Range(50, 58));
+
+}  // namespace
+}  // namespace deepmap

@@ -1,0 +1,127 @@
+#include "datasets/random_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace deepmap::datasets {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(1);
+  graph::Graph g = ErdosRenyi(100, 0.1, rng);
+  EXPECT_EQ(g.NumVertices(), 100);
+  double expected = 0.1 * 100 * 99 / 2;  // 495
+  EXPECT_GT(g.NumEdges(), expected * 0.7);
+  EXPECT_LT(g.NumEdges(), expected * 1.3);
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(ErdosRenyi(10, 0.0, rng).NumEdges(), 0);
+  EXPECT_EQ(ErdosRenyi(10, 1.0, rng).NumEdges(), 45);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountAndConnectivity) {
+  Rng rng(3);
+  graph::Graph g = BarabasiAlbert(50, 2, rng);
+  EXPECT_EQ(g.NumVertices(), 50);
+  // m0 clique (3 edges for m=2) + ~2 per remaining vertex.
+  EXPECT_GE(g.NumEdges(), 80);
+  EXPECT_EQ(graph::NumConnectedComponents(g), 1);
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  Rng rng(4);
+  graph::Graph g = BarabasiAlbert(200, 2, rng);
+  auto degrees = graph::DegreeSequence(g);
+  // Preferential attachment: the max degree dwarfs the median.
+  EXPECT_GT(degrees.front(), 3 * degrees[degrees.size() / 2]);
+}
+
+TEST(WattsStrogatzTest, PreservesEdgeCount) {
+  Rng rng(5);
+  graph::Graph g = WattsStrogatz(40, 3, 0.2, rng);
+  EXPECT_EQ(g.NumVertices(), 40);
+  // Rewiring can occasionally drop an edge when no free slot is found, but
+  // the count stays near n*k.
+  EXPECT_GE(g.NumEdges(), 110);
+  EXPECT_LE(g.NumEdges(), 120);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(6);
+  graph::Graph g = WattsStrogatz(20, 2, 0.0, rng);
+  EXPECT_EQ(g.NumEdges(), 40);
+  for (int v = 0; v < 20; ++v) EXPECT_EQ(g.Degree(v), 4);
+}
+
+TEST(RandomGeometricTest, RadiusControlsDensity) {
+  Rng rng(7);
+  graph::Graph sparse = RandomGeometric(80, 0.1, rng);
+  graph::Graph dense = RandomGeometric(80, 0.4, rng);
+  EXPECT_LT(sparse.NumEdges(), dense.NumEdges());
+}
+
+TEST(RandomGeometricTest, FullRadiusIsComplete) {
+  Rng rng(8);
+  graph::Graph g = RandomGeometric(15, 2.0, rng);
+  EXPECT_TRUE(graph::IsCompleteGraph(g));
+}
+
+TEST(SubsampleAndRewireTest, KeepsRequestedFraction) {
+  Rng rng(9);
+  graph::Graph seed = ErdosRenyi(100, 0.1, rng);
+  graph::Graph sub = SubsampleAndRewire(seed, 0.5, 0.0, rng);
+  EXPECT_EQ(sub.NumVertices(), 50);
+}
+
+TEST(SubsampleAndRewireTest, NoRewireIsInducedSubgraph) {
+  Rng rng(10);
+  graph::Graph seed = ErdosRenyi(30, 0.3, rng);
+  graph::Graph sub = SubsampleAndRewire(seed, 1.0, 0.0, rng);
+  EXPECT_EQ(sub.NumVertices(), seed.NumVertices());
+  EXPECT_EQ(sub.NumEdges(), seed.NumEdges());
+}
+
+TEST(SubsampleAndRewireTest, RewireApproximatelyPreservesEdgeCount) {
+  // Rewired targets can collide with existing edges, so a few edges may be
+  // lost; the count must stay close.
+  Rng rng(11);
+  graph::Graph seed = ErdosRenyi(40, 0.2, rng);
+  graph::Graph sub = SubsampleAndRewire(seed, 1.0, 0.8, rng);
+  EXPECT_LE(sub.NumEdges(), seed.NumEdges());
+  EXPECT_GE(sub.NumEdges(), static_cast<int>(seed.NumEdges() * 0.9));
+}
+
+TEST(AttachRingTest, AddsCycleVertices) {
+  Rng rng(12);
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  AttachRing(g, 0, 5, 3, rng);
+  EXPECT_EQ(g.NumVertices(), 7);
+  EXPECT_EQ(g.NumEdges(), 1 + 5 + 1);  // original + ring + anchor link
+  EXPECT_FALSE(graph::IsForest(g));
+}
+
+TEST(RandomTreeTest, IsTree) {
+  Rng rng(13);
+  graph::Graph t = RandomTree(25, 4, rng);
+  EXPECT_EQ(t.NumVertices(), 25);
+  EXPECT_EQ(t.NumEdges(), 24);
+  EXPECT_TRUE(graph::IsForest(t));
+  EXPECT_EQ(graph::NumConnectedComponents(t), 1);
+  for (int v = 0; v < 25; ++v) EXPECT_LT(t.GetLabel(v), 4);
+}
+
+TEST(MakeConnectedTest, ConnectsComponents) {
+  Rng rng(14);
+  graph::Graph g(10);
+  g.AddEdge(0, 1);
+  g.AddEdge(5, 6);
+  MakeConnected(g, rng);
+  EXPECT_EQ(graph::NumConnectedComponents(g), 1);
+}
+
+}  // namespace
+}  // namespace deepmap::datasets

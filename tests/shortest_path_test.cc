@@ -1,0 +1,86 @@
+#include "kernels/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace deepmap::kernels {
+namespace {
+
+using graph::Graph;
+
+TEST(PackSpTripletTest, CanonicalizesLabelOrder) {
+  EXPECT_EQ(PackSpTriplet(2, 4, 2), PackSpTriplet(4, 2, 2));
+  EXPECT_NE(PackSpTriplet(2, 4, 2), PackSpTriplet(2, 4, 3));
+  EXPECT_NE(PackSpTriplet(2, 4, 2), PackSpTriplet(2, 3, 2));
+}
+
+TEST(VertexSpTest, PathGraphTriplets) {
+  // Path 0-1-2 with labels 5,6,7.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {5, 6, 7});
+  auto features = VertexSpFeatureMaps(g);
+  ASSERT_EQ(features.size(), 3u);
+  // Vertex 0 reaches 1 at distance 1 and 2 at distance 2.
+  EXPECT_DOUBLE_EQ(features[0].Get(PackSpTriplet(5, 6, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(features[0].Get(PackSpTriplet(5, 7, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(features[0].TotalCount(), 2.0);
+  // Middle vertex has two distance-1 paths.
+  EXPECT_DOUBLE_EQ(features[1].TotalCount(), 2.0);
+}
+
+TEST(VertexSpTest, DisconnectedPairsSkipped) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  auto features = VertexSpFeatureMaps(g);
+  EXPECT_DOUBLE_EQ(features[0].TotalCount(), 1.0);
+  EXPECT_DOUBLE_EQ(features[2].TotalCount(), 0.0);
+}
+
+TEST(VertexSpTest, MaxLengthCap) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ShortestPathConfig config;
+  config.max_length = 2;
+  auto features = VertexSpFeatureMaps(g, config);
+  // Vertex 0: distances 1,2,3 -> only two paths under the cap.
+  EXPECT_DOUBLE_EQ(features[0].TotalCount(), 2.0);
+}
+
+TEST(SpFeatureMapTest, GraphMapCountsEachPathTwice) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {1, 1, 1});
+  SparseFeatureMap map = SpFeatureMap(g);
+  // 3 unordered pairs, each counted from both endpoints.
+  EXPECT_DOUBLE_EQ(map.TotalCount(), 6.0);
+  EXPECT_DOUBLE_EQ(map.Get(PackSpTriplet(1, 1, 1)), 4.0);
+  EXPECT_DOUBLE_EQ(map.Get(PackSpTriplet(1, 1, 2)), 2.0);
+}
+
+TEST(SpFeatureMapTest, PermutationInvariant) {
+  Rng rng(3);
+  Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 4}}, {0, 1, 2, 0, 1, 2});
+  SparseFeatureMap base = SpFeatureMap(g);
+  std::vector<graph::Vertex> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 5; ++trial) {
+    rng.Shuffle(perm);
+    SparseFeatureMap permuted = SpFeatureMap(g.Permuted(perm));
+    EXPECT_DOUBLE_EQ(base.Dot(base), permuted.Dot(permuted));
+    EXPECT_DOUBLE_EQ(base.Dot(permuted), base.Dot(base));
+  }
+}
+
+TEST(SpFeatureMapTest, CompleteGraphAllDistanceOne) {
+  Graph g(5, /*label=*/2);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) g.AddEdge(i, j);
+  }
+  SparseFeatureMap map = SpFeatureMap(g);
+  EXPECT_EQ(map.NumNonZero(), 1u);
+  EXPECT_DOUBLE_EQ(map.Get(PackSpTriplet(2, 2, 1)), 20.0);
+}
+
+}  // namespace
+}  // namespace deepmap::kernels

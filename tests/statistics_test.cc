@@ -1,0 +1,94 @@
+#include "graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/random_graphs.h"
+
+namespace deepmap::graph {
+namespace {
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph PathGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph StarGraph(int leaves) {
+  Graph g(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+TEST(DensityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Density(CompleteGraph(5)), 1.0);
+  EXPECT_DOUBLE_EQ(Density(Graph(5)), 0.0);
+  EXPECT_DOUBLE_EQ(Density(PathGraph(4)), 0.5);  // 3 / 6
+  EXPECT_DOUBLE_EQ(Density(Graph(1)), 0.0);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CompleteGraph(6)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(CompleteGraph(6)), 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(StarGraph(5)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(PathGraph(6)), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus pendant 3 on vertex 0.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  // Triples: deg(0)=3 -> 3, deg(1)=deg(2)=2 -> 1 each, deg(3)=1 -> 0. Total 5.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 3.0 / 5.0);
+  // Local: v0: 1 link of 3 pairs = 1/3; v1, v2: 1/1; v3: 0.
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(g), (1.0 / 3 + 1 + 1 + 0) / 4);
+}
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  EXPECT_NEAR(DegreeAssortativity(StarGraph(6)), -1.0, 1e-9);
+}
+
+TEST(AssortativityTest, RegularGraphDegenerate) {
+  // All degrees equal: variance zero -> defined as 0.
+  Graph cycle(6);
+  for (int i = 0; i < 6; ++i) cycle.AddEdge(i, (i + 1) % 6);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(cycle), 0.0);
+}
+
+TEST(AssortativityTest, BoundedInMinusOneToOne) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = datasets::ErdosRenyi(15, 0.3, rng);
+    double a = DegreeAssortativity(g);
+    EXPECT_GE(a, -1.0 - 1e-9);
+    EXPECT_LE(a, 1.0 + 1e-9);
+  }
+}
+
+TEST(ExtendedStatsTest, AggregatesMeans) {
+  GraphDataset ds("mix", {CompleteGraph(4), PathGraph(4)}, {0, 1});
+  ExtendedStats stats = ComputeExtendedStats(ds);
+  EXPECT_DOUBLE_EQ(stats.density, (1.0 + 0.5) / 2);
+  EXPECT_DOUBLE_EQ(stats.clustering, 0.5);
+  EXPECT_DOUBLE_EQ(stats.components, 1.0);
+  EXPECT_DOUBLE_EQ(stats.diameter, 2.0);  // (1 + 3) / 2
+}
+
+TEST(ExtendedStatsTest, EmptyDataset) {
+  GraphDataset ds;
+  ExtendedStats stats = ComputeExtendedStats(ds);
+  EXPECT_DOUBLE_EQ(stats.density, 0.0);
+}
+
+}  // namespace
+}  // namespace deepmap::graph

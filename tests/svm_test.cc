@@ -1,0 +1,136 @@
+#include "baselines/svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace deepmap::baselines {
+namespace {
+
+// Linear kernel over explicit 2-D points.
+kernels::Matrix LinearKernel(const std::vector<std::pair<double, double>>& x) {
+  const size_t n = x.size();
+  kernels::Matrix k(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      k[i][j] = x[i].first * x[j].first + x[i].second * x[j].second;
+    }
+  }
+  return k;
+}
+
+// Two well-separated Gaussian blobs.
+void MakeBlobs(int per_class, std::vector<std::pair<double, double>>* points,
+               std::vector<int>* labels, double separation = 4.0) {
+  Rng rng(7);
+  for (int i = 0; i < per_class; ++i) {
+    points->push_back({-separation / 2 + rng.Normal(0, 0.5),
+                       rng.Normal(0, 0.5)});
+    labels->push_back(0);
+    points->push_back({separation / 2 + rng.Normal(0, 0.5),
+                       rng.Normal(0, 0.5)});
+    labels->push_back(1);
+  }
+}
+
+TEST(BinarySmoSvmTest, SeparatesBlobs) {
+  std::vector<std::pair<double, double>> points;
+  std::vector<int> labels;
+  MakeBlobs(20, &points, &labels);
+  auto gram = LinearKernel(points);
+  std::vector<int> train_indices;
+  std::vector<int> binary;
+  for (int i = 0; i < 40; ++i) {
+    train_indices.push_back(i);
+    binary.push_back(labels[i] == 0 ? 1 : -1);
+  }
+  BinarySmoSvm svm;
+  svm.Train(gram, train_indices, binary, SvmConfig{});
+  int correct = 0;
+  for (int i = 0; i < 40; ++i) {
+    int predicted = svm.DecisionValue(gram, i) >= 0 ? 0 : 1;
+    if (predicted == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 38);
+  EXPECT_GT(svm.NumSupportVectors(), 0);
+  EXPECT_LT(svm.NumSupportVectors(), 40);  // most points are not SVs
+}
+
+TEST(BinarySmoSvmTest, GeneralizesToHeldOut) {
+  std::vector<std::pair<double, double>> points;
+  std::vector<int> labels;
+  MakeBlobs(30, &points, &labels);
+  auto gram = LinearKernel(points);
+  std::vector<int> train_indices, binary;
+  for (int i = 0; i < 40; ++i) {
+    train_indices.push_back(i);
+    binary.push_back(labels[i] == 0 ? 1 : -1);
+  }
+  BinarySmoSvm svm;
+  svm.Train(gram, train_indices, binary, SvmConfig{});
+  int correct = 0;
+  for (int i = 40; i < 60; ++i) {
+    int predicted = svm.DecisionValue(gram, i) >= 0 ? 0 : 1;
+    if (predicted == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 18);
+}
+
+TEST(KernelSvmTest, BinaryUsesOneMachine) {
+  std::vector<std::pair<double, double>> points;
+  std::vector<int> labels;
+  MakeBlobs(10, &points, &labels);
+  auto gram = LinearKernel(points);
+  std::vector<int> train(20);
+  for (int i = 0; i < 20; ++i) train[i] = i;
+  KernelSvm svm;
+  svm.Train(gram, labels, train, SvmConfig{});
+  EXPECT_EQ(svm.num_classes(), 1);  // single machine for binary
+  EXPECT_GT(svm.Evaluate(gram, labels, train), 0.9);
+}
+
+TEST(KernelSvmTest, MulticlassOneVsRest) {
+  // Three blobs around (-4,0), (4,0), (0,4).
+  Rng rng(9);
+  std::vector<std::pair<double, double>> points;
+  std::vector<int> labels;
+  const double cx[3] = {-4, 4, 0};
+  const double cy[3] = {0, 0, 4};
+  for (int i = 0; i < 45; ++i) {
+    int c = i % 3;
+    points.push_back({cx[c] + rng.Normal(0, 0.4), cy[c] + rng.Normal(0, 0.4)});
+    labels.push_back(c);
+  }
+  auto gram = LinearKernel(points);
+  std::vector<int> train;
+  for (int i = 0; i < 45; ++i) train.push_back(i);
+  KernelSvm svm;
+  svm.Train(gram, labels, train, SvmConfig{});
+  EXPECT_EQ(svm.num_classes(), 3);
+  EXPECT_GT(svm.Evaluate(gram, labels, train), 0.9);
+}
+
+TEST(KernelSvmTest, SmallCUnderfitsNoisyData) {
+  // With overlapping blobs, a tiny C yields a smoother (higher-bias) fit
+  // than a huge C; we only check both run and produce valid accuracies.
+  std::vector<std::pair<double, double>> points;
+  std::vector<int> labels;
+  MakeBlobs(15, &points, &labels, /*separation=*/1.0);
+  auto gram = LinearKernel(points);
+  std::vector<int> train(30);
+  for (int i = 0; i < 30; ++i) train[i] = i;
+  for (double c : {0.01, 1000.0}) {
+    SvmConfig config;
+    config.c = c;
+    KernelSvm svm;
+    svm.Train(gram, labels, train, config);
+    double accuracy = svm.Evaluate(gram, labels, train);
+    EXPECT_GE(accuracy, 0.4);
+    EXPECT_LE(accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace deepmap::baselines

@@ -1,0 +1,175 @@
+#include "datasets/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/registry.h"
+#include "graph/algorithms.h"
+
+namespace deepmap::datasets {
+namespace {
+
+TEST(MakeSynthieTest, FourBalancedClasses) {
+  auto ds = MakeSynthie(40, 7);
+  EXPECT_EQ(ds.size(), 40);
+  EXPECT_EQ(ds.NumClasses(), 4);
+  std::vector<int> counts(4, 0);
+  for (int y : ds.labels()) counts[y]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+  EXPECT_FALSE(ds.has_vertex_labels());
+}
+
+TEST(MakeSynthieTest, SizesNearPaperAverage) {
+  auto ds = MakeSynthie(60, 8);
+  double avg = ds.Stats().avg_vertices;
+  EXPECT_GT(avg, 75.0);
+  EXPECT_LT(avg, 110.0);
+}
+
+TEST(MakeKkiTest, MatchesSpecShape) {
+  auto ds = MakeKki(40, 9);
+  EXPECT_EQ(ds.NumClasses(), 2);
+  auto stats = ds.Stats();
+  EXPECT_GT(stats.avg_vertices, 18.0);
+  EXPECT_LT(stats.avg_vertices, 36.0);
+  EXPECT_GT(stats.num_vertex_labels, 40);  // large ROI alphabet
+}
+
+TEST(MakeChemicalTest, CompleteGraphMode) {
+  ChemicalParams params{.name = "BZR_MD",
+                        .num_classes = 2,
+                        .avg_vertices = 21.0,
+                        .label_count = 8,
+                        .complete_graph = true};
+  auto ds = MakeChemical(params, 20, 10);
+  for (const auto& g : ds.graphs()) {
+    EXPECT_TRUE(graph::IsCompleteGraph(g));
+  }
+}
+
+TEST(MakeChemicalTest, SparseModeHasRings) {
+  ChemicalParams params{.name = "DHFR",
+                        .num_classes = 2,
+                        .avg_vertices = 42.0,
+                        .label_count = 9,
+                        .ring_prob_base = 0.9,
+                        .ring_prob_step = 0.0};
+  auto ds = MakeChemical(params, 20, 11);
+  int with_cycles = 0;
+  for (const auto& g : ds.graphs()) {
+    if (!graph::IsForest(g)) ++with_cycles;
+  }
+  EXPECT_GT(with_cycles, 10);  // ring motifs present in most graphs
+}
+
+TEST(MakeChemicalTest, LabelAlphabetBounded) {
+  ChemicalParams params{.name = "NCI1",
+                        .num_classes = 2,
+                        .avg_vertices = 18.0,
+                        .label_count = 37};
+  auto ds = MakeChemical(params, 30, 12);
+  EXPECT_LE(ds.NumVertexLabels(), 37);
+  EXPECT_GT(ds.NumVertexLabels(), 5);
+}
+
+TEST(MakeProteinTest, ThreeStructureLabels) {
+  ProteinParams params{.name = "PROTEINS", .num_classes = 2,
+                       .avg_vertices = 39.0};
+  auto ds = MakeProtein(params, 24, 13);
+  EXPECT_LE(ds.NumVertexLabels(), 3);
+  EXPECT_EQ(ds.NumClasses(), 2);
+  // Backbone keeps graphs connected.
+  for (const auto& g : ds.graphs()) {
+    EXPECT_EQ(graph::NumConnectedComponents(g), 1);
+  }
+}
+
+TEST(MakeProteinTest, SixClassEnzymes) {
+  ProteinParams params{.name = "ENZYMES", .num_classes = 6,
+                       .avg_vertices = 32.0};
+  auto ds = MakeProtein(params, 36, 14);
+  EXPECT_EQ(ds.NumClasses(), 6);
+}
+
+TEST(MakeEgoTest, DenseCollaborationGraphs) {
+  EgoParams params{.name = "IMDB-BINARY", .num_classes = 2,
+                   .avg_vertices = 20.0};
+  auto ds = MakeEgo(params, 20, 15);
+  EXPECT_FALSE(ds.has_vertex_labels());
+  auto stats = ds.Stats();
+  // Ego + cliques: much denser than a tree.
+  EXPECT_GT(stats.avg_edges, 2.0 * stats.avg_vertices);
+}
+
+TEST(MakeEgoTest, EgoIsConnectedHub) {
+  EgoParams params{.name = "IMDB-MULTI", .num_classes = 3,
+                   .avg_vertices = 13.0};
+  auto ds = MakeEgo(params, 15, 16);
+  for (const auto& g : ds.graphs()) {
+    EXPECT_EQ(g.Degree(0), g.NumVertices() - 1);  // vertex 0 is the ego
+    EXPECT_EQ(graph::NumConnectedComponents(g), 1);
+  }
+}
+
+TEST(RegistryTest, AllFifteenDatasetsRegistered) {
+  EXPECT_EQ(DatasetNames().size(), 15u);
+  EXPECT_EQ(PaperDatasets().size(), 15u);
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto ds = MakeDataset("MUTAG");  // not in the paper's Table 1
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, ScaleBoundsGraphCount) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  options.min_graphs = 40;
+  auto ds = MakeDataset("NCI1", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GE(ds.value().size(), 40);
+  EXPECT_LE(ds.value().size(), 4110 / 4);
+}
+
+TEST(RegistryTest, DegreesAsLabelsAppliedToUnlabeled) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  auto ds = MakeDataset("IMDB-BINARY", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds.value().has_vertex_labels());
+  options.degrees_as_labels = false;
+  auto raw = MakeDataset("IMDB-BINARY", options);
+  EXPECT_FALSE(raw.value().has_vertex_labels());
+}
+
+TEST(RegistryTest, GeneratedStatsTrackPaperStats) {
+  // Average vertex counts should be within ~35% of Table 1 for every
+  // dataset (edges are looser; exact replication is not the goal).
+  DatasetOptions options;
+  options.scale = 0.0;  // min_graphs only
+  options.min_graphs = 48;
+  for (const auto& spec : PaperDatasets()) {
+    auto ds = MakeDataset(spec.name, options);
+    ASSERT_TRUE(ds.ok()) << spec.name;
+    double avg_v = ds.value().Stats().avg_vertices;
+    EXPECT_GT(avg_v, spec.avg_vertices * 0.65) << spec.name;
+    EXPECT_LT(avg_v, spec.avg_vertices * 1.35) << spec.name;
+  }
+}
+
+TEST(RegistryTest, DeterministicForSeed) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  options.seed = 99;
+  auto a = MakeDataset("PTC_MR", options);
+  auto b = MakeDataset("PTC_MR", options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (int i = 0; i < a.value().size(); ++i) {
+    EXPECT_TRUE(a.value().graph(i) == b.value().graph(i));
+  }
+}
+
+}  // namespace
+}  // namespace deepmap::datasets

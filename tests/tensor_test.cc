@@ -1,0 +1,82 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace deepmap::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.NumElements(), 6);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, Rank3Accessor) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t.data()[1 * 12 + 2 * 4 + 3], 7.0f);
+}
+
+TEST(TensorTest, ReshapedSharesValues) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor r = t.Reshaped({4});
+  EXPECT_EQ(r.rank(), 1);
+  EXPECT_EQ(r.at(2), 3.0f);
+}
+
+TEST(TensorTest, AddAndScale) {
+  Tensor a = Tensor::FromFlat({1, 2});
+  Tensor b = Tensor::FromFlat({10, 20});
+  a.Add(b);
+  EXPECT_EQ(a.at(0), 11.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a.at(1), 44.0f);
+  a.AddScaled(b, -0.5f);
+  EXPECT_EQ(a.at(0), 17.0f);
+}
+
+TEST(TensorTest, ArgMaxAndMaxAbs) {
+  Tensor t = Tensor::FromFlat({-5, 3, 2, 3});
+  EXPECT_EQ(t.ArgMax(), 1);  // first of the tied maxima
+  EXPECT_EQ(t.MaxAbs(), 5.0f);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposedVariantsAgree) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, -2, 3, 0, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, -9, 10, 11, 0});
+  Tensor expected = MatMul(a, b);
+  // a^T has shape [3, 2]; (a^T)^T b == a b.
+  Tensor at = Tensor::FromVector({3, 2}, {1, 0, -2, 5, 3, 6});
+  Tensor viaA = MatMulTransposedA(at, b);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_FLOAT_EQ(viaA.at(i, j), expected.at(i, j));
+  }
+  // b^T has shape [2, 3]; a (b^T)^T == a b.
+  Tensor bt = Tensor::FromVector({2, 3}, {7, -9, 11, 8, 10, 0});
+  Tensor viaB = MatMulTransposedB(a, bt);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_FLOAT_EQ(viaB.at(i, j), expected.at(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace deepmap::nn

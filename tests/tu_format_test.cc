@@ -1,0 +1,88 @@
+#include "graph/tu_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/dataset.h"
+#include "graph/graph.h"
+
+namespace deepmap::graph {
+namespace {
+
+class TuFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("deepmap_tu_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+GraphDataset MakeToyDataset() {
+  Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 1, 2});
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {1, 1, 0, 2});
+  Graph single(1, 2);
+  return GraphDataset("TOY", {triangle, path, single}, {0, 1, 0});
+}
+
+TEST_F(TuFormatTest, RoundTripLabeled) {
+  GraphDataset original = MakeToyDataset();
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  auto loaded = ReadTuDataset(dir(), "TOY");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const GraphDataset& ds = loaded.value();
+  ASSERT_EQ(ds.size(), 3);
+  EXPECT_EQ(ds.labels(), original.labels());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ds.graph(i).NumVertices(), original.graph(i).NumVertices());
+    EXPECT_EQ(ds.graph(i).NumEdges(), original.graph(i).NumEdges());
+    EXPECT_EQ(ds.graph(i).Labels(), original.graph(i).Labels());
+    EXPECT_EQ(ds.graph(i).EdgeList(), original.graph(i).EdgeList());
+  }
+  EXPECT_TRUE(ds.has_vertex_labels());
+}
+
+TEST_F(TuFormatTest, RoundTripUnlabeled) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  GraphDataset original("UNL", {g, g}, {0, 1}, /*has_vertex_labels=*/false);
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  auto loaded = ReadTuDataset(dir(), "UNL");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().has_vertex_labels());
+}
+
+TEST_F(TuFormatTest, MissingFilesReportIoError) {
+  auto loaded = ReadTuDataset(dir(), "NOPE");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(TuFormatTest, CompactsGraphLabels) {
+  // Graph labels 1/-1 (common in TU chemistry sets) must map to 0/1.
+  Graph g(2);
+  g.AddEdge(0, 1);
+  GraphDataset original("SIGNED", {g, g, g}, {1, 0, 1});
+  // Manually rewrite the labels file with -1/+1 after a normal write.
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  {
+    std::ofstream f(dir() + "/SIGNED_graph_labels.txt");
+    f << "1\n-1\n1\n";
+  }
+  auto loaded = ReadTuDataset(dir(), "SIGNED");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumClasses(), 2);
+  EXPECT_EQ(loaded.value().label(0), 1);
+  EXPECT_EQ(loaded.value().label(1), 0);
+}
+
+}  // namespace
+}  // namespace deepmap::graph

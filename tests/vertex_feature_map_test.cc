@@ -1,0 +1,116 @@
+#include "kernels/vertex_feature_map.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dataset.h"
+#include "graph/graph.h"
+#include "kernels/kernel_matrix.h"
+
+namespace deepmap::kernels {
+namespace {
+
+using graph::Graph;
+using graph::GraphDataset;
+
+GraphDataset ToyDataset() {
+  Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 1, 0});
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {1, 0, 1, 0});
+  Graph star = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}},
+                                {0, 1, 1, 1, 1});
+  return GraphDataset("toy", {triangle, path, star}, {0, 1, 1});
+}
+
+class VertexFeatureMapKindTest
+    : public ::testing::TestWithParam<FeatureMapKind> {};
+
+TEST_P(VertexFeatureMapKindTest, ShapesMatchDataset) {
+  GraphDataset ds = ToyDataset();
+  VertexFeatureConfig config;
+  config.kind = GetParam();
+  config.graphlet.k = 3;
+  config.graphlet.samples_per_vertex = 5;
+  DatasetVertexFeatures features = ComputeDatasetVertexFeatures(ds, config);
+  ASSERT_EQ(features.all().size(), 3u);
+  for (int g = 0; g < ds.size(); ++g) {
+    EXPECT_EQ(features.all()[g].size(),
+              static_cast<size_t>(ds.graph(g).NumVertices()));
+  }
+  EXPECT_GT(features.dim(), 0);
+}
+
+TEST_P(VertexFeatureMapKindTest, DenseRowHasDimWidth) {
+  GraphDataset ds = ToyDataset();
+  VertexFeatureConfig config;
+  config.kind = GetParam();
+  config.graphlet.k = 3;
+  DatasetVertexFeatures features = ComputeDatasetVertexFeatures(ds, config);
+  auto row = features.DenseRow(1, 2);
+  EXPECT_EQ(row.size(), static_cast<size_t>(features.dim()));
+}
+
+TEST_P(VertexFeatureMapKindTest, GramMatrixIsPsd) {
+  GraphDataset ds = ToyDataset();
+  VertexFeatureConfig config;
+  config.kind = GetParam();
+  config.graphlet.k = 3;
+  auto maps = ComputeGraphFeatureMaps(ds, config);
+  Matrix k = GramMatrix(maps, /*normalize=*/true);
+  EXPECT_TRUE(IsPositiveSemidefinite(k));
+  for (size_t i = 0; i < k.size(); ++i) EXPECT_NEAR(k[i][i], 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, VertexFeatureMapKindTest,
+                         ::testing::Values(FeatureMapKind::kGraphlet,
+                                           FeatureMapKind::kShortestPath,
+                                           FeatureMapKind::kWlSubtree),
+                         [](const auto& info) {
+                           return FeatureMapKindName(info.param);
+                         });
+
+TEST(DatasetVertexFeaturesTest, HashingCapsDimension) {
+  GraphDataset ds = ToyDataset();
+  VertexFeatureConfig config;
+  config.kind = FeatureMapKind::kShortestPath;
+  config.max_dense_dim = 2;
+  DatasetVertexFeatures features = ComputeDatasetVertexFeatures(ds, config);
+  EXPECT_TRUE(features.uses_hashing());
+  EXPECT_EQ(features.dim(), 2);
+  EXPECT_EQ(features.DenseRow(0, 0).size(), 2u);
+}
+
+TEST(DatasetVertexFeaturesTest, GraphMapEqualsVertexSum) {
+  GraphDataset ds = ToyDataset();
+  VertexFeatureConfig config;
+  config.kind = FeatureMapKind::kWlSubtree;
+  DatasetVertexFeatures features = ComputeDatasetVertexFeatures(ds, config);
+  SparseFeatureMap sum;
+  for (int v = 0; v < ds.graph(0).NumVertices(); ++v) {
+    sum += features.Get(0, v);
+  }
+  SparseFeatureMap graph_map = features.GraphFeatureMap(0);
+  EXPECT_DOUBLE_EQ(sum.Dot(sum), graph_map.Dot(graph_map));
+}
+
+TEST(DatasetVertexFeaturesTest, GraphletSeedReproducible) {
+  GraphDataset ds = ToyDataset();
+  VertexFeatureConfig config;
+  config.kind = FeatureMapKind::kGraphlet;
+  config.graphlet.k = 4;
+  config.graphlet.samples_per_vertex = 7;
+  config.seed = 123;
+  auto a = ComputeGraphFeatureMaps(ds, config);
+  auto b = ComputeGraphFeatureMaps(ds, config);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].Dot(a[i]), b[i].Dot(b[i]));
+    EXPECT_DOUBLE_EQ(a[i].Dot(b[i]), a[i].Dot(a[i]));
+  }
+}
+
+TEST(FeatureMapKindNameTest, Names) {
+  EXPECT_EQ(FeatureMapKindName(FeatureMapKind::kGraphlet), "GK");
+  EXPECT_EQ(FeatureMapKindName(FeatureMapKind::kShortestPath), "SP");
+  EXPECT_EQ(FeatureMapKindName(FeatureMapKind::kWlSubtree), "WL");
+}
+
+}  // namespace
+}  // namespace deepmap::kernels

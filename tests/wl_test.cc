@@ -1,0 +1,120 @@
+#include "kernels/wl.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace deepmap::kernels {
+namespace {
+
+using graph::Graph;
+
+TEST(WlRefinementTest, IterationZeroIsLabels) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {4, 5, 6});
+  WlRefinement refinery(WlConfig{0});
+  auto colors = refinery.Refine(g);
+  ASSERT_EQ(colors.size(), 1u);
+  EXPECT_EQ(colors[0], (std::vector<int64_t>{4, 5, 6}));
+}
+
+TEST(WlRefinementTest, RefinementSeparatesByNeighborhood) {
+  // Path 0-1-2, all same label: endpoints get one color, middle another.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {0, 0, 0});
+  WlRefinement refinery(WlConfig{1});
+  auto colors = refinery.Refine(g);
+  ASSERT_EQ(colors.size(), 2u);
+  EXPECT_EQ(colors[1][0], colors[1][2]);
+  EXPECT_NE(colors[1][0], colors[1][1]);
+}
+
+TEST(WlRefinementTest, SharedDictionaryAcrossGraphs) {
+  Graph a = Graph::FromEdges(2, {{0, 1}}, {0, 0});
+  Graph b = Graph::FromEdges(2, {{0, 1}}, {0, 0});
+  WlRefinement refinery(WlConfig{2});
+  auto ca = refinery.Refine(a);
+  auto cb = refinery.Refine(b);
+  EXPECT_EQ(ca, cb);  // identical graphs get identical colors
+  EXPECT_EQ(refinery.NumColorsAtIteration(1), 1u);
+}
+
+TEST(WlRefinementTest, StableColoringStopsGrowing) {
+  // A cycle is color-stable after one round: the dictionary gains nothing
+  // in later rounds.
+  Graph g(4);
+  for (int i = 0; i < 4; ++i) g.AddEdge(i, (i + 1) % 4);
+  WlRefinement refinery(WlConfig{3});
+  refinery.Refine(g);
+  EXPECT_EQ(refinery.NumColorsAtIteration(1), 1u);
+  EXPECT_EQ(refinery.NumColorsAtIteration(2), 1u);
+  EXPECT_EQ(refinery.NumColorsAtIteration(3), 1u);
+}
+
+TEST(VertexWlTest, OneFeaturePerIterationPerVertex) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {0, 1, 0, 1});
+  WlRefinement refinery(WlConfig{3});
+  auto features = VertexWlFeatureMaps(g, refinery);
+  ASSERT_EQ(features.size(), 4u);
+  for (const auto& f : features) {
+    EXPECT_DOUBLE_EQ(f.TotalCount(), 4.0);  // h = 0..3
+  }
+}
+
+TEST(WlFeatureMapTest, IsomorphicGraphsIdenticalMaps) {
+  Rng rng(5);
+  Graph g = Graph::FromEdges(
+      7, {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}, {5, 6}},
+      {0, 1, 1, 0, 2, 2, 0});
+  std::vector<graph::Vertex> perm(7);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph h = g.Permuted(perm);
+  WlRefinement refinery(WlConfig{3});
+  SparseFeatureMap fg = WlFeatureMap(g, refinery);
+  SparseFeatureMap fh = WlFeatureMap(h, refinery);
+  EXPECT_DOUBLE_EQ(fg.Dot(fg), fg.Dot(fh));
+  EXPECT_DOUBLE_EQ(fg.Dot(fg), fh.Dot(fh));
+}
+
+TEST(WlFeatureMapTest, DistinguishesStarFromPath) {
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, {0, 0, 0, 0});
+  Graph star = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}}, {0, 0, 0, 0});
+  WlRefinement refinery(WlConfig{2});
+  SparseFeatureMap fp = WlFeatureMap(path, refinery);
+  SparseFeatureMap fs = WlFeatureMap(star, refinery);
+  // Same h=0 counts but different refined colors: maps differ.
+  double cos = fp.Dot(fs) / (fp.L2Norm() * fs.L2Norm());
+  EXPECT_LT(cos, 1.0 - 1e-9);
+}
+
+TEST(WlFeatureMapTest, KernelValueMatchesHandComputation) {
+  // Two single-edge graphs, labels {0,0} vs {0,1}; h = 0.
+  Graph a = Graph::FromEdges(2, {{0, 1}}, {0, 0});
+  Graph b = Graph::FromEdges(2, {{0, 1}}, {0, 1});
+  WlRefinement refinery(WlConfig{0});
+  SparseFeatureMap fa = WlFeatureMap(a, refinery);
+  SparseFeatureMap fb = WlFeatureMap(b, refinery);
+  // fa = {label0: 2}, fb = {label0: 1, label1: 1} -> dot = 2.
+  EXPECT_DOUBLE_EQ(fa.Dot(fb), 2.0);
+}
+
+TEST(VertexWlForGraphsTest, ConsistentAcrossDataset) {
+  Graph a = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {0, 0, 0});
+  Graph b = Graph::FromEdges(3, {{0, 1}, {1, 2}}, {0, 0, 0});
+  auto all = VertexWlFeatureMapsForGraphs({a, b}, WlConfig{2});
+  ASSERT_EQ(all.size(), 2u);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(all[0][v].Dot(all[0][v]), all[1][v].Dot(all[1][v]));
+    EXPECT_DOUBLE_EQ(all[0][v].Dot(all[1][v]), all[0][v].Dot(all[0][v]));
+  }
+}
+
+TEST(PackWlFeatureTest, IterationsDoNotCollide) {
+  EXPECT_NE(PackWlFeature(0, 5), PackWlFeature(1, 5));
+  EXPECT_NE(PackWlFeature(2, 0), PackWlFeature(3, 0));
+}
+
+}  // namespace
+}  // namespace deepmap::kernels

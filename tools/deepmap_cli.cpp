@@ -1,0 +1,255 @@
+// deepmap_cli — command-line front end for the DEEPMAP library.
+//
+// Subcommands:
+//   stats     print Table-1 style statistics of a dataset
+//   evaluate  k-fold cross-validate a method on a dataset
+//   generate  write a synthetic benchmark dataset in TU format
+//
+// Datasets come either from TU-format files on disk (--data_dir=DIR
+// --dataset=NAME) or from the built-in synthetic generators
+// (--synthetic=NAME [--scale=F]). Methods: deepmap-gk, deepmap-sp,
+// deepmap-wl, deepmap-treepp, gk, sp, wl, treepp, wl-oa, rw, dgk, retgk,
+// gntk, dgcnn, gin, dcnn, patchysan, gcn, gat.
+//
+// Examples:
+//   deepmap_cli stats --synthetic=KKI
+//   deepmap_cli evaluate --method=deepmap-wl --synthetic=PTC_MR --folds=3
+//   deepmap_cli evaluate --method=wl --data_dir=/data/TU --dataset=MUTAG
+//   deepmap_cli generate --synthetic=ENZYMES --out_dir=/tmp/enzymes
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "baselines/gat.h"
+#include "baselines/gcn.h"
+#include "baselines/kernel_svm.h"
+#include "eval/experiment.h"
+#include "graph/statistics.h"
+#include "graph/tu_format.h"
+#include "kernels/random_walk.h"
+#include "kernels/wl_oa.h"
+
+namespace {
+
+using namespace deepmap;
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: deepmap_cli <stats|evaluate|generate> [flags]\n"
+      "  common:   --synthetic=NAME [--scale=F] | --data_dir=DIR --dataset=NAME\n"
+      "  evaluate: --method=M [--folds=N] [--epochs=N] [--seed=N] [--r=N]\n"
+      "  generate: --synthetic=NAME --out_dir=DIR [--scale=F]\n");
+  return 2;
+}
+
+StatusOr<graph::GraphDataset> LoadDataset(const CliArgs& args) {
+  if (args.Has("synthetic")) {
+    datasets::DatasetOptions options;
+    options.scale = args.GetDouble("scale", 0.12);
+    options.min_graphs = args.GetInt("min_graphs", 80);
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    return datasets::MakeDataset(args.Get("synthetic"), options);
+  }
+  if (args.Has("data_dir") && args.Has("dataset")) {
+    auto ds = graph::ReadTuDataset(args.Get("data_dir"), args.Get("dataset"));
+    if (ds.ok() && !ds.value().has_vertex_labels()) {
+      ds.value().UseDegreesAsLabels();
+    }
+    return ds;
+  }
+  return Status::InvalidArgument(
+      "need --synthetic=NAME or --data_dir=DIR --dataset=NAME");
+}
+
+int RunStats(const CliArgs& args) {
+  auto ds = LoadDataset(args);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = ds.value().Stats();
+  std::printf("dataset:        %s\n", ds.value().name().c_str());
+  std::printf("graphs:         %d\n", stats.size);
+  std::printf("classes:        %d\n", stats.num_classes);
+  std::printf("avg vertices:   %.2f\n", stats.avg_vertices);
+  std::printf("avg edges:      %.2f\n", stats.avg_edges);
+  std::printf("vertex labels:  %d\n", stats.num_vertex_labels);
+  std::printf("max vertices:   %d (the CNN sequence length w)\n",
+              ds.value().MaxVertices());
+  graph::ExtendedStats ext = graph::ComputeExtendedStats(ds.value());
+  std::printf("density:        %.4f\n", ext.density);
+  std::printf("clustering:     %.4f\n", ext.clustering);
+  std::printf("assortativity:  %+.4f\n", ext.assortativity);
+  std::printf("components:     %.2f\n", ext.components);
+  std::printf("diameter:       %.2f\n", ext.diameter);
+  return 0;
+}
+
+int RunEvaluate(const CliArgs& args) {
+  auto ds = LoadDataset(args);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const std::string method = args.Get("method", "deepmap-wl");
+  eval::BenchOptions options;
+  options.folds = args.GetInt("folds", 3);
+  options.epochs = args.GetInt("epochs", 24);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  auto kind_of = [](const std::string& name) {
+    if (name == "gk") return kernels::FeatureMapKind::kGraphlet;
+    if (name == "sp") return kernels::FeatureMapKind::kShortestPath;
+    if (name == "treepp") return kernels::FeatureMapKind::kTreePp;
+    return kernels::FeatureMapKind::kWlSubtree;
+  };
+
+  eval::MethodRun run;
+  if (method.rfind("deepmap-", 0) == 0) {
+    core::DeepMapConfig config =
+        eval::DefaultDeepMapConfig(kind_of(method.substr(8)), options);
+    config.receptive_field_size = args.GetInt("r", 5);
+    run = eval::RunDeepMap(ds.value(), config, options);
+  } else if (method == "gk" || method == "sp" || method == "wl" ||
+             method == "treepp") {
+    run = eval::RunGraphKernel(ds.value(), kind_of(method), options);
+  } else if (method == "wl-oa") {
+    auto gram = kernels::WlOptimalAssignmentKernelMatrix(ds.value());
+    run.cv = baselines::KernelSvmCrossValidate(gram, ds.value().labels(),
+                                               options.folds, options.seed);
+  } else if (method == "rw") {
+    kernels::RandomWalkConfig config;
+    config.order = args.GetInt("order", 1);
+    auto gram = kernels::RandomWalkKernelMatrix(ds.value(), config);
+    run.cv = baselines::KernelSvmCrossValidate(gram, ds.value().labels(),
+                                               options.folds, options.seed);
+  } else if (method == "dgk") {
+    run = eval::RunDgk(ds.value(), options);
+  } else if (method == "retgk") {
+    run = eval::RunRetGk(ds.value(), options);
+  } else if (method == "gntk") {
+    run = eval::RunGntk(ds.value(), options);
+  } else if (method == "gcn" || method == "gat") {
+    // Extended related-work baselines (paper Sec. 2.2).
+    baselines::VertexFeatureProvider provider =
+        baselines::OneHotProvider(ds.value());
+    nn::TrainConfig train;
+    train.epochs = options.epochs;
+    train.batch_size = 8;
+    run.cv = eval::CrossValidate(
+        ds.value().labels(), options.folds, options.seed,
+        [&](const eval::FoldSplit& split, int fold) -> double {
+          auto evaluate = [&](auto& model, const auto& samples) {
+            std::vector<std::decay_t<decltype(samples[0])>> tr, te;
+            std::vector<int> trl, tel;
+            for (int i : split.train_indices) {
+              tr.push_back(samples[i]);
+              trl.push_back(ds.value().label(i));
+            }
+            for (int i : split.test_indices) {
+              te.push_back(samples[i]);
+              tel.push_back(ds.value().label(i));
+            }
+            nn::TrainConfig fold_train = train;
+            fold_train.seed = options.seed + 900 + fold;
+            nn::TrainClassifier(model, tr, trl, fold_train);
+            return nn::EvaluateAccuracy(model, te, tel);
+          };
+          if (method == "gcn") {
+            auto samples = baselines::BuildGcnSamples(ds.value(), provider);
+            baselines::GcnConfig config;
+            config.seed = options.seed + 500 + fold;
+            baselines::GcnModel model(provider.dim, ds.value().NumClasses(),
+                                      config);
+            return evaluate(model, samples);
+          }
+          auto samples = baselines::BuildGatSamples(ds.value(), provider);
+          baselines::GatConfig config;
+          config.seed = options.seed + 500 + fold;
+          baselines::GatModel model(provider.dim, ds.value().NumClasses(),
+                                    config);
+          return evaluate(model, samples);
+        });
+  } else if (method == "dgcnn" || method == "gin" || method == "dcnn" ||
+             method == "patchysan") {
+    eval::GnnKind kind = eval::GnnKind::kDgcnn;
+    if (method == "gin") kind = eval::GnnKind::kGin;
+    if (method == "dcnn") kind = eval::GnnKind::kDcnn;
+    if (method == "patchysan") kind = eval::GnnKind::kPatchySan;
+    run = eval::RunGnn(ds.value(), kind, args.Has("vfm"), options);
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  std::printf("%s on %s: %.2f%% +- %.2f%%", method.c_str(),
+              ds.value().name().c_str(), run.cv.mean_accuracy, run.cv.stddev);
+  if (run.mean_epoch_ms > 0) {
+    std::printf("  (%.1f ms/epoch)", run.mean_epoch_ms);
+  }
+  std::printf("\nfolds:");
+  for (double a : run.cv.fold_accuracies) std::printf(" %.2f", a);
+  std::printf("\n");
+  return 0;
+}
+
+int RunGenerate(const CliArgs& args) {
+  if (!args.Has("synthetic") || !args.Has("out_dir")) return Usage();
+  auto ds = LoadDataset(args);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::filesystem::create_directories(args.Get("out_dir"));
+  Status status = graph::WriteTuDataset(ds.value(), args.Get("out_dir"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %d graphs to %s/%s_*.txt\n", ds.value().size(),
+              args.Get("out_dir").c_str(), ds.value().name().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  CliArgs args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return Usage();
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) {
+      args.flags[arg + 2] = "1";  // boolean flag
+    } else {
+      args.flags[std::string(arg + 2, eq)] = eq + 1;
+    }
+  }
+  if (args.command == "stats") return RunStats(args);
+  if (args.command == "evaluate") return RunEvaluate(args);
+  if (args.command == "generate") return RunGenerate(args);
+  return Usage();
+}
