@@ -1,0 +1,210 @@
+// Serving throughput: batched engine vs the unbatched single-request path.
+//
+//   $ ./build/bench/serve_throughput [--requests=N] [--epochs=N] [--full]
+//
+// Trains a small DEEPMAP-WL model, then serves the same request stream
+//   (a) through the offline single-request path (BuildDeepMapInput +
+//       DeepMapModel::Forward, one graph at a time),
+//   (b) through the InferenceEngine at batch sizes {1, 8, 32, 128} with the
+//       prediction cache disabled, and
+//   (c) through the engine with a warm prediction cache.
+// Reports graphs/sec and the speedup over (a). The acceptance target is
+// >= 3x at batch >= 32; the warm-cache pass additionally shows preprocessing
+// being skipped entirely (stage counts stop growing).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "core/deepmap.h"
+#include "datasets/registry.h"
+#include "nn/model.h"
+#include "serve/engine.h"
+
+using namespace deepmap;
+
+namespace {
+
+struct BenchArgs {
+  int requests = 512;
+  int epochs = 3;
+  std::string dataset = "PTC_MM";
+};
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  const char* env_full = std::getenv("DEEPMAP_BENCH_FULL");
+  bool full = env_full != nullptr && std::strcmp(env_full, "1") == 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--full") {
+      full = true;
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      args.requests = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      args.epochs = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      args.dataset = arg.substr(10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (full) {
+    args.requests = 10000;
+    args.epochs = 10;
+  }
+  return args;
+}
+
+std::string Fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+struct EngineRun {
+  double graphs_per_sec = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t preprocess_count = 0;
+  int64_t requests = 0;
+  std::string latency_report;  // per-stage latency table (timed pass only)
+};
+
+EngineRun RunEngine(const std::shared_ptr<serve::ServableModel>& servable,
+                    const std::vector<const graph::Graph*>& requests,
+                    int max_batch, size_t cache_capacity) {
+  serve::InferenceEngine::Options options;
+  options.batcher.max_batch = max_batch;
+  options.batcher.max_wait_us = 2000;
+  options.batcher.queue_capacity = requests.size() + 16;
+  options.cache_capacity = cache_capacity;
+  serve::InferenceEngine engine(servable, options);
+
+  // Warm-cache mode: a first pass populates the cache, the timed pass hits.
+  if (cache_capacity > 0) {
+    std::vector<std::future<StatusOr<serve::Prediction>>> warmup;
+    warmup.reserve(requests.size());
+    for (const graph::Graph* g : requests) warmup.push_back(engine.Submit(*g));
+    for (auto& f : warmup) f.get();
+  }
+
+  Stopwatch timer;
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const graph::Graph* g : requests) futures.push_back(engine.Submit(*g));
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "serve error: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  EngineRun run;
+  run.graphs_per_sec = static_cast<double>(requests.size()) / elapsed;
+  run.cache_hits = engine.metrics().cache_hits();
+  run.cache_misses = engine.metrics().cache_misses();
+  run.preprocess_count = engine.metrics().stage_count("preprocess");
+  run.requests = engine.metrics().requests();
+  std::ostringstream report;
+  engine.metrics().Print(report);
+  run.latency_report = report.str();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+
+  datasets::DatasetOptions options;
+  options.min_graphs = 40;
+  auto dataset_or = datasets::MakeDataset(args.dataset, options);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  const graph::GraphDataset& dataset = dataset_or.value();
+
+  core::DeepMapConfig config;
+  config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+  config.features.wl.iterations = 2;
+  config.features.max_dense_dim = 64;
+  config.train.epochs = args.epochs;
+  config.train.batch_size = 8;
+
+  core::DeepMapPipeline pipeline(dataset, config);
+  core::DeepMapModel model(pipeline.feature_dim(), pipeline.sequence_length(),
+                           pipeline.num_classes(), config);
+  nn::TrainClassifier(model, pipeline.inputs(), dataset.labels(),
+                      config.train);
+  std::printf("%s: %d graphs, m=%d, w=%d, serving %d requests\n\n",
+              dataset.name().c_str(), dataset.size(), pipeline.feature_dim(),
+              pipeline.sequence_length(), args.requests);
+
+  serve::ModelRegistry registry;
+  if (Status s = registry.Adopt("bench", dataset, config, model); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<serve::ServableModel> servable = registry.Get("bench");
+
+  // The request stream cycles over the dataset's graphs.
+  std::vector<const graph::Graph*> requests;
+  requests.reserve(static_cast<size_t>(args.requests));
+  for (int i = 0; i < args.requests; ++i) {
+    requests.push_back(&dataset.graph(i % dataset.size()));
+  }
+
+  // (a) Unbatched single-request baseline: the offline path, one graph at a
+  // time (per-request input build + training-stack forward).
+  Stopwatch baseline_timer;
+  for (int i = 0; i < args.requests; ++i) {
+    const int graph_index = i % dataset.size();
+    nn::Tensor input = core::BuildDeepMapInput(
+        dataset.graph(graph_index), pipeline.features(), graph_index,
+        pipeline.sequence_length(), config.receptive_field_size,
+        config.alignment, nullptr);
+    nn::Tensor logits = model.Forward(input, false);
+    (void)logits;
+  }
+  const double baseline =
+      static_cast<double>(args.requests) / baseline_timer.ElapsedSeconds();
+
+  Table table({"configuration", "graphs/sec", "speedup"});
+  table.AddRow({"unbatched offline path", Fmt(baseline), "1.0x"});
+
+  std::string batch32_report;
+  for (int batch : {1, 8, 32, 128}) {
+    EngineRun run = RunEngine(servable, requests, batch, /*cache_capacity=*/0);
+    if (batch == 32) batch32_report = run.latency_report;
+    table.AddRow({"engine, batch=" + std::to_string(batch),
+                  Fmt(run.graphs_per_sec),
+                  Fmt(run.graphs_per_sec / baseline, "%.1fx")});
+  }
+
+  EngineRun warm = RunEngine(servable, requests, 32, /*cache_capacity=*/4096);
+  table.AddRow({"engine, batch=32, warm cache", Fmt(warm.graphs_per_sec),
+                Fmt(warm.graphs_per_sec / baseline, "%.1fx")});
+  table.Print(std::cout);
+
+  std::printf("\nbatch=32 run:\n%s", batch32_report.c_str());
+  std::printf(
+      "\nwarm-cache run: %lld hits / %lld misses; preprocess ran %lld times "
+      "for %lld requests (hits skip it)\n",
+      static_cast<long long>(warm.cache_hits),
+      static_cast<long long>(warm.cache_misses),
+      static_cast<long long>(warm.preprocess_count),
+      static_cast<long long>(warm.requests));
+  return 0;
+}

@@ -14,13 +14,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/deepmap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_serve.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/deepmap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/deepmap_core.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/deepmap_kernels.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/deepmap_nn.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/deepmap_datasets.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/deepmap_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
   )
 

@@ -72,7 +72,11 @@ const SparseFeatureMap& DatasetVertexFeatures::Get(int g, int v) const {
 }
 
 std::vector<double> DatasetVertexFeatures::DenseRow(int g, int v) const {
-  const SparseFeatureMap& map = Get(g, v);
+  return DensifyRow(Get(g, v));
+}
+
+std::vector<double> DatasetVertexFeatures::DensifyRow(
+    const SparseFeatureMap& map) const {
   std::vector<double> dense;
   if (uses_hashing_) {
     dense = DensifyHashed(map, static_cast<size_t>(dim_));

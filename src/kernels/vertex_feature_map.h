@@ -84,6 +84,12 @@ class DatasetVertexFeatures {
   /// Dense vector of length dim() for vertex v of graph g.
   std::vector<double> DenseRow(int g, int v) const;
 
+  /// Densifies an arbitrary sparse map with this dataset's scheme: training
+  /// vocabulary (or feature hashing), log scaling, and the training-time
+  /// column scales. Ids unseen at training time are dropped (or hashed).
+  /// This is what serving-time preprocessing uses for request graphs.
+  std::vector<double> DensifyRow(const SparseFeatureMap& map) const;
+
   /// Graph-level feature map of graph g (Eq. 7 sum over vertices).
   SparseFeatureMap GraphFeatureMap(int g) const;
 

@@ -14,13 +14,20 @@ Dense::Dense(int in_features, int out_features, Rng& rng)
 
 Tensor Dense::Forward(const Tensor& input, bool training) {
   input_was_rank1_ = input.rank() == 1;
-  cached_input_ = input_was_rank1_ ? input.Reshaped({1, in_features_}) : input;
-  DEEPMAP_CHECK_EQ(cached_input_.rank(), 2);
-  DEEPMAP_CHECK_EQ(cached_input_.dim(1), in_features_);
+  Tensor reshaped;
+  if (input_was_rank1_) reshaped = input.Reshaped({1, in_features_});
+  const Tensor& x = input_was_rank1_ ? reshaped : input;
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(1), in_features_);
   // [L, in] x [out, in]^T -> [L, out]
-  Tensor out = MatMulTransposedB(cached_input_, weights_);
+  Tensor out = MatMulTransposedB(x, weights_);
   for (int l = 0; l < out.dim(0); ++l) {
     for (int o = 0; o < out_features_; ++o) out.at(l, o) += bias_.at(o);
+  }
+  if (input_was_rank1_) {
+    cached_input_ = std::move(reshaped);
+  } else {
+    cached_input_ = x;
   }
   if (input_was_rank1_) return out.Reshaped({out_features_});
   return out;

@@ -65,25 +65,54 @@ Status LoadParameters(const std::vector<Param>& params,
   // untouched.
   std::vector<Tensor> staged;
   staged.reserve(params.size());
-  for (const Param& p : params) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Param& p = params[i];
     uint32_t rank = 0;
-    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(p.value->rank())) {
-      return Status::InvalidArgument("parameter rank mismatch");
+    if (!ReadPod(in, &rank)) {
+      return Status::IoError("truncated file: missing rank of parameter " +
+                             std::to_string(i));
+    }
+    if (rank != static_cast<uint32_t>(p.value->rank())) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " rank mismatch (file has " +
+          std::to_string(rank) + ", model expects " +
+          std::to_string(p.value->rank()) + ", " + p.value->ShapeString() +
+          ")");
     }
     std::vector<int> shape(rank);
     for (uint32_t d = 0; d < rank; ++d) {
       uint32_t dim = 0;
-      if (!ReadPod(in, &dim) ||
-          dim != static_cast<uint32_t>(p.value->dim(static_cast<int>(d)))) {
-        return Status::InvalidArgument("parameter shape mismatch");
+      if (!ReadPod(in, &dim)) {
+        return Status::IoError("truncated file: missing shape of parameter " +
+                               std::to_string(i));
+      }
+      if (dim != static_cast<uint32_t>(p.value->dim(static_cast<int>(d)))) {
+        return Status::InvalidArgument(
+            "parameter " + std::to_string(i) + " shape mismatch at dim " +
+            std::to_string(d) + " (file has " + std::to_string(dim) +
+            ", model expects " +
+            std::to_string(p.value->dim(static_cast<int>(d))) + ", " +
+            p.value->ShapeString() + ")");
       }
       shape[d] = static_cast<int>(dim);
     }
     Tensor t(shape);
     in.read(reinterpret_cast<char*>(t.data()),
             static_cast<std::streamsize>(sizeof(float)) * t.NumElements());
-    if (!in) return Status::IoError("short read from " + path);
+    if (!in) {
+      return Status::IoError("truncated file: short read of parameter " +
+                             std::to_string(i) + " data from " + path);
+    }
     staged.push_back(std::move(t));
+  }
+  // A well-formed file ends exactly after the last tensor; trailing bytes
+  // mean the file does not describe this architecture (or is corrupt).
+  char extra = 0;
+  in.read(&extra, 1);
+  if (in.gcount() != 0) {
+    return Status::InvalidArgument(path +
+                                   " has trailing bytes after the last "
+                                   "parameter; file/model mismatch");
   }
   for (size_t i = 0; i < params.size(); ++i) {
     *params[i].value = std::move(staged[i]);

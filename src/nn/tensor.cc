@@ -1,10 +1,13 @@
 #include "nn/tensor.h"
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
 namespace deepmap::nn {
 namespace {
+
+std::atomic<long> g_copy_count{0};
 
 int Volume(const std::vector<int>& shape) {
   int v = 1;
@@ -19,6 +22,28 @@ int Volume(const std::vector<int>& shape) {
 
 Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
   data_.assign(static_cast<size_t>(Volume(shape_)), 0.0f);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  if (!data_.empty()) g_copy_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    shape_ = other.shape_;
+    data_ = other.data_;
+    if (!data_.empty()) g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+long Tensor::CopyCount() {
+  return g_copy_count.load(std::memory_order_relaxed);
+}
+
+void Tensor::ResetCopyCount() {
+  g_copy_count.store(0, std::memory_order_relaxed);
 }
 
 Tensor Tensor::FromVector(std::vector<int> shape, std::vector<float> data) {

@@ -20,6 +20,19 @@ class Tensor {
   /// Zero-initialized tensor of the given shape (all dims > 0).
   explicit Tensor(std::vector<int> shape);
 
+  // Copies are counted (see CopyCount) so hot paths can assert they move;
+  // declaring the copy pair suppresses the implicit moves, so restate them.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  /// Tensor copy constructions/assignments process-wide since the last
+  /// ResetCopyCount(). Lets tests assert a code path performs no hidden
+  /// deep copies (e.g. the serving batcher).
+  static long CopyCount();
+  static void ResetCopyCount();
+
   /// Builds a tensor from flat data (size must match the shape's volume).
   static Tensor FromVector(std::vector<int> shape, std::vector<float> data);
 

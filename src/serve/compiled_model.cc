@@ -1,0 +1,253 @@
+#include "serve/compiled_model.h"
+
+#include <cmath>
+
+namespace deepmap::serve {
+namespace {
+
+/// Mirrors nn::Relu (strictly-negative values clamp; -0.0f passes through,
+/// which keeps the compiled chain bit-identical to the layer stack).
+inline void ReluInPlace(std::vector<float>& v) {
+  for (float& x : v) {
+    if (x < 0.0f) x = 0.0f;
+  }
+}
+
+/// Pointwise conv (kernel 1): out[o] = bias[o] + sum_i w[o][i] * in[i],
+/// accumulated in the same order as nn::Conv1D::Forward.
+inline void PointwiseConv(const nn::Tensor& weights, const nn::Tensor& bias,
+                          const std::vector<float>& in,
+                          std::vector<float>& out) {
+  const int out_channels = bias.dim(0);
+  const int in_channels = weights.dim(1);
+  out.resize(static_cast<size_t>(out_channels));
+  const float* w = weights.data();
+  for (int o = 0; o < out_channels; ++o) {
+    float sum = bias.data()[o];
+    const float* wo = w + static_cast<size_t>(o) * in_channels;
+    for (int i = 0; i < in_channels; ++i) sum += wo[i] * in[i];
+    out[static_cast<size_t>(o)] = sum;
+  }
+}
+
+/// Dense layer in nn::Dense order: full weight sum first, bias added last.
+inline void DenseForward(const nn::Tensor& weights, const nn::Tensor& bias,
+                         const std::vector<float>& in,
+                         std::vector<float>& out) {
+  const int out_features = bias.dim(0);
+  const int in_features = weights.dim(1);
+  out.resize(static_cast<size_t>(out_features));
+  const float* w = weights.data();
+  for (int o = 0; o < out_features; ++o) {
+    float sum = 0.0f;
+    const float* wo = w + static_cast<size_t>(o) * in_features;
+    for (int t = 0; t < in_features; ++t) sum += in[t] * wo[t];
+    out[static_cast<size_t>(o)] = sum + bias.data()[o];
+  }
+}
+
+/// Index of the first nonzero entry, or -1 when the row is all zeros.
+inline int FirstNonZero(const float* row, int m) {
+  for (int c = 0; c < m; ++c) {
+    if (row[c] != 0.0f) return c;
+  }
+  return -1;
+}
+
+Status ShapeError(const char* name, const nn::Tensor& got,
+                  const std::vector<int>& want) {
+  std::string msg = "compiled-model parameter '";
+  msg += name;
+  msg += "' has shape " + got.ShapeString() + ", expected [";
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (i > 0) msg += "x";
+    msg += std::to_string(want[i]);
+  }
+  msg += "]";
+  return Status::InvalidArgument(msg);
+}
+
+Status CheckShape(const char* name, const nn::Tensor& t,
+                  const std::vector<int>& want) {
+  if (t.shape() != want) return ShapeError(name, t, want);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<CompiledModel> CompiledModel::Compile(core::DeepMapModel& model,
+                                               const core::DeepMapConfig& config,
+                                               int feature_dim,
+                                               int sequence_length,
+                                               int num_classes) {
+  if (feature_dim <= 0 || sequence_length <= 0 || num_classes <= 0) {
+    return Status::InvalidArgument("compiled model needs positive dimensions");
+  }
+  CompiledModel cm;
+  cm.m_ = feature_dim;
+  cm.w_ = sequence_length;
+  cm.r_ = config.receptive_field_size;
+  cm.c1_ = config.conv1_channels;
+  cm.c2_ = config.conv2_channels;
+  cm.c3_ = config.conv3_channels;
+  cm.dense_units_ = config.dense_units;
+  cm.num_classes_ = num_classes;
+  cm.readout_ = config.readout;
+  cm.readout_dim_ = config.readout == core::ReadoutKind::kConcat
+                        ? config.conv3_channels * sequence_length
+                        : config.conv3_channels;
+
+  std::vector<nn::Param> params = model.Params();
+  if (params.size() != 10) {
+    return Status::InvalidArgument(
+        "unexpected parameter count for a DEEPMAP network: got " +
+        std::to_string(params.size()) + ", expected 10");
+  }
+  struct Slot {
+    const char* name;
+    nn::Tensor* dst;
+    std::vector<int> shape;
+  };
+  const Slot slots[] = {
+      {"conv1.weights", &cm.conv1_w_, {cm.c1_, cm.r_ * cm.m_}},
+      {"conv1.bias", &cm.conv1_b_, {cm.c1_}},
+      {"conv2.weights", &cm.conv2_w_, {cm.c2_, cm.c1_}},
+      {"conv2.bias", &cm.conv2_b_, {cm.c2_}},
+      {"conv3.weights", &cm.conv3_w_, {cm.c3_, cm.c2_}},
+      {"conv3.bias", &cm.conv3_b_, {cm.c3_}},
+      {"dense1.weights", &cm.dense1_w_, {cm.dense_units_, cm.readout_dim_}},
+      {"dense1.bias", &cm.dense1_b_, {cm.dense_units_}},
+      {"dense2.weights", &cm.dense2_w_, {cm.num_classes_, cm.dense_units_}},
+      {"dense2.bias", &cm.dense2_b_, {cm.num_classes_}},
+  };
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (Status s = CheckShape(slots[i].name, *params[i].value, slots[i].shape);
+        !s.ok()) {
+      return s;
+    }
+    *slots[i].dst = *params[i].value;
+  }
+
+  // Constant activations of an all-zero slot: conv bias -> ReLU chained
+  // through the pointwise convolutions, exactly as the layer stack computes
+  // them for dummy rows.
+  cm.dummy1_.assign(cm.conv1_b_.data(), cm.conv1_b_.data() + cm.c1_);
+  ReluInPlace(cm.dummy1_);
+  PointwiseConv(cm.conv2_w_, cm.conv2_b_, cm.dummy1_, cm.dummy2_);
+  ReluInPlace(cm.dummy2_);
+  PointwiseConv(cm.conv3_w_, cm.conv3_b_, cm.dummy2_, cm.dummy3_);
+  ReluInPlace(cm.dummy3_);
+  return cm;
+}
+
+void CompiledModel::ForwardInto(const nn::Tensor& input,
+                                ForwardScratch* scratch) const {
+  DEEPMAP_CHECK_EQ(input.rank(), 2);
+  DEEPMAP_CHECK_EQ(input.dim(0), w_ * r_);
+  DEEPMAP_CHECK_EQ(input.dim(1), m_);
+  const float* x = input.data();
+  const bool concat = readout_ == core::ReadoutKind::kConcat;
+  scratch->readout.assign(static_cast<size_t>(readout_dim_), 0.0f);
+  scratch->h1.resize(static_cast<size_t>(c1_));
+
+  for (int s = 0; s < w_; ++s) {
+    // Conv1 over this slot's window, visiting only nonzero input rows. The
+    // accumulation order per output channel matches nn::Conv1D (bias first,
+    // then weights in ascending (pos, feature) order), so skipping exact
+    // zeros leaves the sums bit-identical.
+    bool any_row = false;
+    for (int pos = 0; pos < r_; ++pos) {
+      const float* row = x + (static_cast<size_t>(s) * r_ + pos) * m_;
+      const int c0 = FirstNonZero(row, m_);
+      if (c0 < 0) continue;
+      if (!any_row) {
+        for (int o = 0; o < c1_; ++o) {
+          scratch->h1[static_cast<size_t>(o)] = conv1_b_.data()[o];
+        }
+        any_row = true;
+      }
+      for (int o = 0; o < c1_; ++o) {
+        const float* wo = conv1_w_.data() +
+                          (static_cast<size_t>(o) * r_ + pos) * m_;
+        float sum = scratch->h1[static_cast<size_t>(o)];
+        for (int c = c0; c < m_; ++c) sum += wo[c] * row[c];
+        scratch->h1[static_cast<size_t>(o)] = sum;
+      }
+    }
+
+    const std::vector<float>* h3 = &dummy3_;
+    if (any_row) {
+      ReluInPlace(scratch->h1);
+      PointwiseConv(conv2_w_, conv2_b_, scratch->h1, scratch->h2);
+      ReluInPlace(scratch->h2);
+      PointwiseConv(conv3_w_, conv3_b_, scratch->h2, scratch->h3);
+      ReluInPlace(scratch->h3);
+      h3 = &scratch->h3;
+    }
+    if (concat) {
+      float* dst = scratch->readout.data() + static_cast<size_t>(s) * c3_;
+      for (int c = 0; c < c3_; ++c) dst[c] = (*h3)[static_cast<size_t>(c)];
+    } else {
+      // Sequential slot-order accumulation mirrors nn::SumPool/MeanPool.
+      for (int c = 0; c < c3_; ++c) {
+        scratch->readout[static_cast<size_t>(c)] += (*h3)[static_cast<size_t>(c)];
+      }
+    }
+  }
+  if (readout_ == core::ReadoutKind::kMean) {
+    // nn::MeanPool divides the slot sum by the pooled length w.
+    const float inv = 1.0f / static_cast<float>(w_);
+    for (float& v : scratch->readout) v *= inv;
+  }
+
+  DenseForward(dense1_w_, dense1_b_, scratch->readout, scratch->hidden);
+  ReluInPlace(scratch->hidden);
+  // Dropout is identity at inference.
+  DenseForward(dense2_w_, dense2_b_, scratch->hidden, scratch->logits);
+}
+
+Prediction CompiledModel::Predict(const nn::Tensor& input,
+                                  ForwardScratch* scratch) const {
+  ForwardInto(input, scratch);
+  const std::vector<float>& logits = scratch->logits;
+  Prediction p;
+  // Argmax with Tensor::ArgMax's tie-break (first maximum wins).
+  int best = 0;
+  for (int i = 1; i < num_classes_; ++i) {
+    if (logits[static_cast<size_t>(i)] > logits[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  p.label = best;
+  // Numerically stable softmax.
+  p.probabilities.resize(static_cast<size_t>(num_classes_));
+  const float max_logit = logits[static_cast<size_t>(best)];
+  double total = 0.0;
+  for (int i = 0; i < num_classes_; ++i) {
+    const double e = std::exp(static_cast<double>(logits[i] - max_logit));
+    p.probabilities[static_cast<size_t>(i)] = static_cast<float>(e);
+    total += e;
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (float& v : p.probabilities) v *= inv;
+  return p;
+}
+
+nn::Tensor CompiledModel::Logits(const nn::Tensor& input,
+                                 ForwardScratch* scratch) const {
+  ForwardInto(input, scratch);
+  return nn::Tensor::FromFlat(scratch->logits);
+}
+
+void CompiledModel::PredictRange(const std::vector<nn::Tensor>& inputs,
+                                 size_t begin, size_t end,
+                                 ForwardScratch* scratch,
+                                 std::vector<Prediction>* predictions) const {
+  DEEPMAP_CHECK_LE(end, inputs.size());
+  DEEPMAP_CHECK_LE(end, predictions->size());
+  for (size_t i = begin; i < end; ++i) {
+    (*predictions)[i] = Predict(inputs[i], scratch);
+  }
+}
+
+}  // namespace deepmap::serve

@@ -1,0 +1,104 @@
+// Inference-only "compiled" form of a trained DeepMapModel.
+//
+// The training-path layers (nn::Conv1D etc.) cache activations for Backward
+// on every Forward call, allocate a fresh tensor per layer, and compute all
+// w sequence slots even though DEEPMAP inputs are zero-padded to the
+// dataset-wide maximum vertex count. None of that is needed to serve
+// predictions, so the registry compiles the parameters into a flat,
+// immutable weight bundle with a forward pass that
+//   - skips zero input rows (dummy receptive-field slots and padding rows
+//     contribute nothing beyond the bias),
+//   - routes fully-empty vertex slots through a precomputed constant
+//     activation chain (bias -> ReLU -> pointwise convs), so per-graph cost
+//     scales with the actual vertex count n instead of w,
+//   - reuses caller-provided scratch buffers (no per-sample allocation).
+// Floating-point evaluation order mirrors the training layers exactly, so
+// compiled logits are bit-identical to DeepMapModel::Forward(.., false).
+//
+// CompiledModel is immutable after Compile and safe to share across threads.
+#ifndef DEEPMAP_SERVE_COMPILED_MODEL_H_
+#define DEEPMAP_SERVE_COMPILED_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/deepmap.h"
+#include "nn/tensor.h"
+
+namespace deepmap::serve {
+
+/// A served classification: argmax class plus the softmax distribution.
+struct Prediction {
+  int label = -1;
+  std::vector<float> probabilities;  // size C, sums to ~1
+};
+
+/// Reusable per-thread forward-pass workspace.
+struct ForwardScratch {
+  std::vector<float> h1, h2, h3;  // per-slot conv activations
+  std::vector<float> readout;     // pooled / concatenated representation
+  std::vector<float> hidden;      // dense hidden activations
+  std::vector<float> logits;      // final class scores
+};
+
+/// Flat immutable weights + architecture dims of one DEEPMAP network.
+class CompiledModel {
+ public:
+  /// Snapshots `model`'s parameters. Validates that the parameter list has
+  /// the expected layer structure for (config, feature_dim, sequence_length,
+  /// num_classes); returns InvalidArgument on any shape mismatch.
+  static StatusOr<CompiledModel> Compile(core::DeepMapModel& model,
+                                         const core::DeepMapConfig& config,
+                                         int feature_dim, int sequence_length,
+                                         int num_classes);
+
+  int feature_dim() const { return m_; }
+  int sequence_length() const { return w_; }
+  int num_classes() const { return num_classes_; }
+  int receptive_field_size() const { return r_; }
+
+  /// Classifies one preprocessed input of shape [w*r, m]. Thread-safe; pass
+  /// a distinct `scratch` per calling thread.
+  Prediction Predict(const nn::Tensor& input, ForwardScratch* scratch) const;
+
+  /// Raw class scores (pre-softmax) for equivalence checks; written into
+  /// scratch->logits and returned as a tensor copy.
+  nn::Tensor Logits(const nn::Tensor& input, ForwardScratch* scratch) const;
+
+  /// Classifies inputs[begin, end) into predictions[begin, end). Designed to
+  /// be sharded across ThreadPool workers; one scratch per shard.
+  void PredictRange(const std::vector<nn::Tensor>& inputs, size_t begin,
+                    size_t end, ForwardScratch* scratch,
+                    std::vector<Prediction>* predictions) const;
+
+ private:
+  CompiledModel() = default;
+
+  /// Runs the conv stack + readout + dense head; leaves logits in
+  /// scratch->logits.
+  void ForwardInto(const nn::Tensor& input, ForwardScratch* scratch) const;
+
+  int m_ = 0;            // vertex feature dimension
+  int w_ = 0;            // sequence length (max vertices)
+  int r_ = 0;            // receptive field size
+  int c1_ = 0, c2_ = 0, c3_ = 0;
+  int dense_units_ = 0;
+  int num_classes_ = 0;
+  int readout_dim_ = 0;
+  core::ReadoutKind readout_ = core::ReadoutKind::kSum;
+
+  // Weight snapshots, in the training layout (see nn/conv1d.h, nn/dense.h).
+  nn::Tensor conv1_w_, conv1_b_;  // [c1, r*m], [c1]
+  nn::Tensor conv2_w_, conv2_b_;  // [c2, c1], [c2]
+  nn::Tensor conv3_w_, conv3_b_;  // [c3, c2], [c3]
+  nn::Tensor dense1_w_, dense1_b_;  // [dense, readout_dim], [dense]
+  nn::Tensor dense2_w_, dense2_b_;  // [C, dense], [C]
+
+  // Activations an all-zero (dummy/padding) slot produces after each
+  // conv+ReLU; computed once at Compile time.
+  std::vector<float> dummy1_, dummy2_, dummy3_;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_COMPILED_MODEL_H_

@@ -1,0 +1,156 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace deepmap::serve {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
+                                 const Options& options)
+    : model_(std::move(model)),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {
+  DEEPMAP_CHECK(model_ != nullptr);
+  batcher_ = std::make_unique<MicroBatcher>(
+      options_.batcher,
+      [this](std::vector<ServeRequest>&& batch, size_t depth_after) {
+        HandleBatch(std::move(batch), depth_after);
+      });
+}
+
+InferenceEngine::~InferenceEngine() {
+  // MicroBatcher::~MicroBatcher drains the queue through HandleBatch, which
+  // still needs pool_/cache_/metrics_ — stop it before anything else dies.
+  batcher_->Stop();
+}
+
+std::future<StatusOr<Prediction>> InferenceEngine::Submit(
+    const graph::Graph& g) {
+  const auto start = std::chrono::steady_clock::now();
+  ServeRequest request;
+  request.enqueue_time = start;
+  std::future<StatusOr<Prediction>> future = request.promise.get_future();
+
+  if (options_.cache_capacity > 0) {
+    request.cache_key =
+        PredictionCache::KeyFor(g, options_.cache_wl_iterations);
+    if (std::optional<Prediction> hit = cache_.Lookup(request.cache_key)) {
+      RequestTiming timing;
+      timing.cache_hit = true;
+      timing.total_us =
+          MicrosSince(start, std::chrono::steady_clock::now());
+      metrics_.RecordRequest(timing);
+      request.promise.set_value(std::move(*hit));
+      return future;
+    }
+  }
+
+  request.graph = g;
+  if (Status s = batcher_->Submit(std::move(request)); !s.ok()) {
+    // Submit only fails before moving the request into the queue, so the
+    // promise is still ours to fulfill.
+    metrics_.RecordRejected();
+    std::promise<StatusOr<Prediction>> rejected;
+    future = rejected.get_future();
+    rejected.set_value(StatusOr<Prediction>(s));
+  }
+  return future;
+}
+
+StatusOr<Prediction> InferenceEngine::Classify(const graph::Graph& g) {
+  return Submit(g).get();
+}
+
+void InferenceEngine::Drain() { batcher_->Drain(); }
+
+void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
+                                  size_t queue_depth_after) {
+  const size_t n = batch.size();
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  metrics_.RecordBatch(static_cast<int>(n));
+  metrics_.RecordQueueDepth(queue_depth_after);
+
+  // Stage 1: preprocess every graph of the batch on the thread pool.
+  std::vector<Status> statuses(n);
+  std::vector<nn::Tensor> inputs(n);
+  std::vector<double> preprocess_us(n, 0.0);
+  Preprocessor& preprocessor = model_->preprocessor();
+  for (size_t i = 0; i < n; ++i) {
+    pool_.Submit([&, i] {
+      const auto t0 = std::chrono::steady_clock::now();
+      StatusOr<nn::Tensor> result = preprocessor.Preprocess(batch[i].graph);
+      if (result.ok()) {
+        inputs[i] = std::move(result).value();
+      } else {
+        statuses[i] = result.status();
+      }
+      preprocess_us[i] =
+          MicrosSince(t0, std::chrono::steady_clock::now());
+    });
+  }
+  pool_.Wait();
+
+  // Stage 2: batched forward pass, sharded across the pool. Each shard
+  // reuses one scratch workspace for its whole slice.
+  std::vector<size_t> valid;
+  valid.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (statuses[i].ok()) valid.push_back(i);
+  }
+  std::vector<Prediction> predictions(n);
+  std::vector<double> forward_us(n, 0.0);
+  if (!valid.empty()) {
+    const CompiledModel& compiled = model_->compiled();
+    const size_t num_shards =
+        std::min(std::max<size_t>(pool_.num_threads(), 1), valid.size());
+    const size_t per_shard = (valid.size() + num_shards - 1) / num_shards;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      const size_t begin = shard * per_shard;
+      const size_t end = std::min(valid.size(), begin + per_shard);
+      if (begin >= end) break;
+      pool_.Submit([&, begin, end] {
+        ForwardScratch scratch;
+        for (size_t v = begin; v < end; ++v) {
+          const size_t i = valid[v];
+          const auto t0 = std::chrono::steady_clock::now();
+          predictions[i] = compiled.Predict(inputs[i], &scratch);
+          forward_us[i] =
+              MicrosSince(t0, std::chrono::steady_clock::now());
+        }
+      });
+    }
+    pool_.Wait();
+  }
+
+  // Stage 3: warm the cache, fulfill promises, record metrics.
+  for (size_t i = 0; i < n; ++i) {
+    RequestTiming timing;
+    timing.queue_us = MicrosSince(batch[i].enqueue_time, dispatch_time);
+    timing.preprocess_us = preprocess_us[i];
+    timing.forward_us = forward_us[i];
+    timing.total_us = MicrosSince(batch[i].enqueue_time,
+                                  std::chrono::steady_clock::now());
+    metrics_.RecordRequest(timing);
+    if (statuses[i].ok()) {
+      if (options_.cache_capacity > 0 && !batch[i].cache_key.empty()) {
+        cache_.Insert(batch[i].cache_key, predictions[i]);
+      }
+      batch[i].promise.set_value(std::move(predictions[i]));
+    } else {
+      batch[i].promise.set_value(StatusOr<Prediction>(statuses[i]));
+    }
+  }
+}
+
+}  // namespace deepmap::serve

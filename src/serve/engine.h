@@ -1,0 +1,81 @@
+// InferenceEngine: the serving front end.
+//
+//   Submit(graph)
+//     -> PredictionCache lookup (WL graph hash; hit resolves immediately,
+//        skipping preprocessing and the forward pass)
+//     -> MicroBatcher (bounded MPSC queue, coalesces max_batch / max_wait_us)
+//     -> batch dispatch on the dispatcher thread:
+//          preprocess each graph on the ThreadPool (feature map ->
+//          alignment -> tensor), then the batched compiled forward pass,
+//          sharded across the pool
+//     -> promises fulfilled, cache warmed, ServeMetrics updated.
+//
+// Submit is safe from any number of producer threads. Results are
+// std::future<StatusOr<Prediction>>: queue overflow, preprocessing failures
+// (empty / oversized graphs), and shutdown all surface as Status errors on
+// the future, never as exceptions.
+#ifndef DEEPMAP_SERVE_ENGINE_H_
+#define DEEPMAP_SERVE_ENGINE_H_
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "serve/metrics.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_cache.h"
+
+namespace deepmap::serve {
+
+/// Batched, cached classification service over one ServableModel.
+class InferenceEngine {
+ public:
+  struct Options {
+    MicroBatcher::Options batcher;
+    /// Prediction-cache entries; 0 disables caching (and skips hash
+    /// computation on the submit path entirely).
+    size_t cache_capacity = 4096;
+    /// WL refinement rounds for the cache key.
+    int cache_wl_iterations = 2;
+    /// Worker threads for preprocessing / forward sharding; 0 = hardware
+    /// concurrency.
+    size_t num_threads = 0;
+  };
+
+  InferenceEngine(std::shared_ptr<ServableModel> model,
+                  const Options& options);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues one graph for classification.
+  std::future<StatusOr<Prediction>> Submit(const graph::Graph& g);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  StatusOr<Prediction> Classify(const graph::Graph& g);
+
+  /// Blocks until every previously submitted request has been answered.
+  void Drain();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  const PredictionCache& cache() const { return cache_; }
+  const ServableModel& model() const { return *model_; }
+
+ private:
+  void HandleBatch(std::vector<ServeRequest>&& batch,
+                   size_t queue_depth_after);
+
+  std::shared_ptr<ServableModel> model_;
+  Options options_;
+  ServeMetrics metrics_;
+  PredictionCache cache_;
+  ThreadPool pool_;
+  std::unique_ptr<MicroBatcher> batcher_;  // last member: stops first
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_ENGINE_H_

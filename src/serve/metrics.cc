@@ -1,0 +1,193 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepmap::serve {
+namespace {
+
+/// Nearest-rank percentile of an unsorted copy (q in [0, 1]).
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank > 0) --rank;
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+std::string FormatMicros(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  return buf;
+}
+
+}  // namespace
+
+void ServeMetrics::Series::Record(double value) {
+  ++count;
+  sum += value;
+  max = std::max(max, value);
+  if (samples.size() < kMaxLatencySamples) samples.push_back(value);
+}
+
+LatencySummary ServeMetrics::Series::Summarize() const {
+  LatencySummary s;
+  s.count = count;
+  if (count == 0) return s;
+  s.mean = sum / static_cast<double>(count);
+  s.max = max;
+  s.p50 = Percentile(samples, 0.50);
+  s.p95 = Percentile(samples, 0.95);
+  s.p99 = Percentile(samples, 0.99);
+  return s;
+}
+
+void ServeMetrics::RecordRequest(const RequestTiming& timing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.Record(timing.total_us);
+  if (timing.cache_hit) {
+    ++cache_hits_;
+    return;
+  }
+  ++cache_misses_;
+  queue_.Record(timing.queue_us);
+  preprocess_.Record(timing.preprocess_us);
+  forward_.Record(timing.forward_us);
+}
+
+void ServeMetrics::RecordBatch(int batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batch_sizes_[batch_size];
+  ++batch_count_;
+  batch_item_total_ += batch_size;
+}
+
+void ServeMetrics::RecordQueueDepth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+  queue_depth_sum_ += static_cast<double>(depth);
+  ++queue_depth_samples_;
+}
+
+void ServeMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+const ServeMetrics::Series* ServeMetrics::SeriesFor(
+    const std::string& stage) const {
+  if (stage == "queue") return &queue_;
+  if (stage == "preprocess") return &preprocess_;
+  if (stage == "forward") return &forward_;
+  if (stage == "total") return &total_;
+  return nullptr;
+}
+
+LatencySummary ServeMetrics::Latency(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* series = SeriesFor(stage);
+  return series == nullptr ? LatencySummary{} : series->Summarize();
+}
+
+int64_t ServeMetrics::stage_count(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* series = SeriesFor(stage);
+  return series == nullptr ? 0 : series->count;
+}
+
+int64_t ServeMetrics::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.count;
+}
+
+int64_t ServeMetrics::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+int64_t ServeMetrics::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_misses_;
+}
+
+int64_t ServeMetrics::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+double ServeMetrics::cache_hit_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t n = cache_hits_ + cache_misses_;
+  return n == 0 ? 0.0 : static_cast<double>(cache_hits_) / n;
+}
+
+int64_t ServeMetrics::num_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_count_;
+}
+
+double ServeMetrics::mean_batch_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_count_ == 0
+             ? 0.0
+             : static_cast<double>(batch_item_total_) / batch_count_;
+}
+
+std::map<int, int64_t> ServeMetrics::batch_size_histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_sizes_;
+}
+
+size_t ServeMetrics::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_queue_depth_;
+}
+
+double ServeMetrics::mean_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_depth_samples_ == 0
+             ? 0.0
+             : queue_depth_sum_ / static_cast<double>(queue_depth_samples_);
+}
+
+Table ServeMetrics::LatencyTable() const {
+  Table table({"stage", "count", "p50_us", "p95_us", "p99_us", "mean_us",
+               "max_us"});
+  for (const char* stage : {"queue", "preprocess", "forward", "total"}) {
+    LatencySummary s = Latency(stage);
+    table.AddRow({stage, std::to_string(s.count), FormatMicros(s.p50),
+                  FormatMicros(s.p95), FormatMicros(s.p99),
+                  FormatMicros(s.mean), FormatMicros(s.max)});
+  }
+  return table;
+}
+
+Table ServeMetrics::SummaryTable() const {
+  Table table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(requests())});
+  table.AddRow({"rejected", std::to_string(rejected())});
+  table.AddRow({"cache_hits", std::to_string(cache_hits())});
+  table.AddRow({"cache_misses", std::to_string(cache_misses())});
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f%%", 100.0 * cache_hit_rate());
+  table.AddRow({"cache_hit_rate", rate});
+  table.AddRow({"batches", std::to_string(num_batches())});
+  char mean_batch[32];
+  std::snprintf(mean_batch, sizeof(mean_batch), "%.2f", mean_batch_size());
+  table.AddRow({"mean_batch_size", mean_batch});
+  table.AddRow({"max_queue_depth", std::to_string(max_queue_depth())});
+  char mean_depth[32];
+  std::snprintf(mean_depth, sizeof(mean_depth), "%.2f", mean_queue_depth());
+  table.AddRow({"mean_queue_depth", mean_depth});
+  return table;
+}
+
+void ServeMetrics::Print(std::ostream& os) const {
+  os << "Per-stage latency (cache hits excluded from pipeline stages):\n";
+  LatencyTable().Print(os);
+  os << "\nServing summary:\n";
+  SummaryTable().Print(os);
+}
+
+}  // namespace deepmap::serve

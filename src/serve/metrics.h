@@ -1,0 +1,118 @@
+// Serving observability: per-stage latency histograms, batch-size
+// distribution, queue depth, and prediction-cache hit rate.
+//
+// One ServeMetrics instance is shared by the submit path (any thread), the
+// batch dispatcher, and the reporting code, so every mutator is guarded by a
+// single internal mutex; recording is a handful of pushes/increments and is
+// far cheaper than a forward pass. Percentiles are computed on demand from
+// the retained samples (capped, see kMaxLatencySamples).
+#ifndef DEEPMAP_SERVE_METRICS_H_
+#define DEEPMAP_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace deepmap::serve {
+
+/// Order statistics of one latency series (all values in microseconds).
+struct LatencySummary {
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Timings of one served request, in microseconds. A cache hit records
+/// preprocess_us == forward_us == 0 (the whole pipeline was skipped), which
+/// is how tests verify that hits bypass preprocessing.
+struct RequestTiming {
+  double queue_us = 0.0;       // submit -> batch dispatch
+  double preprocess_us = 0.0;  // feature map -> alignment -> tensor
+  double forward_us = 0.0;     // batched CNN forward
+  double total_us = 0.0;       // submit -> promise fulfilled
+  bool cache_hit = false;
+};
+
+/// Thread-safe metrics sink for the inference engine.
+class ServeMetrics {
+ public:
+  /// Retained samples per stage; later samples beyond the cap only update
+  /// count/mean/max.
+  static constexpr size_t kMaxLatencySamples = 1 << 20;
+
+  void RecordRequest(const RequestTiming& timing);
+  void RecordBatch(int batch_size);
+  void RecordQueueDepth(size_t depth);
+  void RecordRejected();
+
+  /// Stage summaries; `stage` is one of "queue", "preprocess", "forward",
+  /// "total". Cache hits are excluded from the queue/preprocess/forward
+  /// series (they never enter those stages) but included in "total".
+  LatencySummary Latency(const std::string& stage) const;
+
+  int64_t requests() const;
+  int64_t cache_hits() const;
+  int64_t cache_misses() const;
+  int64_t rejected() const;
+  double cache_hit_rate() const;  // hits / (hits + misses), 0 when empty
+
+  int64_t num_batches() const;
+  double mean_batch_size() const;
+  /// batch size -> number of batches dispatched at that size.
+  std::map<int, int64_t> batch_size_histogram() const;
+
+  size_t max_queue_depth() const;
+  double mean_queue_depth() const;
+
+  /// Number of requests that actually ran a given stage (preprocess count ==
+  /// cache misses when every miss is preprocessed exactly once).
+  int64_t stage_count(const std::string& stage) const;
+
+  /// "stage | count | p50 | p95 | p99 | mean | max" rows.
+  Table LatencyTable() const;
+  /// Throughput / cache / batch / queue counters as name-value rows.
+  Table SummaryTable() const;
+
+  /// Prints both tables.
+  void Print(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::vector<double> samples;
+    int64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+
+    void Record(double value);
+    LatencySummary Summarize() const;
+  };
+
+  const Series* SeriesFor(const std::string& stage) const;
+
+  mutable std::mutex mu_;
+  Series queue_;
+  Series preprocess_;
+  Series forward_;
+  Series total_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t rejected_ = 0;
+  std::map<int, int64_t> batch_sizes_;
+  int64_t batch_count_ = 0;
+  int64_t batch_item_total_ = 0;
+  size_t max_queue_depth_ = 0;
+  double queue_depth_sum_ = 0.0;
+  int64_t queue_depth_samples_ = 0;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_METRICS_H_

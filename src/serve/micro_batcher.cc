@@ -1,0 +1,97 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace deepmap::serve {
+
+MicroBatcher::MicroBatcher(const Options& options, BatchHandler handler)
+    : options_(options), handler_(std::move(handler)) {
+  DEEPMAP_CHECK_GT(options_.max_batch, 0);
+  DEEPMAP_CHECK_GE(options_.max_wait_us, 0);
+  DEEPMAP_CHECK_GT(options_.queue_capacity, size_t{0});
+  DEEPMAP_CHECK(handler_ != nullptr);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+Status MicroBatcher::Submit(ServeRequest&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("batcher is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::FailedPrecondition(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " pending)");
+    }
+    queue_.push_back(std::move(request));
+  }
+  work_available_.notify_one();
+  return Status::Ok();
+}
+
+void MicroBatcher::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && !dispatching_; });
+}
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped (destructor after explicit Stop).
+      if (!dispatcher_.joinable()) return;
+    }
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void MicroBatcher::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Coalesce: flush on max_batch or max_wait_us after the oldest request,
+    // whichever first. Stop also flushes immediately (drain semantics).
+    const auto deadline =
+        queue_.front().enqueue_time +
+        std::chrono::microseconds(options_.max_wait_us);
+    work_available_.wait_until(lock, deadline, [this] {
+      return queue_.size() >= static_cast<size_t>(options_.max_batch) ||
+             stopping_;
+    });
+
+    const size_t take = std::min(queue_.size(),
+                                 static_cast<size_t>(options_.max_batch));
+    std::vector<ServeRequest> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const size_t depth_after = queue_.size();
+    dispatching_ = true;
+    lock.unlock();
+    handler_(std::move(batch), depth_after);
+    lock.lock();
+    dispatching_ = false;
+    if (queue_.empty()) idle_.notify_all();
+  }
+}
+
+}  // namespace deepmap::serve

@@ -1,0 +1,90 @@
+// MicroBatcher: bounded MPSC request queue with size/deadline coalescing.
+//
+// Producers (any thread) Submit() requests; a single dispatcher thread
+// collects them into batches of up to `max_batch` graphs, or whatever has
+// accumulated `max_wait_us` after the oldest pending request was enqueued —
+// whichever comes first — and hands each batch to the engine's handler.
+// The queue is bounded: Submit fails fast with FailedPrecondition when
+// `queue_capacity` requests are already waiting (backpressure instead of
+// unbounded memory growth under overload).
+//
+// Shutdown drains: Stop() dispatches every queued request before joining the
+// dispatcher, so no promise is ever dropped.
+#ifndef DEEPMAP_SERVE_MICRO_BATCHER_H_
+#define DEEPMAP_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "serve/compiled_model.h"
+
+namespace deepmap::serve {
+
+/// One queued classification request.
+struct ServeRequest {
+  graph::Graph graph;
+  std::string cache_key;  // empty when caching is disabled
+  std::promise<StatusOr<Prediction>> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// Coalesces single-graph requests into batches.
+class MicroBatcher {
+ public:
+  struct Options {
+    int max_batch = 32;        // flush when this many requests are pending
+    int max_wait_us = 1000;    // ... or this long after the oldest arrived
+    size_t queue_capacity = 1024;
+  };
+
+  /// `handler` runs on the dispatcher thread with exclusive ownership of the
+  /// batch; `queue_depth_after` is the backlog left behind at dispatch time.
+  using BatchHandler =
+      std::function<void(std::vector<ServeRequest>&& batch,
+                         size_t queue_depth_after)>;
+
+  MicroBatcher(const Options& options, BatchHandler handler);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a request. Fails with FailedPrecondition (and leaves the
+  /// request's promise untouched) when the queue is full or shutting down.
+  Status Submit(ServeRequest&& request);
+
+  /// Blocks until every request submitted before the call has been handed to
+  /// the handler and the handler returned.
+  void Drain();
+
+  /// Drains, then joins the dispatcher. Subsequent Submits fail.
+  void Stop();
+
+  size_t queue_depth() const;
+  const Options& options() const { return options_; }
+
+ private:
+  void DispatcherLoop();
+
+  Options options_;
+  BatchHandler handler_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<ServeRequest> queue_;
+  bool stopping_ = false;
+  bool dispatching_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,90 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "nn/serialization.h"
+
+namespace deepmap::serve {
+
+ServableModel::ServableModel(std::string name,
+                             const graph::GraphDataset& reference,
+                             const core::DeepMapConfig& config)
+    : name_(std::move(name)),
+      config_(config),
+      num_classes_(reference.NumClasses()),
+      preprocessor_(reference, config) {}
+
+Status ModelRegistry::Load(const std::string& name,
+                           const graph::GraphDataset& reference,
+                           const core::DeepMapConfig& config,
+                           const std::string& params_path) {
+  auto servable = std::make_shared<ServableModel>(name, reference, config);
+  core::DeepMapModel model(servable->feature_dim(),
+                           servable->sequence_length(),
+                           servable->num_classes(), config);
+  if (Status s = nn::LoadParameters(model.Params(), params_path); !s.ok()) {
+    return s;
+  }
+  StatusOr<CompiledModel> compiled = CompiledModel::Compile(
+      model, config, servable->feature_dim(), servable->sequence_length(),
+      servable->num_classes());
+  if (!compiled.ok()) return compiled.status();
+  servable->compiled_ =
+      std::make_unique<CompiledModel>(std::move(compiled).value());
+  return Register(name, std::move(servable));
+}
+
+Status ModelRegistry::Adopt(const std::string& name,
+                            const graph::GraphDataset& reference,
+                            const core::DeepMapConfig& config,
+                            core::DeepMapModel& trained) {
+  auto servable = std::make_shared<ServableModel>(name, reference, config);
+  StatusOr<CompiledModel> compiled = CompiledModel::Compile(
+      trained, config, servable->feature_dim(), servable->sequence_length(),
+      servable->num_classes());
+  if (!compiled.ok()) return compiled.status();
+  servable->compiled_ =
+      std::make_unique<CompiledModel>(std::move(compiled).value());
+  return Register(name, std::move(servable));
+}
+
+Status ModelRegistry::Register(const std::string& name,
+                               std::shared_ptr<ServableModel> servable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = models_.emplace(name, std::move(servable));
+  if (!inserted) {
+    return Status::InvalidArgument("model '" + name +
+                                   "' is already registered");
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<ServableModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+Status ModelRegistry::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, servable] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace deepmap::serve

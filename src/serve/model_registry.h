@@ -1,0 +1,94 @@
+// ModelRegistry: named, validated, ready-to-serve DEEPMAP models.
+//
+// A servable bundle is more than the weight file nn::SaveParameters writes:
+// reproducing a prediction requires the preprocessing state (feature
+// vocabulary / column scales / WL dictionary, sequence length) that existed
+// at training time. The registry rebuilds that state deterministically from
+// the reference dataset + config, instantiates the architecture, loads and
+// validates the persisted parameters against it (count/shape mismatches are
+// Status errors, never silent misloads), and compiles the weights into the
+// immutable inference form.
+//
+// Registered models are shared_ptr-held, so a model stays valid for
+// in-flight requests even if it is unloaded concurrently.
+#ifndef DEEPMAP_SERVE_MODEL_REGISTRY_H_
+#define DEEPMAP_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/deepmap.h"
+#include "graph/dataset.h"
+#include "serve/compiled_model.h"
+#include "serve/preprocessor.h"
+
+namespace deepmap::serve {
+
+/// A loaded model plus everything needed to serve it.
+class ServableModel {
+ public:
+  ServableModel(std::string name, const graph::GraphDataset& reference,
+                const core::DeepMapConfig& config);
+
+  const std::string& name() const { return name_; }
+  const core::DeepMapConfig& config() const { return config_; }
+  int feature_dim() const { return preprocessor_.feature_dim(); }
+  int sequence_length() const { return preprocessor_.sequence_length(); }
+  int num_classes() const { return num_classes_; }
+
+  /// Thread-safe request preprocessing (see Preprocessor).
+  Preprocessor& preprocessor() { return preprocessor_; }
+  /// Immutable compiled weights; valid only after a successful Load/Adopt.
+  const CompiledModel& compiled() const { return *compiled_; }
+
+ private:
+  friend class ModelRegistry;
+
+  std::string name_;
+  core::DeepMapConfig config_;
+  int num_classes_;
+  Preprocessor preprocessor_;
+  std::unique_ptr<CompiledModel> compiled_;
+};
+
+/// Thread-safe name -> ServableModel map.
+class ModelRegistry {
+ public:
+  /// Builds preprocessing state from `reference` + `config`, loads the
+  /// persisted parameters at `params_path` into a fresh architecture
+  /// (rejecting count/shape mismatches and corrupt files), and registers the
+  /// compiled result under `name`. Fails if `name` is already registered.
+  Status Load(const std::string& name, const graph::GraphDataset& reference,
+              const core::DeepMapConfig& config,
+              const std::string& params_path);
+
+  /// Same, but adopts the parameters of an already-trained in-memory model
+  /// (no file round-trip). `trained` must match the architecture implied by
+  /// (reference, config).
+  Status Adopt(const std::string& name, const graph::GraphDataset& reference,
+               const core::DeepMapConfig& config,
+               core::DeepMapModel& trained);
+
+  /// The servable registered under `name`, or nullptr.
+  std::shared_ptr<ServableModel> Get(const std::string& name) const;
+
+  Status Unload(const std::string& name);
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  Status Register(const std::string& name,
+                  std::shared_ptr<ServableModel> servable);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ServableModel>> models_;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,77 @@
+#include "serve/prediction_cache.h"
+
+#include "graph/isomorphism.h"
+
+namespace deepmap::serve {
+
+PredictionCache::PredictionCache(size_t capacity) : capacity_(capacity) {}
+
+std::string PredictionCache::KeyFor(const graph::Graph& g,
+                                    int wl_iterations) {
+  std::string key = std::to_string(g.NumVertices());
+  key += ':';
+  key += std::to_string(g.NumEdges());
+  key += ':';
+  key += graph::WlFingerprint(g, wl_iterations);
+  return key;
+}
+
+std::optional<Prediction> PredictionCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PredictionCache::Insert(const std::string& key, Prediction prediction) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(prediction);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(prediction));
+  index_[key] = lru_.begin();
+}
+
+size_t PredictionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t PredictionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PredictionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PredictionCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::vector<std::string> PredictionCache::KeysByRecency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& e : lru_) keys.push_back(e.first);
+  return keys;
+}
+
+}  // namespace deepmap::serve

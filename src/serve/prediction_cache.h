@@ -1,0 +1,73 @@
+// LRU prediction cache keyed by a WL-refinement graph hash.
+//
+// Serving traffic is heavy on resubmissions (the same molecule screened
+// twice, the same ego network re-ranked). The cache key is (|V|, |E|, WL
+// color-multiset fingerprint); a warm hit skips preprocessing and the
+// forward pass entirely. All graphs sharing a key — isomorphic re-labelings
+// and, more generally, graphs 1-WL cannot separate — are served from one
+// entry: the prediction of the first such graph classified. That is the
+// intended semantics for screening workloads (a resubmitted compound is the
+// same compound), but it is an approximation: DEEPMAP's centrality
+// alignment breaks ties by vertex id, so a permuted copy of a graph can map
+// to a slightly different input tensor than the cached representative did.
+// Disable the cache (capacity 0) when exact per-submission outputs matter.
+//
+// All operations are O(1) amortized and guarded by one internal mutex.
+#ifndef DEEPMAP_SERVE_PREDICTION_CACHE_H_
+#define DEEPMAP_SERVE_PREDICTION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "serve/compiled_model.h"
+
+namespace deepmap::serve {
+
+/// Thread-safe LRU map from graph hash to Prediction.
+class PredictionCache {
+ public:
+  /// `capacity` == 0 disables the cache (every Lookup misses).
+  explicit PredictionCache(size_t capacity);
+
+  /// Cache key: "n:m:<wl fingerprint>". `wl_iterations` trades key cost for
+  /// resolution; isomorphic graphs always collide, WL-equivalent graphs too.
+  static std::string KeyFor(const graph::Graph& g, int wl_iterations);
+
+  /// Returns the cached prediction and refreshes its recency, or nullopt.
+  std::optional<Prediction> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// when at capacity. No-op when disabled.
+  void Insert(const std::string& key, Prediction prediction);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+  /// Most-recently-used first key order (for tests).
+  std::vector<std::string> KeysByRecency() const;
+
+ private:
+  using Entry = std::pair<std::string, Prediction>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_PREDICTION_CACHE_H_

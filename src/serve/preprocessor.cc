@@ -1,0 +1,106 @@
+#include "serve/preprocessor.h"
+
+#include <algorithm>
+
+#include "core/receptive_field.h"
+#include "kernels/graphlet.h"
+#include "kernels/shortest_path.h"
+#include "kernels/treepp.h"
+
+namespace deepmap::serve {
+
+Preprocessor::Preprocessor(const graph::GraphDataset& reference,
+                           const core::DeepMapConfig& config)
+    : config_(config),
+      features_(kernels::ComputeDatasetVertexFeatures(reference,
+                                                      config.features)),
+      sequence_length_(std::max(1, reference.MaxVertices())),
+      rng_(config.features.seed) {
+  if (config_.features.kind == kernels::FeatureMapKind::kWlSubtree) {
+    // Replay the training refinement so request graphs are colored with the
+    // same dictionary ids the vocabulary (and the model) was built on.
+    // WlRefinement is deterministic, so refining the reference graphs in
+    // dataset order reproduces the training dictionaries exactly.
+    refinery_ = std::make_unique<kernels::WlRefinement>(config_.features.wl);
+    for (const graph::Graph& g : reference.graphs()) refinery_->Refine(g);
+  }
+}
+
+std::vector<kernels::SparseFeatureMap> Preprocessor::ComputeMaps(
+    const graph::Graph& g) {
+  switch (config_.features.kind) {
+    case kernels::FeatureMapKind::kGraphlet: {
+      std::lock_guard<std::mutex> lock(mu_);  // sampling RNG is stateful
+      return kernels::VertexGraphletFeatureMaps(g, config_.features.graphlet,
+                                                rng_);
+    }
+    case kernels::FeatureMapKind::kShortestPath:
+      return kernels::VertexSpFeatureMaps(g, config_.features.shortest_path);
+    case kernels::FeatureMapKind::kWlSubtree: {
+      std::lock_guard<std::mutex> lock(mu_);  // dictionary may grow
+      return kernels::VertexWlFeatureMaps(g, *refinery_);
+    }
+    case kernels::FeatureMapKind::kTreePp:
+      return kernels::VertexTreePpFeatureMaps(g, config_.features.treepp);
+  }
+  return {};
+}
+
+StatusOr<nn::Tensor> Preprocessor::Preprocess(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot classify an empty graph");
+  }
+  if (n > sequence_length_) {
+    return Status::InvalidArgument(
+        "request graph has " + std::to_string(n) +
+        " vertices; the model was compiled for sequences of at most " +
+        std::to_string(sequence_length_));
+  }
+  const int r = config_.receptive_field_size;
+  const int m = features_.dim();
+
+  const std::vector<kernels::SparseFeatureMap> maps = ComputeMaps(g);
+
+  // Densify each vertex once (the offline path re-densifies per receptive
+  // field position). Rows are converted to float up front.
+  std::vector<std::vector<float>> rows(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const std::vector<double> dense =
+        features_.DensifyRow(maps[static_cast<size_t>(v)]);
+    std::vector<float>& row = rows[static_cast<size_t>(v)];
+    row.resize(dense.size());
+    for (size_t c = 0; c < dense.size(); ++c) {
+      row[c] = static_cast<float>(dense[c]);
+    }
+  }
+
+  Rng* alignment_rng = nullptr;
+  Rng local_rng(config_.seed + 0x5eed);
+  if (config_.alignment == core::AlignmentMeasure::kRandom) {
+    alignment_rng = &local_rng;
+  }
+  const std::vector<double> centrality =
+      core::ComputeCentrality(g, config_.alignment, alignment_rng);
+  const std::vector<graph::Vertex> sequence =
+      core::GenerateVertexSequence(g, centrality, sequence_length_);
+
+  nn::Tensor input({sequence_length_ * r, m});
+  for (int slot = 0; slot < sequence_length_; ++slot) {
+    const graph::Vertex v = sequence[static_cast<size_t>(slot)];
+    if (v == core::kDummyVertex) continue;  // r zero rows
+    const std::vector<graph::Vertex> field =
+        core::BuildReceptiveField(g, v, r, centrality);
+    for (int pos = 0; pos < r; ++pos) {
+      const graph::Vertex u = field[static_cast<size_t>(pos)];
+      if (u == core::kDummyVertex) continue;  // zero row
+      const std::vector<float>& row = rows[static_cast<size_t>(u)];
+      float* dst =
+          input.data() + (static_cast<size_t>(slot) * r + pos) * m;
+      std::copy(row.begin(), row.end(), dst);
+    }
+  }
+  return input;
+}
+
+}  // namespace deepmap::serve

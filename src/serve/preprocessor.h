@@ -1,0 +1,68 @@
+// Serving-time preprocessing: request graph -> CNN input tensor.
+//
+// At training time the whole pipeline (vertex feature maps -> vocabulary ->
+// eigenvector-centrality alignment -> receptive fields -> dense tensor) is
+// computed over the full dataset. To classify a graph that arrives at
+// serving time the same state must be reproduced:
+//   - the dense feature scheme (vocabulary / hashing, log scaling, column
+//     scales) is rebuilt from the reference (training) dataset and frozen,
+//   - the WL color dictionary is replayed over the reference graphs so that
+//     request-graph colors are assigned the same ids the model was trained
+//     on (WlRefinement dictionaries are shared, deterministic state),
+//   - the sequence length w is pinned to the training-time maximum.
+// Request graphs then go through the identical per-graph steps, with one
+// serving optimization: each vertex's dense row is densified once and reused
+// across all receptive-field positions (the offline path re-densifies per
+// (slot, position), i.e. up to r times per vertex).
+//
+// Preprocess() is thread-safe; the stateful kernels (WL dictionary growth
+// for unseen signatures, graphlet sampling RNG) are serialized internally.
+#ifndef DEEPMAP_SERVE_PREPROCESSOR_H_
+#define DEEPMAP_SERVE_PREPROCESSOR_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/deepmap.h"
+#include "graph/dataset.h"
+#include "kernels/vertex_feature_map.h"
+#include "kernels/wl.h"
+#include "nn/tensor.h"
+
+namespace deepmap::serve {
+
+/// Rebuilds training-time preprocessing state and applies it to request
+/// graphs.
+class Preprocessor {
+ public:
+  /// `reference` is the dataset the model was trained on (or a dataset with
+  /// identical preprocessing statistics); `config` must match training.
+  Preprocessor(const graph::GraphDataset& reference,
+               const core::DeepMapConfig& config);
+
+  int feature_dim() const { return features_.dim(); }
+  int sequence_length() const { return sequence_length_; }
+  const kernels::DatasetVertexFeatures& features() const { return features_; }
+
+  /// Builds the [w*r, m] CNN input for one request graph. Fails for empty
+  /// graphs and for graphs with more vertices than the serving sequence
+  /// length w.
+  StatusOr<nn::Tensor> Preprocess(const graph::Graph& g);
+
+ private:
+  /// Per-vertex sparse maps for a request graph (locks for stateful kinds).
+  std::vector<kernels::SparseFeatureMap> ComputeMaps(const graph::Graph& g);
+
+  core::DeepMapConfig config_;
+  kernels::DatasetVertexFeatures features_;
+  int sequence_length_;
+  std::mutex mu_;  // guards refinery_ and rng_
+  std::unique_ptr<kernels::WlRefinement> refinery_;
+  Rng rng_;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_PREPROCESSOR_H_

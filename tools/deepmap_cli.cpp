@@ -1,9 +1,11 @@
 // deepmap_cli — command-line front end for the DEEPMAP library.
 //
 // Subcommands:
-//   stats     print Table-1 style statistics of a dataset
-//   evaluate  k-fold cross-validate a method on a dataset
-//   generate  write a synthetic benchmark dataset in TU format
+//   stats       print Table-1 style statistics of a dataset
+//   evaluate    k-fold cross-validate a method on a dataset
+//   generate    write a synthetic benchmark dataset in TU format
+//   serve-bench train a model, serve a request stream through the batched
+//               inference engine, and print throughput + latency metrics
 //
 // Datasets come either from TU-format files on disk (--data_dir=DIR
 // --dataset=NAME) or from the built-in synthetic generators
@@ -19,17 +21,21 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "baselines/gat.h"
 #include "baselines/gcn.h"
 #include "baselines/kernel_svm.h"
+#include "common/stopwatch.h"
 #include "eval/experiment.h"
 #include "graph/statistics.h"
 #include "graph/tu_format.h"
 #include "kernels/random_walk.h"
 #include "kernels/wl_oa.h"
+#include "serve/engine.h"
 
 namespace {
 
@@ -57,10 +63,12 @@ struct CliArgs {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: deepmap_cli <stats|evaluate|generate> [flags]\n"
-      "  common:   --synthetic=NAME [--scale=F] | --data_dir=DIR --dataset=NAME\n"
-      "  evaluate: --method=M [--folds=N] [--epochs=N] [--seed=N] [--r=N]\n"
-      "  generate: --synthetic=NAME --out_dir=DIR [--scale=F]\n");
+      "usage: deepmap_cli <stats|evaluate|generate|serve-bench> [flags]\n"
+      "  common:      --synthetic=NAME [--scale=F] | --data_dir=DIR --dataset=NAME\n"
+      "  evaluate:    --method=M [--folds=N] [--epochs=N] [--seed=N] [--r=N]\n"
+      "  generate:    --synthetic=NAME --out_dir=DIR [--scale=F]\n"
+      "  serve-bench: [--requests=N] [--batch=N] [--epochs=N] [--cache=N]\n"
+      "               [--wait_us=N]\n");
   return 2;
 }
 
@@ -214,6 +222,73 @@ int RunEvaluate(const CliArgs& args) {
   return 0;
 }
 
+int RunServeBench(const CliArgs& args) {
+  auto ds = LoadDataset(args);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const graph::GraphDataset& dataset = ds.value();
+  const int requests = args.GetInt("requests", 256);
+  const int batch = args.GetInt("batch", 32);
+  const int wait_us = args.GetInt("wait_us", 2000);
+  const int cache = args.GetInt("cache", 1024);
+  if (requests < 0 || batch <= 0 || wait_us < 0 || cache < 0) {
+    std::fprintf(stderr,
+                 "serve-bench: --requests/--wait_us/--cache must be >= 0 "
+                 "and --batch must be > 0\n");
+    return 2;
+  }
+
+  core::DeepMapConfig config;
+  config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+  config.features.wl.iterations = 2;
+  config.features.max_dense_dim = 64;
+  config.train.epochs = args.GetInt("epochs", 6);
+  config.train.batch_size = 8;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  core::DeepMapPipeline pipeline(dataset, config);
+  core::DeepMapModel model(pipeline.feature_dim(), pipeline.sequence_length(),
+                           pipeline.num_classes(), config);
+  auto history = nn::TrainClassifier(model, pipeline.inputs(),
+                                     dataset.labels(), config.train);
+  std::printf("trained DEEPMAP-WL on %s: train accuracy %.1f%%\n",
+              dataset.name().c_str(), 100.0 * history.final_accuracy());
+
+  serve::ModelRegistry registry;
+  if (Status s = registry.Adopt("cli", dataset, config, model); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  serve::InferenceEngine::Options options;
+  options.batcher.max_batch = batch;
+  options.batcher.max_wait_us = wait_us;
+  options.batcher.queue_capacity = static_cast<size_t>(requests) + 16;
+  options.cache_capacity = static_cast<size_t>(cache);
+  serve::InferenceEngine engine(registry.Get("cli"), options);
+
+  // The request stream cycles over the dataset, so the prediction cache
+  // warms up after the first pass over the distinct graphs.
+  Stopwatch timer;
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(static_cast<size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    futures.push_back(engine.Submit(dataset.graph(i % dataset.size())));
+  }
+  int errors = 0;
+  for (auto& f : futures) {
+    if (!f.get().ok()) ++errors;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  std::printf("served %d requests in %.3f s (%.1f graphs/sec, %d errors)\n\n",
+              requests, elapsed, requests / elapsed, errors);
+  engine.metrics().Print(std::cout);
+  return errors == 0 ? 0 : 1;
+}
+
 int RunGenerate(const CliArgs& args) {
   if (!args.Has("synthetic") || !args.Has("out_dir")) return Usage();
   auto ds = LoadDataset(args);
@@ -251,5 +326,6 @@ int main(int argc, char** argv) {
   if (args.command == "stats") return RunStats(args);
   if (args.command == "evaluate") return RunEvaluate(args);
   if (args.command == "generate") return RunGenerate(args);
+  if (args.command == "serve-bench") return RunServeBench(args);
   return Usage();
 }
