@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alignment.dir/ablation_alignment.cpp.o"
+  "CMakeFiles/ablation_alignment.dir/ablation_alignment.cpp.o.d"
+  "ablation_alignment"
+  "ablation_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

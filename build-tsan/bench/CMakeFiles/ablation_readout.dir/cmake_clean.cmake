@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_readout.dir/ablation_readout.cpp.o"
+  "CMakeFiles/ablation_readout.dir/ablation_readout.cpp.o.d"
+  "ablation_readout"
+  "ablation_readout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

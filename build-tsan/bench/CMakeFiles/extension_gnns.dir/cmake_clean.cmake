@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_gnns.dir/extension_gnns.cpp.o"
+  "CMakeFiles/extension_gnns.dir/extension_gnns.cpp.o.d"
+  "extension_gnns"
+  "extension_gnns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_gnns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_kernels.dir/extension_kernels.cpp.o"
+  "CMakeFiles/extension_kernels.dir/extension_kernels.cpp.o.d"
+  "extension_kernels"
+  "extension_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

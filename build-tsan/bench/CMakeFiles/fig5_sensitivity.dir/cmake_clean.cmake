@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sensitivity.dir/fig5_sensitivity.cpp.o"
+  "CMakeFiles/fig5_sensitivity.dir/fig5_sensitivity.cpp.o.d"
+  "fig5_sensitivity"
+  "fig5_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

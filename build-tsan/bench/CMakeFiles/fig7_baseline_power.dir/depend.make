@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_baseline_power.
+# This may be replaced when dependencies are built.

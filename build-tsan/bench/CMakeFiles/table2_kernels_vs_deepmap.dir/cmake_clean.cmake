@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kernels_vs_deepmap.dir/table2_kernels_vs_deepmap.cpp.o"
+  "CMakeFiles/table2_kernels_vs_deepmap.dir/table2_kernels_vs_deepmap.cpp.o.d"
+  "table2_kernels_vs_deepmap"
+  "table2_kernels_vs_deepmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kernels_vs_deepmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

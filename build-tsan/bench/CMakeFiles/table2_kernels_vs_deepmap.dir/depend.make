@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_kernels_vs_deepmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_all_baselines.dir/table3_all_baselines.cpp.o"
+  "CMakeFiles/table3_all_baselines.dir/table3_all_baselines.cpp.o.d"
+  "table3_all_baselines"
+  "table3_all_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_all_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_gnns_with_vfm.dir/table4_gnns_with_vfm.cpp.o"
+  "CMakeFiles/table4_gnns_with_vfm.dir/table4_gnns_with_vfm.cpp.o.d"
+  "table4_gnns_with_vfm"
+  "table4_gnns_with_vfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gnns_with_vfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_runtime.dir/table5_runtime.cpp.o"
+  "CMakeFiles/table5_runtime.dir/table5_runtime.cpp.o.d"
+  "table5_runtime"
+  "table5_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

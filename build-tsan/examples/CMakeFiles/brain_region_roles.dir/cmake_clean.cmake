@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brain_region_roles.dir/brain_region_roles.cpp.o"
+  "CMakeFiles/brain_region_roles.dir/brain_region_roles.cpp.o.d"
+  "brain_region_roles"
+  "brain_region_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brain_region_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for brain_region_roles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_persistence.dir/model_persistence.cpp.o"
+  "CMakeFiles/model_persistence.dir/model_persistence.cpp.o.d"
+  "model_persistence"
+  "model_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_screening.dir/molecule_screening.cpp.o"
+  "CMakeFiles/molecule_screening.dir/molecule_screening.cpp.o.d"
+  "molecule_screening"
+  "molecule_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

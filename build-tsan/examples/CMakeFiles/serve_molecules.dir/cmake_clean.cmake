@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_molecules.dir/serve_molecules.cpp.o"
+  "CMakeFiles/serve_molecules.dir/serve_molecules.cpp.o.d"
+  "serve_molecules"
+  "serve_molecules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_molecules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_networks.dir/social_networks.cpp.o"
+  "CMakeFiles/social_networks.dir/social_networks.cpp.o.d"
+  "social_networks"
+  "social_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

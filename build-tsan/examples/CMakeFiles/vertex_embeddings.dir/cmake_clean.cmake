@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_embeddings.dir/vertex_embeddings.cpp.o"
+  "CMakeFiles/vertex_embeddings.dir/vertex_embeddings.cpp.o.d"
+  "vertex_embeddings"
+  "vertex_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

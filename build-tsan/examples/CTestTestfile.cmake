@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_molecule_screening "/root/repo/build-tsan/examples/molecule_screening")
+set_tests_properties(example_molecule_screening PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_social_networks "/root/repo/build-tsan/examples/social_networks")
+set_tests_properties(example_social_networks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vertex_embeddings "/root/repo/build-tsan/examples/vertex_embeddings")
+set_tests_properties(example_vertex_embeddings PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_persistence "/root/repo/build-tsan/examples/model_persistence")
+set_tests_properties(example_model_persistence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_brain_region_roles "/root/repo/build-tsan/examples/brain_region_roles")
+set_tests_properties(example_brain_region_roles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_serve_molecules "/root/repo/build-tsan/examples/serve_molecules")
+set_tests_properties(example_serve_molecules PROPERTIES  LABELS "serve" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dcnn.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/dcnn.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/dcnn.cc.o.d"
+  "/root/repo/src/baselines/dgcnn.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/dgcnn.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/dgcnn.cc.o.d"
+  "/root/repo/src/baselines/dgk.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/dgk.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/dgk.cc.o.d"
+  "/root/repo/src/baselines/gat.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gat.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gat.cc.o.d"
+  "/root/repo/src/baselines/gcn.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gcn.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gcn.cc.o.d"
+  "/root/repo/src/baselines/gin.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gin.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gin.cc.o.d"
+  "/root/repo/src/baselines/gnn_common.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gnn_common.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gnn_common.cc.o.d"
+  "/root/repo/src/baselines/gntk.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gntk.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/gntk.cc.o.d"
+  "/root/repo/src/baselines/graphsage.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/graphsage.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/graphsage.cc.o.d"
+  "/root/repo/src/baselines/kernel_svm.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/kernel_svm.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/kernel_svm.cc.o.d"
+  "/root/repo/src/baselines/patchysan.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/patchysan.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/patchysan.cc.o.d"
+  "/root/repo/src/baselines/retgk.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/retgk.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/retgk.cc.o.d"
+  "/root/repo/src/baselines/svm.cc" "src/CMakeFiles/deepmap_baselines.dir/baselines/svm.cc.o" "gcc" "src/CMakeFiles/deepmap_baselines.dir/baselines/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_baselines.dir/baselines/dcnn.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/dcnn.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/dgcnn.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/dgcnn.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/dgk.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/dgk.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gat.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gat.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gcn.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gcn.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gin.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gin.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gnn_common.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gnn_common.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gntk.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/gntk.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/graphsage.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/graphsage.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/kernel_svm.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/kernel_svm.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/patchysan.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/patchysan.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/retgk.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/retgk.cc.o.d"
+  "CMakeFiles/deepmap_baselines.dir/baselines/svm.cc.o"
+  "CMakeFiles/deepmap_baselines.dir/baselines/svm.cc.o.d"
+  "libdeepmap_baselines.a"
+  "libdeepmap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_common.dir/common/logging.cc.o"
+  "CMakeFiles/deepmap_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/deepmap_common.dir/common/parallel.cc.o"
+  "CMakeFiles/deepmap_common.dir/common/parallel.cc.o.d"
+  "CMakeFiles/deepmap_common.dir/common/rng.cc.o"
+  "CMakeFiles/deepmap_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/deepmap_common.dir/common/status.cc.o"
+  "CMakeFiles/deepmap_common.dir/common/status.cc.o.d"
+  "CMakeFiles/deepmap_common.dir/common/string_util.cc.o"
+  "CMakeFiles/deepmap_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/deepmap_common.dir/common/table.cc.o"
+  "CMakeFiles/deepmap_common.dir/common/table.cc.o.d"
+  "libdeepmap_common.a"
+  "libdeepmap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

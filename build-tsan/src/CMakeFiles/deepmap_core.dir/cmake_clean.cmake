@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_core.dir/core/alignment.cc.o"
+  "CMakeFiles/deepmap_core.dir/core/alignment.cc.o.d"
+  "CMakeFiles/deepmap_core.dir/core/deepmap.cc.o"
+  "CMakeFiles/deepmap_core.dir/core/deepmap.cc.o.d"
+  "CMakeFiles/deepmap_core.dir/core/receptive_field.cc.o"
+  "CMakeFiles/deepmap_core.dir/core/receptive_field.cc.o.d"
+  "CMakeFiles/deepmap_core.dir/core/vertex_classification.cc.o"
+  "CMakeFiles/deepmap_core.dir/core/vertex_classification.cc.o.d"
+  "libdeepmap_core.a"
+  "libdeepmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

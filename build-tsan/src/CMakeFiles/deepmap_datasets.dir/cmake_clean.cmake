@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_datasets.dir/datasets/random_graphs.cc.o"
+  "CMakeFiles/deepmap_datasets.dir/datasets/random_graphs.cc.o.d"
+  "CMakeFiles/deepmap_datasets.dir/datasets/registry.cc.o"
+  "CMakeFiles/deepmap_datasets.dir/datasets/registry.cc.o.d"
+  "CMakeFiles/deepmap_datasets.dir/datasets/synthetic.cc.o"
+  "CMakeFiles/deepmap_datasets.dir/datasets/synthetic.cc.o.d"
+  "libdeepmap_datasets.a"
+  "libdeepmap_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

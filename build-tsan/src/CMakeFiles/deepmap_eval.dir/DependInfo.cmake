@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cross_validation.cc" "src/CMakeFiles/deepmap_eval.dir/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/deepmap_eval.dir/eval/cross_validation.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/deepmap_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/deepmap_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/paper_reference.cc" "src/CMakeFiles/deepmap_eval.dir/eval/paper_reference.cc.o" "gcc" "src/CMakeFiles/deepmap_eval.dir/eval/paper_reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

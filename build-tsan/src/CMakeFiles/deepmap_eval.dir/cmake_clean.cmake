@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_eval.dir/eval/cross_validation.cc.o"
+  "CMakeFiles/deepmap_eval.dir/eval/cross_validation.cc.o.d"
+  "CMakeFiles/deepmap_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/deepmap_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/deepmap_eval.dir/eval/paper_reference.cc.o"
+  "CMakeFiles/deepmap_eval.dir/eval/paper_reference.cc.o.d"
+  "libdeepmap_eval.a"
+  "libdeepmap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

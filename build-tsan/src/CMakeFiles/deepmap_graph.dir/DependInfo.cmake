@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/deepmap_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/deepmap_graph.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/CMakeFiles/deepmap_graph.dir/graph/dataset.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/dataset.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/deepmap_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "src/CMakeFiles/deepmap_graph.dir/graph/isomorphism.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/isomorphism.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/CMakeFiles/deepmap_graph.dir/graph/statistics.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/statistics.cc.o.d"
+  "/root/repo/src/graph/tu_format.cc" "src/CMakeFiles/deepmap_graph.dir/graph/tu_format.cc.o" "gcc" "src/CMakeFiles/deepmap_graph.dir/graph/tu_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/deepmap_graph.dir/graph/centrality.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/centrality.cc.o.d"
+  "CMakeFiles/deepmap_graph.dir/graph/dataset.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/dataset.cc.o.d"
+  "CMakeFiles/deepmap_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/deepmap_graph.dir/graph/isomorphism.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/isomorphism.cc.o.d"
+  "CMakeFiles/deepmap_graph.dir/graph/statistics.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/statistics.cc.o.d"
+  "CMakeFiles/deepmap_graph.dir/graph/tu_format.cc.o"
+  "CMakeFiles/deepmap_graph.dir/graph/tu_format.cc.o.d"
+  "libdeepmap_graph.a"
+  "libdeepmap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/deepmap_harness.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/deepmap_harness.dir/eval/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_datasets.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_harness.dir/eval/experiment.cc.o"
+  "CMakeFiles/deepmap_harness.dir/eval/experiment.cc.o.d"
+  "libdeepmap_harness.a"
+  "libdeepmap_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

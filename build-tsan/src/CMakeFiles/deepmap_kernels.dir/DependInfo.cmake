@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/feature_map.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/feature_map.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/feature_map.cc.o.d"
+  "/root/repo/src/kernels/graphlet.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/graphlet.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/graphlet.cc.o.d"
+  "/root/repo/src/kernels/kernel_matrix.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/kernel_matrix.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/kernel_matrix.cc.o.d"
+  "/root/repo/src/kernels/random_walk.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/random_walk.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/random_walk.cc.o.d"
+  "/root/repo/src/kernels/shortest_path.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/shortest_path.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/shortest_path.cc.o.d"
+  "/root/repo/src/kernels/treepp.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/treepp.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/treepp.cc.o.d"
+  "/root/repo/src/kernels/vertex_feature_map.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/vertex_feature_map.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/vertex_feature_map.cc.o.d"
+  "/root/repo/src/kernels/wl.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/wl.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/wl.cc.o.d"
+  "/root/repo/src/kernels/wl_oa.cc" "src/CMakeFiles/deepmap_kernels.dir/kernels/wl_oa.cc.o" "gcc" "src/CMakeFiles/deepmap_kernels.dir/kernels/wl_oa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

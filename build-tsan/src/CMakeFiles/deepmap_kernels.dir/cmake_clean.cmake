@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_kernels.dir/kernels/feature_map.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/feature_map.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/graphlet.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/graphlet.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/kernel_matrix.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/kernel_matrix.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/random_walk.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/random_walk.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/shortest_path.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/shortest_path.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/treepp.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/treepp.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/vertex_feature_map.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/vertex_feature_map.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/wl.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/wl.cc.o.d"
+  "CMakeFiles/deepmap_kernels.dir/kernels/wl_oa.cc.o"
+  "CMakeFiles/deepmap_kernels.dir/kernels/wl_oa.cc.o.d"
+  "libdeepmap_kernels.a"
+  "libdeepmap_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/deepmap_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/deepmap_nn.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o.d"
+  "/root/repo/src/nn/graph_conv.cc" "src/CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/deepmap_nn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/CMakeFiles/deepmap_nn.dir/nn/model.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/deepmap_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/deepmap_nn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/deepmap_nn.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/serialization.cc.o.d"
+  "/root/repo/src/nn/softmax_xent.cc" "src/CMakeFiles/deepmap_nn.dir/nn/softmax_xent.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/softmax_xent.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/deepmap_nn.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/dense.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/dense.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/layer.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/layer.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/model.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/model.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/pooling.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/pooling.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/serialization.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/serialization.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/softmax_xent.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/softmax_xent.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/tensor.cc.o.d"
+  "libdeepmap_nn.a"
+  "libdeepmap_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/compiled_model.cc" "src/CMakeFiles/deepmap_serve.dir/serve/compiled_model.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/compiled_model.cc.o.d"
+  "/root/repo/src/serve/engine.cc" "src/CMakeFiles/deepmap_serve.dir/serve/engine.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/engine.cc.o.d"
+  "/root/repo/src/serve/metrics.cc" "src/CMakeFiles/deepmap_serve.dir/serve/metrics.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/metrics.cc.o.d"
+  "/root/repo/src/serve/micro_batcher.cc" "src/CMakeFiles/deepmap_serve.dir/serve/micro_batcher.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/micro_batcher.cc.o.d"
+  "/root/repo/src/serve/model_registry.cc" "src/CMakeFiles/deepmap_serve.dir/serve/model_registry.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/model_registry.cc.o.d"
+  "/root/repo/src/serve/prediction_cache.cc" "src/CMakeFiles/deepmap_serve.dir/serve/prediction_cache.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/prediction_cache.cc.o.d"
+  "/root/repo/src/serve/preprocessor.cc" "src/CMakeFiles/deepmap_serve.dir/serve/preprocessor.cc.o" "gcc" "src/CMakeFiles/deepmap_serve.dir/serve/preprocessor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

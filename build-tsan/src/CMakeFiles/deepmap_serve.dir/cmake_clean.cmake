@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_serve.dir/serve/compiled_model.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/compiled_model.cc.o.d"
+  "CMakeFiles/deepmap_serve.dir/serve/engine.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/engine.cc.o.d"
+  "CMakeFiles/deepmap_serve.dir/serve/metrics.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/metrics.cc.o.d"
+  "CMakeFiles/deepmap_serve.dir/serve/micro_batcher.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/micro_batcher.cc.o.d"
+  "CMakeFiles/deepmap_serve.dir/serve/model_registry.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/model_registry.cc.o.d"
+  "CMakeFiles/deepmap_serve.dir/serve/prediction_cache.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/prediction_cache.cc.o.d"
+  "CMakeFiles/deepmap_serve.dir/serve/preprocessor.cc.o"
+  "CMakeFiles/deepmap_serve.dir/serve/preprocessor.cc.o.d"
+  "libdeepmap_serve.a"
+  "libdeepmap_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

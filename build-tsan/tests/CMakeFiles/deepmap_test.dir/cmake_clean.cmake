@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_test.dir/deepmap_test.cc.o"
+  "CMakeFiles/deepmap_test.dir/deepmap_test.cc.o.d"
+  "deepmap_test"
+  "deepmap_test.pdb"
+  "deepmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_gat_test.dir/gcn_gat_test.cc.o"
+  "CMakeFiles/gcn_gat_test.dir/gcn_gat_test.cc.o.d"
+  "gcn_gat_test"
+  "gcn_gat_test.pdb"
+  "gcn_gat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_gat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

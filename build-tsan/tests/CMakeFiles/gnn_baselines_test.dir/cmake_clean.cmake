@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_baselines_test.dir/gnn_baselines_test.cc.o"
+  "CMakeFiles/gnn_baselines_test.dir/gnn_baselines_test.cc.o.d"
+  "gnn_baselines_test"
+  "gnn_baselines_test.pdb"
+  "gnn_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_gradient_test.dir/gnn_gradient_test.cc.o"
+  "CMakeFiles/gnn_gradient_test.dir/gnn_gradient_test.cc.o.d"
+  "gnn_gradient_test"
+  "gnn_gradient_test.pdb"
+  "gnn_gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

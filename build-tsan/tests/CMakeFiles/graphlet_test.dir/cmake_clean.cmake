@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphlet_test.dir/graphlet_test.cc.o"
+  "CMakeFiles/graphlet_test.dir/graphlet_test.cc.o.d"
+  "graphlet_test"
+  "graphlet_test.pdb"
+  "graphlet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_baselines_test.dir/kernel_baselines_test.cc.o"
+  "CMakeFiles/kernel_baselines_test.dir/kernel_baselines_test.cc.o.d"
+  "kernel_baselines_test"
+  "kernel_baselines_test.pdb"
+  "kernel_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_matrix_test.dir/kernel_matrix_test.cc.o"
+  "CMakeFiles/kernel_matrix_test.dir/kernel_matrix_test.cc.o.d"
+  "kernel_matrix_test"
+  "kernel_matrix_test.pdb"
+  "kernel_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

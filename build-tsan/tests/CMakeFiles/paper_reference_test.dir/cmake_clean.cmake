@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_reference_test.dir/paper_reference_test.cc.o"
+  "CMakeFiles/paper_reference_test.dir/paper_reference_test.cc.o.d"
+  "paper_reference_test"
+  "paper_reference_test.pdb"
+  "paper_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

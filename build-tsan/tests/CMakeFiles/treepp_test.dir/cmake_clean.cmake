@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treepp_test.dir/treepp_test.cc.o"
+  "CMakeFiles/treepp_test.dir/treepp_test.cc.o.d"
+  "treepp_test"
+  "treepp_test.pdb"
+  "treepp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treepp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

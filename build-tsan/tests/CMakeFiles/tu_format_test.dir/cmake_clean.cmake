@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tu_format_test.dir/tu_format_test.cc.o"
+  "CMakeFiles/tu_format_test.dir/tu_format_test.cc.o.d"
+  "tu_format_test"
+  "tu_format_test.pdb"
+  "tu_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tu_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_classification_test.dir/vertex_classification_test.cc.o"
+  "CMakeFiles/vertex_classification_test.dir/vertex_classification_test.cc.o.d"
+  "vertex_classification_test"
+  "vertex_classification_test.pdb"
+  "vertex_classification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_classification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_feature_map_test.dir/vertex_feature_map_test.cc.o"
+  "CMakeFiles/vertex_feature_map_test.dir/vertex_feature_map_test.cc.o.d"
+  "vertex_feature_map_test"
+  "vertex_feature_map_test.pdb"
+  "vertex_feature_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_feature_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

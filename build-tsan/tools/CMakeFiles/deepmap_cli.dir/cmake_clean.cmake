@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepmap_cli.dir/deepmap_cli.cpp.o"
+  "CMakeFiles/deepmap_cli.dir/deepmap_cli.cpp.o.d"
+  "deepmap_cli"
+  "deepmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

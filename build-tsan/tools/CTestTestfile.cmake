@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stats "/root/repo/build-tsan/tools/deepmap_cli" "stats" "--synthetic=PTC_MM")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate_kernel "/root/repo/build-tsan/tools/deepmap_cli" "evaluate" "--method=treepp" "--synthetic=PTC_MM" "--folds=2" "--min_graphs=24")
+set_tests_properties(cli_evaluate_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_serve_bench "/root/repo/build-tsan/tools/deepmap_cli" "serve-bench" "--synthetic=PTC_MM" "--min_graphs=24" "--epochs=2" "--requests=64" "--batch=8")
+set_tests_properties(cli_serve_bench PROPERTIES  LABELS "serve" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build-tsan/tools/deepmap_cli" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
