@@ -15,7 +15,9 @@
 #include "kernels/shortest_path.h"
 #include "kernels/wl.h"
 #include "nn/conv1d.h"
+#include "nn/gemm.h"
 #include "nn/softmax_xent.h"
+#include "nn/tensor.h"
 
 namespace {
 
@@ -100,6 +102,52 @@ void BM_GramMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_GramMatrix)->Range(16, 128)->Complexity();
 
+nn::Tensor RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor t({rows, cols});
+  for (int i = 0; i < t.NumElements(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+// Reference triple loop (the seed implementation of MatMul) for comparison
+// against the blocked GEMM core.
+void BM_GemmNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  nn::Tensor a = RandomMatrix(n, n, 11);
+  nn::Tensor b = RandomMatrix(n, n, 12);
+  for (auto _ : state) {
+    nn::Tensor out({n, n});
+    for (int i = 0; i < n; ++i) {
+      for (int t = 0; t < n; ++t) {
+        const float av = a.at(i, t);
+        for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(n);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmNaive)->Range(32, 256)->Complexity();
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  nn::Tensor a = RandomMatrix(n, n, 11);
+  nn::Tensor b = RandomMatrix(n, n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b).data());
+  }
+  state.SetComplexityN(n);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmBlocked)->Range(32, 256)->Complexity();
+
 void BM_Conv1DForward(benchmark::State& state) {
   Rng rng(9);
   const int length = static_cast<int>(state.range(0));
@@ -114,6 +162,27 @@ void BM_Conv1DForward(benchmark::State& state) {
   state.SetComplexityN(length);
 }
 BENCHMARK(BM_Conv1DForward)->Range(8, 128)->Complexity();
+
+// Backward pass through the im2col-lowered convolution (dW and dX GEMMs).
+void BM_Conv1DBackward(benchmark::State& state) {
+  Rng rng(9);
+  const int length = static_cast<int>(state.range(0));
+  nn::Conv1D conv(64, 32, 5, 5, rng);
+  nn::Tensor x({length * 5, 64});
+  for (int i = 0; i < x.NumElements(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal());
+  }
+  nn::Tensor out = conv.Forward(x, true);
+  nn::Tensor grad(out.shape());
+  for (int i = 0; i < grad.NumElements(); ++i) {
+    grad.data()[i] = static_cast<float>(rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(grad).data());
+  }
+  state.SetComplexityN(length);
+}
+BENCHMARK(BM_Conv1DBackward)->Range(8, 128)->Complexity();
 
 void BM_DeepMapForwardBackward(benchmark::State& state) {
   const int w = static_cast<int>(state.range(0));

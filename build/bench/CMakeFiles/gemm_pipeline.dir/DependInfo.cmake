@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/gemm_pipeline.cpp" "bench/CMakeFiles/gemm_pipeline.dir/gemm_pipeline.cpp.o" "gcc" "bench/CMakeFiles/gemm_pipeline.dir/gemm_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deepmap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

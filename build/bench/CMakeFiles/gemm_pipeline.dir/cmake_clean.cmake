@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_pipeline.dir/gemm_pipeline.cpp.o"
+  "CMakeFiles/gemm_pipeline.dir/gemm_pipeline.cpp.o.d"
+  "gemm_pipeline"
+  "gemm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

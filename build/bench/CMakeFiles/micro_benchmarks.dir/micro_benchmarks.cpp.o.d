@@ -255,4 +255,5 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/nn/layer.h \
  /root/repo/src/nn/tensor.h /root/repo/src/nn/optimizer.h \
  /root/repo/src/nn/softmax_xent.h /root/repo/src/datasets/random_graphs.h \
- /root/repo/src/graph/algorithms.h /root/repo/src/nn/conv1d.h
+ /root/repo/src/graph/algorithms.h /root/repo/src/nn/conv1d.h \
+ /root/repo/src/nn/gemm.h

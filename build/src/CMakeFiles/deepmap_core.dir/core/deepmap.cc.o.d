@@ -255,6 +255,22 @@ src/CMakeFiles/deepmap_core.dir/core/deepmap.cc.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/nn/layer.h /root/repo/src/nn/tensor.h \
  /root/repo/src/nn/optimizer.h /root/repo/src/nn/softmax_xent.h \
- /root/repo/src/nn/activations.h /root/repo/src/nn/conv1d.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/dropout.h \
- /root/repo/src/nn/pooling.h
+ /root/repo/src/common/parallel.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/nn/activations.h \
+ /root/repo/src/nn/conv1d.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/dropout.h /root/repo/src/nn/pooling.h

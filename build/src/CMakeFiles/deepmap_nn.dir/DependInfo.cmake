@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o.d"
   "/root/repo/src/nn/dense.cc" "src/CMakeFiles/deepmap_nn.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/dense.cc.o.d"
   "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/gemm.cc" "src/CMakeFiles/deepmap_nn.dir/nn/gemm.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/gemm.cc.o.d"
   "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o.d"
   "/root/repo/src/nn/graph_conv.cc" "src/CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o.d"
   "/root/repo/src/nn/layer.cc" "src/CMakeFiles/deepmap_nn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/deepmap_nn.dir/nn/layer.cc.o.d"

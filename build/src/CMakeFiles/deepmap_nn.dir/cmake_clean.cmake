@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/deepmap_nn.dir/nn/dense.cc.o.d"
   "CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o"
   "CMakeFiles/deepmap_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/deepmap_nn.dir/nn/gemm.cc.o"
+  "CMakeFiles/deepmap_nn.dir/nn/gemm.cc.o.d"
   "CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o"
   "CMakeFiles/deepmap_nn.dir/nn/gradient_check.cc.o.d"
   "CMakeFiles/deepmap_nn.dir/nn/graph_conv.cc.o"

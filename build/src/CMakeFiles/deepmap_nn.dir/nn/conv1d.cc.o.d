@@ -230,4 +230,4 @@ src/CMakeFiles/deepmap_nn.dir/nn/conv1d.cc.o: /root/repo/src/nn/conv1d.cc \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/nn/tensor.h \
- /usr/include/c++/12/cstddef
+ /usr/include/c++/12/cstddef /root/repo/src/nn/gemm.h

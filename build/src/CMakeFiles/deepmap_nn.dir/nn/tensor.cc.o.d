@@ -205,4 +205,4 @@ src/CMakeFiles/deepmap_nn.dir/nn/tensor.cc.o: /root/repo/src/nn/tensor.cc \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/gemm.h

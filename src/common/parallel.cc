@@ -1,12 +1,24 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace deepmap {
 
+size_t DefaultNumThreads() {
+  if (const char* env = std::getenv("DEEPMAP_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = DefaultNumThreads();
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -64,7 +76,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
                  size_t num_threads) {
   if (n == 0) return;
   if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = DefaultNumThreads();
   }
   num_threads = std::min(num_threads, n);
   if (num_threads <= 1) {

@@ -15,10 +15,16 @@
 
 namespace deepmap {
 
+/// Thread count used whenever a caller passes 0 ("auto"): the value of the
+/// DEEPMAP_NUM_THREADS environment variable when it parses as a positive
+/// integer, otherwise std::thread::hardware_concurrency (at least 1). Read
+/// on every call so tests and benches can re-pin mid-process.
+size_t DefaultNumThreads();
+
 /// Fixed-size worker pool executing void() tasks FIFO.
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  /// Creates `num_threads` workers; 0 means DefaultNumThreads().
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
 
@@ -46,7 +52,7 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [0, n). Work is split into contiguous chunks across
-/// `num_threads` threads (0 = hardware concurrency; 1 = run inline).
+/// `num_threads` threads (0 = DefaultNumThreads(); 1 = run inline).
 void ParallelFor(size_t n, const std::function<void(size_t)>& body,
                  size_t num_threads = 0);
 

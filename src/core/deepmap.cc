@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "nn/activations.h"
 #include "nn/conv1d.h"
 #include "nn/dense.h"
@@ -35,6 +36,22 @@ nn::Tensor BuildDeepMapInput(const graph::Graph& g,
   const std::vector<graph::Vertex> sequence =
       GenerateVertexSequence(g, centrality, sequence_length);
 
+  // Densify every vertex once up front: a vertex appears in up to r
+  // receptive fields, and DenseRow allocates and probes the vocabulary on
+  // each call, so the per-(slot, pos) lookups the loop used to do dominated
+  // the build. The rows are pure functions of (graph, vertex), so hoisting
+  // them is value-identical.
+  const int n = g.NumVertices();
+  std::vector<std::vector<float>> rows(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const std::vector<double> dense = features.DenseRow(graph_index, v);
+    std::vector<float>& row = rows[static_cast<size_t>(v)];
+    row.resize(dense.size());
+    for (size_t c = 0; c < dense.size(); ++c) {
+      row[c] = static_cast<float>(dense[c]);
+    }
+  }
+
   for (int slot = 0; slot < sequence_length; ++slot) {
     const graph::Vertex v = sequence[slot];
     if (v == kDummyVertex) continue;  // r zero rows (Algorithm 1 line 19)
@@ -43,9 +60,9 @@ nn::Tensor BuildDeepMapInput(const graph::Graph& g,
     for (int pos = 0; pos < r; ++pos) {
       const graph::Vertex u = field[pos];
       if (u == kDummyVertex) continue;  // zero row
-      const std::vector<double> row = features.DenseRow(graph_index, u);
+      const std::vector<float>& row = rows[static_cast<size_t>(u)];
       float* dst = input.data() + (static_cast<size_t>(slot) * r + pos) * m;
-      for (int c = 0; c < m; ++c) dst[c] = static_cast<float>(row[c]);
+      std::copy(row.begin(), row.end(), dst);
     }
   }
   return input;
@@ -56,14 +73,19 @@ std::vector<nn::Tensor> BuildDeepMapInputs(
     const kernels::DatasetVertexFeatures& features,
     const DeepMapConfig& config) {
   const int w = std::max(1, dataset.MaxVertices());
-  Rng rng(config.seed + 0x5eed);
-  std::vector<nn::Tensor> inputs;
-  inputs.reserve(dataset.size());
-  for (int g = 0; g < dataset.size(); ++g) {
-    inputs.push_back(BuildDeepMapInput(dataset.graph(g), features, g, w,
-                                       config.receptive_field_size,
-                                       config.alignment, &rng));
-  }
+  std::vector<nn::Tensor> inputs(static_cast<size_t>(dataset.size()));
+  // One task per graph. Each graph draws from its own RNG stream derived
+  // from (config.seed, graph_index) — not from a generator shared across
+  // graphs — so the outputs are independent of iteration order and
+  // byte-identical for every thread count (the stream only matters for
+  // AlignmentMeasure::kRandom; the other measures never sample).
+  ParallelFor(static_cast<size_t>(dataset.size()), [&](size_t g) {
+    Rng rng(config.seed ^ (0x5eedULL + g * 0x9E3779B97F4A7C15ULL));
+    inputs[g] = BuildDeepMapInput(dataset.graph(static_cast<int>(g)), features,
+                                  static_cast<int>(g), w,
+                                  config.receptive_field_size,
+                                  config.alignment, &rng);
+  });
   return inputs;
 }
 

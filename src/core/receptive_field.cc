@@ -37,8 +37,13 @@ std::vector<graph::Vertex> BuildReceptiveField(
     const int room = r - static_cast<int>(field.size());
     if (static_cast<int>(next_hop.size()) > room) {
       // Keep the top-`room` by centrality (the paper's top r-1 rule applied
-      // within the hop that overflows the field).
-      std::sort(next_hop.begin(), next_hop.end(), by_centrality_desc);
+      // within the hop that overflows the field). partial_sort suffices: the
+      // comparator is a strict total order, so the kept set is the same as a
+      // full sort's, and the field is re-sorted below anyway. On dense
+      // graphs (hop size >> r) this is the hot path of input building.
+      std::partial_sort(next_hop.begin(),
+                        next_hop.begin() + static_cast<size_t>(room),
+                        next_hop.end(), by_centrality_desc);
       next_hop.resize(static_cast<size_t>(room));
     }
     field.insert(field.end(), next_hop.begin(), next_hop.end());

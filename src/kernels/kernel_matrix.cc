@@ -3,19 +3,69 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace deepmap::kernels {
+namespace {
+
+// Flattened (sorted id, count) view of a SparseFeatureMap. The Gram sweep
+// dots every pair of maps; sorted arrays turn each dot into a cache-friendly
+// two-pointer merge instead of O(s log L) std::map probes. The merge adds
+// matched products in ascending id order — the same order Dot() visits them
+// — so the entries are bit-identical to the historical implementation.
+struct FlatMap {
+  std::vector<FeatureId> ids;
+  std::vector<double> counts;
+};
+
+FlatMap Flatten(const SparseFeatureMap& map) {
+  FlatMap flat;
+  flat.ids.reserve(map.NumNonZero());
+  flat.counts.reserve(map.NumNonZero());
+  for (const auto& [id, count] : map.entries()) {
+    flat.ids.push_back(id);
+    flat.counts.push_back(count);
+  }
+  return flat;
+}
+
+double FlatDot(const FlatMap& a, const FlatMap& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.ids.size() && j < b.ids.size()) {
+    if (a.ids[i] < b.ids[j]) {
+      ++i;
+    } else if (a.ids[i] > b.ids[j]) {
+      ++j;
+    } else {
+      dot += a.counts[i] * b.counts[j];
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace
 
 Matrix GramMatrix(const std::vector<SparseFeatureMap>& maps, bool normalize) {
   const size_t n = maps.size();
   Matrix k(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
+  std::vector<FlatMap> flat(n);
+  for (size_t i = 0; i < n; ++i) flat[i] = Flatten(maps[i]);
+  // Upper-triangle sweep, one task per row. Each task writes k[i][j] and the
+  // mirror k[j][i] for j >= i; those cells belong to no other task, so the
+  // result is identical for any thread count. Tasks are folded (0, n-1, 1,
+  // n-2, ...) so the contiguous chunks ParallelFor hands each thread pair
+  // long rows with short ones.
+  ParallelFor(n, [&](size_t task) {
+    const size_t i = (task % 2 == 0) ? task / 2 : n - 1 - task / 2;
     for (size_t j = i; j < n; ++j) {
-      double value = maps[i].Dot(maps[j]);
+      double value = FlatDot(flat[i], flat[j]);
       k[i][j] = value;
       k[j][i] = value;
     }
-  }
+  });
   if (normalize) NormalizeKernelMatrix(k);
   return k;
 }
@@ -67,7 +117,9 @@ Matrix RbfKernelMatrix(const std::vector<std::vector<double>>& rows,
                        double gamma) {
   const size_t n = rows.size();
   Matrix k(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
+  // Same folded upper-triangle parallel sweep as GramMatrix.
+  ParallelFor(n, [&](size_t task) {
+    const size_t i = (task % 2 == 0) ? task / 2 : n - 1 - task / 2;
     for (size_t j = i; j < n; ++j) {
       DEEPMAP_CHECK_EQ(rows[i].size(), rows[j].size());
       double squared = 0.0;
@@ -79,7 +131,7 @@ Matrix RbfKernelMatrix(const std::vector<std::vector<double>>& rows,
       k[i][j] = value;
       k[j][i] = value;
     }
-  }
+  });
   return k;
 }
 

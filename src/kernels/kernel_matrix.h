@@ -14,7 +14,10 @@ using Matrix = std::vector<std::vector<double>>;
 
 /// Gram matrix K[i][j] = <phi_i, phi_j>. When `normalize` is set, applies
 /// cosine normalization K'[i][j] = K[i][j] / sqrt(K[i][i] K[j][j]) (entries
-/// with zero self-similarity are left as 0).
+/// with zero self-similarity are left as 0). The upper-triangle sweep runs
+/// over ParallelFor (rows are independent), and each entry is computed
+/// identically for any thread count — including DEEPMAP_NUM_THREADS=1 — so
+/// results are deterministic.
 Matrix GramMatrix(const std::vector<SparseFeatureMap>& maps,
                   bool normalize = true);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace deepmap::kernels {
 
@@ -101,21 +102,29 @@ SparseFeatureMap DatasetVertexFeatures::GraphFeatureMap(int g) const {
 
 DatasetVertexFeatures ComputeDatasetVertexFeatures(
     const graph::GraphDataset& dataset, const VertexFeatureConfig& config) {
-  std::vector<std::vector<SparseFeatureMap>> features;
-  features.reserve(dataset.size());
+  const size_t n = static_cast<size_t>(dataset.size());
+  std::vector<std::vector<SparseFeatureMap>> features(n);
+  // Per-graph extraction is independent for GK/SP/TREEPP, so those fan out
+  // over ParallelFor. Graphlet sampling draws from a per-graph RNG stream
+  // derived from (config.seed, graph index) instead of one generator
+  // threaded through the dataset, which makes the maps order-independent
+  // and identical for every thread count. WL is the exception: its
+  // refinement dictionary grows across graphs in dataset order (the serve
+  // preprocessor replays it in that order), so it stays sequential.
   switch (config.kind) {
     case FeatureMapKind::kGraphlet: {
-      Rng rng(config.seed);
-      for (const graph::Graph& g : dataset.graphs()) {
-        features.push_back(
-            VertexGraphletFeatureMaps(g, config.graphlet, rng));
-      }
+      ParallelFor(n, [&](size_t g) {
+        Rng rng(config.seed ^ (0x6b5ULL + g * 0x9E3779B97F4A7C15ULL));
+        features[g] = VertexGraphletFeatureMaps(
+            dataset.graph(static_cast<int>(g)), config.graphlet, rng);
+      });
       break;
     }
     case FeatureMapKind::kShortestPath: {
-      for (const graph::Graph& g : dataset.graphs()) {
-        features.push_back(VertexSpFeatureMaps(g, config.shortest_path));
-      }
+      ParallelFor(n, [&](size_t g) {
+        features[g] = VertexSpFeatureMaps(dataset.graph(static_cast<int>(g)),
+                                          config.shortest_path);
+      });
       break;
     }
     case FeatureMapKind::kWlSubtree: {
@@ -123,9 +132,10 @@ DatasetVertexFeatures ComputeDatasetVertexFeatures(
       break;
     }
     case FeatureMapKind::kTreePp: {
-      for (const graph::Graph& g : dataset.graphs()) {
-        features.push_back(VertexTreePpFeatureMaps(g, config.treepp));
-      }
+      ParallelFor(n, [&](size_t g) {
+        features[g] = VertexTreePpFeatureMaps(
+            dataset.graph(static_cast<int>(g)), config.treepp);
+      });
       break;
     }
   }

@@ -1,5 +1,7 @@
 #include "nn/conv1d.h"
 
+#include "nn/gemm.h"
+
 namespace deepmap::nn {
 
 Conv1D::Conv1D(int in_channels, int out_channels, int kernel_size, int stride,
@@ -22,50 +24,82 @@ int Conv1D::OutputLength(int input_length) const {
   return (input_length - kernel_size_) / stride_ + 1;
 }
 
+// The convolution is lowered onto the blocked GEMM (nn/gemm.h) via a
+// zero-copy im2col view: row p of the [out_length, kernel*Cin] patch matrix
+// is the window starting at input row p*stride, i.e. the input buffer itself
+// read with leading dimension stride*Cin. For DEEPMAP's layers (stride ==
+// kernel and pointwise 1x1) the view is exact; overlapping strides
+// (stride < kernel) alias rows, which is fine for reads.
+//
+// Reduction order matches the historical per-window dot (bias first, then
+// ascending (position, channel) terms), so outputs — and the serve path's
+// compiled logits — stay bit-identical.
+
 Tensor Conv1D::Forward(const Tensor& input, bool training) {
   DEEPMAP_CHECK_EQ(input.rank(), 2);
   DEEPMAP_CHECK_EQ(input.dim(1), in_channels_);
-  cached_input_ = input;
+  if (training) {
+    cached_input_ = input;
+    has_cached_input_ = true;
+  } else {
+    // Inference never runs Backward; skipping the cache copy keeps serving
+    // allocation-free. Dropping any stale cache makes a Backward after an
+    // inference Forward fail loudly instead of using the wrong input.
+    cached_input_ = Tensor();
+    has_cached_input_ = false;
+  }
   const int out_length = OutputLength(input.dim(0));
+  const int window = kernel_size_ * in_channels_;
   Tensor out({out_length, out_channels_});
   for (int p = 0; p < out_length; ++p) {
-    const int start = p * stride_;
-    for (int o = 0; o < out_channels_; ++o) {
-      float sum = bias_.at(o);
-      const float* w = weights_.data() +
-                       static_cast<size_t>(o) * kernel_size_ * in_channels_;
-      const float* x = input.data() +
-                       static_cast<size_t>(start) * in_channels_;
-      for (int t = 0; t < kernel_size_ * in_channels_; ++t) sum += w[t] * x[t];
-      out.at(p, o) = sum;
-    }
+    float* row = out.data() + static_cast<size_t>(p) * out_channels_;
+    for (int o = 0; o < out_channels_; ++o) row[o] = bias_.at(o);
   }
+  GemmAccumulate(false, true, out_length, out_channels_, window, input.data(),
+                 stride_ * in_channels_, weights_.data(), window, out.data(),
+                 out_channels_);
   return out;
 }
 
 Tensor Conv1D::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK(has_cached_input_);
   DEEPMAP_CHECK_EQ(grad_output.rank(), 2);
   DEEPMAP_CHECK_EQ(grad_output.dim(1), out_channels_);
   const int out_length = grad_output.dim(0);
   DEEPMAP_CHECK_EQ(out_length, OutputLength(cached_input_.dim(0)));
-  Tensor grad_input({cached_input_.dim(0), in_channels_});
+  const int window = kernel_size_ * in_channels_;
+  const int patch_ld = stride_ * in_channels_;
+
   for (int p = 0; p < out_length; ++p) {
-    const int start = p * stride_;
-    const float* x = cached_input_.data() +
-                     static_cast<size_t>(start) * in_channels_;
-    float* gx = grad_input.data() + static_cast<size_t>(start) * in_channels_;
-    for (int o = 0; o < out_channels_; ++o) {
-      const float g = grad_output.at(p, o);
-      if (g == 0.0f) continue;
-      bias_grad_.at(o) += g;
-      const size_t offset =
-          static_cast<size_t>(o) * kernel_size_ * in_channels_;
-      const float* w = weights_.data() + offset;
-      float* gw = weights_grad_.data() + offset;
-      for (int t = 0; t < kernel_size_ * in_channels_; ++t) {
-        gw[t] += g * x[t];
-        gx[t] += g * w[t];
-      }
+    const float* g = grad_output.data() + static_cast<size_t>(p) * out_channels_;
+    for (int o = 0; o < out_channels_; ++o) bias_grad_.at(o) += g[o];
+  }
+
+  // dW += dOut^T * patches  ([Cout, L] x [L, window]).
+  GemmAccumulate(true, false, out_channels_, window, out_length,
+                 grad_output.data(), out_channels_, cached_input_.data(),
+                 patch_ld, weights_grad_.data(), window);
+
+  // dX = dOut * W  ([L, Cout] x [Cout, window]), written back through the
+  // im2col view.
+  Tensor grad_input({cached_input_.dim(0), in_channels_});
+  if (stride_ >= kernel_size_) {
+    // Non-overlapping windows: patch rows are disjoint in grad_input, so the
+    // GEMM can write straight through the view.
+    GemmAccumulate(false, false, out_length, window, out_channels_,
+                   grad_output.data(), out_channels_, weights_.data(), window,
+                   grad_input.data(), patch_ld);
+  } else {
+    // Overlapping windows alias rows; compute per-window gradients densely,
+    // then scatter-add in ascending window order (col2im).
+    Tensor cols({out_length, window});
+    GemmAccumulate(false, false, out_length, window, out_channels_,
+                   grad_output.data(), out_channels_, weights_.data(), window,
+                   cols.data(), window);
+    for (int p = 0; p < out_length; ++p) {
+      float* gx = grad_input.data() + static_cast<size_t>(p) * patch_ld;
+      const float* src = cols.data() + static_cast<size_t>(p) * window;
+      for (int t = 0; t < window; ++t) gx[t] += src[t];
     }
   }
   return grad_input;

@@ -38,7 +38,10 @@ class Conv1D : public Layer {
   Tensor bias_;          // [out_channels]
   Tensor weights_grad_;
   Tensor bias_grad_;
+  // Input snapshot for Backward; only kept for training-mode Forward calls
+  // (inference skips the copy, and Backward CHECKs that a cache exists).
   Tensor cached_input_;  // [L, in_channels]
+  bool has_cached_input_ = false;
 };
 
 }  // namespace deepmap::nn

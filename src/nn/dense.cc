@@ -24,16 +24,23 @@ Tensor Dense::Forward(const Tensor& input, bool training) {
   for (int l = 0; l < out.dim(0); ++l) {
     for (int o = 0; o < out_features_; ++o) out.at(l, o) += bias_.at(o);
   }
-  if (input_was_rank1_) {
+  if (!training) {
+    // Inference never runs Backward; skip the cache copy (mirrors Conv1D).
+    cached_input_ = Tensor();
+    has_cached_input_ = false;
+  } else if (input_was_rank1_) {
     cached_input_ = std::move(reshaped);
+    has_cached_input_ = true;
   } else {
     cached_input_ = x;
+    has_cached_input_ = true;
   }
   if (input_was_rank1_) return out.Reshaped({out_features_});
   return out;
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {
+  DEEPMAP_CHECK(has_cached_input_);
   Tensor grad = grad_output.rank() == 1
                     ? grad_output.Reshaped({1, out_features_})
                     : grad_output;

@@ -32,8 +32,11 @@ class Dense : public Layer {
   Tensor bias_;          // [out]
   Tensor weights_grad_;  // [out, in]
   Tensor bias_grad_;     // [out]
+  // Input snapshot for Backward; only kept for training-mode Forward calls
+  // (inference skips the copy, and Backward CHECKs that a cache exists).
   Tensor cached_input_;  // [L, in] (rank-1 inputs are lifted to L = 1)
   bool input_was_rank1_ = false;
+  bool has_cached_input_ = false;
 };
 
 }  // namespace deepmap::nn

@@ -1,0 +1,249 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+// NOTE: this translation unit is compiled with -ffp-contract=off (see
+// src/CMakeLists.txt). The micro-kernel below relies on every multiply and
+// add being individually rounded so that vectorized lanes reproduce the
+// scalar reference bit-for-bit; FMA contraction would change the rounding.
+
+namespace deepmap::nn {
+namespace {
+
+GemmTuning g_tuning;
+
+inline int SnapNr(int nr) {
+  if (nr <= 8) return 8;
+  if (nr <= 16) return 16;
+  return 32;
+}
+
+inline int CeilDiv(int a, int b) { return (a + b - 1) / b; }
+
+// --- Small path -----------------------------------------------------------
+//
+// Unpacked loops for products too small to amortize packing. Loop order is
+// chosen per transpose flag for contiguous inner access, but the reduction
+// seen by each C element is always a single chain in ascending p, exactly
+// like the blocked path.
+
+void SmallGemm(bool transpose_a, bool transpose_b, int m, int n, int k,
+               const float* a, int lda, const float* b, int ldb, float* c,
+               int ldc) {
+  if (!transpose_b) {
+    // i-p-j: stream rows of B; C row stays hot.
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<size_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = transpose_a ? a[static_cast<size_t>(p) * lda + i]
+                                     : a[static_cast<size_t>(i) * lda + p];
+        const float* brow = b + static_cast<size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  // B transposed: rows of B are the k-dimension, so i-j-p dots two
+  // contiguous vectors.
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<size_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * ldb;
+      float acc = crow[j];
+      if (transpose_a) {
+        for (int p = 0; p < k; ++p) {
+          acc += a[static_cast<size_t>(p) * lda + i] * brow[p];
+        }
+      } else {
+        const float* arow = a + static_cast<size_t>(i) * lda;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+// --- Packing --------------------------------------------------------------
+
+// Packs op(B)[pc:pc+kc, jc:jc+nc] into nr-wide column tiles: tile t holds
+// kc rows of nr consecutive columns, laid out [p][nr]. Columns past n are
+// zero-filled; those lanes are discarded when the micro-kernel stores.
+void PackB(bool transpose_b, const float* b, int ldb, int pc, int jc, int kc,
+           int nc, int nr, std::vector<float>& bp) {
+  const int num_tiles = CeilDiv(nc, nr);
+  bp.resize(static_cast<size_t>(num_tiles) * kc * nr);
+  for (int t = 0; t < num_tiles; ++t) {
+    const int j0 = jc + t * nr;
+    const int jw = std::min(nr, jc + nc - j0);
+    float* dst = bp.data() + static_cast<size_t>(t) * kc * nr;
+    for (int p = 0; p < kc; ++p, dst += nr) {
+      if (!transpose_b) {
+        const float* src = b + static_cast<size_t>(pc + p) * ldb + j0;
+        for (int j = 0; j < jw; ++j) dst[j] = src[j];
+      } else {
+        for (int j = 0; j < jw; ++j) {
+          dst[j] = b[static_cast<size_t>(j0 + j) * ldb + (pc + p)];
+        }
+      }
+      for (int j = jw; j < nr; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+// Packs op(A)[ic:ic+mc, pc:pc+kc] into kGemmMR-high row tiles laid out
+// [p][kGemmMR]. Rows past m are zero-filled (computed, then discarded).
+void PackA(bool transpose_a, const float* a, int lda, int ic, int pc, int mc,
+           int kc, std::vector<float>& ap) {
+  const int num_tiles = CeilDiv(mc, kGemmMR);
+  ap.resize(static_cast<size_t>(num_tiles) * kc * kGemmMR);
+  for (int t = 0; t < num_tiles; ++t) {
+    const int i0 = ic + t * kGemmMR;
+    const int iw = std::min(kGemmMR, ic + mc - i0);
+    float* dst = ap.data() + static_cast<size_t>(t) * kc * kGemmMR;
+    for (int p = 0; p < kc; ++p, dst += kGemmMR) {
+      for (int i = 0; i < iw; ++i) {
+        dst[i] = transpose_a ? a[static_cast<size_t>(pc + p) * lda + (i0 + i)]
+                             : a[static_cast<size_t>(i0 + i) * lda + (pc + p)];
+      }
+      for (int i = iw; i < kGemmMR; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+// --- Micro-kernel ---------------------------------------------------------
+//
+// acc[i][j] starts from C (zero in the padded fringe), accumulates kc
+// ascending-p terms, and stores the valid region back. Fixed trip counts let
+// the compiler unroll i/j fully and keep acc in vector registers.
+
+template <int NR>
+void MicroKernel(int kc, const float* ap, const float* bp, float* c, int ldc,
+                 int mr_valid, int nr_valid) {
+  float acc[kGemmMR][NR];
+  if (mr_valid == kGemmMR && nr_valid == NR) {
+    for (int i = 0; i < kGemmMR; ++i) {
+      const float* crow = c + static_cast<size_t>(i) * ldc;
+      for (int j = 0; j < NR; ++j) acc[i][j] = crow[j];
+    }
+  } else {
+    for (int i = 0; i < kGemmMR; ++i) {
+      for (int j = 0; j < NR; ++j) {
+        acc[i][j] = (i < mr_valid && j < nr_valid)
+                        ? c[static_cast<size_t>(i) * ldc + j]
+                        : 0.0f;
+      }
+    }
+  }
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<size_t>(p) * kGemmMR;
+    const float* brow = bp + static_cast<size_t>(p) * NR;
+    for (int i = 0; i < kGemmMR; ++i) {
+      const float ai = arow[i];
+      for (int j = 0; j < NR; ++j) acc[i][j] += ai * brow[j];
+    }
+  }
+  if (mr_valid == kGemmMR && nr_valid == NR) {
+    for (int i = 0; i < kGemmMR; ++i) {
+      float* crow = c + static_cast<size_t>(i) * ldc;
+      for (int j = 0; j < NR; ++j) crow[j] = acc[i][j];
+    }
+  } else {
+    for (int i = 0; i < mr_valid; ++i) {
+      for (int j = 0; j < nr_valid; ++j) {
+        c[static_cast<size_t>(i) * ldc + j] = acc[i][j];
+      }
+    }
+  }
+}
+
+using MicroKernelFn = void (*)(int, const float*, const float*, float*, int,
+                               int, int);
+
+MicroKernelFn SelectMicroKernel(int nr) {
+  switch (nr) {
+    case 8:
+      return MicroKernel<8>;
+    case 16:
+      return MicroKernel<16>;
+    default:
+      return MicroKernel<32>;
+  }
+}
+
+}  // namespace
+
+void SetGemmTuning(const GemmTuning& tuning) {
+  GemmTuning t = tuning;
+  t.mc = std::max(1, t.mc);
+  t.kc = std::max(1, t.kc);
+  t.nc = std::max(1, t.nc);
+  t.nr = SnapNr(t.nr);
+  t.small_flops = std::max(0LL, t.small_flops);
+  t.parallel_min_flops = std::max(0LL, t.parallel_min_flops);
+  g_tuning = t;
+}
+
+GemmTuning GetGemmTuning() { return g_tuning; }
+
+void GemmAccumulate(bool transpose_a, bool transpose_b, int m, int n, int k,
+                    const float* a, int lda, const float* b, int ldb, float* c,
+                    int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  DEEPMAP_CHECK(a != nullptr);
+  DEEPMAP_CHECK(b != nullptr);
+  DEEPMAP_CHECK(c != nullptr);
+  const GemmTuning tuning = g_tuning;
+  const long long flops =
+      static_cast<long long>(m) * static_cast<long long>(n) * k;
+  if (flops < tuning.small_flops) {
+    SmallGemm(transpose_a, transpose_b, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  const int nr = tuning.nr;
+  const MicroKernelFn kernel = SelectMicroKernel(nr);
+  const size_t num_threads =
+      flops >= tuning.parallel_min_flops ? DefaultNumThreads() : 1;
+
+  std::vector<float> bp;
+  for (int jc = 0; jc < n; jc += tuning.nc) {
+    const int nc_eff = std::min(tuning.nc, n - jc);
+    const int num_jr = CeilDiv(nc_eff, nr);
+    for (int pc = 0; pc < k; pc += tuning.kc) {
+      const int kc_eff = std::min(tuning.kc, k - pc);
+      PackB(transpose_b, b, ldb, pc, jc, kc_eff, nc_eff, nr, bp);
+      const int num_ic = CeilDiv(m, tuning.mc);
+      ParallelFor(
+          static_cast<size_t>(num_ic),
+          [&](size_t blk) {
+            const int ic = static_cast<int>(blk) * tuning.mc;
+            const int mc_eff = std::min(tuning.mc, m - ic);
+            std::vector<float> ap;
+            PackA(transpose_a, a, lda, ic, pc, mc_eff, kc_eff, ap);
+            for (int jr = 0; jr < num_jr; ++jr) {
+              const float* btile =
+                  bp.data() + static_cast<size_t>(jr) * kc_eff * nr;
+              const int nr_valid = std::min(nr, nc_eff - jr * nr);
+              const int num_ir = CeilDiv(mc_eff, kGemmMR);
+              for (int ir = 0; ir < num_ir; ++ir) {
+                const float* atile =
+                    ap.data() + static_cast<size_t>(ir) * kc_eff * kGemmMR;
+                const int mr_valid =
+                    std::min(kGemmMR, mc_eff - ir * kGemmMR);
+                float* ctile = c +
+                               static_cast<size_t>(ic + ir * kGemmMR) * ldc +
+                               (jc + jr * nr);
+                kernel(kc_eff, atile, btile, ctile, ldc, mr_valid, nr_valid);
+              }
+            }
+          },
+          num_threads);
+    }
+  }
+}
+
+}  // namespace deepmap::nn

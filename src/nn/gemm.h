@@ -1,0 +1,55 @@
+// Shared dense single-precision matrix-multiply core.
+//
+// Every matrix product in the library (nn::MatMul* and the im2col-lowered
+// nn::Conv1D) routes through GemmAccumulate: one cache-blocked,
+// register-tiled SGEMM with an optional ParallelFor split over row panels.
+//
+// Determinism contract: for every output element C[i][j] the k-reduction is
+// a single accumulator chain in ascending k order, regardless of tile sizes,
+// the small/blocked path split, or the number of threads. Threads own
+// disjoint row panels, vector lanes hold independent output elements, and
+// gemm.cc is compiled with -ffp-contract=off (no FMA contraction), so the
+// result is bit-identical to the naive triple loop on all inputs — including
+// NaN/Inf propagation and signed zeros. See docs/performance.md.
+#ifndef DEEPMAP_NN_GEMM_H_
+#define DEEPMAP_NN_GEMM_H_
+
+namespace deepmap::nn {
+
+/// Runtime-tunable blocking parameters. The register micro-tile is
+/// kGemmMR x nr; nr must be one of {8, 16, 32}. MC/KC/NC are the cache
+/// panel sizes (rows, depth, columns). Exposed so tests can force odd tile
+/// sizes and benches can sweep them; the defaults are tuned for ~1 MiB L2.
+struct GemmTuning {
+  int mc = 128;    // row-panel height; also the parallel split granularity
+  int kc = 256;    // depth-panel size (B panel rows kept hot in cache)
+  int nc = 4096;   // column-panel width
+  int nr = 32;     // micro-tile width (8, 16, or 32)
+  /// m*n*k below which the packed/blocked path is skipped entirely.
+  long long small_flops = 1LL << 15;
+  /// m*n*k at or above which row panels are spread over ParallelFor.
+  long long parallel_min_flops = 1LL << 22;
+};
+
+/// Micro-tile height (compile-time constant; see gemm.cc).
+inline constexpr int kGemmMR = 4;
+
+/// Replaces the process-wide tuning (tests/benches only; not thread-safe
+/// against concurrent GemmAccumulate calls). Values are clamped to be >= 1
+/// and nr is snapped to the nearest supported width.
+void SetGemmTuning(const GemmTuning& tuning);
+GemmTuning GetGemmTuning();
+
+/// C += op(A) * op(B), all row-major.
+///   op(A) is m x k: element (i,p) is a[i*lda + p], or a[p*lda + i] when
+///   transpose_a is set; op(B) is k x n, analogously with ldb. C is m x n
+///   with leading dimension ldc and is accumulated into (callers zero-fill
+///   or bias-fill it first, which fixes the "bias first vs last" reduction
+///   order per call site).
+void GemmAccumulate(bool transpose_a, bool transpose_b, int m, int n, int k,
+                    const float* a, int lda, const float* b, int ldb,
+                    float* c, int ldc);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_GEMM_H_

@@ -27,8 +27,10 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Computes the layer output for one sample. `training` toggles
-  /// train-only behavior (dropout). The input is cached as needed for
-  /// Backward, which must be called before the next Forward.
+  /// train-only behavior (dropout) and input caching: only training-mode
+  /// calls keep the state Backward needs, so Backward must follow a
+  /// Forward(input, true). Inference calls skip the cache copy entirely
+  /// (and invalidate any stale one, so a misplaced Backward fails loudly).
   virtual Tensor Forward(const Tensor& input, bool training) = 0;
 
   /// Given dLoss/dOutput, accumulates parameter gradients (+=) and returns

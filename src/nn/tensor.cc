@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/gemm.h"
+
 namespace deepmap::nn {
 namespace {
 
@@ -154,19 +156,20 @@ std::string Tensor::ShapeString() const {
   return os.str();
 }
 
+// The three products lower onto the shared blocked GEMM (nn/gemm.h). The
+// historical `av == 0.0f` fast-path skip is gone on purpose: it silently
+// swallowed NaN/Inf (and -0.0f) contributions from the other operand, so a
+// poisoned activation could exit a layer looking healthy. The GEMM visits
+// every term; tensor_test pins NaN propagation.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   DEEPMAP_CHECK_EQ(a.rank(), 2);
   DEEPMAP_CHECK_EQ(b.rank(), 2);
   DEEPMAP_CHECK_EQ(a.dim(1), b.dim(0));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  for (int i = 0; i < m; ++i) {
-    for (int t = 0; t < k; ++t) {
-      float av = a.at(i, t);
-      if (av == 0.0f) continue;
-      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
-    }
-  }
+  GemmAccumulate(false, false, m, n, k, a.data(), k, b.data(), n, out.data(),
+                 n);
   return out;
 }
 
@@ -176,13 +179,8 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   DEEPMAP_CHECK_EQ(a.dim(0), b.dim(0));
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  for (int t = 0; t < k; ++t) {
-    for (int i = 0; i < m; ++i) {
-      float av = a.at(t, i);
-      if (av == 0.0f) continue;
-      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
-    }
-  }
+  GemmAccumulate(true, false, m, n, k, a.data(), m, b.data(), n, out.data(),
+                 n);
   return out;
 }
 
@@ -192,13 +190,8 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   DEEPMAP_CHECK_EQ(a.dim(1), b.dim(1));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor out({m, n});
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      float sum = 0.0f;
-      for (int t = 0; t < k; ++t) sum += a.at(i, t) * b.at(j, t);
-      out.at(i, j) = sum;
-    }
-  }
+  GemmAccumulate(false, true, m, n, k, a.data(), k, b.data(), k, out.data(),
+                 n);
   return out;
 }
 

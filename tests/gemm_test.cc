@@ -1,0 +1,394 @@
+// Equivalence suite for the blocked/parallel GEMM core and the
+// im2col-lowered Conv1D (ctest label: perf_equiv).
+//
+// The determinism contract (docs/performance.md) says the optimized paths
+// are bit-identical to the naive reference loops: every comparison here is
+// exact (0 ULP), via float bit patterns, across odd shapes, tile-fringe
+// dims, and thread counts.
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/conv1d.h"
+#include "nn/tensor.h"
+
+namespace deepmap::nn {
+namespace {
+
+// Naive references: single accumulator per output element, ascending-k.
+// These replicate the pre-GEMM triple loops (minus the zero-skip, whose
+// removal is pinned by tensor_test's NaN tests).
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int t = 0; t < k; ++t) {
+      const float av = a.at(i, t);
+      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransposedA(const Tensor& a, const Tensor& b) {
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int t = 0; t < k; ++t) {
+    for (int i = 0; i < m; ++i) {
+      const float av = a.at(t, i);
+      for (int j = 0; j < n; ++j) out.at(i, j) += av * b.at(t, j);
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransposedB(const Tensor& a, const Tensor& b) {
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (int t = 0; t < k; ++t) sum += a.at(i, t) * b.at(j, t);
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Tensor RandomTensor(std::vector<int> shape, Rng& rng, double zero_prob = 0.1) {
+  Tensor t(std::move(shape));
+  for (int i = 0; i < t.NumElements(); ++i) {
+    t.data()[i] =
+        rng.Bernoulli(zero_prob) ? 0.0f : static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+::testing::AssertionResult BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return ::testing::AssertionFailure()
+           << a.ShapeString() << " vs " << b.ShapeString();
+  }
+  for (int i = 0; i < a.NumElements(); ++i) {
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a.data()[i], sizeof(ba));
+    std::memcpy(&bb, &b.data()[i], sizeof(bb));
+    if (ba != bb) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a.data()[i] << " (0x" << std::hex
+             << ba << ") vs " << b.data()[i] << " (0x" << bb << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Restores default tuning and thread pinning when a test exits.
+class TuningGuard {
+ public:
+  TuningGuard() : saved_(GetGemmTuning()) {
+    const char* env = std::getenv("DEEPMAP_NUM_THREADS");
+    if (env != nullptr) saved_env_ = env;
+    had_env_ = env != nullptr;
+  }
+  ~TuningGuard() {
+    SetGemmTuning(saved_);
+    if (had_env_) {
+      setenv("DEEPMAP_NUM_THREADS", saved_env_.c_str(), 1);
+    } else {
+      unsetenv("DEEPMAP_NUM_THREADS");
+    }
+  }
+
+ private:
+  GemmTuning saved_;
+  std::string saved_env_;
+  bool had_env_ = false;
+};
+
+struct Shape {
+  int m, k, n;
+};
+
+// Odd shapes on purpose: unit dims, k=1, tall-skinny, non-multiples of the
+// MR/NR/MC/KC tiles, and one square big enough for the blocked+parallel
+// path under default tuning.
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 7, 1},   {7, 1, 3},    {2, 3, 5},    {13, 1, 29},
+    {5, 129, 1},  {31, 33, 129}, {64, 64, 64}, {65, 129, 33}, {301, 13, 7},
+    {4, 32, 32},  {128, 96, 160}};
+
+void ExpectAllVariantsMatch() {
+  Rng rng(77);
+  for (const Shape& s : kShapes) {
+    Tensor a = RandomTensor({s.m, s.k}, rng);
+    Tensor b = RandomTensor({s.k, s.n}, rng);
+    EXPECT_TRUE(BitIdentical(MatMul(a, b), NaiveMatMul(a, b)))
+        << "MatMul " << s.m << "x" << s.k << "x" << s.n;
+    Tensor at = RandomTensor({s.k, s.m}, rng);
+    EXPECT_TRUE(
+        BitIdentical(MatMulTransposedA(at, b), NaiveMatMulTransposedA(at, b)))
+        << "MatMulTransposedA " << s.m << "x" << s.k << "x" << s.n;
+    Tensor bt = RandomTensor({s.n, s.k}, rng);
+    EXPECT_TRUE(
+        BitIdentical(MatMulTransposedB(a, bt), NaiveMatMulTransposedB(a, bt)))
+        << "MatMulTransposedB " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmEquivalenceTest, DefaultTuningMatchesNaive) {
+  TuningGuard guard;
+  SetGemmTuning(GemmTuning{});
+  ExpectAllVariantsMatch();
+}
+
+TEST(GemmEquivalenceTest, BlockedPathForcedMatchesNaive) {
+  TuningGuard guard;
+  GemmTuning t;
+  t.small_flops = 0;  // every product takes the packed/blocked path
+  SetGemmTuning(t);
+  ExpectAllVariantsMatch();
+}
+
+TEST(GemmEquivalenceTest, OddTilesMatchNaive) {
+  TuningGuard guard;
+  GemmTuning t;
+  t.mc = 5;
+  t.kc = 7;
+  t.nc = 11;
+  t.nr = 8;
+  t.small_flops = 0;
+  SetGemmTuning(t);
+  ExpectAllVariantsMatch();
+}
+
+TEST(GemmEquivalenceTest, SmallPathForcedMatchesNaive) {
+  TuningGuard guard;
+  GemmTuning t;
+  t.small_flops = 1LL << 62;  // never block
+  SetGemmTuning(t);
+  ExpectAllVariantsMatch();
+}
+
+TEST(GemmEquivalenceTest, EightThreadsBitIdenticalToSerial) {
+  TuningGuard guard;
+  GemmTuning t;
+  t.mc = 16;              // many row panels to spread across threads
+  t.small_flops = 0;
+  t.parallel_min_flops = 0;  // parallelize everything
+  SetGemmTuning(t);
+  Rng rng(123);
+  for (const Shape& s : kShapes) {
+    Tensor a = RandomTensor({s.m, s.k}, rng);
+    Tensor b = RandomTensor({s.k, s.n}, rng);
+    setenv("DEEPMAP_NUM_THREADS", "1", 1);
+    Tensor serial = MatMul(a, b);
+    setenv("DEEPMAP_NUM_THREADS", "8", 1);
+    Tensor parallel = MatMul(a, b);
+    EXPECT_TRUE(BitIdentical(serial, parallel))
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+// --- Conv1D im2col equivalence -------------------------------------------
+
+// Replicates the pre-GEMM Conv1D loops (seed implementation) against
+// caller-supplied parameters.
+Tensor NaiveConvForward(const Tensor& weights, const Tensor& bias,
+                        const Tensor& input, int in_channels, int out_channels,
+                        int kernel_size, int stride) {
+  const int out_length = (input.dim(0) - kernel_size) / stride + 1;
+  Tensor out({out_length, out_channels});
+  for (int p = 0; p < out_length; ++p) {
+    const int start = p * stride;
+    for (int o = 0; o < out_channels; ++o) {
+      float sum = bias.at(o);
+      const float* w =
+          weights.data() + static_cast<size_t>(o) * kernel_size * in_channels;
+      const float* x = input.data() + static_cast<size_t>(start) * in_channels;
+      for (int t = 0; t < kernel_size * in_channels; ++t) sum += w[t] * x[t];
+      out.at(p, o) = sum;
+    }
+  }
+  return out;
+}
+
+struct NaiveConvGrads {
+  Tensor grad_input;
+  Tensor weights_grad;
+  Tensor bias_grad;
+};
+
+NaiveConvGrads NaiveConvBackward(const Tensor& weights, const Tensor& input,
+                                 const Tensor& grad_output, int in_channels,
+                                 int out_channels, int kernel_size,
+                                 int stride) {
+  const int out_length = grad_output.dim(0);
+  NaiveConvGrads g{Tensor({input.dim(0), in_channels}),
+                   Tensor({out_channels, kernel_size * in_channels}),
+                   Tensor({out_channels})};
+  for (int p = 0; p < out_length; ++p) {
+    const int start = p * stride;
+    const float* x = input.data() + static_cast<size_t>(start) * in_channels;
+    float* gx = g.grad_input.data() + static_cast<size_t>(start) * in_channels;
+    for (int o = 0; o < out_channels; ++o) {
+      const float grad = grad_output.at(p, o);
+      g.bias_grad.at(o) += grad;
+      const size_t offset =
+          static_cast<size_t>(o) * kernel_size * in_channels;
+      const float* w = weights.data() + offset;
+      float* gw = g.weights_grad.data() + offset;
+      for (int t = 0; t < kernel_size * in_channels; ++t) {
+        gw[t] += grad * x[t];
+        gx[t] += grad * w[t];
+      }
+    }
+  }
+  return g;
+}
+
+struct ConvCase {
+  int in_channels, out_channels, kernel, stride, length;
+};
+
+// DEEPMAP-style (kernel == stride), pointwise, stride > kernel, and 1x1
+// fringe cases. Overlapping strides (kernel > stride) are exercised
+// separately: their backward col2im regroups sums, so only the forward is
+// exact there.
+const ConvCase kExactCases[] = {{7, 5, 3, 3, 21},  {4, 6, 1, 1, 9},
+                                {3, 2, 2, 5, 17},  {2, 3, 4, 4, 4},
+                                {1, 1, 1, 1, 1},   {16, 32, 5, 5, 200},
+                                {5, 4, 3, 7, 31}};
+
+TEST(Conv1DIm2colTest, ForwardBitIdenticalToNaive) {
+  TuningGuard guard;
+  for (const GemmTuning& t :
+       {GemmTuning{}, GemmTuning{5, 7, 11, 8, 0, 1LL << 62}}) {
+    SetGemmTuning(t);
+    for (const ConvCase& c : kExactCases) {
+      Rng rng(5);
+      Conv1D conv(c.in_channels, c.out_channels, c.kernel, c.stride, rng);
+      std::vector<Param> params;
+      conv.CollectParams(&params);
+      Rng data_rng(6);
+      Tensor x = RandomTensor({c.length, c.in_channels}, data_rng);
+      Tensor got = conv.Forward(x, false);
+      Tensor want = NaiveConvForward(*params[0].value, *params[1].value, x,
+                                     c.in_channels, c.out_channels, c.kernel,
+                                     c.stride);
+      EXPECT_TRUE(BitIdentical(got, want))
+          << "conv " << c.in_channels << "->" << c.out_channels << " k"
+          << c.kernel << " s" << c.stride;
+    }
+  }
+}
+
+TEST(Conv1DIm2colTest, OverlappingForwardBitIdenticalToNaive) {
+  TuningGuard guard;
+  SetGemmTuning(GemmTuning{});
+  const ConvCase c{3, 4, 5, 2, 23};
+  Rng rng(7);
+  Conv1D conv(c.in_channels, c.out_channels, c.kernel, c.stride, rng);
+  std::vector<Param> params;
+  conv.CollectParams(&params);
+  Rng data_rng(8);
+  Tensor x = RandomTensor({c.length, c.in_channels}, data_rng);
+  Tensor got = conv.Forward(x, false);
+  Tensor want =
+      NaiveConvForward(*params[0].value, *params[1].value, x, c.in_channels,
+                       c.out_channels, c.kernel, c.stride);
+  EXPECT_TRUE(BitIdentical(got, want));
+}
+
+TEST(Conv1DIm2colTest, BackwardBitIdenticalToNaive) {
+  TuningGuard guard;
+  SetGemmTuning(GemmTuning{});
+  for (const ConvCase& c : kExactCases) {
+    Rng rng(9);
+    Conv1D conv(c.in_channels, c.out_channels, c.kernel, c.stride, rng);
+    std::vector<Param> params;
+    conv.CollectParams(&params);
+    Rng data_rng(10);
+    Tensor x = RandomTensor({c.length, c.in_channels}, data_rng);
+    Tensor out = conv.Forward(x, true);
+    Tensor grad_out = RandomTensor(out.shape(), data_rng);
+    Tensor grad_in = conv.Backward(grad_out);
+    NaiveConvGrads want =
+        NaiveConvBackward(*params[0].value, x, grad_out, c.in_channels,
+                          c.out_channels, c.kernel, c.stride);
+    EXPECT_TRUE(BitIdentical(grad_in, want.grad_input));
+    EXPECT_TRUE(BitIdentical(*params[0].grad, want.weights_grad));
+    EXPECT_TRUE(BitIdentical(*params[1].grad, want.bias_grad));
+  }
+}
+
+TEST(Conv1DIm2colTest, OverlappingBackwardMatchesNaiveClosely) {
+  // kernel > stride: the col2im scatter regroups per-window sums, which can
+  // round differently from the naive interleaved accumulation — equal up to
+  // tiny FP error, not bitwise.
+  TuningGuard guard;
+  SetGemmTuning(GemmTuning{});
+  const ConvCase c{3, 4, 5, 2, 23};
+  Rng rng(11);
+  Conv1D conv(c.in_channels, c.out_channels, c.kernel, c.stride, rng);
+  std::vector<Param> params;
+  conv.CollectParams(&params);
+  Rng data_rng(12);
+  Tensor x = RandomTensor({c.length, c.in_channels}, data_rng);
+  Tensor out = conv.Forward(x, true);
+  Tensor grad_out = RandomTensor(out.shape(), data_rng);
+  Tensor grad_in = conv.Backward(grad_out);
+  NaiveConvGrads want =
+      NaiveConvBackward(*params[0].value, x, grad_out, c.in_channels,
+                        c.out_channels, c.kernel, c.stride);
+  ASSERT_EQ(grad_in.shape(), want.grad_input.shape());
+  for (int i = 0; i < grad_in.NumElements(); ++i) {
+    EXPECT_NEAR(grad_in.data()[i], want.grad_input.data()[i], 1e-5f);
+  }
+  EXPECT_TRUE(BitIdentical(*params[0].grad, want.weights_grad));
+  EXPECT_TRUE(BitIdentical(*params[1].grad, want.bias_grad));
+}
+
+TEST(Conv1DIm2colTest, InferenceForwardSkipsInputCacheCopy) {
+  Rng rng(13);
+  Conv1D conv(4, 3, 2, 2, rng);
+  Rng data_rng(14);
+  Tensor x = RandomTensor({10, 4}, data_rng);
+  conv.Forward(x, true);  // warm up so any lazy allocation is done
+  Tensor::ResetCopyCount();
+  conv.Forward(x, false);
+  EXPECT_EQ(Tensor::CopyCount(), 0)
+      << "inference Forward must not deep-copy the input";
+  // Training mode still caches (one copy) and Backward works.
+  Tensor::ResetCopyCount();
+  Tensor out = conv.Forward(x, true);
+  EXPECT_EQ(Tensor::CopyCount(), 1);
+  conv.Backward(Tensor(out.shape()));
+}
+
+TEST(GemmTuningTest, SetterClampsAndSnaps) {
+  TuningGuard guard;
+  GemmTuning t;
+  t.mc = -3;
+  t.kc = 0;
+  t.nc = -1;
+  t.nr = 13;
+  t.small_flops = -5;
+  SetGemmTuning(t);
+  GemmTuning got = GetGemmTuning();
+  EXPECT_GE(got.mc, 1);
+  EXPECT_GE(got.kc, 1);
+  EXPECT_GE(got.nc, 1);
+  EXPECT_EQ(got.nr, 16);
+  EXPECT_EQ(got.small_flops, 0);
+}
+
+}  // namespace
+}  // namespace deepmap::nn

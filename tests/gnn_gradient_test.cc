@@ -46,7 +46,10 @@ void CheckModelGradients(Model& model, const Sample& sample, int label,
   };
   auto forward_backward = [&]() {
     nn::ZeroGrads(params);
-    nn::Tensor logits = model.Forward(sample, false);
+    // Training mode: Backward needs the layers' input caches. Every test
+    // sets dropout_rate = 0, so the training logits equal the inference
+    // logits the loss lambda measures.
+    nn::Tensor logits = model.Forward(sample, true);
     model.Backward(nn::SoftmaxCrossEntropy(logits, label).grad_logits);
   };
   auto result =

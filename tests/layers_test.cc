@@ -58,7 +58,10 @@ void CheckLayer(Layer& layer, Tensor input, double tol = 2e-3) {
   Tensor analytic_input_grad;
   auto forward_backward = [&]() {
     ZeroGrads(params);
-    Tensor out = layer.Forward(input, /*training=*/false);
+    // Backward requires a training-mode Forward (inference skips the input
+    // cache); the layers under test are deterministic, so the training
+    // output equals the inference output the loss lambda sees.
+    Tensor out = layer.Forward(input, /*training=*/true);
     analytic_input_grad = layer.Backward(ScalarLossGrad(out));
   };
   if (!params.empty()) {
@@ -409,7 +412,8 @@ TEST(SequentialTest, GradientCheckSmallCnn) {
   };
   auto forward_backward = [&]() {
     ZeroGrads(params);
-    Tensor logits = net.Forward(input, false);
+    // Training mode: Backward needs the layers' input caches.
+    Tensor logits = net.Forward(input, true);
     net.Backward(SoftmaxCrossEntropy(logits, label).grad_logits);
   };
   auto result = CheckParameterGradients(params, loss, forward_backward, 1e-2);

@@ -1,0 +1,241 @@
+// Determinism suite for the parallel preprocessing pipeline (ctest label:
+// perf_equiv): BuildDeepMapInputs, ComputeDatasetVertexFeatures, and
+// GramMatrix must produce byte-identical results for every thread count,
+// and the flat merge-join Gram sweep must equal the historical std::map
+// probe implementation exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/deepmap.h"
+#include "datasets/synthetic.h"
+#include "kernels/kernel_matrix.h"
+#include "kernels/vertex_feature_map.h"
+
+namespace deepmap {
+namespace {
+
+// Pins DEEPMAP_NUM_THREADS for a scope and restores the prior state.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(const char* value) {
+    const char* prev = std::getenv("DEEPMAP_NUM_THREADS");
+    if (prev != nullptr) {
+      had_prev_ = true;
+      prev_ = prev;
+    }
+    if (value != nullptr) {
+      setenv("DEEPMAP_NUM_THREADS", value, 1);
+    } else {
+      unsetenv("DEEPMAP_NUM_THREADS");
+    }
+  }
+  ~ScopedNumThreads() {
+    if (had_prev_) {
+      setenv("DEEPMAP_NUM_THREADS", prev_.c_str(), 1);
+    } else {
+      unsetenv("DEEPMAP_NUM_THREADS");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(DefaultNumThreadsTest, EnvOverrideParsing) {
+  {
+    ScopedNumThreads pin("3");
+    EXPECT_EQ(DefaultNumThreads(), 3u);
+  }
+  {
+    ScopedNumThreads pin("1");
+    EXPECT_EQ(DefaultNumThreads(), 1u);
+  }
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const char* bad : {"0", "-4", "abc", "", "2x"}) {
+    ScopedNumThreads pin(bad);
+    EXPECT_EQ(DefaultNumThreads(), hw) << "value: \"" << bad << "\"";
+  }
+  {
+    ScopedNumThreads pin(nullptr);
+    EXPECT_EQ(DefaultNumThreads(), hw);
+  }
+}
+
+TEST(DefaultNumThreadsTest, ParallelForHonorsOverride) {
+  ScopedNumThreads pin("8");
+  std::vector<int> hits(100, 0);
+  ParallelFor(hits.size(), [&](size_t i) { hits[i] = static_cast<int>(i); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], static_cast<int>(i));
+  }
+}
+
+bool TensorsBitIdentical(const std::vector<nn::Tensor>& a,
+                         const std::vector<nn::Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].shape() != b[i].shape()) return false;
+    if (std::memcmp(a[i].data(), b[i].data(),
+                    sizeof(float) * static_cast<size_t>(a[i].NumElements())) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+core::DeepMapConfig SmallConfig(kernels::FeatureMapKind kind) {
+  core::DeepMapConfig config;
+  config.features.kind = kind;
+  config.features.seed = 17;
+  config.receptive_field_size = 4;
+  config.seed = 17;
+  return config;
+}
+
+// BuildDeepMapInputs must be byte-identical whether it runs serially or on 8
+// threads: per-graph RNG streams are derived from (seed, graph index), never
+// shared.
+TEST(ParallelPipelineTest, BuildDeepMapInputsSerialEqualsEightThreads) {
+  graph::GraphDataset dataset = datasets::MakeSynthie(24, 99);
+  for (auto alignment : {core::AlignmentMeasure::kEigenvector,
+                         core::AlignmentMeasure::kRandom}) {
+    core::DeepMapConfig config = SmallConfig(kernels::FeatureMapKind::kWlSubtree);
+    config.alignment = alignment;
+    kernels::DatasetVertexFeatures features =
+        kernels::ComputeDatasetVertexFeatures(dataset, config.features);
+
+    std::vector<nn::Tensor> serial, parallel;
+    {
+      ScopedNumThreads pin("1");
+      serial = core::BuildDeepMapInputs(dataset, features, config);
+    }
+    {
+      ScopedNumThreads pin("8");
+      parallel = core::BuildDeepMapInputs(dataset, features, config);
+    }
+    EXPECT_TRUE(TensorsBitIdentical(serial, parallel))
+        << "alignment=" << static_cast<int>(alignment);
+  }
+}
+
+// Per-graph feature extraction (including graphlet sampling, which draws
+// from per-graph RNG streams) must not depend on the thread count.
+TEST(ParallelPipelineTest, VertexFeaturesSerialEqualEightThreads) {
+  graph::GraphDataset dataset = datasets::MakeSynthie(16, 7);
+  for (auto kind :
+       {kernels::FeatureMapKind::kGraphlet, kernels::FeatureMapKind::kShortestPath,
+        kernels::FeatureMapKind::kWlSubtree, kernels::FeatureMapKind::kTreePp}) {
+    kernels::VertexFeatureConfig config;
+    config.kind = kind;
+    config.seed = 5;
+
+    auto compute = [&](const char* threads) {
+      ScopedNumThreads pin(threads);
+      return kernels::ComputeDatasetVertexFeatures(dataset, config);
+    };
+    kernels::DatasetVertexFeatures serial = compute("1");
+    kernels::DatasetVertexFeatures parallel = compute("8");
+
+    ASSERT_EQ(serial.all().size(), parallel.all().size());
+    for (size_t g = 0; g < serial.all().size(); ++g) {
+      ASSERT_EQ(serial.all()[g].size(), parallel.all()[g].size());
+      for (size_t v = 0; v < serial.all()[g].size(); ++v) {
+        EXPECT_EQ(serial.all()[g][v].entries(), parallel.all()[g][v].entries())
+            << kernels::FeatureMapKindName(kind) << " graph " << g
+            << " vertex " << v;
+      }
+    }
+  }
+}
+
+// Historical GramMatrix inner loop: std::map-probe Dot over the upper
+// triangle, sequential. The parallel merge-join version must reproduce it
+// bit-for-bit.
+kernels::Matrix LegacyGramMatrix(const std::vector<kernels::SparseFeatureMap>& maps,
+                                 bool normalize) {
+  const size_t n = maps.size();
+  kernels::Matrix k(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double value = maps[i].Dot(maps[j]);
+      k[i][j] = value;
+      k[j][i] = value;
+    }
+  }
+  if (normalize) kernels::NormalizeKernelMatrix(k);
+  return k;
+}
+
+::testing::AssertionResult MatricesBitIdentical(const kernels::Matrix& a,
+                                                const kernels::Matrix& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "row counts differ";
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) {
+      return ::testing::AssertionFailure() << "row " << i << " sizes differ";
+    }
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (std::memcmp(&a[i][j], &b[i][j], sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << "(" << i << "," << j << "): " << a[i][j] << " vs "
+               << b[i][j];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ParallelPipelineTest, GramMatrixMatchesLegacyAndIsThreadCountInvariant) {
+  graph::GraphDataset dataset = datasets::MakeSynthie(20, 31);
+  kernels::VertexFeatureConfig config;
+  config.kind = kernels::FeatureMapKind::kWlSubtree;
+  std::vector<kernels::SparseFeatureMap> maps =
+      kernels::ComputeGraphFeatureMaps(dataset, config);
+
+  for (bool normalize : {false, true}) {
+    kernels::Matrix legacy = LegacyGramMatrix(maps, normalize);
+    kernels::Matrix serial, parallel;
+    {
+      ScopedNumThreads pin("1");
+      serial = kernels::GramMatrix(maps, normalize);
+    }
+    {
+      ScopedNumThreads pin("8");
+      parallel = kernels::GramMatrix(maps, normalize);
+    }
+    EXPECT_TRUE(MatricesBitIdentical(serial, legacy))
+        << "normalize=" << normalize;
+    EXPECT_TRUE(MatricesBitIdentical(serial, parallel))
+        << "normalize=" << normalize;
+  }
+}
+
+TEST(ParallelPipelineTest, RbfKernelMatrixThreadCountInvariant) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows(15, std::vector<double>(6));
+  for (auto& row : rows) {
+    for (double& x : row) x = rng.Normal();
+  }
+  kernels::Matrix serial, parallel;
+  {
+    ScopedNumThreads pin("1");
+    serial = kernels::RbfKernelMatrix(rows, 0.3);
+  }
+  {
+    ScopedNumThreads pin("8");
+    parallel = kernels::RbfKernelMatrix(rows, 0.3);
+  }
+  EXPECT_TRUE(MatricesBitIdentical(serial, parallel));
+}
+
+}  // namespace
+}  // namespace deepmap

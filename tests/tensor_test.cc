@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace deepmap::nn {
 namespace {
 
@@ -76,6 +79,42 @@ TEST(MatMulTest, TransposedVariantsAgree) {
   for (int i = 0; i < 2; ++i) {
     for (int j = 0; j < 2; ++j) EXPECT_FLOAT_EQ(viaB.at(i, j), expected.at(i, j));
   }
+}
+
+// Regression: MatMul historically skipped k-terms where the A element was
+// exactly 0.0f. That silently swallowed NaN/Inf in the other operand
+// (0 * NaN must be NaN). The GEMM core keeps every term in the reduction;
+// these tests pin that.
+
+TEST(MatMulTest, ZeroTimesNanPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::FromVector({1, 2}, {0.0f, 0.0f});
+  Tensor b = Tensor::FromVector({2, 1}, {nan, 1.0f});
+  EXPECT_TRUE(std::isnan(MatMul(a, b).at(0, 0)));
+
+  Tensor at = Tensor::FromVector({2, 1}, {0.0f, 0.0f});
+  EXPECT_TRUE(std::isnan(MatMulTransposedA(at, b).at(0, 0)));
+
+  Tensor bt = Tensor::FromVector({1, 2}, {nan, 1.0f});
+  EXPECT_TRUE(std::isnan(MatMulTransposedB(a, bt).at(0, 0)));
+}
+
+TEST(MatMulTest, ZeroTimesInfPropagatesNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::FromVector({1, 1}, {0.0f});
+  Tensor b = Tensor::FromVector({1, 1}, {inf});
+  // 0 * inf is NaN by IEEE-754; the old skip returned 0.
+  EXPECT_TRUE(std::isnan(MatMul(a, b).at(0, 0)));
+}
+
+TEST(MatMulTest, NegativeZeroFollowsIeeeAddition) {
+  // The accumulator chain starts at +0 (the zero-initialized output), so
+  // +0 + (-0 * 5) rounds to +0 — same as the naive reference.
+  Tensor a = Tensor::FromVector({1, 1}, {-0.0f});
+  Tensor b = Tensor::FromVector({1, 1}, {5.0f});
+  const float out = MatMul(a, b).at(0, 0);
+  EXPECT_EQ(out, 0.0f);
+  EXPECT_FALSE(std::signbit(out));
 }
 
 }  // namespace
