@@ -1,8 +1,10 @@
 // Serving throughput: batched engine vs the unbatched single-request path.
 //
 //   $ ./build/bench/serve_throughput [--requests=N] [--epochs=N] [--full]
+//   $ ./build/bench/serve_throughput --chaos [--out=BENCH_serve_chaos.json]
 //
-// Trains a small DEEPMAP-WL model, then serves the same request stream
+// Default mode trains a small DEEPMAP-WL model, then serves the same request
+// stream
 //   (a) through the offline single-request path (BuildDeepMapInput +
 //       DeepMapModel::Forward, one graph at a time),
 //   (b) through the InferenceEngine at batch sizes {1, 8, 32, 128} with the
@@ -11,15 +13,24 @@
 // Reports graphs/sec and the speedup over (a). The acceptance target is
 // >= 3x at batch >= 32; the warm-cache pass additionally shows preprocessing
 // being skipped entirely (stage counts stop growing).
+//
+// --chaos sweeps injected preprocessing-fault probabilities over a
+// saturating producer with per-request deadlines, a small admission-
+// controlled queue, and degraded mode on, reporting the outcome mix and
+// latency percentiles per fault rate and writing BENCH_serve_chaos.json.
+// The headline: every submitted request resolves, throughput degrades
+// smoothly, and no outcome goes unaccounted.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "core/deepmap.h"
@@ -35,6 +46,8 @@ struct BenchArgs {
   int requests = 512;
   int epochs = 3;
   std::string dataset = "PTC_MM";
+  bool chaos = false;
+  std::string out = "BENCH_serve_chaos.json";
 };
 
 BenchArgs ParseArgs(int argc, char** argv) {
@@ -45,6 +58,10 @@ BenchArgs ParseArgs(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--full") {
       full = true;
+    } else if (arg == "--chaos") {
+      args.chaos = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args.out = arg.substr(6);
     } else if (arg.rfind("--requests=", 0) == 0) {
       args.requests = std::atoi(arg.c_str() + 11);
     } else if (arg.rfind("--epochs=", 0) == 0) {
@@ -122,6 +139,143 @@ EngineRun RunEngine(const std::shared_ptr<serve::ServableModel>& servable,
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode
+
+struct ChaosRun {
+  double fault_probability = 0.0;
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t shed = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t rejected = 0;
+  int64_t error = 0;
+  int64_t faults_fired = 0;
+  double graphs_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
+                  const std::vector<const graph::Graph*>& requests,
+                  double fault_probability) {
+  FailPointRegistry& registry = FailPointRegistry::Instance();
+  registry.DisableAll();
+  if (fault_probability > 0.0) {
+    registry.Enable("serve.preprocess",
+                    FailPointSpec::Probability(fault_probability, 0xc4a05));
+  }
+
+  // Overload-shaped configuration: a queue much smaller than the request
+  // stream, admission control armed, per-request deadlines, degraded mode on.
+  serve::InferenceEngine::Options options;
+  options.batcher.max_batch = 16;
+  options.batcher.max_wait_us = 500;
+  options.batcher.queue_capacity = 64;
+  options.cache_capacity = 0;  // every request exercises the faulty stage
+  options.admission.queue_shed_watermark = 0.75;
+  options.enable_degraded = true;
+  serve::InferenceEngine engine(servable, options);
+
+  Stopwatch timer;
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const graph::Graph* g : requests) {
+    // Saturating producer: submit as fast as possible, each request with a
+    // generous-but-finite deadline.
+    futures.push_back(engine.Submit(
+        *g, serve::RequestOptions::WithDeadline(std::chrono::seconds(5))));
+  }
+  int64_t resolved = 0;
+  for (auto& f : futures) {
+    (void)f.get();  // every future must resolve — ok or typed error
+    ++resolved;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  engine.Drain();
+  // Counters die with the fail point, so snapshot before disarming.
+  const int64_t faults_fired = registry.triggers("serve.preprocess");
+  registry.DisableAll();
+
+  const serve::ServeMetrics& m = engine.metrics();
+  ChaosRun run;
+  run.fault_probability = fault_probability;
+  run.submitted = static_cast<int64_t>(requests.size());
+  run.ok = m.outcome_count(serve::ServeOutcome::kOk);
+  run.degraded = m.outcome_count(serve::ServeOutcome::kDegraded);
+  run.shed = m.outcome_count(serve::ServeOutcome::kShed);
+  run.deadline_exceeded =
+      m.outcome_count(serve::ServeOutcome::kDeadlineExceeded);
+  run.rejected = m.outcome_count(serve::ServeOutcome::kRejected);
+  run.error = m.outcome_count(serve::ServeOutcome::kError);
+  run.faults_fired = faults_fired;
+  run.graphs_per_sec = static_cast<double>(resolved) / elapsed;
+  serve::LatencySummary latency = m.Latency("total");
+  run.p50_us = latency.p50;
+  run.p95_us = latency.p95;
+  run.p99_us = latency.p99;
+  if (m.total_outcomes() != run.submitted) {
+    std::fprintf(stderr,
+                 "outcome accounting violated: %lld outcomes for %lld "
+                 "submissions\n",
+                 static_cast<long long>(m.total_outcomes()),
+                 static_cast<long long>(run.submitted));
+    std::exit(1);
+  }
+  return run;
+}
+
+int RunChaosBench(const BenchArgs& args,
+                  const std::shared_ptr<serve::ServableModel>& servable,
+                  const std::vector<const graph::Graph*>& requests) {
+  const std::vector<double> probabilities = {0.0, 0.05, 0.1, 0.2, 0.4};
+  std::vector<ChaosRun> runs;
+  Table table({"fault p", "ok", "degraded", "shed", "deadline", "rejected",
+               "error", "graphs/sec", "p95 us"});
+  for (double p : probabilities) {
+    ChaosRun run = RunChaos(servable, requests, p);
+    table.AddRow({Fmt(p, "%.2f"), std::to_string(run.ok),
+                  std::to_string(run.degraded), std::to_string(run.shed),
+                  std::to_string(run.deadline_exceeded),
+                  std::to_string(run.rejected), std::to_string(run.error),
+                  Fmt(run.graphs_per_sec), Fmt(run.p95_us)});
+    runs.push_back(run);
+  }
+  std::printf("chaos sweep: %zu requests per fault rate, every future "
+              "resolved, outcomes fully accounted\n\n",
+              requests.size());
+  table.Print(std::cout);
+
+  std::ofstream out(args.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"serve_chaos\",\n";
+  out << "  \"dataset\": \"" << args.dataset << "\",\n";
+  out << "  \"requests_per_run\": " << requests.size() << ",\n";
+  out << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ChaosRun& r = runs[i];
+    out << "    {\"fault_probability\": " << r.fault_probability
+        << ", \"submitted\": " << r.submitted << ", \"ok\": " << r.ok
+        << ", \"degraded\": " << r.degraded << ", \"shed\": " << r.shed
+        << ", \"deadline_exceeded\": " << r.deadline_exceeded
+        << ", \"rejected\": " << r.rejected << ", \"error\": " << r.error
+        << ", \"faults_fired\": " << r.faults_fired
+        << ", \"graphs_per_sec\": " << Fmt(r.graphs_per_sec, "%.1f")
+        << ", \"p50_us\": " << Fmt(r.p50_us, "%.1f")
+        << ", \"p95_us\": " << Fmt(r.p95_us, "%.1f")
+        << ", \"p99_us\": " << Fmt(r.p99_us, "%.1f") << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +319,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < args.requests; ++i) {
     requests.push_back(&dataset.graph(i % dataset.size()));
   }
+
+  if (args.chaos) return RunChaosBench(args, servable, requests);
 
   // (a) Unbatched single-request baseline: the offline path, one graph at a
   // time (per-request input build + training-stack forward).

@@ -1,0 +1,203 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace deepmap {
+
+std::atomic<int> FailPointRegistry::active_count_{0};
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* instance = [] {
+    auto* registry = new FailPointRegistry();
+    if (Status s = registry->LoadFromEnv(); !s.ok()) {
+      DEEPMAP_LOG(Warning) << "ignoring DEEPMAP_FAILPOINTS: " << s.ToString();
+    }
+    return registry;
+  }();
+  return *instance;
+}
+
+namespace {
+// The trigger macro short-circuits on AnyActive() without ever touching the
+// registry, so env-armed fail points must be loaded eagerly — before the
+// first evaluation — not lazily on first Instance() access.
+const bool g_env_loaded = [] {
+  if (std::getenv("DEEPMAP_FAILPOINTS") != nullptr) {
+    FailPointRegistry::Instance();
+  }
+  return true;
+}();
+}  // namespace
+
+void FailPointRegistry::Enable(const std::string& name, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(name);
+  if (inserted) active_count_.fetch_add(1, std::memory_order_relaxed);
+  Point& point = it->second;
+  point.spec = std::move(spec);
+  point.evaluations = 0;
+  point.triggers = 0;
+  point.once_spent = false;
+  point.rng.seed(point.spec.seed);
+}
+
+Status FailPointRegistry::EnableFromString(const std::string& name,
+                                           const std::string& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("fail point name must not be empty");
+  }
+  const std::string trimmed = Trim(spec);
+  if (trimmed == "off") {
+    Disable(name);
+    return Status::Ok();
+  }
+  if (trimmed == "always") {
+    Enable(name, FailPointSpec::Always());
+    return Status::Ok();
+  }
+  if (trimmed == "once") {
+    Enable(name, FailPointSpec::Once());
+    return Status::Ok();
+  }
+  const std::vector<std::string> parts = Split(trimmed, ':');
+  if (parts.size() >= 2 && parts[0] == "every") {
+    char* end = nullptr;
+    const long n = std::strtol(parts[1].c_str(), &end, 10);
+    if (end == parts[1].c_str() || *end != '\0' || n <= 0 ||
+        parts.size() > 2) {
+      return Status::InvalidArgument("bad every-Nth spec '" + spec +
+                                     "' for fail point '" + name +
+                                     "' (want every:N with N > 0)");
+    }
+    Enable(name, FailPointSpec::EveryNth(static_cast<uint64_t>(n)));
+    return Status::Ok();
+  }
+  if (parts.size() >= 2 && parts[0] == "p") {
+    char* end = nullptr;
+    const double p = std::strtod(parts[1].c_str(), &end);
+    if (end == parts[1].c_str() || *end != '\0' || p < 0.0 || p > 1.0 ||
+        parts.size() > 3) {
+      return Status::InvalidArgument("bad probability spec '" + spec +
+                                     "' for fail point '" + name +
+                                     "' (want p:P[:SEED] with P in [0,1])");
+    }
+    uint64_t seed = 42;
+    if (parts.size() == 3) {
+      const long long parsed = std::strtoll(parts[2].c_str(), &end, 10);
+      if (end == parts[2].c_str() || *end != '\0' || parsed < 0) {
+        return Status::InvalidArgument("bad seed in fail point spec '" +
+                                       spec + "' for '" + name + "'");
+      }
+      seed = static_cast<uint64_t>(parsed);
+    }
+    Enable(name, FailPointSpec::Probability(p, seed));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "unknown fail point spec '" + spec + "' for '" + name +
+      "' (want off|always|once|every:N|p:P[:SEED])");
+}
+
+void FailPointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(name) > 0) {
+    active_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_count_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+Status FailPointRegistry::LoadFromEnv() {
+  const char* env = std::getenv("DEEPMAP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::Ok();
+  for (const std::string& entry : Split(env, ';')) {
+    const std::string item = Trim(entry);
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad DEEPMAP_FAILPOINTS entry '" +
+                                     item + "' (want name=spec)");
+    }
+    if (Status s = EnableFromString(Trim(item.substr(0, eq)),
+                                    Trim(item.substr(eq + 1)));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+bool FailPointRegistry::IsEnabled(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.count(name) > 0;
+}
+
+std::vector<std::string> FailPointRegistry::ActiveNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+int64_t FailPointRegistry::evaluations(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+int64_t FailPointRegistry::triggers(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+bool FailPointRegistry::ShouldTrigger(const char* name) {
+  std::function<void()> hook;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    Point& point = it->second;
+    ++point.evaluations;
+    switch (point.spec.mode) {
+      case FailPointSpec::Mode::kAlways:
+        fired = true;
+        break;
+      case FailPointSpec::Mode::kOnce:
+        fired = !point.once_spent;
+        point.once_spent = true;
+        break;
+      case FailPointSpec::Mode::kEveryNth:
+        fired = (static_cast<uint64_t>(point.evaluations) %
+                 point.spec.n) == 0;
+        break;
+      case FailPointSpec::Mode::kProbability: {
+        std::bernoulli_distribution trial(point.spec.probability);
+        fired = trial(point.rng);
+        break;
+      }
+    }
+    if (fired) {
+      ++point.triggers;
+      hook = point.spec.on_trigger;  // run below, outside the lock
+    }
+  }
+  if (hook) hook();
+  return fired;
+}
+
+Status FailPointError(const char* name) {
+  return Status::Unavailable(std::string("injected fault at ") + name);
+}
+
+}  // namespace deepmap

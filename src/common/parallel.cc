@@ -1,7 +1,10 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+
+#include "common/failpoint.h"
 
 namespace deepmap {
 
@@ -62,6 +65,11 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+    }
+    // Latency fault: stalls this task (e.g. a slow preprocessing shard) to
+    // shake out ordering assumptions; never changes results, only timing.
+    if (DEEPMAP_FAILPOINT_TRIGGERED("pool.task.delay")) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
     task();
     {

@@ -21,6 +21,9 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,    // a request's deadline passed before completion
+  kResourceExhausted,   // admission control shed the request under overload
+  kUnavailable,         // transient infrastructure failure; safe to retry
 };
 
 /// Result of a fallible operation: an OK marker or an error code + message.
@@ -46,6 +49,15 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -58,6 +70,15 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// True for transient failures a caller may safely retry (overload
+/// shedding, queue rejection, infrastructure unavailability). Client errors
+/// (InvalidArgument), deadline expiry, and contract violations are not
+/// retryable: repeating them cannot succeed.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
+}
 
 /// Either a value of type T or an error Status. Access to value() on an
 /// error StatusOr is a checked failure.

@@ -1,8 +1,11 @@
 #include "nn/serialization.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "common/failpoint.h"
 
 namespace deepmap::nn {
 namespace {
@@ -25,11 +28,22 @@ bool ReadPod(std::ifstream& in, T* value) {
 
 Status SaveParameters(const std::vector<Param>& params,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  // Crash-safe write: stream into a sibling temp file, then atomically
+  // rename over `path`. A crash or failure mid-write leaves the previous
+  // model file intact (the temp file may linger, like after a real crash,
+  // and is simply overwritten by the next save).
+  const std::string temp = path + ".tmp";
+  std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + temp + " for writing");
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
   WritePod(out, static_cast<uint32_t>(params.size()));
+  // Simulated crash after the header: the temp file is abandoned truncated
+  // and the destination must remain untouched and loadable.
+  if (DEEPMAP_FAILPOINT_TRIGGERED("nn.save.short_write")) {
+    out.close();
+    return Status::IoError("injected short write to " + temp);
+  }
   for (const Param& p : params) {
     const Tensor& t = *p.value;
     WritePod(out, static_cast<uint32_t>(t.rank()));
@@ -39,7 +53,13 @@ Status SaveParameters(const std::vector<Param>& params,
     out.write(reinterpret_cast<const char*>(t.data()),
               static_cast<std::streamsize>(sizeof(float)) * t.NumElements());
   }
-  if (!out) return Status::IoError("short write to " + path);
+  out.flush();
+  if (!out) return Status::IoError("short write to " + temp);
+  out.close();
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::IoError("cannot rename " + temp + " to " + path);
+  }
   return Status::Ok();
 }
 

@@ -15,7 +15,9 @@
 
 namespace deepmap::nn {
 
-/// Writes every parameter's value tensor to `path`.
+/// Writes every parameter's value tensor to `path`. Crash-safe: the data is
+/// streamed to `path + ".tmp"` and atomically renamed into place, so a
+/// failure mid-save never corrupts an existing model file.
 Status SaveParameters(const std::vector<Param>& params,
                       const std::string& path);
 

@@ -27,10 +27,19 @@
 
 namespace deepmap::serve {
 
+/// Provenance of a served answer. Anything other than kModel means the
+/// engine degraded gracefully instead of surfacing a model-path failure.
+enum class PredictionSource : uint8_t {
+  kModel = 0,       // full forward pass (possibly replayed from the cache)
+  kStaleCache = 1,  // degraded: cached answer served while the model failed
+  kFallback = 2,    // degraded: reference-dataset majority-class prior
+};
+
 /// A served classification: argmax class plus the softmax distribution.
 struct Prediction {
   int label = -1;
   std::vector<float> probabilities;  // size C, sums to ~1
+  PredictionSource source = PredictionSource::kModel;
 };
 
 /// Reusable per-thread forward-pass workspace.

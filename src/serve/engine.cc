@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace deepmap::serve {
 namespace {
@@ -13,6 +15,22 @@ double MicrosSince(std::chrono::steady_clock::time_point start,
   return std::chrono::duration<double, std::micro>(end - start).count();
 }
 
+bool Expired(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+Status DeadlineError(const char* stage) {
+  return Status::DeadlineExceeded(
+      std::string("request deadline expired (stage=") + stage + ")");
+}
+
+/// Infrastructure failures eligible for degraded answers. Client errors
+/// (InvalidArgument) and deadline expiry must surface unchanged.
+bool Degradable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kInternal;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
@@ -20,7 +38,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
     : model_(std::move(model)),
       options_(options),
       cache_(options.cache_capacity),
-      pool_(options.num_threads) {
+      pool_(options.num_threads),
+      admission_rng_(options.admission.seed) {
   DEEPMAP_CHECK(model_ != nullptr);
   batcher_ = std::make_unique<MicroBatcher>(
       options_.batcher,
@@ -35,41 +54,141 @@ InferenceEngine::~InferenceEngine() {
   batcher_->Stop();
 }
 
+void InferenceEngine::RecordLatencySample(double total_us) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_window_[latency_next_] = total_us;
+  latency_next_ = (latency_next_ + 1) % kP95Window;
+  ++latency_count_;
+  if (latency_count_ < kP95Refresh || latency_count_ % kP95Refresh != 0) {
+    return;
+  }
+  const size_t filled = std::min(latency_count_, kP95Window);
+  std::array<double, kP95Window> scratch;
+  std::copy(latency_window_.begin(),
+            latency_window_.begin() + static_cast<ptrdiff_t>(filled),
+            scratch.begin());
+  size_t rank = static_cast<size_t>(0.95 * static_cast<double>(filled));
+  if (rank >= filled) rank = filled - 1;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<ptrdiff_t>(rank),
+                   scratch.begin() + static_cast<ptrdiff_t>(filled));
+  p95_us_.store(scratch[rank], std::memory_order_relaxed);
+}
+
+bool InferenceEngine::ShouldShed(std::string* detail) {
+  const AdmissionOptions& admission = options_.admission;
+  double shed_probability = 0.0;
+  const size_t depth = batcher_->queue_depth();
+  const size_t capacity = options_.batcher.queue_capacity;
+  if (admission.queue_shed_watermark < 1.0 && capacity > 0) {
+    const double utilization =
+        static_cast<double>(depth) / static_cast<double>(capacity);
+    if (utilization >= admission.queue_shed_watermark) {
+      shed_probability = (utilization - admission.queue_shed_watermark) /
+                         (1.0 - admission.queue_shed_watermark);
+    }
+  }
+  const double p95 = observed_p95_us();
+  if (admission.p95_target_us > 0.0 && p95 > admission.p95_target_us) {
+    // Ramp: certain shed at 2x the latency target.
+    shed_probability = std::max(
+        shed_probability, std::min(1.0, p95 / admission.p95_target_us - 1.0));
+  }
+  if (shed_probability <= 0.0) return false;
+  bool shed = shed_probability >= 1.0;
+  if (!shed) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    shed = admission_rng_.Bernoulli(shed_probability);
+  }
+  if (shed && detail != nullptr) {
+    *detail = "queue depth " + std::to_string(depth) + "/" +
+              std::to_string(capacity) + ", observed p95 " +
+              std::to_string(static_cast<int64_t>(p95)) + "us";
+  }
+  return shed;
+}
+
 std::future<StatusOr<Prediction>> InferenceEngine::Submit(
-    const graph::Graph& g) {
+    const graph::Graph& g, const RequestOptions& request) {
   const auto start = std::chrono::steady_clock::now();
-  ServeRequest request;
-  request.enqueue_time = start;
-  std::future<StatusOr<Prediction>> future = request.promise.get_future();
+  ServeRequest queued;
+  queued.enqueue_time = start;
+  if (request.deadline.has_value()) queued.deadline = *request.deadline;
+  std::future<StatusOr<Prediction>> future = queued.promise.get_future();
+
+  auto reject = [&](Status status) {
+    std::promise<StatusOr<Prediction>> rejected;
+    std::future<StatusOr<Prediction>> f = rejected.get_future();
+    rejected.set_value(StatusOr<Prediction>(std::move(status)));
+    return f;
+  };
+
+  // Stage "admission": a request that arrives already expired never costs a
+  // hash, a queue slot, or a batch.
+  if (Expired(queued.deadline)) {
+    metrics_.RecordDeadlineExceeded("admission");
+    return reject(DeadlineError("admission"));
+  }
 
   if (options_.cache_capacity > 0) {
-    request.cache_key =
-        PredictionCache::KeyFor(g, options_.cache_wl_iterations);
-    if (std::optional<Prediction> hit = cache_.Lookup(request.cache_key)) {
+    queued.cache_key = PredictionCache::KeyFor(g, options_.cache_wl_iterations);
+    if (std::optional<Prediction> hit = cache_.Lookup(queued.cache_key)) {
       RequestTiming timing;
       timing.cache_hit = true;
-      timing.total_us =
-          MicrosSince(start, std::chrono::steady_clock::now());
+      timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
       metrics_.RecordRequest(timing);
-      request.promise.set_value(std::move(*hit));
+      metrics_.RecordOutcome(ServeOutcome::kOk);
+      RecordLatencySample(timing.total_us);
+      queued.promise.set_value(std::move(*hit));
       return future;
     }
   }
 
-  request.graph = g;
-  if (Status s = batcher_->Submit(std::move(request)); !s.ok()) {
+  // Overload: shedding a request we cannot serve in time is cheaper for
+  // everyone than queueing it — the caller gets a fast, typed, retryable
+  // answer instead of a slow deadline error.
+  std::string shed_detail;
+  if (ShouldShed(&shed_detail)) {
+    metrics_.RecordShed();
+    return reject(Status::ResourceExhausted("admission control shed request (" +
+                                            shed_detail + ")"));
+  }
+
+  queued.graph = g;
+  if (Status s = batcher_->Submit(std::move(queued)); !s.ok()) {
     // Submit only fails before moving the request into the queue, so the
     // promise is still ours to fulfill.
     metrics_.RecordRejected();
-    std::promise<StatusOr<Prediction>> rejected;
-    future = rejected.get_future();
-    rejected.set_value(StatusOr<Prediction>(s));
+    return reject(std::move(s));
   }
   return future;
 }
 
-StatusOr<Prediction> InferenceEngine::Classify(const graph::Graph& g) {
-  return Submit(g).get();
+StatusOr<Prediction> InferenceEngine::Classify(const graph::Graph& g,
+                                               const RequestOptions& request) {
+  const RetryOptions& retry = options_.retry;
+  int64_t backoff_us = retry.initial_backoff_us;
+  for (int attempt = 1;; ++attempt) {
+    StatusOr<Prediction> result = Submit(g, request).get();
+    if (result.ok() || attempt >= retry.max_attempts ||
+        !IsRetryable(result.status().code())) {
+      return result;
+    }
+    if (request.deadline.has_value() &&
+        std::chrono::steady_clock::now() +
+                std::chrono::microseconds(backoff_us) >=
+            *request.deadline) {
+      // Backing off would blow the deadline; the transient error is the
+      // better answer than a guaranteed DeadlineExceeded later.
+      return result;
+    }
+    metrics_.RecordRetry();
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(
+        retry.max_backoff_us,
+        static_cast<int64_t>(static_cast<double>(backoff_us) *
+                             retry.backoff_multiplier));
+  }
 }
 
 void InferenceEngine::Drain() { batcher_->Drain(); }
@@ -81,12 +200,32 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
   metrics_.RecordBatch(static_cast<int>(n));
   metrics_.RecordQueueDepth(queue_depth_after);
 
-  // Stage 1: preprocess every graph of the batch on the thread pool.
+  // Whole-batch fault: models a dispatcher-side failure after dequeue. The
+  // per-request degradation/error path below still answers every promise.
+  Status batch_fault;
+  if (DEEPMAP_FAILPOINT_TRIGGERED("serve.engine.batch")) {
+    batch_fault = Status::Unavailable(
+        "injected fault at serve.engine.batch (stage=dispatch)");
+  }
+
+  // Stage 1: preprocess every live graph of the batch on the thread pool.
+  // Requests whose deadline already passed are skipped before costing any
+  // preprocessing work.
   std::vector<Status> statuses(n);
+  std::vector<const char*> deadline_stage(n, nullptr);
   std::vector<nn::Tensor> inputs(n);
   std::vector<double> preprocess_us(n, 0.0);
   Preprocessor& preprocessor = model_->preprocessor();
   for (size_t i = 0; i < n; ++i) {
+    if (!batch_fault.ok()) {
+      statuses[i] = batch_fault;
+      continue;
+    }
+    if (Expired(batch[i].deadline)) {
+      statuses[i] = DeadlineError("preprocess");
+      deadline_stage[i] = "preprocess";
+      continue;
+    }
     pool_.Submit([&, i] {
       const auto t0 = std::chrono::steady_clock::now();
       StatusOr<nn::Tensor> result = preprocessor.Preprocess(batch[i].graph);
@@ -95,18 +234,29 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
       } else {
         statuses[i] = result.status();
       }
-      preprocess_us[i] =
-          MicrosSince(t0, std::chrono::steady_clock::now());
+      preprocess_us[i] = MicrosSince(t0, std::chrono::steady_clock::now());
     });
   }
   pool_.Wait();
 
-  // Stage 2: batched forward pass, sharded across the pool. Each shard
-  // reuses one scratch workspace for its whole slice.
+  // Sync point between the pipeline stages (bool intentionally unused):
+  // tests park here to expire deadlines after preprocessing but before the
+  // forward pass, pinning stage attribution deterministically.
+  (void)DEEPMAP_FAILPOINT_TRIGGERED("serve.engine.before_forward");
+
+  // Stage 2: batched forward pass over requests that survived preprocessing
+  // and still have time left, sharded across the pool. Each shard reuses
+  // one scratch workspace for its whole slice.
   std::vector<size_t> valid;
   valid.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (statuses[i].ok()) valid.push_back(i);
+    if (!statuses[i].ok()) continue;
+    if (Expired(batch[i].deadline)) {
+      statuses[i] = DeadlineError("forward");
+      deadline_stage[i] = "forward";
+      continue;
+    }
+    valid.push_back(i);
   }
   std::vector<Prediction> predictions(n);
   std::vector<double> forward_us(n, 0.0);
@@ -123,17 +273,23 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
         ForwardScratch scratch;
         for (size_t v = begin; v < end; ++v) {
           const size_t i = valid[v];
+          if (DEEPMAP_FAILPOINT_TRIGGERED("serve.forward")) {
+            statuses[i] = Status::Unavailable(
+                "injected fault at serve.forward (stage=forward)");
+            continue;
+          }
           const auto t0 = std::chrono::steady_clock::now();
           predictions[i] = compiled.Predict(inputs[i], &scratch);
-          forward_us[i] =
-              MicrosSince(t0, std::chrono::steady_clock::now());
+          forward_us[i] = MicrosSince(t0, std::chrono::steady_clock::now());
         }
       });
     }
     pool_.Wait();
   }
 
-  // Stage 3: warm the cache, fulfill promises, record metrics.
+  // Stage 3: warm the cache, fulfill promises (degrading model-path
+  // failures when enabled), record metrics. Every promise in the batch is
+  // resolved exactly once on every path through this loop.
   for (size_t i = 0; i < n; ++i) {
     RequestTiming timing;
     timing.queue_us = MicrosSince(batch[i].enqueue_time, dispatch_time);
@@ -142,14 +298,40 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
     timing.total_us = MicrosSince(batch[i].enqueue_time,
                                   std::chrono::steady_clock::now());
     metrics_.RecordRequest(timing);
+    RecordLatencySample(timing.total_us);
     if (statuses[i].ok()) {
       if (options_.cache_capacity > 0 && !batch[i].cache_key.empty()) {
         cache_.Insert(batch[i].cache_key, predictions[i]);
       }
+      metrics_.RecordOutcome(ServeOutcome::kOk);
       batch[i].promise.set_value(std::move(predictions[i]));
-    } else {
-      batch[i].promise.set_value(StatusOr<Prediction>(statuses[i]));
+      continue;
     }
+    const StatusCode code = statuses[i].code();
+    if (code == StatusCode::kDeadlineExceeded) {
+      metrics_.RecordDeadlineExceeded(
+          deadline_stage[i] != nullptr ? deadline_stage[i] : "unknown");
+      batch[i].promise.set_value(StatusOr<Prediction>(statuses[i]));
+      continue;
+    }
+    if (options_.enable_degraded && Degradable(code)) {
+      // Stale-ok cache answer: the key may have been warmed by a sibling
+      // request (or the admission lookup may have hit an injected outage)
+      // since this request was admitted.
+      if (!batch[i].cache_key.empty()) {
+        if (std::optional<Prediction> stale = cache_.Lookup(batch[i].cache_key)) {
+          stale->source = PredictionSource::kStaleCache;
+          metrics_.RecordDegradedStale();
+          batch[i].promise.set_value(std::move(*stale));
+          continue;
+        }
+      }
+      metrics_.RecordDegradedFallback();
+      batch[i].promise.set_value(model_->fallback_prediction());
+      continue;
+    }
+    metrics_.RecordOutcome(ServeOutcome::kError);
+    batch[i].promise.set_value(StatusOr<Prediction>(statuses[i]));
   }
 }
 

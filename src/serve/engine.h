@@ -1,27 +1,44 @@
 // InferenceEngine: the serving front end.
 //
-//   Submit(graph)
+//   Submit(graph, options)
+//     -> deadline check (expired requests rejected at admission)
 //     -> PredictionCache lookup (WL graph hash; hit resolves immediately,
 //        skipping preprocessing and the forward pass)
+//     -> admission controller (queue depth + observed p95 latency drive a
+//        probabilistic load-shed with ResourceExhausted)
 //     -> MicroBatcher (bounded MPSC queue, coalesces max_batch / max_wait_us)
 //     -> batch dispatch on the dispatcher thread:
-//          preprocess each graph on the ThreadPool (feature map ->
-//          alignment -> tensor), then the batched compiled forward pass,
-//          sharded across the pool
+//          deadline re-check, preprocess each graph on the ThreadPool
+//          (feature map -> alignment -> tensor), deadline re-check, then the
+//          batched compiled forward pass, sharded across the pool
 //     -> promises fulfilled, cache warmed, ServeMetrics updated.
 //
 // Submit is safe from any number of producer threads. Results are
-// std::future<StatusOr<Prediction>>: queue overflow, preprocessing failures
-// (empty / oversized graphs), and shutdown all surface as Status errors on
-// the future, never as exceptions.
+// std::future<StatusOr<Prediction>>: queue overflow, preprocessing failures,
+// load shedding, deadline expiry (with stage attribution), and shutdown all
+// surface as typed Status errors on the future, never as exceptions, and
+// every accepted request's future is always resolved — including under
+// injected faults (see docs/robustness.md for the fail-point catalog).
+//
+// When `enable_degraded` is set, model-path failures (Unavailable/Internal —
+// e.g. an injected preprocessing fault) are answered from the prediction
+// cache (stale-ok) or the reference majority-class prior instead of
+// surfacing the error; such answers are tagged via Prediction::source and
+// counted in ServeMetrics. Client errors (InvalidArgument) and deadline
+// expiry are never masked.
 #ifndef DEEPMAP_SERVE_ENGINE_H_
 #define DEEPMAP_SERVE_ENGINE_H_
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "serve/metrics.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
@@ -29,9 +46,48 @@
 
 namespace deepmap::serve {
 
+/// Per-request submission options.
+struct RequestOptions {
+  /// Absolute deadline on the steady clock; unset = no deadline. Expired
+  /// requests fail with DeadlineExceeded naming the stage that noticed
+  /// ("admission", "preprocess", or "forward").
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  static RequestOptions WithDeadline(std::chrono::microseconds relative) {
+    RequestOptions o;
+    o.deadline = std::chrono::steady_clock::now() + relative;
+    return o;
+  }
+};
+
 /// Batched, cached classification service over one ServableModel.
 class InferenceEngine {
  public:
+  /// Queue-depth + latency driven load shedding, applied at admission to
+  /// cache-missing requests. Defaults disable both signals, preserving the
+  /// accept-until-queue-full behavior.
+  struct AdmissionOptions {
+    /// Shedding starts when queue depth exceeds this fraction of
+    /// queue_capacity, ramping linearly to certain shed at a full queue.
+    /// >= 1 disables the queue signal.
+    double queue_shed_watermark = 1.0;
+    /// Observed p95 total latency (us) above which shedding starts, ramping
+    /// to certain shed at 2x the target. 0 disables the latency signal.
+    double p95_target_us = 0.0;
+    /// Seed of the shed-decision RNG stream (deterministic for tests).
+    uint64_t seed = 0x5eed;
+  };
+
+  /// Bounded retry with exponential backoff inside Classify(). Only
+  /// retryable errors (ResourceExhausted, Unavailable — shed, queue-full,
+  /// injected/transient faults) are retried, and never past the deadline.
+  struct RetryOptions {
+    int max_attempts = 1;  // total attempts; 1 = no retries
+    int64_t initial_backoff_us = 200;
+    double backoff_multiplier = 2.0;
+    int64_t max_backoff_us = 5000;
+  };
+
   struct Options {
     MicroBatcher::Options batcher;
     /// Prediction-cache entries; 0 disables caching (and skips hash
@@ -42,6 +98,12 @@ class InferenceEngine {
     /// Worker threads for preprocessing / forward sharding; 0 = hardware
     /// concurrency.
     size_t num_threads = 0;
+    AdmissionOptions admission;
+    RetryOptions retry;
+    /// Answer model-path failures from the cache (stale-ok) or the
+    /// majority-class prior instead of erroring. Off by default: errors
+    /// surface unless the operator opts into degraded service.
+    bool enable_degraded = false;
   };
 
   InferenceEngine(std::shared_ptr<ServableModel> model,
@@ -52,10 +114,16 @@ class InferenceEngine {
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Enqueues one graph for classification.
-  std::future<StatusOr<Prediction>> Submit(const graph::Graph& g);
+  std::future<StatusOr<Prediction>> Submit(const graph::Graph& g,
+                                           const RequestOptions& request);
+  std::future<StatusOr<Prediction>> Submit(const graph::Graph& g) {
+    return Submit(g, RequestOptions{});
+  }
 
-  /// Synchronous convenience wrapper: Submit + wait.
-  StatusOr<Prediction> Classify(const graph::Graph& g);
+  /// Synchronous convenience wrapper: Submit + wait, with bounded
+  /// retry-with-backoff (Options::retry) on retryable errors.
+  StatusOr<Prediction> Classify(const graph::Graph& g,
+                                const RequestOptions& request = {});
 
   /// Blocks until every previously submitted request has been answered.
   void Drain();
@@ -64,15 +132,40 @@ class InferenceEngine {
   const PredictionCache& cache() const { return cache_; }
   const ServableModel& model() const { return *model_; }
 
+  /// Observed p95 total latency (us) over the recent-request window; 0
+  /// until enough samples accumulate. Drives the admission controller.
+  double observed_p95_us() const { return p95_us_.load(std::memory_order_relaxed); }
+
  private:
   void HandleBatch(std::vector<ServeRequest>&& batch,
                    size_t queue_depth_after);
+
+  /// Admission-control decision for one cache-missing request; fills
+  /// `detail` with the depth/latency evidence when shedding.
+  bool ShouldShed(std::string* detail);
+
+  /// Feeds the sliding window behind observed_p95_us().
+  void RecordLatencySample(double total_us);
 
   std::shared_ptr<ServableModel> model_;
   Options options_;
   ServeMetrics metrics_;
   PredictionCache cache_;
   ThreadPool pool_;
+
+  // Recent total-latency window for the admission controller: cheap to
+  // update per request, p95 recomputed every kP95Refresh samples.
+  static constexpr size_t kP95Window = 256;
+  static constexpr size_t kP95Refresh = 32;
+  std::mutex latency_mu_;
+  std::array<double, kP95Window> latency_window_{};
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+  std::atomic<double> p95_us_{0.0};
+
+  std::mutex admission_mu_;  // guards admission_rng_
+  Rng admission_rng_;
+
   std::unique_ptr<MicroBatcher> batcher_;  // last member: stops first
 };
 

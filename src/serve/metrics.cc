@@ -73,6 +73,40 @@ void ServeMetrics::RecordQueueDepth(size_t depth) {
 void ServeMetrics::RecordRejected() {
   std::lock_guard<std::mutex> lock(mu_);
   ++rejected_;
+  ++outcomes_[static_cast<int>(ServeOutcome::kRejected)];
+}
+
+void ServeMetrics::RecordOutcome(ServeOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++outcomes_[static_cast<int>(outcome)];
+}
+
+void ServeMetrics::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++outcomes_[static_cast<int>(ServeOutcome::kShed)];
+}
+
+void ServeMetrics::RecordDeadlineExceeded(const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_stages_[stage];
+  ++outcomes_[static_cast<int>(ServeOutcome::kDeadlineExceeded)];
+}
+
+void ServeMetrics::RecordDegradedStale() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++degraded_stale_;
+  ++outcomes_[static_cast<int>(ServeOutcome::kDegraded)];
+}
+
+void ServeMetrics::RecordDegradedFallback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++degraded_fallback_;
+  ++outcomes_[static_cast<int>(ServeOutcome::kDegraded)];
+}
+
+void ServeMetrics::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retries_;
 }
 
 const ServeMetrics::Series* ServeMetrics::SeriesFor(
@@ -122,6 +156,54 @@ double ServeMetrics::cache_hit_rate() const {
   return n == 0 ? 0.0 : static_cast<double>(cache_hits_) / n;
 }
 
+int64_t ServeMetrics::outcome_count(ServeOutcome outcome) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcomes_[static_cast<int>(outcome)];
+}
+
+int64_t ServeMetrics::total_outcomes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (int i = 0; i < kNumServeOutcomes; ++i) total += outcomes_[i];
+  return total;
+}
+
+int64_t ServeMetrics::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcomes_[static_cast<int>(ServeOutcome::kShed)];
+}
+
+int64_t ServeMetrics::deadline_exceeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcomes_[static_cast<int>(ServeOutcome::kDeadlineExceeded)];
+}
+
+int64_t ServeMetrics::deadline_exceeded(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deadline_stages_.find(stage);
+  return it == deadline_stages_.end() ? 0 : it->second;
+}
+
+int64_t ServeMetrics::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_stale_ + degraded_fallback_;
+}
+
+int64_t ServeMetrics::degraded_stale() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_stale_;
+}
+
+int64_t ServeMetrics::degraded_fallback() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_fallback_;
+}
+
+int64_t ServeMetrics::retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_;
+}
+
 int64_t ServeMetrics::num_batches() const {
   std::lock_guard<std::mutex> lock(mu_);
   return batch_count_;
@@ -167,6 +249,11 @@ Table ServeMetrics::SummaryTable() const {
   Table table({"metric", "value"});
   table.AddRow({"requests", std::to_string(requests())});
   table.AddRow({"rejected", std::to_string(rejected())});
+  table.AddRow({"shed", std::to_string(shed())});
+  table.AddRow({"deadline_exceeded", std::to_string(deadline_exceeded())});
+  table.AddRow({"degraded_stale", std::to_string(degraded_stale())});
+  table.AddRow({"degraded_fallback", std::to_string(degraded_fallback())});
+  table.AddRow({"retries", std::to_string(retries())});
   table.AddRow({"cache_hits", std::to_string(cache_hits())});
   table.AddRow({"cache_misses", std::to_string(cache_misses())});
   char rate[32];

@@ -30,6 +30,19 @@ struct LatencySummary {
   double max = 0.0;
 };
 
+/// Final disposition of one submitted request (one outcome is recorded per
+/// Submit attempt, so the outcome counters always sum to the number of
+/// submissions — the invariant the robustness tests pin).
+enum class ServeOutcome : int {
+  kOk = 0,               // answered by the model (or a warm cache hit)
+  kDegraded,             // answered stale-from-cache or by the fallback
+  kShed,                 // dropped by admission control under overload
+  kDeadlineExceeded,     // deadline passed (any stage)
+  kRejected,             // enqueue failed (queue full / shutdown / injected)
+  kError,                // any other error surfaced on the future
+};
+inline constexpr int kNumServeOutcomes = 6;
+
 /// Timings of one served request, in microseconds. A cache hit records
 /// preprocess_us == forward_us == 0 (the whole pipeline was skipped), which
 /// is how tests verify that hits bypass preprocessing.
@@ -51,7 +64,21 @@ class ServeMetrics {
   void RecordRequest(const RequestTiming& timing);
   void RecordBatch(int batch_size);
   void RecordQueueDepth(size_t depth);
+  /// Also counts the ServeOutcome::kRejected outcome.
   void RecordRejected();
+
+  /// Successful / failed dispositions not covered by the helpers above.
+  void RecordOutcome(ServeOutcome outcome);
+  /// Admission-control drop; also counts the kShed outcome.
+  void RecordShed();
+  /// Deadline expiry with stage attribution ("admission", "preprocess",
+  /// "forward"); also counts the kDeadlineExceeded outcome.
+  void RecordDeadlineExceeded(const std::string& stage);
+  /// Degraded answers; both also count the kDegraded outcome.
+  void RecordDegradedStale();
+  void RecordDegradedFallback();
+  /// One backoff-and-resubmit cycle inside Classify.
+  void RecordRetry();
 
   /// Stage summaries; `stage` is one of "queue", "preprocess", "forward",
   /// "total". Cache hits are excluded from the queue/preprocess/forward
@@ -63,6 +90,17 @@ class ServeMetrics {
   int64_t cache_misses() const;
   int64_t rejected() const;
   double cache_hit_rate() const;  // hits / (hits + misses), 0 when empty
+
+  int64_t outcome_count(ServeOutcome outcome) const;
+  /// Sum over every outcome == number of Submit attempts that resolved.
+  int64_t total_outcomes() const;
+  int64_t shed() const;
+  int64_t deadline_exceeded() const;  // all stages
+  int64_t deadline_exceeded(const std::string& stage) const;
+  int64_t degraded() const;  // stale + fallback
+  int64_t degraded_stale() const;
+  int64_t degraded_fallback() const;
+  int64_t retries() const;
 
   int64_t num_batches() const;
   double mean_batch_size() const;
@@ -105,6 +143,11 @@ class ServeMetrics {
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
   int64_t rejected_ = 0;
+  int64_t outcomes_[kNumServeOutcomes] = {};
+  std::map<std::string, int64_t> deadline_stages_;
+  int64_t degraded_stale_ = 0;
+  int64_t degraded_fallback_ = 0;
+  int64_t retries_ = 0;
   std::map<int, int64_t> batch_sizes_;
   int64_t batch_count_ = 0;
   int64_t batch_item_total_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace deepmap::serve {
 
@@ -18,13 +19,16 @@ MicroBatcher::MicroBatcher(const Options& options, BatchHandler handler)
 MicroBatcher::~MicroBatcher() { Stop(); }
 
 Status MicroBatcher::Submit(ServeRequest&& request) {
+  // Simulated enqueue failure (e.g. a flaky transport in front of the
+  // queue); retryable, and the promise stays with the caller.
+  DEEPMAP_INJECT_FAULT("serve.batcher.submit");
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("batcher is shutting down");
     }
     if (queue_.size() >= options_.queue_capacity) {
-      return Status::FailedPrecondition(
+      return Status::ResourceExhausted(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " pending)");
     }
@@ -87,6 +91,11 @@ void MicroBatcher::DispatcherLoop() {
     const size_t depth_after = queue_.size();
     dispatching_ = true;
     lock.unlock();
+    // Sync point, not a failure: a test hook here can park the dispatcher
+    // (queue keeps filling behind it) to reproduce overload and shutdown
+    // races deterministically, without sleeps. The batch is always handed
+    // to the handler afterwards.
+    (void)DEEPMAP_FAILPOINT_TRIGGERED("serve.batcher.dispatch");
     handler_(std::move(batch), depth_after);
     lock.lock();
     dispatching_ = false;

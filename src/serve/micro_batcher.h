@@ -4,9 +4,9 @@
 // collects them into batches of up to `max_batch` graphs, or whatever has
 // accumulated `max_wait_us` after the oldest pending request was enqueued —
 // whichever comes first — and hands each batch to the engine's handler.
-// The queue is bounded: Submit fails fast with FailedPrecondition when
-// `queue_capacity` requests are already waiting (backpressure instead of
-// unbounded memory growth under overload).
+// The queue is bounded: Submit fails fast with ResourceExhausted when
+// `queue_capacity` requests are already waiting (retryable backpressure
+// instead of unbounded memory growth under overload).
 //
 // Shutdown drains: Stop() dispatches every queued request before joining the
 // dispatcher, so no promise is ever dropped.
@@ -34,6 +34,10 @@ struct ServeRequest {
   std::string cache_key;  // empty when caching is disabled
   std::promise<StatusOr<Prediction>> promise;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Absolute deadline; max() means none. The engine checks it at admission,
+  /// before preprocessing, and before the forward pass.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Coalesces single-graph requests into batches.
@@ -57,8 +61,10 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  /// Enqueues a request. Fails with FailedPrecondition (and leaves the
-  /// request's promise untouched) when the queue is full or shutting down.
+  /// Enqueues a request. Fails — leaving the request's promise untouched —
+  /// with ResourceExhausted when the queue is full (retryable backpressure)
+  /// and FailedPrecondition when shutting down (permanent). The
+  /// "serve.batcher.submit" fail point injects an Unavailable failure here.
   Status Submit(ServeRequest&& request);
 
   /// Blocks until every request submitted before the call has been handed to

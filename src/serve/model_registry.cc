@@ -1,7 +1,9 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "nn/serialization.h"
 
 namespace deepmap::serve {
@@ -12,12 +14,30 @@ ServableModel::ServableModel(std::string name,
     : name_(std::move(name)),
       config_(config),
       num_classes_(reference.NumClasses()),
-      preprocessor_(reference, config) {}
+      preprocessor_(reference, config) {
+  // Majority-class fallback: empirical class priors of the reference
+  // dataset, argmax label (lowest id wins ties, matching nn::Predict).
+  fallback_.source = PredictionSource::kFallback;
+  fallback_.probabilities.assign(static_cast<size_t>(num_classes_), 0.0f);
+  for (int label : reference.labels()) {
+    fallback_.probabilities[static_cast<size_t>(label)] += 1.0f;
+  }
+  const float total = static_cast<float>(reference.size());
+  for (float& p : fallback_.probabilities) p /= total;
+  fallback_.label = static_cast<int>(
+      std::max_element(fallback_.probabilities.begin(),
+                       fallback_.probabilities.end()) -
+      fallback_.probabilities.begin());
+}
 
 Status ModelRegistry::Load(const std::string& name,
                            const graph::GraphDataset& reference,
                            const core::DeepMapConfig& config,
                            const std::string& params_path) {
+  // Injected load failure: storage/permission flakiness before any state is
+  // built, the path a rollout controller must handle by keeping the old
+  // servable (Load never unregisters on failure).
+  DEEPMAP_INJECT_FAULT("serve.registry.load");
   auto servable = std::make_shared<ServableModel>(name, reference, config);
   core::DeepMapModel model(servable->feature_dim(),
                            servable->sequence_length(),

@@ -45,6 +45,11 @@ class ServableModel {
   /// Immutable compiled weights; valid only after a successful Load/Adopt.
   const CompiledModel& compiled() const { return *compiled_; }
 
+  /// Degraded-mode answer of last resort: the reference dataset's majority
+  /// class with the empirical class priors as probabilities. Costs nothing
+  /// to serve and beats an error for screening-style workloads.
+  const Prediction& fallback_prediction() const { return fallback_; }
+
  private:
   friend class ModelRegistry;
 
@@ -52,6 +57,7 @@ class ServableModel {
   core::DeepMapConfig config_;
   int num_classes_;
   Preprocessor preprocessor_;
+  Prediction fallback_;
   std::unique_ptr<CompiledModel> compiled_;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/prediction_cache.h"
 
+#include "common/failpoint.h"
 #include "graph/isomorphism.h"
 
 namespace deepmap::serve {
@@ -17,6 +18,13 @@ std::string PredictionCache::KeyFor(const graph::Graph& g,
 }
 
 std::optional<Prediction> PredictionCache::Lookup(const std::string& key) {
+  // Simulated cache outage: the entry (if any) is unreachable, so the
+  // request falls through to the full pipeline — same behavior as a miss.
+  if (DEEPMAP_FAILPOINT_TRIGGERED("serve.cache.lookup")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return std::nullopt;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -30,6 +38,9 @@ std::optional<Prediction> PredictionCache::Lookup(const std::string& key) {
 
 void PredictionCache::Insert(const std::string& key, Prediction prediction) {
   if (capacity_ == 0) return;
+  // Simulated cache outage on the write path: the warm-up is lost, which a
+  // correct engine must tolerate (the next request just misses again).
+  if (DEEPMAP_FAILPOINT_TRIGGERED("serve.cache.insert")) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {

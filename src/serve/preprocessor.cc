@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "core/receptive_field.h"
 #include "kernels/graphlet.h"
 #include "kernels/shortest_path.h"
@@ -57,6 +58,9 @@ StatusOr<nn::Tensor> Preprocessor::Preprocess(const graph::Graph& g) {
         " vertices; the model was compiled for sequences of at most " +
         std::to_string(sequence_length_));
   }
+  // After validation: an injected fault models infrastructure failure on a
+  // servable graph, not a client error (which keeps its InvalidArgument).
+  DEEPMAP_INJECT_FAULT("serve.preprocess");
   const int r = config_.receptive_field_size;
   const int m = features_.dim();
 

@@ -1,0 +1,650 @@
+// Resilience tests for the serving stack: deadlines with stage attribution,
+// admission-control load shedding, retry-with-backoff, graceful degradation,
+// outcome accounting, and deterministic race/chaos coverage driven by fail
+// points instead of sleeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/deepmap.h"
+#include "datasets/registry.h"
+#include "nn/model.h"
+#include "nn/serialization.h"
+#include "serve/engine.h"
+
+namespace deepmap {
+namespace {
+
+using serve::InferenceEngine;
+using serve::MicroBatcher;
+using serve::Prediction;
+using serve::PredictionSource;
+using serve::RequestOptions;
+using serve::ServeOutcome;
+using serve::ServeRequest;
+
+constexpr auto kWatchdog = std::chrono::seconds(20);
+
+/// Leaves the process-wide fail-point registry clean no matter how a test
+/// exits, so one test's faults can never leak into the next.
+struct FailPointGuard {
+  ~FailPointGuard() { FailPointRegistry::Instance().DisableAll(); }
+};
+
+/// A gate that a fail-point hook can park a dispatcher thread on. Once
+/// opened it stays open, so late evaluations (e.g. during shutdown drain)
+/// never deadlock.
+struct DispatchGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> parked{0};
+
+  void Park() {
+    ++parked;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void AwaitParked() {
+    while (parked.load() == 0) std::this_thread::yield();
+  }
+};
+
+/// Blocks until `f` resolves or the watchdog fires; a timeout means a
+/// promise was abandoned, which the serving stack must never do.
+StatusOr<Prediction> MustResolve(std::future<StatusOr<Prediction>>& f) {
+  EXPECT_EQ(f.wait_for(kWatchdog), std::future_status::ready)
+      << "future abandoned";
+  return f.get();
+}
+
+// Shared trained bundle (training is the slow part; once per process).
+struct TrainedBundle {
+  graph::GraphDataset dataset;
+  core::DeepMapConfig config;
+  std::unique_ptr<core::DeepMapPipeline> pipeline;
+  std::unique_ptr<core::DeepMapModel> model;
+  serve::ModelRegistry registry;
+  std::shared_ptr<serve::ServableModel> servable;
+  int majority_label = 0;
+};
+
+TrainedBundle& Bundle() {
+  static TrainedBundle* bundle = [] {
+    auto* b = new TrainedBundle();
+    datasets::DatasetOptions options;
+    options.min_graphs = 30;
+    auto dataset_or = datasets::MakeDataset("PTC_MM", options);
+    DEEPMAP_CHECK(dataset_or.ok());
+    b->dataset = std::move(dataset_or).value();
+
+    b->config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+    b->config.features.wl.iterations = 2;
+    b->config.features.max_dense_dim = 32;
+    b->config.train.epochs = 2;
+    b->config.train.batch_size = 8;
+
+    b->pipeline =
+        std::make_unique<core::DeepMapPipeline>(b->dataset, b->config);
+    b->model = std::make_unique<core::DeepMapModel>(
+        b->pipeline->feature_dim(), b->pipeline->sequence_length(),
+        b->pipeline->num_classes(), b->config);
+    nn::TrainClassifier(*b->model, b->pipeline->inputs(),
+                        b->dataset.labels(), b->config.train);
+
+    Status s = b->registry.Adopt("ptc_mm", b->dataset, b->config, *b->model);
+    DEEPMAP_CHECK(s.ok());
+    b->servable = b->registry.Get("ptc_mm");
+    DEEPMAP_CHECK(b->servable != nullptr);
+
+    // Majority class of the reference labels, first-maximal on ties —
+    // matching how ServableModel derives its fallback prediction.
+    std::map<int, int> counts;
+    for (int label : b->dataset.labels()) ++counts[label];
+    int best = 0;
+    for (const auto& [label, count] : counts) {
+      if (count > best) {
+        best = count;
+        b->majority_label = label;
+      }
+    }
+    return b;
+  }();
+  return *bundle;
+}
+
+InferenceEngine::Options FastOptions() {
+  InferenceEngine::Options options;
+  options.batcher.max_batch = 8;
+  options.batcher.max_wait_us = 200;
+  options.cache_capacity = 0;  // force the full pipeline unless a test opts in
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines with stage attribution
+
+TEST(DeadlineTest, ExpiredAtAdmissionIsRejectedBeforeQueueing) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine engine(b.servable, FastOptions());
+
+  RequestOptions request;
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto f = engine.Submit(b.dataset.graph(0), request);
+  StatusOr<Prediction> result = MustResolve(f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("stage=admission"),
+            std::string::npos)
+      << result.status().ToString();
+
+  const serve::ServeMetrics& m = engine.metrics();
+  EXPECT_EQ(m.deadline_exceeded("admission"), 1);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kDeadlineExceeded), 1);
+  // The expired request never consumed a batch.
+  EXPECT_EQ(m.num_batches(), 0);
+}
+
+TEST(DeadlineTest, ExpiryWhileQueuedIsAttributedToPreprocess) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine engine(b.servable, FastOptions());
+
+  // Park the dispatcher (once) until the request's deadline has passed —
+  // a deterministic stand-in for a backed-up queue, no sleeps in the
+  // assertion path.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  FailPointSpec spec = FailPointSpec::Once();
+  spec.on_trigger = [deadline] {
+    std::this_thread::sleep_until(deadline + std::chrono::milliseconds(2));
+  };
+  FailPointRegistry::Instance().Enable("serve.batcher.dispatch",
+                                       std::move(spec));
+
+  RequestOptions request;
+  request.deadline = deadline;
+  auto f = engine.Submit(b.dataset.graph(0), request);
+  StatusOr<Prediction> result = MustResolve(f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("stage=preprocess"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(engine.metrics().deadline_exceeded("preprocess"), 1);
+  // Skipped before preprocessing cost anything (0us recorded for the stage).
+  EXPECT_EQ(engine.metrics().Latency("preprocess").max, 0.0);
+}
+
+TEST(DeadlineTest, ExpiryAfterPreprocessIsAttributedToForward) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine engine(b.servable, FastOptions());
+
+  // Preprocessing finishes well inside the deadline; the sync point between
+  // the pipeline stages then parks until it has expired, pinning the
+  // forward-stage attribution deterministically.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+  FailPointSpec spec = FailPointSpec::Once();
+  spec.on_trigger = [deadline] {
+    std::this_thread::sleep_until(deadline + std::chrono::milliseconds(2));
+  };
+  FailPointRegistry::Instance().Enable("serve.engine.before_forward",
+                                       std::move(spec));
+
+  RequestOptions request;
+  request.deadline = deadline;
+  auto f = engine.Submit(b.dataset.graph(0), request);
+  StatusOr<Prediction> result = MustResolve(f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("stage=forward"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(engine.metrics().deadline_exceeded("forward"), 1);
+  // Preprocessing ran; only the forward pass was abandoned.
+  EXPECT_EQ(engine.metrics().stage_count("preprocess"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatcher races, made deterministic with fail-point gates
+
+ServeRequest MakeRequest(const graph::Graph& g) {
+  ServeRequest r;
+  r.graph = g;
+  r.enqueue_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(MicroBatcherRaceTest, QueueFullOverflowNeverAbandonsPromises) {
+  FailPointGuard guard;
+  DispatchGate gate;
+  FailPointSpec spec = FailPointSpec::Always();
+  spec.on_trigger = [&gate] { gate.Park(); };
+  FailPointRegistry::Instance().Enable("serve.batcher.dispatch",
+                                       std::move(spec));
+
+  MicroBatcher::Options options;
+  options.max_batch = 1;
+  options.max_wait_us = 0;
+  options.queue_capacity = 2;
+  std::atomic<int> handled{0};
+  MicroBatcher batcher(options, [&](std::vector<ServeRequest>&& batch,
+                                    size_t) {
+    handled += static_cast<int>(batch.size());
+    for (ServeRequest& r : batch) {
+      Prediction p;
+      p.label = 0;
+      r.promise.set_value(std::move(p));
+    }
+  });
+
+  graph::Graph g(1);
+  std::vector<std::future<StatusOr<Prediction>>> accepted;
+
+  // First request: dequeued by the dispatcher, which then parks in the fail
+  // point hook *before* the handler runs — a deterministic stand-in for a
+  // slow batch in flight.
+  ServeRequest first = MakeRequest(g);
+  accepted.push_back(first.promise.get_future());
+  ASSERT_TRUE(batcher.Submit(std::move(first)).ok());
+  gate.AwaitParked();
+
+  // Fill the bounded queue behind the parked dispatcher, then overflow it.
+  for (int i = 0; i < 2; ++i) {
+    ServeRequest r = MakeRequest(g);
+    accepted.push_back(r.promise.get_future());
+    ASSERT_TRUE(batcher.Submit(std::move(r)).ok());
+  }
+  ServeRequest overflow = MakeRequest(g);
+  auto overflow_future = overflow.promise.get_future();
+  Status s = batcher.Submit(std::move(overflow));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryable(s.code()));
+  // A failed Submit must leave the caller's promise untouched (the engine
+  // still owns it and rejects through it).
+  EXPECT_EQ(overflow_future.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);
+
+  gate.Open();
+  for (auto& f : accepted) EXPECT_TRUE(MustResolve(f).ok());
+  EXPECT_EQ(handled.load(), 3);
+}
+
+TEST(MicroBatcherRaceTest, StopWhileRequestsEnqueuedDrainsEveryPromise) {
+  FailPointGuard guard;
+  DispatchGate gate;
+  FailPointSpec spec = FailPointSpec::Once();  // park the first dispatch only
+  spec.on_trigger = [&gate] { gate.Park(); };
+  FailPointRegistry::Instance().Enable("serve.batcher.dispatch",
+                                       std::move(spec));
+
+  MicroBatcher::Options options;
+  options.max_batch = 1;
+  options.max_wait_us = 0;
+  options.queue_capacity = 64;
+  std::atomic<int> handled{0};
+  auto batcher = std::make_unique<MicroBatcher>(
+      options, [&](std::vector<ServeRequest>&& batch, size_t) {
+        handled += static_cast<int>(batch.size());
+        for (ServeRequest& r : batch) {
+          Prediction p;
+          p.label = 0;
+          r.promise.set_value(std::move(p));
+        }
+      });
+
+  graph::Graph g(1);
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  ServeRequest first = MakeRequest(g);
+  futures.push_back(first.promise.get_future());
+  ASSERT_TRUE(batcher->Submit(std::move(first)).ok());
+  gate.AwaitParked();
+
+  // Five more requests pile up behind the parked dispatch.
+  for (int i = 0; i < 5; ++i) {
+    ServeRequest r = MakeRequest(g);
+    futures.push_back(r.promise.get_future());
+    ASSERT_TRUE(batcher->Submit(std::move(r)).ok());
+  }
+
+  // Stop concurrently with the parked dispatch: it must wait for the
+  // in-flight batch, then drain the queued five, never dropping a promise.
+  std::thread stopper([&] { batcher->Stop(); });
+  gate.Open();
+  stopper.join();
+
+  ServeRequest late = MakeRequest(g);
+  Status s = batcher->Submit(std::move(late));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);  // permanent
+  EXPECT_FALSE(IsRetryable(s.code()));
+
+  for (auto& f : futures) EXPECT_TRUE(MustResolve(f).ok());
+  EXPECT_EQ(handled.load(), 6);
+  batcher.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control, retry, degradation
+
+TEST(AdmissionControlTest, FullQueueShedsDeterministically) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+
+  DispatchGate gate;
+  FailPointSpec spec = FailPointSpec::Always();
+  spec.on_trigger = [&gate] { gate.Park(); };
+  FailPointRegistry::Instance().Enable("serve.batcher.dispatch",
+                                       std::move(spec));
+
+  InferenceEngine::Options options = FastOptions();
+  options.batcher.max_batch = 1;
+  options.batcher.max_wait_us = 0;
+  options.batcher.queue_capacity = 2;
+  options.admission.queue_shed_watermark = 0.5;
+  InferenceEngine engine(b.servable, options);
+
+  std::vector<std::future<StatusOr<Prediction>>> accepted;
+  // The dispatcher dequeues this request and parks, leaving the queue empty.
+  accepted.push_back(engine.Submit(b.dataset.graph(0)));
+  gate.AwaitParked();
+  // Queue depth 0 then 1/2 = watermark exactly: shed probability still 0.
+  accepted.push_back(engine.Submit(b.dataset.graph(1)));
+  accepted.push_back(engine.Submit(b.dataset.graph(2)));
+  // Depth 2/2: utilization 1.0 -> certain shed, before touching the queue.
+  auto shed = engine.Submit(b.dataset.graph(3));
+  StatusOr<Prediction> result = MustResolve(shed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("queue depth 2/2"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_TRUE(IsRetryable(result.status().code()));
+  EXPECT_EQ(engine.metrics().shed(), 1);
+  EXPECT_EQ(engine.metrics().outcome_count(ServeOutcome::kShed), 1);
+
+  gate.Open();
+  for (auto& f : accepted) EXPECT_TRUE(MustResolve(f).ok());
+}
+
+TEST(RetryTest, ClassifyRetriesTransientSubmitFault) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine::Options options = FastOptions();
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_us = 50;
+  InferenceEngine engine(b.servable, options);
+
+  // First enqueue attempt fails with a transient injected fault; the retry
+  // path must back off and succeed on the second attempt.
+  FailPointRegistry::Instance().Enable("serve.batcher.submit",
+                                       FailPointSpec::Once());
+  StatusOr<Prediction> result = engine.Classify(b.dataset.graph(0));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(engine.metrics().retries(), 1);
+  // Both attempts were accounted: one rejected outcome, one ok.
+  EXPECT_EQ(engine.metrics().outcome_count(ServeOutcome::kRejected), 1);
+  EXPECT_EQ(engine.metrics().outcome_count(ServeOutcome::kOk), 1);
+
+  // Client errors are not retryable: no further retries burned.
+  StatusOr<Prediction> invalid = engine.Classify(graph::Graph());
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.metrics().retries(), 1);
+}
+
+TEST(DegradedModeTest, FallbackAnswersWithMajorityClassWhenModelPathFails) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine::Options options = FastOptions();
+  options.enable_degraded = true;
+  InferenceEngine engine(b.servable, options);
+
+  FailPointRegistry::Instance().Enable("serve.preprocess",
+                                       FailPointSpec::Always());
+  auto f = engine.Submit(b.dataset.graph(0));
+  StatusOr<Prediction> result = MustResolve(f);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().source, PredictionSource::kFallback);
+  EXPECT_EQ(result.value().label, b.majority_label);
+
+  EXPECT_EQ(engine.metrics().degraded_fallback(), 1);
+  EXPECT_EQ(engine.metrics().degraded(), 1);
+  EXPECT_EQ(engine.metrics().outcome_count(ServeOutcome::kDegraded), 1);
+}
+
+TEST(DegradedModeTest, StaleCacheAnswerPreferredOverFallback) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine::Options options = FastOptions();
+  options.cache_capacity = 64;
+  options.enable_degraded = true;
+  InferenceEngine engine(b.servable, options);
+
+  // Warm the cache with a healthy answer.
+  const graph::Graph& g = b.dataset.graph(0);
+  StatusOr<Prediction> warm = engine.Classify(g);
+  ASSERT_TRUE(warm.ok());
+
+  // Now an injected cache outage (once) makes admission miss, and the
+  // forward pass fails — degraded mode falls back to the (by then healthy
+  // again) cache entry instead of the class prior.
+  FailPointRegistry::Instance().Enable("serve.cache.lookup",
+                                       FailPointSpec::Once());
+  FailPointRegistry::Instance().Enable("serve.forward",
+                                       FailPointSpec::Always());
+  auto f = engine.Submit(g);
+  StatusOr<Prediction> stale = MustResolve(f);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(stale.value().source, PredictionSource::kStaleCache);
+  EXPECT_EQ(stale.value().label, warm.value().label);
+  EXPECT_EQ(engine.metrics().degraded_stale(), 1);
+  EXPECT_EQ(engine.metrics().degraded_fallback(), 0);
+}
+
+TEST(DegradedModeTest, DisabledByDefaultSurfacesTypedError) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine engine(b.servable, FastOptions());
+
+  FailPointRegistry::Instance().Enable("serve.preprocess",
+                                       FailPointSpec::Always());
+  auto f = engine.Submit(b.dataset.graph(0));
+  StatusOr<Prediction> result = MustResolve(f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("serve.preprocess"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(engine.metrics().outcome_count(ServeOutcome::kError), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ServeMetrics outcome accounting under mixed dispositions
+
+TEST(ServeMetricsOutcomeTest, MixedOutcomesSumToSubmissions) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+
+  DispatchGate gate;
+  {
+    FailPointSpec spec = FailPointSpec::Once();
+    spec.on_trigger = [&gate] { gate.Park(); };
+    FailPointRegistry::Instance().Enable("serve.batcher.dispatch",
+                                         std::move(spec));
+  }
+
+  InferenceEngine::Options options = FastOptions();
+  options.batcher.max_batch = 1;
+  options.batcher.max_wait_us = 0;
+  options.batcher.queue_capacity = 2;
+  options.admission.queue_shed_watermark = 0.5;
+  options.enable_degraded = true;
+  InferenceEngine engine(b.servable, options);
+
+  int64_t submitted = 0;
+  std::vector<std::future<StatusOr<Prediction>>> pending;
+
+  // Phase 1 (shed): park the first dispatch (dequeued, so the queue is
+  // empty again), fill the queue to capacity, then submit into certain shed.
+  pending.push_back(engine.Submit(b.dataset.graph(0)));
+  ++submitted;
+  gate.AwaitParked();
+  pending.push_back(engine.Submit(b.dataset.graph(1)));
+  ++submitted;
+  pending.push_back(engine.Submit(b.dataset.graph(2)));
+  ++submitted;
+  pending.push_back(engine.Submit(b.dataset.graph(3)));  // depth 2/2: shed
+  ++submitted;
+  gate.Open();
+  for (auto& f : pending) (void)MustResolve(f);
+  pending.clear();
+  engine.Drain();
+
+  // Phase 2 (ok): a few healthy requests.
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<Prediction> r = engine.Classify(b.dataset.graph(i));
+    ++submitted;
+    EXPECT_TRUE(r.ok());
+  }
+
+  // Phase 3 (deadline): already expired at admission.
+  RequestOptions expired;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto f = engine.Submit(b.dataset.graph(0), expired);
+  ++submitted;
+  (void)MustResolve(f);
+
+  // Phase 4 (degraded): one injected preprocessing fault.
+  FailPointRegistry::Instance().Enable("serve.preprocess",
+                                       FailPointSpec::Once());
+  StatusOr<Prediction> degraded = engine.Classify(b.dataset.graph(3));
+  ++submitted;
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.value().source, PredictionSource::kFallback);
+
+  const serve::ServeMetrics& m = engine.metrics();
+  // Exactly one outcome per submission — the accounting invariant.
+  EXPECT_EQ(m.total_outcomes(), submitted);
+  int64_t sum = 0;
+  for (int i = 0; i < serve::kNumServeOutcomes; ++i) {
+    sum += m.outcome_count(static_cast<ServeOutcome>(i));
+  }
+  EXPECT_EQ(sum, submitted);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kOk), 6);  // 3 queued + 3 healthy
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kShed), 1);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kDeadlineExceeded), 1);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kDegraded), 1);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kRejected), 0);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kError), 0);
+
+  // Percentiles of every stage are order statistics: monotone by rank.
+  for (const char* stage : {"queue", "preprocess", "forward", "total"}) {
+    serve::LatencySummary latency = m.Latency(stage);
+    if (latency.count == 0) continue;
+    EXPECT_LE(latency.p50, latency.p95) << stage;
+    EXPECT_LE(latency.p95, latency.p99) << stage;
+    EXPECT_LE(latency.p99, latency.max) << stage;
+    EXPECT_GE(latency.p50, 0.0) << stage;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos acceptance: saturating producer + >=10% preprocessing faults
+
+TEST(ChaosTest, EveryFutureResolvesUnderInjectedPreprocessFaults) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  InferenceEngine::Options options = FastOptions();
+  options.batcher.max_batch = 8;
+  options.batcher.max_wait_us = 100;
+  InferenceEngine engine(b.servable, options);
+
+  // 15% injected preprocessing faults, deterministic stream.
+  FailPointRegistry::Instance().Enable(
+      "serve.preprocess", FailPointSpec::Probability(0.15, 1234));
+
+  constexpr int kRounds = 3;
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const graph::Graph& g : b.dataset.graphs()) {
+      futures.push_back(engine.Submit(g));  // saturating: never waits
+    }
+  }
+  const int64_t submitted = static_cast<int64_t>(futures.size());
+
+  int64_t ok = 0, unavailable = 0;
+  for (auto& f : futures) {
+    StatusOr<Prediction> result = MustResolve(f);
+    if (result.ok()) {
+      ++ok;
+    } else {
+      // Typed, attributed, retryable: never a bare crash or a hang.
+      ASSERT_EQ(result.status().code(), StatusCode::kUnavailable)
+          << result.status().ToString();
+      ASSERT_NE(result.status().message().find("serve.preprocess"),
+                std::string::npos)
+          << result.status().ToString();
+      EXPECT_TRUE(IsRetryable(result.status().code()));
+      ++unavailable;
+    }
+  }
+  engine.Drain();
+
+  EXPECT_EQ(ok + unavailable, submitted);
+  EXPECT_GT(unavailable, 0);  // the fault stream actually fired
+  EXPECT_GT(ok, 0);           // ... and did not take the service down
+  const serve::ServeMetrics& m = engine.metrics();
+  EXPECT_EQ(m.total_outcomes(), submitted);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kOk), ok);
+  EXPECT_EQ(m.outcome_count(ServeOutcome::kError), unavailable);
+  EXPECT_GT(
+      FailPointRegistry::Instance().triggers("serve.preprocess"), 0);
+}
+
+TEST(ChaosTest, RegistryLoadFaultIsTypedAndRecoverable) {
+  FailPointGuard guard;
+  TrainedBundle& b = Bundle();
+  auto path = std::filesystem::temp_directory_path() /
+              "resilience_test_registry.bin";
+  ASSERT_TRUE(nn::SaveParameters(b.model->Params(), path.string()).ok());
+
+  serve::ModelRegistry registry;
+  FailPointRegistry::Instance().Enable("serve.registry.load",
+                                       FailPointSpec::Once());
+  Status s = registry.Load("m", b.dataset, b.config, path.string());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(registry.size(), 0u);  // failed load leaves no broken servable
+
+  // The fault was transient; the retried load succeeds.
+  ASSERT_TRUE(registry.Load("m", b.dataset, b.config, path.string()).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace deepmap

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/deepmap.h"
 #include "datasets/registry.h"
 #include "nn/model.h"
@@ -200,7 +201,9 @@ TEST(MicroBatcherTest, BoundedQueueRejectsWhenFull) {
   ServeRequest overflow = MakeRequest();
   Status s = batcher.Submit(std::move(overflow));
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Queue-full is retryable backpressure, distinct from the permanent
+  // FailedPrecondition of a stopped batcher.
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
 
   {
     std::lock_guard<std::mutex> lock(gate_mu);
@@ -403,6 +406,45 @@ TEST(SerializationTest, RejectsNonModelFile) {
   ParamSet b({{2, 2}});
   Status s = nn::LoadParameters(b.params, path.string());
   EXPECT_FALSE(s.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializationTest, AtomicSaveSurvivesInjectedShortWrite) {
+  auto path = TempFile("serve_test_atomic_save.bin");
+  auto temp = TempFile("serve_test_atomic_save.bin.tmp");
+
+  // v1: a good save that must survive the failed v2 save below.
+  ParamSet v1({{2, 2}});
+  for (int i = 0; i < 4; ++i) v1.values[0].data()[i] = 10.0f + i;
+  ASSERT_TRUE(nn::SaveParameters(v1.params, path.string()).ok());
+
+  // v2 save crashes mid-write (truncated temp file abandoned, like a real
+  // crash); the destination must be untouched.
+  ParamSet v2({{2, 2}});
+  for (int i = 0; i < 4; ++i) v2.values[0].data()[i] = -1.0f;
+  FailPointRegistry::Instance().Enable("nn.save.short_write",
+                                       FailPointSpec::Once());
+  Status s = nn::SaveParameters(v2.params, path.string());
+  FailPointRegistry::Instance().DisableAll();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(std::filesystem::exists(temp));  // the simulated crash residue
+  EXPECT_LT(std::filesystem::file_size(temp),
+            std::filesystem::file_size(path));
+
+  // Recovery: v1 is still fully loadable...
+  ParamSet loaded({{2, 2}});
+  ASSERT_TRUE(nn::LoadParameters(loaded.params, path.string()).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.values[0].data()[i], v1.values[0].data()[i]);
+  }
+  // ...and the next save overwrites the stale temp file and lands v2.
+  ASSERT_TRUE(nn::SaveParameters(v2.params, path.string()).ok());
+  EXPECT_FALSE(std::filesystem::exists(temp));
+  ASSERT_TRUE(nn::LoadParameters(loaded.params, path.string()).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.values[0].data()[i], -1.0f);
+  }
   std::filesystem::remove(path);
 }
 
