@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace deepmap {
 
@@ -191,6 +192,23 @@ bool FailPointRegistry::ShouldTrigger(const char* name) {
       ++point.triggers;
       hook = point.spec.on_trigger;  // run below, outside the lock
     }
+  }
+  if (fired) {
+    // Fired fault injections show up on scrapes next to the serve counters
+    // they perturb; per-point counts keep chaos runs attributable. Both
+    // registrations are cold-path (a point only fires when armed).
+    obs::MetricsRegistry::Default()
+        .GetCounter("deepmap_failpoint_triggers_total",
+                    "fail-point firings, all points")
+        .Increment();
+    std::string point_name(name);
+    for (char& c : point_name) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    obs::MetricsRegistry::Default()
+        .GetCounter("deepmap_failpoint_" + point_name + "_triggers_total",
+                    "fail-point firings at this point")
+        .Increment();
   }
   if (hook) hook();
   return fired;

@@ -5,8 +5,44 @@
 #include <cstdlib>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace deepmap {
+namespace {
+
+// Instrument handles resolved once (registry lookups take a mutex; per-task
+// updates must stay lock-free).
+obs::Counter& PoolTasksTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_pool_tasks_total", "tasks executed by ThreadPool workers");
+  return counter;
+}
+
+obs::Histogram& PoolTaskSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "deepmap_pool_task_seconds", {},
+          "wall time of individual ThreadPool tasks");
+  return histogram;
+}
+
+obs::Counter& ParallelForChunksTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_pool_parallel_for_chunks_total",
+      "contiguous index chunks executed by ParallelFor");
+  return counter;
+}
+
+obs::Histogram& ParallelForChunkSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "deepmap_pool_parallel_for_chunk_seconds", {},
+          "wall time of ParallelFor chunks (straggler detection)");
+  return histogram;
+}
+
+}  // namespace
 
 size_t DefaultNumThreads() {
   if (const char* env = std::getenv("DEEPMAP_NUM_THREADS")) {
@@ -71,7 +107,11 @@ void ThreadPool::WorkerLoop() {
     if (DEEPMAP_FAILPOINT_TRIGGERED("pool.task.delay")) {
       std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
-    task();
+    {
+      PoolTasksTotal().Increment();
+      obs::ScopedStageTimer timer(&PoolTaskSeconds(), "pool.task", "pool");
+      task();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
@@ -88,6 +128,9 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
   }
   num_threads = std::min(num_threads, n);
   if (num_threads <= 1) {
+    ParallelForChunksTotal().Increment();
+    obs::ScopedStageTimer timer(&ParallelForChunkSeconds(),
+                                "pool.parallel_for", "pool");
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -99,6 +142,9 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
     threads.emplace_back([&body, begin, end] {
+      ParallelForChunksTotal().Increment();
+      obs::ScopedStageTimer timer(&ParallelForChunkSeconds(),
+                                  "pool.parallel_for", "pool");
       for (size_t i = begin; i < end; ++i) body(i);
     });
   }

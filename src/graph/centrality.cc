@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "graph/algorithms.h"
 
 namespace deepmap::graph {
 
@@ -16,8 +17,35 @@ std::vector<double> EigenvectorCentrality(const Graph& g,
     // Adjacency matrix is zero: every vertex is equally (un)central.
     return std::vector<double>(n, 1.0 / std::sqrt(static_cast<double>(n)));
   }
-  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+
+  // The iteration must be normalized PER CONNECTED COMPONENT. Under a single
+  // global normalization every component whose spectral radius is below the
+  // graph-wide maximum decays geometrically toward zero (e.g. a triangle,
+  // radius 3 on A+I, starves a K_{1,3} star, radius 1+sqrt(3)), so the
+  // surviving values — and any centrality ordering built on them — reflect
+  // which component happened to be densest, not vertex importance. Each
+  // component with edges instead converges to its own dominant eigenvector
+  // at unit norm; isolated vertices stay 0 per the header contract.
+  const std::vector<int> component = ConnectedComponents(g);
+  int num_components = 0;
+  for (int c : component) num_components = std::max(num_components, c + 1);
+  std::vector<char> active(num_components, 0);
+  std::vector<int> size(num_components, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    ++size[component[v]];
+    if (g.Degree(v) > 0) active[component[v]] = 1;
+  }
+  int num_active = 0;
+  for (char a : active) num_active += a;
+
+  std::vector<double> x(n, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (active[component[v]]) {
+      x[v] = 1.0 / std::sqrt(static_cast<double>(size[component[v]]));
+    }
+  }
   std::vector<double> next(n, 0.0);
+  std::vector<double> norm(num_components);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Iterate on A + I: same eigenvectors as A, but the top eigenvalue is
     // strictly dominant in magnitude, so the iteration also converges on
@@ -28,17 +56,41 @@ std::vector<double> EigenvectorCentrality(const Graph& g,
       for (Vertex u : g.Neighbors(v)) sum += x[u];
       next[v] = sum;
     }
-    double norm = 0.0;
-    for (double value : next) norm += value * value;
-    norm = std::sqrt(norm);
-    if (norm == 0.0) break;  // x was orthogonal to every eigenvector reached
+    std::fill(norm.begin(), norm.end(), 0.0);
+    for (Vertex v = 0; v < n; ++v) {
+      norm[component[v]] += next[v] * next[v];
+    }
+    bool renormalized = false;
+    for (int c = 0; c < num_components; ++c) {
+      if (!active[c]) continue;
+      if (norm[c] > 0.0) {
+        norm[c] = std::sqrt(norm[c]);
+      } else {
+        // Unreachable from the positive start above (A+I maps positive
+        // vectors to positive vectors), but if a caller-visible zero ever
+        // appears, restart that component from uniform instead of letting
+        // the old global `break` freeze a half-converged vector.
+        renormalized = true;
+      }
+    }
     double delta = 0.0;
-    for (int v = 0; v < n; ++v) {
-      next[v] /= norm;
+    for (Vertex v = 0; v < n; ++v) {
+      const int c = component[v];
+      if (!active[c]) continue;
+      next[v] = norm[c] > 0.0
+                    ? next[v] / norm[c]
+                    : 1.0 / std::sqrt(static_cast<double>(size[c]));
       delta = std::max(delta, std::fabs(next[v] - x[v]));
     }
     x.swap(next);
-    if (delta < options.tolerance) break;
+    if (!renormalized && delta < options.tolerance) break;
+  }
+  // Rescale so the full vector is L2-normalized (each active component
+  // currently has unit norm). With one component this is the historical
+  // behavior exactly.
+  if (num_active > 0) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(num_active));
+    for (double& value : x) value *= scale;
   }
   // Power iteration on a nonnegative matrix from a positive start stays
   // nonnegative; clamp tiny negative rounding noise.

@@ -21,6 +21,13 @@ struct CentralityOptions {
 /// Eigenvector centrality via power iteration on the adjacency matrix,
 /// L2-normalized, all entries >= 0. Isolated vertices get value 0 unless the
 /// whole graph has no edges, in which case the vector is uniform.
+///
+/// On disconnected graphs the iteration is normalized per connected
+/// component: each component with edges converges to its own dominant
+/// eigenvector (equal L2 mass per component after the final global rescale),
+/// so no component's values decay to zero just because another component has
+/// a larger spectral radius. Within-component orderings are therefore exact,
+/// and cross-component comparisons are on an equal-mass footing.
 std::vector<double> EigenvectorCentrality(
     const Graph& g, const CentralityOptions& options = {});
 

@@ -1,8 +1,16 @@
 #include "nn/dropout.h"
 
+#include <cmath>
+
 namespace deepmap::nn {
 
 Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.Fork()) {
+  // rate == 1.0 is excluded (not clamped): the inverted-dropout keep scale
+  // 1/(1-rate) is infinite there, so every surviving activation would be
+  // inf/NaN. NaN is named explicitly — it also fails `rate >= 0.0`, but the
+  // "(nan vs. 0)" message reads like a range problem instead of a poisoned
+  // hyperparameter upstream.
+  DEEPMAP_CHECK(!std::isnan(rate) && "dropout rate must not be NaN");
   DEEPMAP_CHECK_GE(rate, 0.0);
   DEEPMAP_CHECK_LT(rate, 1.0);
 }

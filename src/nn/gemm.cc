@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 // NOTE: this translation unit is compiled with -ffp-contract=off (see
 // src/CMakeLists.txt). The micro-kernel below relies on every multiply and
@@ -15,6 +17,21 @@ namespace deepmap::nn {
 namespace {
 
 GemmTuning g_tuning;
+
+// Cached instrument handles: GEMM is called per layer per sample, so the
+// per-call cost must stay at two relaxed fetch_adds.
+obs::Counter& GemmCallsTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_nn_gemm_calls_total", "GemmAccumulate invocations");
+  return counter;
+}
+
+obs::Counter& GemmMacsTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_nn_gemm_macs_total",
+      "multiply-accumulate operations (m*n*k) issued to the GEMM core");
+  return counter;
+}
 
 inline int SnapNr(int nr) {
   if (nr <= 8) return 8;
@@ -199,10 +216,15 @@ void GemmAccumulate(bool transpose_a, bool transpose_b, int m, int n, int k,
   const GemmTuning tuning = g_tuning;
   const long long flops =
       static_cast<long long>(m) * static_cast<long long>(n) * k;
+  GemmCallsTotal().Increment();
+  GemmMacsTotal().Increment(flops);
   if (flops < tuning.small_flops) {
     SmallGemm(transpose_a, transpose_b, m, n, k, a, lda, b, ldb, c, ldc);
     return;
   }
+  // Span only on the blocked path: small products are too frequent and too
+  // short to be useful trace events.
+  DEEPMAP_TRACE_SPAN("nn.gemm", "nn");
 
   const int nr = tuning.nr;
   const MicroKernelFn kernel = SelectMicroKernel(nr);

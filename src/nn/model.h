@@ -25,6 +25,8 @@
 #include "nn/layer.h"
 #include "nn/optimizer.h"
 #include "nn/softmax_xent.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace deepmap::nn {
 
@@ -144,7 +146,14 @@ TrainHistory TrainClassifier(Model& model, const std::vector<Sample>& samples,
   TrainHistory history;
   double best_loss = std::numeric_limits<double>::infinity();
   int epochs_since_improvement = 0;
+  obs::Counter& epochs_total = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_nn_train_epochs_total", "training epochs completed");
+  obs::Histogram& epoch_seconds = obs::MetricsRegistry::Default().GetHistogram(
+      "deepmap_nn_train_epoch_seconds", {},
+      "wall time per training epoch (the paper's Table 5 metric)");
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedStageTimer epoch_span(&epoch_seconds, "train.epoch", "nn");
+    epochs_total.Increment();
     Stopwatch timer;
     if (config.shuffle) rng.Shuffle(order);
     double epoch_loss = 0.0;

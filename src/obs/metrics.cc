@@ -1,0 +1,312 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace deepmap::obs {
+namespace {
+
+/// Prometheus floats: enough digits to round-trip, no locale surprises.
+std::string FormatValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool IsNameToken(const std::string& token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Registration-time naming lint: an invalid name is a programming error.
+void CheckValidName(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    DEEPMAP_CHECK(status.ok());
+  }
+}
+
+}  // namespace
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) &
+      (kMetricShards - 1);
+  return shard;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::SetMax(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank, nearest-rank style: the smallest observation with at least
+  // ceil(q * count) observations at or below it. The tiny epsilon guards
+  // against inexact doubles like 0.95 * 20 landing just above the integer.
+  int64_t target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count) - 1e-9));
+  target = std::clamp<int64_t>(target, 1, count);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const int64_t in_bucket = bucket_counts[b];
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double upper =
+        b < upper_bounds.size() ? upper_bounds[b] : upper_bounds.back();
+    const double lower = b == 0 ? 0.0 : upper_bounds[b - 1];
+    if (b >= upper_bounds.size()) return upper;  // +Inf bucket: clamp
+    const double fraction =
+        in_bucket == 0 ? 1.0
+                       : static_cast<double>(target - cumulative) /
+                             static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      name_(std::move(name)),
+      help_(std::move(help)) {
+  DEEPMAP_CHECK(!upper_bounds_.empty());
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    DEEPMAP_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i]);
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<int64_t>>(upper_bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // Buckets are `le` (inclusive upper bound) per the Prometheus exposition
+  // format, hence lower_bound: a value equal to a bound belongs to that
+  // bound's bucket. NaN is routed to +Inf explicitly — every ordering
+  // comparison against NaN is false, so lower_bound would misfile it into
+  // the first bucket.
+  const size_t bucket =
+      std::isnan(value)
+          ? upper_bounds_.size()
+          : static_cast<size_t>(
+                std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(),
+                                 value) -
+                upper_bounds_.begin());
+  Shard& shard = shards_[ThreadShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.bucket_counts.assign(upper_bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < shard.buckets.size(); ++b) {
+      snap.bucket_counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  DEEPMAP_CHECK_GT(start, 0.0);
+  DEEPMAP_CHECK_GT(factor, 1.0);
+  DEEPMAP_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double> bounds =
+      ExponentialBounds(1e-6, 1.25, 84);  // 1us .. ~110s
+  return bounds;
+}
+
+Status ValidateMetricName(const std::string& name, const std::string& kind) {
+  auto invalid = [&](const std::string& why) {
+    return Status::InvalidArgument("metric name '" + name + "' (" + kind +
+                                   "): " + why);
+  };
+  // Split on '_' and validate every token.
+  std::vector<std::string> tokens;
+  size_t begin = 0;
+  while (begin <= name.size()) {
+    size_t end = name.find('_', begin);
+    if (end == std::string::npos) end = name.size();
+    tokens.push_back(name.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  for (const std::string& token : tokens) {
+    if (!IsNameToken(token)) {
+      return invalid("must match deepmap_<subsystem>_<name> with lowercase "
+                     "[a-z0-9] tokens separated by single underscores");
+    }
+  }
+  if (tokens.size() < 3 || tokens[0] != "deepmap") {
+    return invalid("must be deepmap_<subsystem>_<name>");
+  }
+  if (kind == "counter") {
+    if (!EndsWith(name, "_total")) {
+      return invalid("counters must end in _total");
+    }
+  } else if (kind == "histogram") {
+    if (!EndsWith(name, "_seconds")) {
+      return invalid("histograms record durations and must end in _seconds");
+    }
+  } else if (kind == "gauge") {
+    if (EndsWith(name, "_total") || EndsWith(name, "_seconds")) {
+      return invalid("gauges must not use the _total/_seconds suffixes");
+    }
+  } else {
+    return Status::InvalidArgument("unknown metric kind '" + kind + "'");
+  }
+  return Status::Ok();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  CheckValidName(ValidateMetricName(name, "counter"));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    DEEPMAP_CHECK(kinds_.find(name) == kinds_.end());  // name used by another kind
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name, help)))
+             .first;
+    kinds_[name] = Kind::kCounter;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  CheckValidName(ValidateMetricName(name, "gauge"));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    DEEPMAP_CHECK(kinds_.find(name) == kinds_.end());
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help)))
+             .first;
+    kinds_[name] = Kind::kGauge;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
+  CheckValidName(ValidateMetricName(name, "histogram"));
+  if (upper_bounds.empty()) upper_bounds = Histogram::DefaultLatencyBounds();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    DEEPMAP_CHECK(kinds_.find(name) == kinds_.end());
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(
+                                name, help, std::move(upper_bounds))))
+             .first;
+    kinds_[name] = Kind::kHistogram;
+  }
+  return *it->second;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kinds_.find(name) != kinds_.end();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(kinds_.size());
+  for (const auto& [name, kind] : kinds_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::WritePrometheusText(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, kind] : kinds_) {
+    switch (kind) {
+      case Kind::kCounter: {
+        const Counter& c = *counters_.at(name);
+        if (!c.help().empty()) os << "# HELP " << name << " " << c.help() << "\n";
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << c.Value() << "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        const Gauge& g = *gauges_.at(name);
+        if (!g.help().empty()) os << "# HELP " << name << " " << g.help() << "\n";
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << FormatValue(g.Value()) << "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *histograms_.at(name);
+        if (!h.help().empty()) os << "# HELP " << name << " " << h.help() << "\n";
+        os << "# TYPE " << name << " histogram\n";
+        const HistogramSnapshot snap = h.Snapshot();
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < snap.upper_bounds.size(); ++b) {
+          cumulative += snap.bucket_counts[b];
+          os << name << "_bucket{le=\"" << FormatValue(snap.upper_bounds[b])
+             << "\"} " << cumulative << "\n";
+        }
+        cumulative += snap.bucket_counts.back();
+        os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << name << "_sum " << FormatValue(snap.sum) << "\n";
+        os << name << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace deepmap::obs

@@ -1,0 +1,48 @@
+// ScopedStageTimer: times a scope into a Histogram (seconds) and, when the
+// global tracer is enabled, also emits a span — the one-liner used at every
+// instrumented pipeline stage:
+//
+//   obs::ScopedStageTimer timer(stage_seconds_, "serve.preprocess", "serve");
+//
+// The histogram observation always happens (two steady-clock reads plus one
+// sharded atomic update); the span costs nothing extra while tracing is off.
+#ifndef DEEPMAP_OBS_STAGE_TIMER_H_
+#define DEEPMAP_OBS_STAGE_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace deepmap::obs {
+
+class ScopedStageTimer {
+ public:
+  /// `histogram` may be null (trace-only span). `name`/`category` must be
+  /// string literals (or otherwise outlive the timer).
+  explicit ScopedStageTimer(Histogram* histogram, const char* name = "stage",
+                            const char* category = "")
+      : histogram_(histogram),
+        span_(Tracer::Global(), name, category),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedStageTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+    }
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  Tracer::Span span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace deepmap::obs
+
+#endif  // DEEPMAP_OBS_STAGE_TIMER_H_

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace deepmap::obs {
+namespace {
+
+/// JSON string escaping for span names (quotes, backslashes, control chars).
+void AppendJsonEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  track_ids_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  track_ids_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t Tracer::dropped_events() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int Tracer::TrackId(std::thread::id id) {
+  auto it = track_ids_.find(id);
+  if (it == track_ids_.end()) {
+    it = track_ids_.emplace(id, static_cast<int>(track_ids_.size())).first;
+  }
+  return it->second;
+}
+
+void Tracer::Record(const char* name, const char* category,
+                    std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;  // closed after Disable
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = MicrosSince(epoch_, start);
+  event.dur_us = MicrosSince(start, end);
+  event.tid = TrackId(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    AppendJsonEscaped(os, event.name);
+    os << "\",\"cat\":\"";
+    AppendJsonEscaped(os, event.category.empty() ? std::string("deepmap")
+                                                 : event.category);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d}",
+                  event.ts_us, event.dur_us, event.tid);
+    os << buf;
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace deepmap::obs

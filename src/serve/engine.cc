@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "obs/trace.h"
 
 namespace deepmap::serve {
 namespace {
@@ -37,6 +38,7 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
                                  const Options& options)
     : model_(std::move(model)),
       options_(options),
+      metrics_(options.metrics_registry),
       cache_(options.cache_capacity),
       pool_(options.num_threads),
       admission_rng_(options.admission.seed) {
@@ -110,6 +112,9 @@ bool InferenceEngine::ShouldShed(std::string* detail) {
 
 std::future<StatusOr<Prediction>> InferenceEngine::Submit(
     const graph::Graph& g, const RequestOptions& request) {
+  // Covers admission + cache lookup + enqueue; queue/preprocess/forward time
+  // shows up under the dispatcher's serve.batch span instead.
+  DEEPMAP_TRACE_SPAN("serve.submit", "serve");
   const auto start = std::chrono::steady_clock::now();
   ServeRequest queued;
   queued.enqueue_time = start;
@@ -195,6 +200,7 @@ void InferenceEngine::Drain() { batcher_->Drain(); }
 
 void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
                                   size_t queue_depth_after) {
+  DEEPMAP_TRACE_SPAN("serve.batch", "serve");
   const size_t n = batch.size();
   const auto dispatch_time = std::chrono::steady_clock::now();
   metrics_.RecordBatch(static_cast<int>(n));
@@ -227,6 +233,7 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
       continue;
     }
     pool_.Submit([&, i] {
+      DEEPMAP_TRACE_SPAN("serve.preprocess", "serve");
       const auto t0 = std::chrono::steady_clock::now();
       StatusOr<nn::Tensor> result = preprocessor.Preprocess(batch[i].graph);
       if (result.ok()) {
@@ -270,6 +277,7 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
       const size_t end = std::min(valid.size(), begin + per_shard);
       if (begin >= end) break;
       pool_.Submit([&, begin, end] {
+        DEEPMAP_TRACE_SPAN("serve.forward", "serve");
         ForwardScratch scratch;
         for (size_t v = begin; v < end; ++v) {
           const size_t i = valid[v];
@@ -290,6 +298,7 @@ void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
   // Stage 3: warm the cache, fulfill promises (degrading model-path
   // failures when enabled), record metrics. Every promise in the batch is
   // resolved exactly once on every path through this loop.
+  DEEPMAP_TRACE_SPAN("serve.complete", "serve");
   for (size_t i = 0; i < n; ++i) {
     RequestTiming timing;
     timing.queue_us = MicrosSince(batch[i].enqueue_time, dispatch_time);

@@ -100,6 +100,11 @@ class InferenceEngine {
     size_t num_threads = 0;
     AdmissionOptions admission;
     RetryOptions retry;
+    /// Registry backing ServeMetrics; must outlive the engine. nullptr (the
+    /// default) gives the engine a private registry, so co-resident engines
+    /// never share counters. Inject one to aggregate engines into a single
+    /// Prometheus scrape.
+    obs::MetricsRegistry* metrics_registry = nullptr;
     /// Answer model-path failures from the cache (stale-ok) or the
     /// majority-class prior instead of erroring. Off by default: errors
     /// surface unless the operator opts into degraded service.

@@ -6,15 +6,8 @@
 namespace deepmap::serve {
 namespace {
 
-/// Nearest-rank percentile of an unsorted copy (q in [0, 1]).
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(values.size())));
-  if (rank > 0) --rank;
-  std::nth_element(values.begin(), values.begin() + rank, values.end());
-  return values[rank];
-}
+/// Microseconds -> seconds for the registry histograms.
+constexpr double kMicrosToSeconds = 1e-6;
 
 std::string FormatMicros(double us) {
   char buf[32];
@@ -22,13 +15,110 @@ std::string FormatMicros(double us) {
   return buf;
 }
 
+/// Lowercases and maps separators so arbitrary stage strings ("admission",
+/// "preprocess", ...) form valid metric name tokens.
+std::string SanitizeToken(const std::string& raw) {
+  std::string token;
+  token.reserve(raw.size());
+  for (char c : raw) {
+    if (c >= 'A' && c <= 'Z') {
+      token.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      token.push_back(c);
+    } else if (!token.empty() && token.back() != '_') {
+      token.push_back('_');
+    }
+  }
+  while (!token.empty() && token.back() == '_') token.pop_back();
+  return token.empty() ? "unknown" : token;
+}
+
+const char* OutcomeToken(int outcome) {
+  switch (static_cast<ServeOutcome>(outcome)) {
+    case ServeOutcome::kOk: return "ok";
+    case ServeOutcome::kDegraded: return "degraded";
+    case ServeOutcome::kShed: return "shed";
+    case ServeOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case ServeOutcome::kRejected: return "rejected";
+    case ServeOutcome::kError: return "error";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
-void ServeMetrics::Series::Record(double value) {
+size_t NearestRankIndex(size_t n, double q) {
+  if (n == 0) return 0;
+  // ceil(q*n) - 1, with an epsilon so 0.95 (stored as 0.95000...011 in
+  // binary) times 20 does not ceil to 20 and select the max instead of the
+  // 19th-smallest sample. The guard is relative to n so it stays effective
+  // for large sample counts.
+  const double rank = std::ceil(q * static_cast<double>(n) -
+                                static_cast<double>(n) * 1e-12 - 1e-9);
+  if (rank <= 1.0) return 0;
+  const size_t index = static_cast<size_t>(rank) - 1;
+  return std::min(index, n - 1);
+}
+
+ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry)
+    : owned_registry_(registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(registry == nullptr ? owned_registry_.get() : registry) {
+  obs::MetricsRegistry& r = *registry_;
+  cache_hits_ = &r.GetCounter("deepmap_serve_cache_hits_total",
+                              "requests answered from the prediction cache");
+  cache_misses_ = &r.GetCounter("deepmap_serve_cache_misses_total",
+                                "requests that ran the full pipeline");
+  rejected_ = &r.GetCounter("deepmap_serve_rejected_total",
+                            "enqueue failures (queue full / shutdown)");
+  for (int i = 0; i < kNumServeOutcomes; ++i) {
+    outcomes_[i] = &r.GetCounter(
+        std::string("deepmap_serve_outcome_") + OutcomeToken(i) + "_total",
+        "request dispositions; outcomes sum to resolved submissions");
+  }
+  degraded_stale_ = &r.GetCounter("deepmap_serve_degraded_stale_total",
+                                  "degraded answers served stale-from-cache");
+  degraded_fallback_ =
+      &r.GetCounter("deepmap_serve_degraded_fallback_total",
+                    "degraded answers served by the majority-class fallback");
+  retries_ = &r.GetCounter("deepmap_serve_retries_total",
+                           "backoff-and-resubmit cycles inside Classify");
+  batches_ = &r.GetCounter("deepmap_serve_batches_total",
+                           "batches dispatched by the micro-batcher");
+  batch_items_ = &r.GetCounter("deepmap_serve_batch_items_total",
+                               "requests carried by dispatched batches");
+  queue_depth_samples_ =
+      &r.GetCounter("deepmap_serve_queue_depth_samples_total",
+                    "queue-depth observations (one per dispatched batch)");
+  queue_depth_sum_ = &r.GetGauge("deepmap_serve_queue_depth_sum",
+                                 "running sum of observed queue depths");
+  max_queue_depth_ = &r.GetGauge("deepmap_serve_queue_depth_max",
+                                 "high-water mark of the batcher queue");
+  queue_.histogram = &r.GetHistogram(
+      "deepmap_serve_queue_seconds", {}, "submit -> batch dispatch");
+  preprocess_.histogram =
+      &r.GetHistogram("deepmap_serve_preprocess_seconds", {},
+                      "feature map -> alignment -> tensor");
+  forward_.histogram = &r.GetHistogram("deepmap_serve_forward_seconds", {},
+                                       "batched CNN forward");
+  total_.histogram = &r.GetHistogram("deepmap_serve_total_seconds", {},
+                                     "submit -> promise fulfilled");
+}
+
+obs::Counter& ServeMetrics::DeadlineStageCounter(
+    const std::string& stage) const {
+  return registry_->GetCounter(
+      "deepmap_serve_deadline_" + SanitizeToken(stage) + "_total",
+      "deadline expiries attributed to this stage");
+}
+
+void ServeMetrics::Series::Record(double value_us) {
+  histogram->Observe(value_us * kMicrosToSeconds);
   ++count;
-  sum += value;
-  max = std::max(max, value);
-  if (samples.size() < kMaxLatencySamples) samples.push_back(value);
+  sum += value_us;
+  max = std::max(max, value_us);
+  if (samples.size() < kMaxLatencySamples) samples.push_back(value_us);
 }
 
 LatencySummary ServeMetrics::Series::Summarize() const {
@@ -37,77 +127,73 @@ LatencySummary ServeMetrics::Series::Summarize() const {
   if (count == 0) return s;
   s.mean = sum / static_cast<double>(count);
   s.max = max;
-  s.p50 = Percentile(samples, 0.50);
-  s.p95 = Percentile(samples, 0.95);
-  s.p99 = Percentile(samples, 0.99);
+  // One sorted copy serves all three percentiles; the pre-fix code copied
+  // and nth_element'd the sample vector once per quantile.
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = sorted[NearestRankIndex(sorted.size(), 0.50)];
+  s.p95 = sorted[NearestRankIndex(sorted.size(), 0.95)];
+  s.p99 = sorted[NearestRankIndex(sorted.size(), 0.99)];
   return s;
 }
 
 void ServeMetrics::RecordRequest(const RequestTiming& timing) {
-  std::lock_guard<std::mutex> lock(mu_);
-  total_.Record(timing.total_us);
   if (timing.cache_hit) {
-    ++cache_hits_;
+    cache_hits_->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    total_.Record(timing.total_us);
     return;
   }
-  ++cache_misses_;
+  cache_misses_->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.Record(timing.total_us);
   queue_.Record(timing.queue_us);
   preprocess_.Record(timing.preprocess_us);
   forward_.Record(timing.forward_us);
 }
 
 void ServeMetrics::RecordBatch(int batch_size) {
+  batches_->Increment();
+  batch_items_->Increment(batch_size);
   std::lock_guard<std::mutex> lock(mu_);
   ++batch_sizes_[batch_size];
-  ++batch_count_;
-  batch_item_total_ += batch_size;
 }
 
 void ServeMetrics::RecordQueueDepth(size_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
-  max_queue_depth_ = std::max(max_queue_depth_, depth);
-  queue_depth_sum_ += static_cast<double>(depth);
-  ++queue_depth_samples_;
+  queue_depth_samples_->Increment();
+  queue_depth_sum_->Add(static_cast<double>(depth));
+  max_queue_depth_->SetMax(static_cast<double>(depth));
 }
 
 void ServeMetrics::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rejected_;
-  ++outcomes_[static_cast<int>(ServeOutcome::kRejected)];
+  rejected_->Increment();
+  outcomes_[static_cast<int>(ServeOutcome::kRejected)]->Increment();
 }
 
 void ServeMetrics::RecordOutcome(ServeOutcome outcome) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++outcomes_[static_cast<int>(outcome)];
+  outcomes_[static_cast<int>(outcome)]->Increment();
 }
 
 void ServeMetrics::RecordShed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++outcomes_[static_cast<int>(ServeOutcome::kShed)];
+  outcomes_[static_cast<int>(ServeOutcome::kShed)]->Increment();
 }
 
 void ServeMetrics::RecordDeadlineExceeded(const std::string& stage) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++deadline_stages_[stage];
-  ++outcomes_[static_cast<int>(ServeOutcome::kDeadlineExceeded)];
+  DeadlineStageCounter(stage).Increment();
+  outcomes_[static_cast<int>(ServeOutcome::kDeadlineExceeded)]->Increment();
 }
 
 void ServeMetrics::RecordDegradedStale() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++degraded_stale_;
-  ++outcomes_[static_cast<int>(ServeOutcome::kDegraded)];
+  degraded_stale_->Increment();
+  outcomes_[static_cast<int>(ServeOutcome::kDegraded)]->Increment();
 }
 
 void ServeMetrics::RecordDegradedFallback() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++degraded_fallback_;
-  ++outcomes_[static_cast<int>(ServeOutcome::kDegraded)];
+  degraded_fallback_->Increment();
+  outcomes_[static_cast<int>(ServeOutcome::kDegraded)]->Increment();
 }
 
-void ServeMetrics::RecordRetry() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++retries_;
-}
+void ServeMetrics::RecordRetry() { retries_->Increment(); }
 
 const ServeMetrics::Series* ServeMetrics::SeriesFor(
     const std::string& stage) const {
@@ -135,85 +221,61 @@ int64_t ServeMetrics::requests() const {
   return total_.count;
 }
 
-int64_t ServeMetrics::cache_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_hits_;
-}
+int64_t ServeMetrics::cache_hits() const { return cache_hits_->Value(); }
 
-int64_t ServeMetrics::cache_misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_misses_;
-}
+int64_t ServeMetrics::cache_misses() const { return cache_misses_->Value(); }
 
-int64_t ServeMetrics::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rejected_;
-}
+int64_t ServeMetrics::rejected() const { return rejected_->Value(); }
 
 double ServeMetrics::cache_hit_rate() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const int64_t n = cache_hits_ + cache_misses_;
-  return n == 0 ? 0.0 : static_cast<double>(cache_hits_) / n;
+  const int64_t hits = cache_hits_->Value();
+  const int64_t n = hits + cache_misses_->Value();
+  return n == 0 ? 0.0 : static_cast<double>(hits) / n;
 }
 
 int64_t ServeMetrics::outcome_count(ServeOutcome outcome) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return outcomes_[static_cast<int>(outcome)];
+  return outcomes_[static_cast<int>(outcome)]->Value();
 }
 
 int64_t ServeMetrics::total_outcomes() const {
-  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
-  for (int i = 0; i < kNumServeOutcomes; ++i) total += outcomes_[i];
+  for (int i = 0; i < kNumServeOutcomes; ++i) total += outcomes_[i]->Value();
   return total;
 }
 
 int64_t ServeMetrics::shed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return outcomes_[static_cast<int>(ServeOutcome::kShed)];
+  return outcomes_[static_cast<int>(ServeOutcome::kShed)]->Value();
 }
 
 int64_t ServeMetrics::deadline_exceeded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return outcomes_[static_cast<int>(ServeOutcome::kDeadlineExceeded)];
+  return outcomes_[static_cast<int>(ServeOutcome::kDeadlineExceeded)]->Value();
 }
 
 int64_t ServeMetrics::deadline_exceeded(const std::string& stage) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = deadline_stages_.find(stage);
-  return it == deadline_stages_.end() ? 0 : it->second;
+  return DeadlineStageCounter(stage).Value();
 }
 
 int64_t ServeMetrics::degraded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return degraded_stale_ + degraded_fallback_;
+  return degraded_stale_->Value() + degraded_fallback_->Value();
 }
 
 int64_t ServeMetrics::degraded_stale() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return degraded_stale_;
+  return degraded_stale_->Value();
 }
 
 int64_t ServeMetrics::degraded_fallback() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return degraded_fallback_;
+  return degraded_fallback_->Value();
 }
 
-int64_t ServeMetrics::retries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return retries_;
-}
+int64_t ServeMetrics::retries() const { return retries_->Value(); }
 
-int64_t ServeMetrics::num_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batch_count_;
-}
+int64_t ServeMetrics::num_batches() const { return batches_->Value(); }
 
 double ServeMetrics::mean_batch_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batch_count_ == 0
+  const int64_t batches = batches_->Value();
+  return batches == 0
              ? 0.0
-             : static_cast<double>(batch_item_total_) / batch_count_;
+             : static_cast<double>(batch_items_->Value()) / batches;
 }
 
 std::map<int, int64_t> ServeMetrics::batch_size_histogram() const {
@@ -222,15 +284,14 @@ std::map<int, int64_t> ServeMetrics::batch_size_histogram() const {
 }
 
 size_t ServeMetrics::max_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_queue_depth_;
+  return static_cast<size_t>(max_queue_depth_->Value());
 }
 
 double ServeMetrics::mean_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_depth_samples_ == 0
+  const int64_t samples = queue_depth_samples_->Value();
+  return samples == 0
              ? 0.0
-             : queue_depth_sum_ / static_cast<double>(queue_depth_samples_);
+             : queue_depth_sum_->Value() / static_cast<double>(samples);
 }
 
 Table ServeMetrics::LatencyTable() const {

@@ -1,22 +1,32 @@
-// Serving observability: per-stage latency histograms, batch-size
-// distribution, queue depth, and prediction-cache hit rate.
+// Serving observability: per-stage latency, batch-size distribution, queue
+// depth, cache hit rate, and request outcomes.
 //
-// One ServeMetrics instance is shared by the submit path (any thread), the
-// batch dispatcher, and the reporting code, so every mutator is guarded by a
-// single internal mutex; recording is a handful of pushes/increments and is
-// far cheaper than a forward pass. Percentiles are computed on demand from
-// the retained samples (capped, see kMaxLatencySamples).
+// ServeMetrics sits on top of an obs::MetricsRegistry: every scalar count
+// (requests, outcomes, cache, batches, retries) is a registry counter and
+// every stage latency feeds a registry histogram, so the whole surface is
+// lock-free on the record path and exportable as one Prometheus scrape
+// (registry()). The only mutex-guarded state left is the retained raw-sample
+// store, which exists to serve *exact* order statistics — registry
+// histograms answer percentile queries from fixed buckets (interpolated,
+// within a few percent); the sample store answers them exactly, and tests
+// pin the two against each other.
+//
+// By default each ServeMetrics owns a private registry, so engines in the
+// same process (e.g. test fixtures) never share counters; pass an external
+// registry to aggregate several engines into one scrape.
 #ifndef DEEPMAP_SERVE_METRICS_H_
 #define DEEPMAP_SERVE_METRICS_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "obs/metrics.h"
 
 namespace deepmap::serve {
 
@@ -29,6 +39,12 @@ struct LatencySummary {
   double mean = 0.0;
   double max = 0.0;
 };
+
+/// Nearest-rank index of quantile `q` in a sorted sample of size `n`:
+/// ceil(q*n) - 1, clamped to [0, n-1], with an epsilon guard so inexact
+/// doubles (0.95 * 20 is slightly above 19 in binary) cannot push the rank
+/// one past the mathematical answer. Exposed for the regression tests.
+size_t NearestRankIndex(size_t n, double q);
 
 /// Final disposition of one submitted request (one outcome is recorded per
 /// Submit attempt, so the outcome counters always sum to the number of
@@ -58,8 +74,11 @@ struct RequestTiming {
 class ServeMetrics {
  public:
   /// Retained samples per stage; later samples beyond the cap only update
-  /// count/mean/max.
+  /// the registry instruments (count/mean/max stay exact).
   static constexpr size_t kMaxLatencySamples = 1 << 20;
+
+  /// `registry` must outlive this object; nullptr = own a private registry.
+  explicit ServeMetrics(obs::MetricsRegistry* registry = nullptr);
 
   void RecordRequest(const RequestTiming& timing);
   void RecordBatch(int batch_size);
@@ -83,6 +102,7 @@ class ServeMetrics {
   /// Stage summaries; `stage` is one of "queue", "preprocess", "forward",
   /// "total". Cache hits are excluded from the queue/preprocess/forward
   /// series (they never enter those stages) but included in "total".
+  /// Percentiles are exact order statistics of the retained samples.
   LatencySummary Latency(const std::string& stage) const;
 
   int64_t requests() const;
@@ -114,6 +134,12 @@ class ServeMetrics {
   /// cache misses when every miss is preprocessed exactly once).
   int64_t stage_count(const std::string& stage) const;
 
+  /// The registry backing every counter and stage histogram. Scrape with
+  /// registry().WritePrometheusText(os); metric names are documented in
+  /// docs/observability.md.
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+  obs::MetricsRegistry& registry() { return *registry_; }
+
   /// "stage | count | p50 | p95 | p99 | mean | max" rows.
   Table LatencyTable() const;
   /// Throughput / cache / batch / queue counters as name-value rows.
@@ -123,37 +149,49 @@ class ServeMetrics {
   void Print(std::ostream& os) const;
 
  private:
+  /// One latency stage: a registry histogram (lock-free, bucketized, the
+  /// scrape surface) plus a capped raw-sample store with exact count/sum/max
+  /// for exact order statistics. Everything but the histogram is guarded by
+  /// ServeMetrics::mu_.
   struct Series {
+    obs::Histogram* histogram = nullptr;  // microseconds recorded as seconds
     std::vector<double> samples;
     int64_t count = 0;
     double sum = 0.0;
     double max = 0.0;
 
-    void Record(double value);
+    void Record(double value_us);
+    /// Sorts one copy of the samples and reads all three percentiles from
+    /// it (the pre-fix code re-sorted per quantile, 3x per snapshot).
     LatencySummary Summarize() const;
   };
 
   const Series* SeriesFor(const std::string& stage) const;
+  obs::Counter& DeadlineStageCounter(const std::string& stage) const;
 
-  mutable std::mutex mu_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;  // == owned_registry_.get() unless injected
+
+  // Registry instruments (addresses stable for the registry's lifetime).
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* rejected_;
+  obs::Counter* outcomes_[kNumServeOutcomes];
+  obs::Counter* degraded_stale_;
+  obs::Counter* degraded_fallback_;
+  obs::Counter* retries_;
+  obs::Counter* batches_;
+  obs::Counter* batch_items_;
+  obs::Counter* queue_depth_samples_;
+  obs::Gauge* queue_depth_sum_;
+  obs::Gauge* max_queue_depth_;
+
+  mutable std::mutex mu_;  // guards Series::samples and batch_sizes_
   Series queue_;
   Series preprocess_;
   Series forward_;
   Series total_;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  int64_t rejected_ = 0;
-  int64_t outcomes_[kNumServeOutcomes] = {};
-  std::map<std::string, int64_t> deadline_stages_;
-  int64_t degraded_stale_ = 0;
-  int64_t degraded_fallback_ = 0;
-  int64_t retries_ = 0;
   std::map<int, int64_t> batch_sizes_;
-  int64_t batch_count_ = 0;
-  int64_t batch_item_total_ = 0;
-  size_t max_queue_depth_ = 0;
-  double queue_depth_sum_ = 0.0;
-  int64_t queue_depth_samples_ = 0;
 };
 
 }  // namespace deepmap::serve

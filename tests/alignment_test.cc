@@ -62,6 +62,21 @@ TEST(AlignmentTest, SequenceIsPermutationOfVertices) {
   }
 }
 
+TEST(AlignmentTest, DisconnectedGraphOrderingIsDeterministic) {
+  // Triangle {0,1,2} + star {3: center; 4,5,6: leaves}. With per-component
+  // eigenvector normalization (Definition 2 alignment on disconnected
+  // inputs), the star center leads, the symmetric triangle vertices tie and
+  // break by ascending id, then the star leaves. Pre-fix the star component
+  // decayed to ~0 and its internal ordering was rounding noise.
+  Graph g = Graph::FromEdges(
+      7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {3, 5}, {3, 6}});
+  auto centrality =
+      ComputeCentrality(g, AlignmentMeasure::kEigenvector, nullptr);
+  auto sequence = GenerateVertexSequence(g, centrality, 7);
+  const std::vector<Vertex> expected{3, 0, 1, 2, 4, 5, 6};
+  EXPECT_EQ(sequence, expected);
+}
+
 TEST(ReceptiveFieldTest, TopNeighborsByCentrality) {
   // Star: receptive field of the hub with r=3 takes hub + 2 leaves (highest
   // centrality tie-break = lowest id).

@@ -207,6 +207,37 @@ TEST(DropoutTest, BackwardUsesSameMask) {
   }
 }
 
+TEST(DropoutDeathTest, RejectsOutOfRangeRates) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(14);
+  // rate == 1.0 would make the keep scale 1/(1-rate) infinite.
+  EXPECT_DEATH(Dropout(1.0, rng), "rate < 1");
+  EXPECT_DEATH(Dropout(1.5, rng), "rate < 1");
+  EXPECT_DEATH(Dropout(-0.1, rng), "rate >= 0");
+  EXPECT_DEATH(Dropout(std::nan(""), rng), "NaN");
+}
+
+TEST(DropoutTest, NearOneRateStaysFinite) {
+  Rng rng(15);
+  // The largest admissible rates produce a huge but finite keep scale;
+  // outputs must never be inf/NaN.
+  Dropout dropout(0.999, rng);
+  Tensor x(std::vector<int>{256});
+  x.Fill(1.0f);
+  Tensor out = dropout.Forward(x, /*training=*/true);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i])) << i;
+  }
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  Rng rng(16);
+  Dropout dropout(0.0, rng);
+  Tensor x = RandomTensor({32}, rng);
+  Tensor out = dropout.Forward(x, /*training=*/true);
+  for (int i = 0; i < 32; ++i) EXPECT_FLOAT_EQ(out.data()[i], x.data()[i]);
+}
+
 TEST(SumPoolTest, ForwardAndGradient) {
   SumPool pool;
   Tensor x = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});

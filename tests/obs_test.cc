@@ -1,0 +1,367 @@
+// Tests for src/obs/: metric naming lint, sharded counter/gauge/histogram
+// correctness under concurrency, Prometheus text exposition, quantile
+// estimation (including the nearest-rank epsilon guard), tracer span
+// nesting, Chrome trace JSON output, and scrape-while-writing safety.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace deepmap::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric name validation
+
+TEST(MetricNameTest, AcceptsConvention) {
+  EXPECT_TRUE(ValidateMetricName("deepmap_serve_requests_total", "counter").ok());
+  EXPECT_TRUE(ValidateMetricName("deepmap_pool_task_seconds", "histogram").ok());
+  EXPECT_TRUE(ValidateMetricName("deepmap_serve_queue_depth", "gauge").ok());
+  EXPECT_TRUE(
+      ValidateMetricName("deepmap_nn_gemm_macs_total", "counter").ok());
+}
+
+TEST(MetricNameTest, RejectsViolations) {
+  // Missing the deepmap_ prefix.
+  EXPECT_FALSE(ValidateMetricName("serve_requests_total", "counter").ok());
+  // Too few tokens: prefix + suffix with no subsystem/name.
+  EXPECT_FALSE(ValidateMetricName("deepmap_total", "counter").ok());
+  // Counters must end in _total, histograms in _seconds.
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve_requests", "counter").ok());
+  EXPECT_FALSE(
+      ValidateMetricName("deepmap_pool_task_micros", "histogram").ok());
+  // Gauges must not claim either suffix.
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve_depth_total", "gauge").ok());
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve_depth_seconds", "gauge").ok());
+  // Token character set: lowercase [a-z0-9] only, single underscores.
+  EXPECT_FALSE(ValidateMetricName("deepmap_Serve_requests_total", "counter").ok());
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve__requests_total", "counter").ok());
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve-requests_total", "counter").ok());
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve_requests_total_", "counter").ok());
+  EXPECT_FALSE(ValidateMetricName("", "counter").ok());
+  // Unknown kind.
+  EXPECT_FALSE(ValidateMetricName("deepmap_serve_requests_total", "timer").ok());
+}
+
+TEST(MetricNameDeathTest, RegistrationRejectsInvalidNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry registry;
+  EXPECT_DEATH(registry.GetCounter("deepmap_serve_requests", ""),
+               "CHECK failed");
+  EXPECT_DEATH(registry.GetHistogram("deepmap_pool_task_total", {}, ""),
+               "CHECK failed");
+}
+
+TEST(MetricNameDeathTest, KindClashIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry registry;
+  registry.GetGauge("deepmap_serve_queue_depth");
+  // Same name, different kind: gauges have no suffix requirement, so the
+  // name passes validation and must be stopped by the kind map.
+  EXPECT_DEATH(registry.GetHistogram("deepmap_serve_queue_depth",
+                                     {1.0, 2.0}, ""),
+               "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// Counters / gauges
+
+TEST(CounterTest, GetOrCreateReturnsStableInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("deepmap_test_events_total", "help");
+  Counter& b = registry.GetCounter("deepmap_test_events_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  b.Increment(4);
+  EXPECT_EQ(a.Value(), 5);
+  EXPECT_TRUE(registry.Has("deepmap_test_events_total"));
+  EXPECT_FALSE(registry.Has("deepmap_test_other_total"));
+}
+
+TEST(CounterTest, MergesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("deepmap_test_merge_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Shards must merge losslessly: any torn update or false-shared overwrite
+  // shows up as a wrong sum here.
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("deepmap_test_level");
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Add(1.5);
+  EXPECT_EQ(gauge.Value(), 5.0);
+  Gauge& high = registry.GetGauge("deepmap_test_high_water");
+  high.SetMax(4.0);
+  high.SetMax(2.0);  // lower: ignored
+  high.SetMax(7.0);
+  EXPECT_EQ(high.Value(), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+
+TEST(HistogramTest, BucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("deepmap_test_latency_seconds",
+                                       {1.0, 2.0, 4.0});
+  h.Observe(0.5);   // le=1
+  h.Observe(1.0);   // le=1 (inclusive, Prometheus `le` semantics)
+  h.Observe(1.5);   // le=2
+  h.Observe(4.0);   // le=4
+  h.Observe(100.0); // +Inf
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 2);
+  EXPECT_EQ(snap.bucket_counts[1], 1);
+  EXPECT_EQ(snap.bucket_counts[2], 1);
+  EXPECT_EQ(snap.bucket_counts[3], 1);
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), snap.sum / 5.0);
+}
+
+TEST(HistogramTest, NanGoesToOverflowBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("deepmap_test_nan_seconds", {1.0});
+  h.Observe(std::nan(""));
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.bucket_counts[0], 0);
+  EXPECT_EQ(snap.bucket_counts[1], 1);
+}
+
+TEST(HistogramTest, QuantileNearestRankEpsilonGuard) {
+  MetricsRegistry registry;
+  // One unit-width bucket per integer so the interpolated quantile of the
+  // samples 1..20 is exact: bucket le=v holds exactly the sample v.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 20; ++i) bounds.push_back(i);
+  Histogram& h = registry.GetHistogram("deepmap_test_rank_seconds", bounds);
+  for (int v = 1; v <= 20; ++v) h.Observe(v);
+  HistogramSnapshot snap = h.Snapshot();
+  // ceil(0.95 * 20) = 19: the 19th-smallest sample, NOT the max. 0.95 is
+  // slightly above 19/20 in binary, so an unguarded ceil lands on 20.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.95), 19.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 20.0);
+  // q=0 clamps to the smallest rank, not below the data.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("deepmap_test_interp_seconds",
+                                       {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // all in (10, 20]
+  HistogramSnapshot snap = h.Snapshot();
+  // Rank 5 of 10 -> fraction 5/10 through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 15.0);
+  EXPECT_EQ(snap.Quantile(0.0), 11.0);  // rank clamps to 1 -> 1/10 through
+}
+
+TEST(HistogramTest, ExponentialBoundsShape) {
+  std::vector<double> bounds = Histogram::ExponentialBounds(1e-6, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  EXPECT_DOUBLE_EQ(bounds[3], 8e-6);
+  const std::vector<double>& latency = Histogram::DefaultLatencyBounds();
+  EXPECT_TRUE(std::is_sorted(latency.begin(), latency.end()));
+  EXPECT_GT(latency.back(), 60.0);  // covers minute-scale epochs
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PrometheusTest, TextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("deepmap_test_events_total", "events help").Increment(3);
+  registry.GetGauge("deepmap_test_depth").Set(2.0);
+  Histogram& h =
+      registry.GetHistogram("deepmap_test_lat_seconds", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+
+  std::ostringstream os;
+  registry.WritePrometheusText(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# HELP deepmap_test_events_total events help\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE deepmap_test_events_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepmap_test_events_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE deepmap_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("deepmap_test_depth 2\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("deepmap_test_lat_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepmap_test_lat_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepmap_test_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepmap_test_lat_seconds_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepmap_test_lat_seconds_sum 11\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, NamesAreSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("deepmap_test_zzz_total");
+  registry.GetCounter("deepmap_test_aaa_total");
+  std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "deepmap_test_aaa_total");
+  EXPECT_EQ(names[1], "deepmap_test_zzz_total");
+}
+
+TEST(PrometheusTest, ScrapeWhileWriting) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("deepmap_test_busy_total");
+  Histogram& h = registry.GetHistogram("deepmap_test_busy_seconds", {1e-3});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Increment();
+        h.Observe(1e-4);
+      }
+    });
+  }
+  // Scrapes must be safe (and monotone) while writers hammer the shards.
+  int64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::ostringstream os;
+    registry.WritePrometheusText(os);
+    EXPECT_NE(os.str().find("deepmap_test_busy_total"), std::string::npos);
+    const int64_t now = counter.Value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, counter.Value());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer tracer;
+  { Tracer::Span span(tracer, "noop", "test"); }
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0);
+}
+
+TEST(TracerTest, NestedSpansAreContained) {
+  Tracer tracer;
+  tracer.Enable();
+  {
+    Tracer::Span outer(tracer, "outer", "test");
+    { Tracer::Span inner(tracer, "inner", "test"); }
+  }
+  tracer.Disable();
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on destruction, so the inner span lands first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Containment on the shared thread track is what chrome://tracing uses to
+  // reconstruct the stack.
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST(TracerTest, SpanOpenAcrossDisableIsDropped) {
+  Tracer tracer;
+  tracer.Enable();
+  {
+    Tracer::Span span(tracer, "crossing", "test");
+    tracer.Disable();
+  }
+  // Recording after Disable would smear a span across two sessions.
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+}
+
+TEST(TracerTest, EnableClearsPriorSession) {
+  Tracer tracer;
+  tracer.Enable();
+  { Tracer::Span span(tracer, "first", "test"); }
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+  tracer.Enable();  // new session: fresh epoch, empty buffer
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  tracer.Disable();
+}
+
+TEST(TracerTest, ThreadsGetDistinctTracks) {
+  Tracer tracer;
+  tracer.Enable();
+  std::thread other([&] { Tracer::Span span(tracer, "worker", "test"); });
+  other.join();
+  { Tracer::Span span(tracer, "main", "test"); }
+  tracer.Disable();
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  Tracer tracer;
+  tracer.Enable();
+  { Tracer::Span span(tracer, "with \"quotes\" and \\slash", "serve"); }
+  tracer.Disable();
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Balanced braces/brackets => structurally sound JSON for the viewers.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TracerTest, GlobalMacroRespectsEnableState) {
+  Tracer& global = Tracer::Global();
+  global.Enable();
+  {
+    DEEPMAP_TRACE_SPAN("macro.outer", "test");
+    DEEPMAP_TRACE_SPAN("macro.inner", "test");  // same scope: distinct vars
+  }
+  global.Disable();
+  EXPECT_EQ(global.NumEvents(), 2u);
+  global.Clear();
+}
+
+}  // namespace
+}  // namespace deepmap::obs

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -35,6 +36,7 @@
 #include "graph/tu_format.h"
 #include "kernels/random_walk.h"
 #include "kernels/wl_oa.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace {
@@ -68,7 +70,7 @@ int Usage() {
       "  evaluate:    --method=M [--folds=N] [--epochs=N] [--seed=N] [--r=N]\n"
       "  generate:    --synthetic=NAME --out_dir=DIR [--scale=F]\n"
       "  serve-bench: [--requests=N] [--batch=N] [--epochs=N] [--cache=N]\n"
-      "               [--wait_us=N]\n");
+      "               [--wait_us=N] [--trace-out=FILE] [--metrics-out=FILE]\n");
   return 2;
 }
 
@@ -233,6 +235,8 @@ int RunServeBench(const CliArgs& args) {
   const int batch = args.GetInt("batch", 32);
   const int wait_us = args.GetInt("wait_us", 2000);
   const int cache = args.GetInt("cache", 1024);
+  const std::string trace_out = args.Get("trace-out");
+  const std::string metrics_out = args.Get("metrics-out");
   if (requests < 0 || batch <= 0 || wait_us < 0 || cache < 0) {
     std::fprintf(stderr,
                  "serve-bench: --requests/--wait_us/--cache must be >= 0 "
@@ -269,6 +273,10 @@ int RunServeBench(const CliArgs& args) {
   options.cache_capacity = static_cast<size_t>(cache);
   serve::InferenceEngine engine(registry.Get("cli"), options);
 
+  // Tracing covers only the serving phase (training spans would dwarf the
+  // per-request ones and blow the event cap on long runs).
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
+
   // The request stream cycles over the dataset, so the prediction cache
   // warms up after the first pass over the distinct graphs.
   Stopwatch timer;
@@ -282,6 +290,29 @@ int RunServeBench(const CliArgs& args) {
     if (!f.get().ok()) ++errors;
   }
   const double elapsed = timer.ElapsedSeconds();
+
+  if (!trace_out.empty()) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Disable();
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::fprintf(stderr, "serve-bench: cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    tracer.WriteChromeTrace(os);
+    std::printf("wrote %zu trace events to %s\n", tracer.NumEvents(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "serve-bench: cannot open %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    engine.metrics().registry().WritePrometheusText(os);
+    std::printf("wrote Prometheus metrics to %s\n", metrics_out.c_str());
+  }
 
   std::printf("served %d requests in %.3f s (%.1f graphs/sec, %d errors)\n\n",
               requests, elapsed, requests / elapsed, errors);
