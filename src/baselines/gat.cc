@@ -8,20 +8,6 @@
 #include "nn/dropout.h"
 
 namespace deepmap::baselines {
-namespace {
-
-// Neighborhood of v including v itself, in a fixed order (self first).
-// Attention slots index into this list.
-inline int NeighborhoodSize(const graph::Graph& g, graph::Vertex v) {
-  return g.Degree(v) + 1;
-}
-
-inline graph::Vertex NeighborAt(const graph::Graph& g, graph::Vertex v,
-                                int slot) {
-  return slot == 0 ? v : g.Neighbors(v)[slot - 1];
-}
-
-}  // namespace
 
 std::vector<GatSample> BuildGatSamples(const graph::GraphDataset& dataset,
                                        const VertexFeatureProvider& provider) {
@@ -55,7 +41,7 @@ nn::Tensor GatLayer::Forward(const graph::Graph& graph, const nn::Tensor& x) {
   DEEPMAP_CHECK_EQ(x.dim(0), graph.NumVertices());
   DEEPMAP_CHECK_EQ(x.dim(1), in_features_);
   const int n = graph.NumVertices();
-  cached_graph_ = &graph;
+  pattern_ = sparse::Pattern::SelfFirstNeighborhood(graph);
   cached_x_ = x;
   cached_z_ = nn::MatMul(x, weights_);  // [n, out]
 
@@ -68,35 +54,33 @@ nn::Tensor GatLayer::Forward(const graph::Graph& graph, const nn::Tensor& x) {
     }
   }
 
-  alpha_.assign(n, {});
-  raw_.assign(n, {});
-  nn::Tensor out({n, out_features_});
+  // Logits + row-wise softmax over the pattern slots.
+  raw_.assign(static_cast<size_t>(pattern_.nnz()), 0.0f);
+  alpha_.assign(static_cast<size_t>(pattern_.nnz()), 0.0f);
   for (int v = 0; v < n; ++v) {
-    const int k = NeighborhoodSize(graph, v);
-    raw_[v].resize(k);
-    alpha_[v].resize(k);
+    const int64_t begin = pattern_.row_ptr[v];
+    const int64_t end = pattern_.row_ptr[v + 1];
     float max_logit = -1e30f;
-    for (int slot = 0; slot < k; ++slot) {
-      graph::Vertex u = NeighborAt(graph, v, slot);
-      float e = s[v] + t[u];
-      raw_[v][slot] = e;
-      float activated = e > 0 ? e : leaky_slope_ * e;
-      alpha_[v][slot] = activated;
+    for (int64_t k = begin; k < end; ++k) {
+      const graph::Vertex u = pattern_.col[k];
+      const float e = s[v] + t[u];
+      raw_[k] = e;
+      const float activated = e > 0 ? e : leaky_slope_ * e;
+      alpha_[k] = activated;
       max_logit = std::max(max_logit, activated);
     }
     double total = 0.0;
-    for (int slot = 0; slot < k; ++slot) {
-      alpha_[v][slot] = std::exp(alpha_[v][slot] - max_logit);
-      total += alpha_[v][slot];
+    for (int64_t k = begin; k < end; ++k) {
+      alpha_[k] = std::exp(alpha_[k] - max_logit);
+      total += alpha_[k];
     }
-    for (int slot = 0; slot < k; ++slot) {
-      alpha_[v][slot] = static_cast<float>(alpha_[v][slot] / total);
-      graph::Vertex u = NeighborAt(graph, v, slot);
-      for (int c = 0; c < out_features_; ++c) {
-        out.at(v, c) += alpha_[v][slot] * cached_z_.at(u, c);
-      }
+    for (int64_t k = begin; k < end; ++k) {
+      alpha_[k] = static_cast<float>(alpha_[k] / total);
     }
   }
+  // h_v = sum_u alpha_vu z_u: edge-weighted SpMM over the pattern.
+  nn::Tensor out({n, out_features_});
+  sparse::SpmmEdgeValues(pattern_, alpha_.data(), cached_z_, &out);
   cached_pre_ = out;
   for (int i = 0; i < out.NumElements(); ++i) {
     if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;  // ReLU
@@ -105,40 +89,34 @@ nn::Tensor GatLayer::Forward(const graph::Graph& graph, const nn::Tensor& x) {
 }
 
 nn::Tensor GatLayer::Backward(const nn::Tensor& grad_output) {
-  DEEPMAP_CHECK(cached_graph_ != nullptr);
-  const graph::Graph& graph = *cached_graph_;
-  const int n = graph.NumVertices();
+  const int n = pattern_.rows;
+  DEEPMAP_CHECK_GT(n, 0);
   // ReLU backward.
   nn::Tensor grad_h = grad_output;
   for (int i = 0; i < grad_h.NumElements(); ++i) {
     if (cached_pre_.data()[i] <= 0.0f) grad_h.data()[i] = 0.0f;
   }
 
+  // dL/dalpha_vu = grad_h[v] . z_u: SDDMM over the attention pattern.
+  const std::vector<double> grad_alpha =
+      sparse::Sddmm(pattern_, grad_h, cached_z_);
+  // Direct path grad_z_u += alpha_vu grad_h_v: transpose SpMM.
   nn::Tensor grad_z({n, out_features_});
+  sparse::SpmmEdgeValuesTranspose(pattern_, alpha_.data(), grad_h, &grad_z);
+
+  // Softmax + LeakyReLU backward to the logits e_vu = s_v + t_u.
   std::vector<float> grad_s(n, 0.0f), grad_t(n, 0.0f);
   for (int v = 0; v < n; ++v) {
-    const int k = NeighborhoodSize(graph, v);
-    // dL/dalpha_vu = grad_h[v] . z_u.
-    std::vector<double> grad_alpha(k, 0.0);
+    const int64_t begin = pattern_.row_ptr[v];
+    const int64_t end = pattern_.row_ptr[v + 1];
     double weighted_sum = 0.0;  // sum_w alpha_vw * dL/dalpha_vw
-    for (int slot = 0; slot < k; ++slot) {
-      graph::Vertex u = NeighborAt(graph, v, slot);
-      double dot = 0.0;
-      for (int c = 0; c < out_features_; ++c) {
-        dot += static_cast<double>(grad_h.at(v, c)) * cached_z_.at(u, c);
-      }
-      grad_alpha[slot] = dot;
-      weighted_sum += alpha_[v][slot] * dot;
-      // Direct path: h_v += alpha_vu z_u.
-      for (int c = 0; c < out_features_; ++c) {
-        grad_z.at(u, c) += alpha_[v][slot] * grad_h.at(v, c);
-      }
+    for (int64_t k = begin; k < end; ++k) {
+      weighted_sum += alpha_[k] * grad_alpha[k];
     }
-    // Softmax + LeakyReLU backward to the logits e_vu = s_v + t_u.
-    for (int slot = 0; slot < k; ++slot) {
-      graph::Vertex u = NeighborAt(graph, v, slot);
-      double grad_e = alpha_[v][slot] * (grad_alpha[slot] - weighted_sum);
-      grad_e *= raw_[v][slot] > 0 ? 1.0 : leaky_slope_;
+    for (int64_t k = begin; k < end; ++k) {
+      const graph::Vertex u = pattern_.col[k];
+      double grad_e = alpha_[k] * (grad_alpha[k] - weighted_sum);
+      grad_e *= raw_[k] > 0 ? 1.0 : leaky_slope_;
       grad_s[v] += static_cast<float>(grad_e);
       grad_t[u] += static_cast<float>(grad_e);
     }

@@ -7,6 +7,12 @@
 // readout + dense head for graph classification. The backward pass
 // differentiates through the attention softmax exactly (verified by finite
 // differences in the test suite).
+//
+// Attention state lives on a flattened sparse::Pattern over the self-first
+// neighborhoods (one slot per logit): the forward aggregation is an
+// edge-weighted SpMM, dL/dalpha is an SDDMM, and the direct grad_z path is
+// the transpose SpMM — the sparse-substrate execution of GAT, bit-identical
+// to the per-neighbor loops it replaced.
 #ifndef DEEPMAP_BASELINES_GAT_H_
 #define DEEPMAP_BASELINES_GAT_H_
 
@@ -17,6 +23,7 @@
 #include "graph/graph.h"
 #include "nn/model.h"
 #include "nn/pooling.h"
+#include "sparse/spmm.h"
 
 namespace deepmap::baselines {
 
@@ -63,13 +70,14 @@ class GatLayer {
   nn::Tensor weights_grad_;
   nn::Tensor attn_src_grad_;
   nn::Tensor attn_dst_grad_;
-  // Forward caches.
-  const graph::Graph* cached_graph_ = nullptr;
+  // Forward caches. Attention state is slot-indexed by the pattern's CSR
+  // layout (row v = v itself, then N(v) in sorted order).
+  sparse::Pattern pattern_;     // self-first neighborhoods of cached graph
   nn::Tensor cached_x_;
-  nn::Tensor cached_z_;                      // X W
-  std::vector<std::vector<float>> alpha_;    // attention per (v, slot)
-  std::vector<std::vector<float>> raw_;      // pre-LeakyReLU logits
-  nn::Tensor cached_pre_;                    // pre-ReLU output
+  nn::Tensor cached_z_;         // X W
+  std::vector<float> alpha_;    // attention weights, one per slot
+  std::vector<float> raw_;      // pre-LeakyReLU logits, one per slot
+  nn::Tensor cached_pre_;       // pre-ReLU output
 };
 
 /// The GAT network; Model concept with Sample = GatSample.

@@ -52,6 +52,46 @@ Graph BarabasiAlbert(int n, int edges_per_vertex, Rng& rng) {
   return g;
 }
 
+Graph RMat(int n, int edges_per_vertex, Rng& rng, const RMatOptions& options) {
+  DEEPMAP_CHECK_GT(n, 0);
+  DEEPMAP_CHECK_GE(edges_per_vertex, 1);
+  DEEPMAP_CHECK_GT(options.a, 0.0);
+  DEEPMAP_CHECK_GT(options.b, 0.0);
+  DEEPMAP_CHECK_GT(options.c, 0.0);
+  DEEPMAP_CHECK_LT(options.a + options.b + options.c, 1.0);
+  int levels = 0;
+  while ((1 << levels) < n) ++levels;
+  Graph g(n);
+  const long long target = static_cast<long long>(n) * edges_per_vertex;
+  // Duplicates concentrate on the hot quadrant, so allow a generous number
+  // of redraws before giving up (dense corners saturate eventually).
+  const long long max_attempts = 20 * target + 100;
+  long long placed = 0;
+  for (long long attempt = 0; placed < target && attempt < max_attempts;
+       ++attempt) {
+    int u = 0;
+    int v = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.Uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left quadrant: both bits stay 0
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u >= n || v >= n) continue;  // padded matrix corner; redraw
+    if (g.AddEdge(u, v)) ++placed;
+  }
+  return g;
+}
+
 Graph WattsStrogatz(int n, int k, double beta, Rng& rng) {
   DEEPMAP_CHECK_GE(n, 2 * k + 1);
   // Ring lattice, then rewire each lattice edge with probability beta to a

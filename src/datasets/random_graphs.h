@@ -25,6 +25,24 @@ graph::Graph WattsStrogatz(int n, int k, double beta, Rng& rng);
 /// Euclidean distance <= radius.
 graph::Graph RandomGeometric(int n, double radius, Rng& rng);
 
+/// R-MAT parameters (Chakrabarti et al., SDM 2004): quadrant probabilities
+/// (a, b, c, d = 1 - a - b - c); the defaults are the canonical skewed
+/// setting producing power-law degree tails.
+struct RMatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+};
+
+/// R-MAT power-law graph: n * edges_per_vertex edge placements drawn by
+/// recursively descending adjacency-matrix quadrants with the RMatOptions
+/// probabilities. Self loops and duplicates are discarded, so the realized
+/// edge count lands slightly below the target. Deterministic for a given
+/// rng state; n need not be a power of two (out-of-range placements are
+/// redrawn). Feeds the web-scale SpMM bench (10^4-10^5 vertices).
+graph::Graph RMat(int n, int edges_per_vertex, Rng& rng,
+                  const RMatOptions& options = {});
+
 /// Vertex subsample + edge rewiring of a seed graph: keeps `keep_fraction`
 /// of the vertices (induced) and rewires each edge with prob. `rewire_prob`
 /// to a random non-edge. The backbone of the SYNTHIE-style generator.

@@ -1,85 +1,162 @@
 #include "nn/graph_conv.h"
 
+#include <atomic>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "common/check.h"
 
-namespace deepmap::nn {
+// NOTE: compiled with -ffp-contract=off (see src/CMakeLists.txt) so the
+// dense reference loops below round exactly like the sparse kernels they
+// are byte-compared against in tests/sparse_test.cc.
 
-GraphOp::GraphOp(int n) : n_(n), matrix_(static_cast<size_t>(n) * n, 0.0) {
+namespace deepmap::nn {
+namespace {
+
+GraphOp::Backend g_backend = GraphOp::Backend::kSparse;
+std::atomic<int64_t> g_dense_cells{0};
+
+// Legacy dense construction: n x n row-major matrix filled by `fill`.
+std::shared_ptr<const std::vector<double>> MakeDense(
+    int n, const std::function<void(std::vector<double>&)>& fill) {
+  auto matrix =
+      std::make_shared<std::vector<double>>(static_cast<size_t>(n) * n, 0.0);
+  g_dense_cells.fetch_add(static_cast<int64_t>(n) * n,
+                          std::memory_order_relaxed);
+  fill(*matrix);
+  return matrix;
+}
+
+}  // namespace
+
+void GraphOp::SetDefaultBackend(Backend backend) { g_backend = backend; }
+
+GraphOp::Backend GraphOp::DefaultBackend() { return g_backend; }
+
+int64_t GraphOp::DenseCellsAllocated() {
+  return g_dense_cells.load(std::memory_order_relaxed);
+}
+
+void GraphOp::ResetDenseCellsAllocated() {
+  g_dense_cells.store(0, std::memory_order_relaxed);
+}
+
+GraphOp::GraphOp(std::shared_ptr<const sparse::SparseGraph> sparse)
+    : n_(sparse->n()), sparse_(std::move(sparse)) {}
+
+GraphOp::GraphOp(int n, std::shared_ptr<const std::vector<double>> dense)
+    : n_(n), dense_(std::move(dense)) {
   DEEPMAP_CHECK_GE(n, 0);
 }
 
 GraphOp GraphOp::Identity(int n) {
-  GraphOp op(n);
-  for (int i = 0; i < n; ++i) op.matrix_[static_cast<size_t>(i) * n + i] = 1.0;
-  return op;
+  DEEPMAP_CHECK_GE(n, 0);
+  if (g_backend == Backend::kSparse) {
+    return GraphOp(std::make_shared<const sparse::SparseGraph>(
+        sparse::SparseGraph::Identity(n)));
+  }
+  return GraphOp(n, MakeDense(n, [n](std::vector<double>& m) {
+                   for (int i = 0; i < n; ++i) {
+                     m[static_cast<size_t>(i) * n + i] = 1.0;
+                   }
+                 }));
 }
 
 GraphOp GraphOp::GcnNorm(const graph::Graph& g) {
+  if (g_backend == Backend::kSparse) {
+    return GraphOp(std::make_shared<const sparse::SparseGraph>(
+        sparse::SparseGraph::GcnNorm(g)));
+  }
   const int n = g.NumVertices();
-  GraphOp op(n);
-  std::vector<double> inv_sqrt_deg(n);
-  for (int v = 0; v < n; ++v) {
-    inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.Degree(v) + 1));
-  }
-  for (int v = 0; v < n; ++v) {
-    op.matrix_[static_cast<size_t>(v) * n + v] =
-        inv_sqrt_deg[v] * inv_sqrt_deg[v];
-    for (graph::Vertex u : g.Neighbors(v)) {
-      op.matrix_[static_cast<size_t>(v) * n + u] =
-          inv_sqrt_deg[v] * inv_sqrt_deg[u];
-    }
-  }
-  return op;
+  return GraphOp(n, MakeDense(n, [&g, n](std::vector<double>& m) {
+                   std::vector<double> inv_sqrt_deg(n);
+                   for (int v = 0; v < n; ++v) {
+                     inv_sqrt_deg[v] =
+                         1.0 / std::sqrt(static_cast<double>(g.Degree(v) + 1));
+                   }
+                   for (int v = 0; v < n; ++v) {
+                     m[static_cast<size_t>(v) * n + v] =
+                         inv_sqrt_deg[v] * inv_sqrt_deg[v];
+                     for (graph::Vertex u : g.Neighbors(v)) {
+                       m[static_cast<size_t>(v) * n + u] =
+                           inv_sqrt_deg[v] * inv_sqrt_deg[u];
+                     }
+                   }
+                 }));
 }
 
 GraphOp GraphOp::RowNormAdj(const graph::Graph& g) {
-  const int n = g.NumVertices();
-  GraphOp op(n);
-  for (int v = 0; v < n; ++v) {
-    const double inv = 1.0 / static_cast<double>(g.Degree(v) + 1);
-    op.matrix_[static_cast<size_t>(v) * n + v] = inv;
-    for (graph::Vertex u : g.Neighbors(v)) {
-      op.matrix_[static_cast<size_t>(v) * n + u] = inv;
-    }
+  if (g_backend == Backend::kSparse) {
+    return GraphOp(std::make_shared<const sparse::SparseGraph>(
+        sparse::SparseGraph::RowNormAdj(g)));
   }
-  return op;
+  const int n = g.NumVertices();
+  return GraphOp(n, MakeDense(n, [&g, n](std::vector<double>& m) {
+                   for (int v = 0; v < n; ++v) {
+                     const double inv =
+                         1.0 / static_cast<double>(g.Degree(v) + 1);
+                     m[static_cast<size_t>(v) * n + v] = inv;
+                     for (graph::Vertex u : g.Neighbors(v)) {
+                       m[static_cast<size_t>(v) * n + u] = inv;
+                     }
+                   }
+                 }));
 }
 
 GraphOp GraphOp::Transition(const graph::Graph& g) {
-  const int n = g.NumVertices();
-  GraphOp op(n);
-  for (int v = 0; v < n; ++v) {
-    if (g.Degree(v) == 0) continue;
-    const double inv = 1.0 / static_cast<double>(g.Degree(v));
-    for (graph::Vertex u : g.Neighbors(v)) {
-      op.matrix_[static_cast<size_t>(v) * n + u] = inv;
-    }
+  if (g_backend == Backend::kSparse) {
+    return GraphOp(std::make_shared<const sparse::SparseGraph>(
+        sparse::SparseGraph::Transition(g)));
   }
-  return op;
+  const int n = g.NumVertices();
+  return GraphOp(n, MakeDense(n, [&g, n](std::vector<double>& m) {
+                   for (int v = 0; v < n; ++v) {
+                     if (g.Degree(v) == 0) continue;
+                     const double inv = 1.0 / static_cast<double>(g.Degree(v));
+                     for (graph::Vertex u : g.Neighbors(v)) {
+                       m[static_cast<size_t>(v) * n + u] = inv;
+                     }
+                   }
+                 }));
 }
 
 GraphOp GraphOp::SumAdj(const graph::Graph& g, double eps) {
-  const int n = g.NumVertices();
-  GraphOp op(n);
-  for (int v = 0; v < n; ++v) {
-    op.matrix_[static_cast<size_t>(v) * n + v] = 1.0 + eps;
-    for (graph::Vertex u : g.Neighbors(v)) {
-      op.matrix_[static_cast<size_t>(v) * n + u] = 1.0;
-    }
+  if (g_backend == Backend::kSparse) {
+    return GraphOp(std::make_shared<const sparse::SparseGraph>(
+        sparse::SparseGraph::SumAdj(g, eps)));
   }
-  return op;
+  const int n = g.NumVertices();
+  return GraphOp(n, MakeDense(n, [&g, n, eps](std::vector<double>& m) {
+                   for (int v = 0; v < n; ++v) {
+                     m[static_cast<size_t>(v) * n + v] = 1.0 + eps;
+                     for (graph::Vertex u : g.Neighbors(v)) {
+                       m[static_cast<size_t>(v) * n + u] = 1.0;
+                     }
+                   }
+                 }));
+}
+
+int64_t GraphOp::nnz() const {
+  if (sparse_) return sparse_->nnz();
+  return static_cast<int64_t>(n_) * n_;
+}
+
+const sparse::SparseGraph& GraphOp::sparse() const {
+  DEEPMAP_CHECK(sparse_ != nullptr);
+  return *sparse_;
 }
 
 Tensor GraphOp::Apply(const Tensor& x) const {
+  if (sparse_) return sparse_->Apply(x);
   DEEPMAP_CHECK_EQ(x.rank(), 2);
   DEEPMAP_CHECK_EQ(x.dim(0), n_);
+  const std::vector<double>& matrix = *dense_;
   const int c = x.dim(1);
   Tensor out({n_, c});
   for (int i = 0; i < n_; ++i) {
     for (int j = 0; j < n_; ++j) {
-      const double s = matrix_[static_cast<size_t>(i) * n_ + j];
+      const double s = matrix[static_cast<size_t>(i) * n_ + j];
       if (s == 0.0) continue;
       for (int t = 0; t < c; ++t) {
         out.at(i, t) += static_cast<float>(s) * x.at(j, t);
@@ -90,13 +167,15 @@ Tensor GraphOp::Apply(const Tensor& x) const {
 }
 
 Tensor GraphOp::ApplyTranspose(const Tensor& g) const {
+  if (sparse_) return sparse_->ApplyTranspose(g);
   DEEPMAP_CHECK_EQ(g.rank(), 2);
   DEEPMAP_CHECK_EQ(g.dim(0), n_);
+  const std::vector<double>& matrix = *dense_;
   const int c = g.dim(1);
   Tensor out({n_, c});
   for (int i = 0; i < n_; ++i) {
     for (int j = 0; j < n_; ++j) {
-      const double s = matrix_[static_cast<size_t>(i) * n_ + j];
+      const double s = matrix[static_cast<size_t>(i) * n_ + j];
       if (s == 0.0) continue;
       for (int t = 0; t < c; ++t) {
         out.at(j, t) += static_cast<float>(s) * g.at(i, t);
@@ -108,23 +187,43 @@ Tensor GraphOp::ApplyTranspose(const Tensor& g) const {
 
 GraphOp GraphOp::Compose(const GraphOp& other) const {
   DEEPMAP_CHECK_EQ(n_, other.n_);
-  GraphOp out(n_);
-  for (int i = 0; i < n_; ++i) {
-    for (int k = 0; k < n_; ++k) {
-      const double a = matrix_[static_cast<size_t>(i) * n_ + k];
-      if (a == 0.0) continue;
-      for (int j = 0; j < n_; ++j) {
-        out.matrix_[static_cast<size_t>(i) * n_ + j] +=
-            a * other.matrix_[static_cast<size_t>(k) * n_ + j];
-      }
-    }
+  DEEPMAP_CHECK_EQ(is_sparse(), other.is_sparse());
+  if (sparse_) {
+    return GraphOp(std::make_shared<const sparse::SparseGraph>(
+        sparse_->Compose(*other.sparse_)));
   }
-  return out;
+  const std::vector<double>& a_matrix = *dense_;
+  const std::vector<double>& b_matrix = *other.dense_;
+  const int n = n_;
+  return GraphOp(
+      n, MakeDense(n, [&a_matrix, &b_matrix, n](std::vector<double>& m) {
+        for (int i = 0; i < n; ++i) {
+          for (int k = 0; k < n; ++k) {
+            const double a = a_matrix[static_cast<size_t>(i) * n + k];
+            if (a == 0.0) continue;
+            for (int j = 0; j < n; ++j) {
+              m[static_cast<size_t>(i) * n + j] +=
+                  a * b_matrix[static_cast<size_t>(k) * n + j];
+            }
+          }
+        }
+      }));
 }
 
 GraphOp GraphOp::Power(int h) const {
   DEEPMAP_CHECK_GE(h, 0);
-  GraphOp result = Identity(n_);
+  if (sparse_) {
+    return GraphOp(
+        std::make_shared<const sparse::SparseGraph>(sparse_->Power(h)));
+  }
+  // Dense identity built directly (not via Identity()) so a dense operator
+  // keeps composing densely even after the default backend is switched.
+  const int n = n_;
+  GraphOp result(n, MakeDense(n, [n](std::vector<double>& m) {
+                   for (int i = 0; i < n; ++i) {
+                     m[static_cast<size_t>(i) * n + i] = 1.0;
+                   }
+                 }));
   for (int i = 0; i < h; ++i) result = result.Compose(*this);
   return result;
 }
@@ -134,7 +233,8 @@ double GraphOp::entry(int i, int j) const {
   DEEPMAP_CHECK_LT(i, n_);
   DEEPMAP_CHECK_GE(j, 0);
   DEEPMAP_CHECK_LT(j, n_);
-  return matrix_[static_cast<size_t>(i) * n_ + j];
+  if (sparse_) return sparse_->entry(i, j);
+  return (*dense_)[static_cast<size_t>(i) * n_ + j];
 }
 
 }  // namespace deepmap::nn

@@ -1,26 +1,54 @@
 // Linear graph propagation operators used by the GNN baselines.
 //
-// Each operator is a fixed (per-graph) dense n x n matrix S; applying it to
-// vertex features X [n, c] gives S X, and the backward pass applies S^T.
-// Provided constructions:
+// Each operator is a fixed (per-graph) linear map S over the vertex set;
+// applying it to vertex features X [n, c] gives S X, and the backward pass
+// applies S^T. Provided constructions:
 //   - GcnNorm:      D^-1/2 (A + I) D^-1/2            (GCN / GIN-style)
 //   - RowNormAdj:   D_hat^-1 (A + I)                  (DGCNN propagation)
 //   - Transition:   D^-1 A                            (random-walk, DCNN)
 //   - SumAdj:       A + eps-weighted I                (GIN aggregation)
 // plus Power() for the diffusion hops P^h that DCNN stacks.
+//
+// GraphOp is a facade over the sparse substrate (src/sparse/): by default
+// the operator is a CSR sparse::SparseGraph and Apply/ApplyTranspose run
+// the parallel SpMM kernels — O(nnz) memory and flops instead of the dense
+// O(n^2) matrix. The legacy dense row-major matrix survives behind an
+// explicit opt-out (SetDefaultBackend(Backend::kDense)) as the reference
+// implementation for the 0-ULP sparse-vs-dense equivalence suite
+// (tests/sparse_test.cc); both paths produce bit-identical tensors.
 #ifndef DEEPMAP_NN_GRAPH_CONV_H_
 #define DEEPMAP_NN_GRAPH_CONV_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "nn/tensor.h"
+#include "sparse/sparse_graph.h"
 
 namespace deepmap::nn {
 
-/// Dense linear operator over a graph's vertex set.
+/// Linear operator over a graph's vertex set (sparse by default; see file
+/// comment). Cheap to copy — backends are immutable and shared.
 class GraphOp {
  public:
+  enum class Backend {
+    kSparse,  // CSR + SpMM kernels (the default)
+    kDense,   // legacy n x n row-major matrix (testing opt-out)
+  };
+
+  /// Backend used by all subsequently constructed operators. Testing-only
+  /// escape hatch; not thread-safe against concurrent construction.
+  static void SetDefaultBackend(Backend backend);
+  static Backend DefaultBackend();
+
+  /// Dense matrix cells (doubles) allocated by GraphOp constructions since
+  /// the last Reset. Lets tests pin that a code path stays on the sparse
+  /// backend and never materializes an O(n^2) intermediate.
+  static int64_t DenseCellsAllocated();
+  static void ResetDenseCellsAllocated();
+
   /// Identity operator on n vertices.
   static GraphOp Identity(int n);
 
@@ -38,13 +66,24 @@ class GraphOp {
 
   int n() const { return n_; }
 
+  /// Stored nonzeros (n^2 for a dense-backend operator).
+  int64_t nnz() const;
+
+  /// True when this operator is backed by the sparse substrate.
+  bool is_sparse() const { return sparse_ != nullptr; }
+
+  /// The sparse backing; CHECK-fails on a dense-backend operator.
+  const sparse::SparseGraph& sparse() const;
+
   /// S x for x of shape [n, c]; returns [n, c].
   Tensor Apply(const Tensor& x) const;
 
   /// S^T g (the backward map).
   Tensor ApplyTranspose(const Tensor& g) const;
 
-  /// Operator composition: this * other.
+  /// Operator composition: this * other (both operands must share a
+  /// backend). Sparse operators compose via SpGEMM and never materialize a
+  /// dense intermediate.
   GraphOp Compose(const GraphOp& other) const;
 
   /// S^h (h >= 0; h == 0 gives the identity).
@@ -54,10 +93,12 @@ class GraphOp {
   double entry(int i, int j) const;
 
  private:
-  explicit GraphOp(int n);
+  explicit GraphOp(std::shared_ptr<const sparse::SparseGraph> sparse);
+  GraphOp(int n, std::shared_ptr<const std::vector<double>> dense);
 
   int n_ = 0;
-  std::vector<double> matrix_;  // row-major n x n
+  std::shared_ptr<const sparse::SparseGraph> sparse_;
+  std::shared_ptr<const std::vector<double>> dense_;  // row-major n x n
 };
 
 }  // namespace deepmap::nn

@@ -1,0 +1,177 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+// NOTE: like nn/graph_conv.cc (the dense reference), this translation unit
+// is compiled with -ffp-contract=off so the double multiply-add chains in
+// Multiply round exactly like the dense Compose loop.
+
+namespace deepmap::sparse {
+
+SparseMatrix SparseMatrix::Identity(int n) {
+  DEEPMAP_CHECK_GE(n, 0);
+  SparseMatrix m;
+  m.rows_ = n;
+  m.cols_ = n;
+  m.row_ptr_.resize(static_cast<size_t>(n) + 1);
+  m.col_.resize(n);
+  m.val_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    m.row_ptr_[i] = i;
+    m.col_[i] = i;
+    m.val_[i] = 1.0;
+  }
+  m.row_ptr_[n] = n;
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromTriplets(int rows, int cols,
+                                        std::vector<Triplet> triplets) {
+  DEEPMAP_CHECK_GE(rows, 0);
+  DEEPMAP_CHECK_GE(cols, 0);
+  for (const Triplet& t : triplets) {
+    DEEPMAP_CHECK_GE(t.row, 0);
+    DEEPMAP_CHECK_LT(t.row, rows);
+    DEEPMAP_CHECK_GE(t.col, 0);
+    DEEPMAP_CHECK_LT(t.col, cols);
+  }
+  std::stable_sort(triplets.begin(), triplets.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_.reserve(triplets.size());
+  m.val_.reserve(triplets.size());
+  size_t i = 0;
+  while (i < triplets.size()) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      m.col_.push_back(triplets[i].col);
+      m.val_.push_back(sum);
+      ++m.row_ptr_[static_cast<size_t>(triplets[i].row) + 1];
+    }
+    i = j;
+  }
+  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  m.col_.shrink_to_fit();
+  m.val_.shrink_to_fit();
+  return m;
+}
+
+double SparseMatrix::At(int i, int j) const {
+  DEEPMAP_CHECK_GE(i, 0);
+  DEEPMAP_CHECK_LT(i, rows_);
+  DEEPMAP_CHECK_GE(j, 0);
+  DEEPMAP_CHECK_LT(j, cols_);
+  const int32_t* begin = col_.data() + row_ptr_[i];
+  const int32_t* end = col_.data() + row_ptr_[i + 1];
+  const int32_t* it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return val_[static_cast<size_t>(it - col_.data())];
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+  t.col_.resize(col_.size());
+  t.val_.resize(val_.size());
+  for (int32_t c : col_) ++t.row_ptr_[static_cast<size_t>(c) + 1];
+  for (int c = 0; c < cols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+  // Row-major scan fills each transposed row in ascending original-row
+  // order, so the result's columns come out sorted without a second pass.
+  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const int64_t dst = cursor[col_[k]]++;
+      t.col_[dst] = r;
+      t.val_[dst] = val_[k];
+    }
+  }
+  return t;
+}
+
+SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other) const {
+  DEEPMAP_CHECK_EQ(cols_, other.rows_);
+  SparseMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = other.cols_;
+  out.row_ptr_.assign(static_cast<size_t>(rows_) + 1, 0);
+  // Row-at-a-time SpGEMM with a dense accumulator row + occupancy marks,
+  // both reused across rows (O(other.cols()) scratch total).
+  std::vector<double> acc(other.cols_, 0.0);
+  std::vector<char> seen(other.cols_, 0);
+  std::vector<int32_t> touched;
+  for (int i = 0; i < rows_; ++i) {
+    touched.clear();
+    // Ascending k (this row's columns are sorted), so every acc[j] is the
+    // same double-add chain the dense i-k-j Compose loop produces.
+    for (int64_t ka = row_ptr_[i]; ka < row_ptr_[i + 1]; ++ka) {
+      const int32_t k = col_[ka];
+      const double a = val_[ka];
+      for (int64_t kb = other.row_ptr_[k]; kb < other.row_ptr_[k + 1]; ++kb) {
+        const int32_t j = other.col_[kb];
+        if (!seen[j]) {
+          seen[j] = 1;
+          touched.push_back(j);
+        }
+        acc[j] += a * other.val_[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int32_t j : touched) {
+      if (acc[j] != 0.0) {  // exact cancellations are dropped, like dense
+        out.col_.push_back(j);
+        out.val_.push_back(acc[j]);
+        ++out.row_ptr_[static_cast<size_t>(i) + 1];
+      }
+      acc[j] = 0.0;
+      seen[j] = 0;
+    }
+  }
+  for (int r = 0; r < rows_; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  out.col_.shrink_to_fit();
+  out.val_.shrink_to_fit();
+  return out;
+}
+
+size_t SparseMatrix::MemoryBytes() const {
+  return row_ptr_.capacity() * sizeof(int64_t) +
+         col_.capacity() * sizeof(int32_t) + val_.capacity() * sizeof(double);
+}
+
+void SparseMatrix::CheckInvariants() const {
+  DEEPMAP_CHECK_EQ(row_ptr_.size(), static_cast<size_t>(rows_) + 1);
+  DEEPMAP_CHECK_EQ(row_ptr_.front(), 0);
+  DEEPMAP_CHECK_EQ(row_ptr_.back(), nnz());
+  DEEPMAP_CHECK_EQ(col_.size(), val_.size());
+  for (int r = 0; r < rows_; ++r) {
+    DEEPMAP_CHECK_LE(row_ptr_[r], row_ptr_[r + 1]);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      DEEPMAP_CHECK_GE(col_[k], 0);
+      DEEPMAP_CHECK_LT(col_[k], cols_);
+      if (k > row_ptr_[r]) DEEPMAP_CHECK_LT(col_[k - 1], col_[k]);
+      DEEPMAP_CHECK(val_[k] != 0.0);
+    }
+  }
+}
+
+bool operator==(const SparseMatrix& a, const SparseMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.row_ptr() == b.row_ptr() && a.col() == b.col() &&
+         a.val() == b.val();
+}
+
+}  // namespace deepmap::sparse

@@ -1,0 +1,88 @@
+// Immutable CSR sparse matrix — the storage format of the sparse graph
+// substrate (docs/sparse.md).
+//
+// Invariants (checked by CheckInvariants, fuzzed in tests/graph_fuzz_test.cc):
+//   - row_ptr has rows()+1 entries, row_ptr[0] == 0, monotonically
+//     non-decreasing, row_ptr[rows()] == nnz().
+//   - Column indices within each row are strictly increasing (sorted, unique)
+//     and in [0, cols()).
+//   - No explicit zeros: a stored value is never 0.0. This mirrors the dense
+//     GraphOp's `s == 0.0` skip, so iterating a CSR row touches exactly the
+//     elements the dense loop would, in the same ascending-column order —
+//     the root of the substrate's 0-ULP equivalence contract.
+//
+// Values are double: the dense operator stored doubles and cast to float at
+// the multiply (`static_cast<float>(s) * x`), and the sparse kernels must
+// reproduce that rounding exactly.
+#ifndef DEEPMAP_SPARSE_CSR_H_
+#define DEEPMAP_SPARSE_CSR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepmap::sparse {
+
+/// One explicit entry for the triplet builder.
+struct Triplet {
+  int32_t row = 0;
+  int32_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable compressed-sparse-row matrix of doubles.
+class SparseMatrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  SparseMatrix() = default;
+
+  /// n x n identity.
+  static SparseMatrix Identity(int n);
+
+  /// Builds from (row, col, value) triplets in any order. Duplicate (row,
+  /// col) pairs are summed (in the order given); entries whose final value
+  /// is exactly 0.0 are dropped.
+  static SparseMatrix FromTriplets(int rows, int cols,
+                                   std::vector<Triplet> triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_.size()); }
+
+  /// CSR arrays. row_ptr()[i] .. row_ptr()[i+1] index the entries of row i.
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col() const { return col_; }
+  const std::vector<double>& val() const { return val_; }
+
+  /// Entry (i, j); 0.0 when not stored. O(log row-degree).
+  double At(int i, int j) const;
+
+  /// Transpose (counting sort over columns; result keeps all invariants).
+  SparseMatrix Transpose() const;
+
+  /// Sparse-sparse product this * other. For every output element the
+  /// k-reduction accumulates in ascending k order — the same double-add
+  /// chain as the dense GraphOp::Compose loop, so results are bit-identical
+  /// to dense composition. O(rows + flops) time, O(other.cols()) scratch.
+  SparseMatrix Multiply(const SparseMatrix& other) const;
+
+  /// Heap bytes held by the three CSR arrays (capacity is trimmed).
+  size_t MemoryBytes() const;
+
+  /// CHECK-fails unless all structural invariants hold (see file comment).
+  void CheckInvariants() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int64_t> row_ptr_{0};
+  std::vector<int32_t> col_;
+  std::vector<double> val_;
+};
+
+/// Exact structural + value equality.
+bool operator==(const SparseMatrix& a, const SparseMatrix& b);
+
+}  // namespace deepmap::sparse
+
+#endif  // DEEPMAP_SPARSE_CSR_H_

@@ -1,0 +1,213 @@
+#include "sparse/spmm.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+// NOTE: compiled with -ffp-contract=off (see src/CMakeLists.txt), like
+// nn/gemm.cc: every multiply and add rounds individually so the blocked /
+// parallel kernel reproduces the dense reference loop bit-for-bit.
+
+namespace deepmap::sparse {
+namespace {
+
+SpmmTuning g_tuning;
+
+// Cached instrument handles — SpMM runs per layer per sample, so the
+// per-call cost must stay at a few relaxed fetch_adds (same budget as the
+// GEMM counters; the serve hot path never reaches these kernels).
+obs::Counter& SpmmCallsTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_sparse_spmm_calls_total",
+      "sparse matrix-times-dense-features kernel invocations");
+  return counter;
+}
+
+obs::Counter& SpmmMacsTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_sparse_spmm_macs_total",
+      "multiply-accumulate operations (nnz * feature columns) issued to the "
+      "sparse kernels");
+  return counter;
+}
+
+obs::Histogram& SpmmSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "deepmap_sparse_spmm_seconds", {},
+          "wall time of one sparse propagation kernel call");
+  return histogram;
+}
+
+obs::Counter& SddmmCallsTotal() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "deepmap_sparse_sddmm_calls_total",
+      "sampled dense-dense matrix product (attention-score) invocations");
+  return counter;
+}
+
+class ScopedKernelStats {
+ public:
+  ScopedKernelStats(obs::Counter& calls, int64_t macs) {
+    calls.Increment();
+    SpmmMacsTotal().Increment(macs);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedKernelStats() {
+    SpmmSeconds().Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// One row panel over one feature block: the out panel stays cache-resident
+// while rows of x are gathered. Per output element the k-chain is complete
+// (ascending storage order) — blocking never splits a reduction.
+inline void SpmmPanel(const SparseMatrix& s, const float* x, int ldx,
+                      float* out, int ldo, int row_begin, int row_end, int t0,
+                      int t1) {
+  const int64_t* row_ptr = s.row_ptr().data();
+  const int32_t* col = s.col().data();
+  const double* val = s.val().data();
+  for (int i = row_begin; i < row_end; ++i) {
+    float* out_row = out + static_cast<size_t>(i) * ldo;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float sv = static_cast<float>(val[k]);
+      const float* x_row = x + static_cast<size_t>(col[k]) * ldx;
+      for (int t = t0; t < t1; ++t) out_row[t] += sv * x_row[t];
+    }
+  }
+}
+
+}  // namespace
+
+void SetSpmmTuning(const SpmmTuning& tuning) {
+  g_tuning.row_block = std::max(1, tuning.row_block);
+  g_tuning.col_block = std::max(1, tuning.col_block);
+  g_tuning.parallel_min_work = std::max(1LL, tuning.parallel_min_work);
+}
+
+SpmmTuning GetSpmmTuning() { return g_tuning; }
+
+void SpmmAccumulate(const SparseMatrix& s, const float* x, int ldx, int c,
+                    float* out, int ldo) {
+  DEEPMAP_CHECK_GE(c, 0);
+  const SpmmTuning tuning = g_tuning;
+  ScopedKernelStats stats(SpmmCallsTotal(), s.nnz() * c);
+  const int rows = s.rows();
+  const size_t num_panels =
+      (static_cast<size_t>(rows) + tuning.row_block - 1) / tuning.row_block;
+  auto run_panel = [&](size_t panel) {
+    const int row_begin = static_cast<int>(panel) * tuning.row_block;
+    const int row_end = std::min(rows, row_begin + tuning.row_block);
+    for (int t0 = 0; t0 < c; t0 += tuning.col_block) {
+      const int t1 = std::min(c, t0 + tuning.col_block);
+      SpmmPanel(s, x, ldx, out, ldo, row_begin, row_end, t0, t1);
+    }
+  };
+  const long long work = static_cast<long long>(s.nnz()) * std::max(c, 1);
+  if (work >= tuning.parallel_min_work && num_panels > 1) {
+    ParallelFor(num_panels, run_panel);
+  } else {
+    for (size_t p = 0; p < num_panels; ++p) run_panel(p);
+  }
+}
+
+nn::Tensor Spmm(const SparseMatrix& s, const nn::Tensor& x) {
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(0), s.cols());
+  const int c = x.dim(1);
+  nn::Tensor out({s.rows(), c});
+  SpmmAccumulate(s, x.data(), c, c, out.data(), c);
+  return out;
+}
+
+size_t Pattern::MemoryBytes() const {
+  return row_ptr.capacity() * sizeof(int64_t) +
+         col.capacity() * sizeof(int32_t);
+}
+
+Pattern Pattern::SelfFirstNeighborhood(const graph::Graph& g) {
+  const int n = g.NumVertices();
+  Pattern p;
+  p.rows = n;
+  p.cols = n;
+  p.row_ptr.resize(static_cast<size_t>(n) + 1);
+  p.col.reserve(static_cast<size_t>(n) + 2 * static_cast<size_t>(g.NumEdges()));
+  p.row_ptr[0] = 0;
+  for (int v = 0; v < n; ++v) {
+    p.col.push_back(v);  // self slot first; attention indexes rely on it
+    for (graph::Vertex u : g.Neighbors(v)) p.col.push_back(u);
+    p.row_ptr[v + 1] = static_cast<int64_t>(p.col.size());
+  }
+  return p;
+}
+
+void SpmmEdgeValues(const Pattern& p, const float* edge_val,
+                    const nn::Tensor& x, nn::Tensor* out) {
+  DEEPMAP_CHECK_EQ(x.rank(), 2);
+  DEEPMAP_CHECK_EQ(x.dim(0), p.cols);
+  DEEPMAP_CHECK_EQ(out->dim(0), p.rows);
+  const int c = x.dim(1);
+  DEEPMAP_CHECK_EQ(out->dim(1), c);
+  ScopedKernelStats stats(SpmmCallsTotal(), p.nnz() * c);
+  for (int i = 0; i < p.rows; ++i) {
+    float* out_row = out->data() + static_cast<size_t>(i) * c;
+    for (int64_t k = p.row_ptr[i]; k < p.row_ptr[i + 1]; ++k) {
+      const float w = edge_val[k];
+      const float* x_row = x.data() + static_cast<size_t>(p.col[k]) * c;
+      for (int t = 0; t < c; ++t) out_row[t] += w * x_row[t];
+    }
+  }
+}
+
+void SpmmEdgeValuesTranspose(const Pattern& p, const float* edge_val,
+                             const nn::Tensor& g, nn::Tensor* out) {
+  DEEPMAP_CHECK_EQ(g.rank(), 2);
+  DEEPMAP_CHECK_EQ(g.dim(0), p.rows);
+  DEEPMAP_CHECK_EQ(out->dim(0), p.cols);
+  const int c = g.dim(1);
+  DEEPMAP_CHECK_EQ(out->dim(1), c);
+  ScopedKernelStats stats(SpmmCallsTotal(), p.nnz() * c);
+  for (int i = 0; i < p.rows; ++i) {
+    const float* g_row = g.data() + static_cast<size_t>(i) * c;
+    for (int64_t k = p.row_ptr[i]; k < p.row_ptr[i + 1]; ++k) {
+      const float w = edge_val[k];
+      float* out_row = out->data() + static_cast<size_t>(p.col[k]) * c;
+      for (int t = 0; t < c; ++t) out_row[t] += w * g_row[t];
+    }
+  }
+}
+
+std::vector<double> Sddmm(const Pattern& p, const nn::Tensor& a,
+                          const nn::Tensor& b) {
+  DEEPMAP_CHECK_EQ(a.rank(), 2);
+  DEEPMAP_CHECK_EQ(b.rank(), 2);
+  DEEPMAP_CHECK_EQ(a.dim(0), p.rows);
+  DEEPMAP_CHECK_EQ(b.dim(0), p.cols);
+  const int c = a.dim(1);
+  DEEPMAP_CHECK_EQ(b.dim(1), c);
+  SddmmCallsTotal().Increment();
+  SpmmMacsTotal().Increment(p.nnz() * c);
+  std::vector<double> out(static_cast<size_t>(p.nnz()), 0.0);
+  for (int i = 0; i < p.rows; ++i) {
+    const float* a_row = a.data() + static_cast<size_t>(i) * c;
+    for (int64_t k = p.row_ptr[i]; k < p.row_ptr[i + 1]; ++k) {
+      const float* b_row = b.data() + static_cast<size_t>(p.col[k]) * c;
+      double dot = 0.0;
+      for (int t = 0; t < c; ++t) {
+        dot += static_cast<double>(a_row[t]) * b_row[t];
+      }
+      out[k] = dot;
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmap::sparse

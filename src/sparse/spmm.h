@@ -1,0 +1,88 @@
+// Sparse kernel family for GNN propagation: SpMM (S·X), edge-weighted SpMM
+// and its transpose (GAT aggregation fwd/bwd), and SDDMM (the GAT
+// attention-score pattern). Follows the nn/gemm.* discipline: a runtime
+// tuning struct, ParallelFor over row panels, and a determinism contract.
+//
+// Determinism contract: for every output element out[i][t] the reduction
+// over row i's nonzeros is a single float accumulator chain in storage
+// order (ascending column index for a SparseMatrix), regardless of the
+// feature-column blocking or the thread count. Threads own disjoint row
+// panels, so results are bit-identical to the reference dense loop —
+// including NaN/Inf propagation — on all inputs. See docs/sparse.md.
+#ifndef DEEPMAP_SPARSE_SPMM_H_
+#define DEEPMAP_SPARSE_SPMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/tensor.h"
+#include "sparse/csr.h"
+
+namespace deepmap::sparse {
+
+/// Runtime-tunable SpMM parameters. Rows are split into panels of
+/// `row_block` rows (the parallel grain); features are processed in blocks
+/// of `col_block` columns so the output panel stays register/L1-resident
+/// while X rows are gathered. Neither affects results (see contract above).
+struct SpmmTuning {
+  int row_block = 256;   // rows per panel; also the ParallelFor grain
+  int col_block = 64;    // feature columns per block
+  /// nnz * feature-columns at or above which row panels are spread over
+  /// ParallelFor; below it the kernel runs inline on the calling thread.
+  long long parallel_min_work = 1LL << 16;
+};
+
+/// Replaces the process-wide tuning (tests/benches only; not thread-safe
+/// against concurrent kernel calls). Values are clamped to be >= 1.
+void SetSpmmTuning(const SpmmTuning& tuning);
+SpmmTuning GetSpmmTuning();
+
+/// out += S * x, where x is [S.cols(), c] and out is [S.rows(), c], both
+/// row-major with leading dimensions ldx/ldo. Each stored s multiplies as
+/// static_cast<float>(s) — the dense GraphOp's exact rounding.
+void SpmmAccumulate(const SparseMatrix& s, const float* x, int ldx, int c,
+                    float* out, int ldo);
+
+/// S * x as a fresh zero-initialized [S.rows(), c] tensor.
+nn::Tensor Spmm(const SparseMatrix& s, const nn::Tensor& x);
+
+/// Sparsity pattern without values, rows in caller-defined (not necessarily
+/// sorted) column order. Used where the per-edge ordering is semantic: GAT
+/// neighborhoods are "self first, then sorted neighbors", and the softmax /
+/// aggregation reductions follow that slot order bit-for-bit.
+struct Pattern {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int64_t> row_ptr{0};
+  std::vector<int32_t> col;
+
+  int64_t nnz() const { return static_cast<int64_t>(col.size()); }
+  size_t MemoryBytes() const;
+
+  /// Pattern of the GAT neighborhood: row v lists v itself first, then
+  /// N(v) in sorted order — one slot per attention logit.
+  static Pattern SelfFirstNeighborhood(const graph::Graph& g);
+};
+
+/// out[i] += sum_slot edge_val[slot] * x[col[slot]] over row i's slots in
+/// storage order; edge_val is indexed by slot (pattern nnz). The GAT
+/// forward aggregation h_v = sum_u alpha_vu z_u.
+void SpmmEdgeValues(const Pattern& p, const float* edge_val,
+                    const nn::Tensor& x, nn::Tensor* out);
+
+/// Transpose scatter: out[col[slot]] += edge_val[slot] * g[i] for every
+/// slot of every row i, rows in ascending order. The GAT backward direct
+/// path grad_z_u += alpha_vu * grad_h_v. Serial (scatter rows collide).
+void SpmmEdgeValuesTranspose(const Pattern& p, const float* edge_val,
+                             const nn::Tensor& g, nn::Tensor* out);
+
+/// SDDMM: for every stored slot (i, j) returns dot(a[i], b[j]) accumulated
+/// in double over ascending feature index. The GAT attention-score pattern
+/// dL/dalpha_vu = grad_h_v . z_u.
+std::vector<double> Sddmm(const Pattern& p, const nn::Tensor& a,
+                          const nn::Tensor& b);
+
+}  // namespace deepmap::sparse
+
+#endif  // DEEPMAP_SPARSE_SPMM_H_

@@ -2,6 +2,10 @@
 // replayed against a naive adjacency-matrix model; every observable must
 // agree at every step. Catches bookkeeping bugs (sorted-insert, edge
 // counting, label handling) that example-based tests can miss.
+// The same fuzzed graphs also drive the CSR structural invariants of the
+// sparse substrate (src/sparse/): sorted/unique column indices, row-pointer
+// monotonicity, transpose involution, and nnz/degree-sum accounting across
+// all four graph-operator constructions.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -9,6 +13,7 @@
 #include "common/rng.h"
 #include "graph/algorithms.h"
 #include "graph/graph.h"
+#include "sparse/sparse_graph.h"
 
 namespace deepmap::graph {
 namespace {
@@ -127,6 +132,52 @@ TEST_P(GraphFuzzTest, AgreesWithReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzzTest, ::testing::Range(100, 112));
+
+// CSR invariants of every sparse graph-operator construction over the same
+// fuzzed graphs. CheckInvariants CHECK-fails (aborts) on violation, so a
+// passing run certifies sorted/unique columns, row_ptr monotonicity, index
+// bounds, and the no-explicit-zeros rule.
+class SparseFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseFuzzTest, CsrInvariantsHoldForAllConstructions) {
+  Rng rng(GetParam());
+  Graph graph;
+  // Random graph with isolated vertices and duplicate-edge attempts.
+  const int n = 1 + static_cast<int>(rng.Index(40));
+  for (int v = 0; v < n; ++v) graph.AddVertex(0);
+  const int attempts = static_cast<int>(rng.Index(4 * n + 1));
+  for (int e = 0; e < attempts; ++e) {
+    graph.AddEdge(static_cast<int>(rng.Index(n)),
+                  static_cast<int>(rng.Index(n)));
+  }
+  const int64_t edges = graph.NumEdges();
+
+  const sparse::SparseGraph gcn = sparse::SparseGraph::GcnNorm(graph);
+  const sparse::SparseGraph row = sparse::SparseGraph::RowNormAdj(graph);
+  const sparse::SparseGraph tran = sparse::SparseGraph::Transition(graph);
+  const sparse::SparseGraph sum = sparse::SparseGraph::SumAdj(graph);
+  for (const sparse::SparseGraph* sg : {&gcn, &row, &tran, &sum}) {
+    sg->matrix().CheckInvariants();
+    sg->transpose().CheckInvariants();
+    // Transpose involution: (S^T)^T == S exactly.
+    EXPECT_TRUE(sg->transpose().Transpose() == sg->matrix());
+    EXPECT_TRUE(sg->matrix().Transpose() == sg->transpose());
+  }
+  // nnz accounting. GcnNorm/SumAdj store A (+ I): one entry per directed
+  // edge plus the diagonal; Transition stores a row per non-isolated vertex
+  // with one entry per directed edge — so its nnz doubles the degree sum,
+  // i.e. equals 2 * |E|.
+  EXPECT_EQ(gcn.matrix().nnz(), n + 2 * edges);
+  EXPECT_EQ(sum.matrix().nnz(), n + 2 * edges);
+  EXPECT_EQ(tran.matrix().nnz(), 2 * edges);
+  // RowNormAdj drops entries only via isolated vertices; every stored row
+  // has deg(v) entries plus the diagonal.
+  int64_t expected_rownorm = 0;
+  for (int v = 0; v < n; ++v) expected_rownorm += 1 + graph.Degree(v);
+  EXPECT_EQ(row.matrix().nnz(), expected_rownorm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseFuzzTest, ::testing::Range(200, 216));
 
 }  // namespace
 }  // namespace deepmap::graph

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/algorithms.h"
 
 namespace deepmap::datasets {
@@ -112,6 +114,48 @@ TEST(RandomTreeTest, IsTree) {
   EXPECT_TRUE(graph::IsForest(t));
   EXPECT_EQ(graph::NumConnectedComponents(t), 1);
   for (int v = 0; v < 25; ++v) EXPECT_LT(t.GetLabel(v), 4);
+}
+
+TEST(RMatTest, ReachesEdgeTargetOnSparseGraphs) {
+  Rng rng(15);
+  graph::Graph g = RMat(1024, 8, rng);
+  EXPECT_EQ(g.NumVertices(), 1024);
+  // Sparse regime: few placements collide, so the realized count lands
+  // close to the n * edges_per_vertex target.
+  EXPECT_GE(g.NumEdges(), 1024 * 8 * 0.9);
+  EXPECT_LE(g.NumEdges(), 1024 * 8);
+}
+
+TEST(RMatTest, DeterministicForFixedSeed) {
+  Rng rng_a(16), rng_b(16);
+  graph::Graph a = RMat(500, 4, rng_a);
+  graph::Graph b = RMat(500, 4, rng_b);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (int v = 0; v < a.NumVertices(); ++v) {
+    EXPECT_EQ(a.Neighbors(v), b.Neighbors(v));
+  }
+}
+
+TEST(RMatTest, HeavyTailedDegrees) {
+  Rng rng(17);
+  graph::Graph g = RMat(2048, 8, rng);
+  auto degrees = graph::DegreeSequence(g);
+  // The skewed quadrant probabilities concentrate edges on low-id vertices:
+  // the max degree should dwarf the median, like BarabasiAlbert's hubs.
+  EXPECT_GT(degrees.front(), 5 * std::max<int>(1, degrees[degrees.size() / 2]));
+}
+
+TEST(RMatTest, NonPowerOfTwoVertexCount) {
+  Rng rng(18);
+  graph::Graph g = RMat(300, 3, rng);
+  EXPECT_EQ(g.NumVertices(), 300);
+  EXPECT_GT(g.NumEdges(), 0);
+  for (const auto& [u, v] : g.EdgeList()) {
+    EXPECT_LT(u, 300);
+    EXPECT_LT(v, 300);
+    EXPECT_NE(u, v);
+  }
 }
 
 TEST(MakeConnectedTest, ConnectsComponents) {
