@@ -2,6 +2,7 @@
 //
 //   $ ./build/bench/serve_throughput [--requests=N] [--epochs=N] [--full]
 //   $ ./build/bench/serve_throughput --chaos [--out=BENCH_serve_chaos.json]
+//   $ ./build/bench/serve_throughput --cluster [--out=BENCH_serve_cluster.json]
 //
 // Default mode trains a small DEEPMAP-WL model, then serves the same request
 // stream
@@ -20,6 +21,13 @@
 // latency percentiles per fault rate and writing BENCH_serve_chaos.json.
 // The headline: every submitted request resolves, throughput degrades
 // smoothly, and no outcome goes unaccounted.
+//
+// --cluster replays the overload burst that saturates one engine (256
+// requests into a 64-slot queue with admission armed) through ServeClusters
+// of 1, 2, and 4 replicas, reporting offered vs sustained QPS and the shed
+// rate per configuration and writing BENCH_serve_cluster.json. Gates: the
+// 4-replica cluster absorbs the burst (shed rate < 2%, p99 inside the 5 s
+// deadline) and its predictions are byte-identical to the single engine's.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +44,7 @@
 #include "core/deepmap.h"
 #include "datasets/registry.h"
 #include "nn/model.h"
+#include "serve/cluster.h"
 #include "serve/engine.h"
 
 using namespace deepmap;
@@ -44,10 +53,13 @@ namespace {
 
 struct BenchArgs {
   int requests = 512;
+  bool requests_set = false;
   int epochs = 3;
   std::string dataset = "PTC_MM";
   bool chaos = false;
-  std::string out = "BENCH_serve_chaos.json";
+  bool cluster = false;
+  std::string out;
+  bool out_set = false;
 };
 
 BenchArgs ParseArgs(int argc, char** argv) {
@@ -60,10 +72,14 @@ BenchArgs ParseArgs(int argc, char** argv) {
       full = true;
     } else if (arg == "--chaos") {
       args.chaos = true;
+    } else if (arg == "--cluster") {
+      args.cluster = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       args.out = arg.substr(6);
+      args.out_set = true;
     } else if (arg.rfind("--requests=", 0) == 0) {
       args.requests = std::atoi(arg.c_str() + 11);
+      args.requests_set = true;
     } else if (arg.rfind("--epochs=", 0) == 0) {
       args.epochs = std::atoi(arg.c_str() + 9);
     } else if (arg.rfind("--dataset=", 0) == 0) {
@@ -76,6 +92,14 @@ BenchArgs ParseArgs(int argc, char** argv) {
   if (full) {
     args.requests = 10000;
     args.epochs = 10;
+    args.requests_set = true;
+  }
+  // The cluster acceptance scenario is pinned at a 256-request burst (the
+  // load where the overloaded single engine sheds most of the stream).
+  if (args.cluster && !args.requests_set) args.requests = 256;
+  if (!args.out_set) {
+    args.out = args.cluster ? "BENCH_serve_cluster.json"
+                            : "BENCH_serve_chaos.json";
   }
   return args;
 }
@@ -153,10 +177,21 @@ struct ChaosRun {
   int64_t error = 0;
   int64_t faults_fired = 0;
   double graphs_per_sec = 0.0;
+  /// Rate the producer pushed requests at (submissions / submit-loop time)
+  /// vs the rate the engine actually resolved them end to end.
+  double offered_qps = 0.0;
+  double sustained_qps = 0.0;
+  /// Fraction of submissions dropped at admission (shed + rejected).
+  double shed_rate = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
 };
+
+/// Deterministic seeds for the chaos/cluster sweeps: the fault-injection RNG
+/// stream and the admission controller's shed-decision stream.
+constexpr uint64_t kFaultSeed = 0xc4a05;
+constexpr uint64_t kAdmissionSeed = 0x5eed;
 
 ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
                   const std::vector<const graph::Graph*>& requests,
@@ -165,7 +200,7 @@ ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
   registry.DisableAll();
   if (fault_probability > 0.0) {
     registry.Enable("serve.preprocess",
-                    FailPointSpec::Probability(fault_probability, 0xc4a05));
+                    FailPointSpec::Probability(fault_probability, kFaultSeed));
   }
 
   // Overload-shaped configuration: a queue much smaller than the request
@@ -176,6 +211,7 @@ ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
   options.batcher.queue_capacity = 64;
   options.cache_capacity = 0;  // every request exercises the faulty stage
   options.admission.queue_shed_watermark = 0.75;
+  options.admission.seed = kAdmissionSeed;
   options.enable_degraded = true;
   serve::InferenceEngine engine(servable, options);
 
@@ -188,6 +224,7 @@ ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
     futures.push_back(engine.Submit(
         *g, serve::RequestOptions::WithDeadline(std::chrono::seconds(5))));
   }
+  const double submit_elapsed = timer.ElapsedSeconds();
   int64_t resolved = 0;
   for (auto& f : futures) {
     (void)f.get();  // every future must resolve — ok or typed error
@@ -212,6 +249,13 @@ ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
   run.error = m.outcome_count(serve::ServeOutcome::kError);
   run.faults_fired = faults_fired;
   run.graphs_per_sec = static_cast<double>(resolved) / elapsed;
+  run.offered_qps = static_cast<double>(run.submitted) / submit_elapsed;
+  // Sustained = requests actually answered with a usable prediction.
+  run.sustained_qps = static_cast<double>(run.ok + run.degraded) / elapsed;
+  run.shed_rate = run.submitted > 0
+                      ? static_cast<double>(run.shed + run.rejected) /
+                            static_cast<double>(run.submitted)
+                      : 0.0;
   serve::LatencySummary latency = m.Latency("total");
   run.p50_us = latency.p50;
   run.p95_us = latency.p95;
@@ -256,6 +300,8 @@ int RunChaosBench(const BenchArgs& args,
   out << "{\n  \"bench\": \"serve_chaos\",\n";
   out << "  \"dataset\": \"" << args.dataset << "\",\n";
   out << "  \"requests_per_run\": " << requests.size() << ",\n";
+  out << "  \"fault_seed\": " << kFaultSeed << ",\n";
+  out << "  \"admission_seed\": " << kAdmissionSeed << ",\n";
   out << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const ChaosRun& r = runs[i];
@@ -266,9 +312,244 @@ int RunChaosBench(const BenchArgs& args,
         << ", \"rejected\": " << r.rejected << ", \"error\": " << r.error
         << ", \"faults_fired\": " << r.faults_fired
         << ", \"graphs_per_sec\": " << Fmt(r.graphs_per_sec, "%.1f")
+        << ", \"offered_qps\": " << Fmt(r.offered_qps, "%.1f")
+        << ", \"sustained_qps\": " << Fmt(r.sustained_qps, "%.1f")
+        << ", \"shed_rate\": " << Fmt(r.shed_rate, "%.4f")
         << ", \"p50_us\": " << Fmt(r.p50_us, "%.1f")
         << ", \"p95_us\": " << Fmt(r.p95_us, "%.1f")
         << ", \"p99_us\": " << Fmt(r.p99_us, "%.1f") << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster mode: the 256-request overload burst that saturates one engine,
+// replayed through ServeClusters of 1, 2, and 4 replicas.
+
+struct ClusterRun {
+  std::string label;
+  int replicas = 0;  // 0 = single InferenceEngine baseline
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t shed = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t rejected = 0;
+  int64_t error = 0;
+  double offered_qps = 0.0;
+  double sustained_qps = 0.0;
+  double shed_rate = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  int64_t steals = 0;
+  int64_t continuous_admits = 0;
+};
+
+void FinishClusterRun(ClusterRun* run, const serve::ServeMetrics& m,
+                      double submit_elapsed, double elapsed) {
+  run->ok = m.outcome_count(serve::ServeOutcome::kOk);
+  run->degraded = m.outcome_count(serve::ServeOutcome::kDegraded);
+  run->shed = m.outcome_count(serve::ServeOutcome::kShed);
+  run->deadline_exceeded =
+      m.outcome_count(serve::ServeOutcome::kDeadlineExceeded);
+  run->rejected = m.outcome_count(serve::ServeOutcome::kRejected);
+  run->error = m.outcome_count(serve::ServeOutcome::kError);
+  run->offered_qps = static_cast<double>(run->submitted) / submit_elapsed;
+  run->sustained_qps =
+      static_cast<double>(run->ok + run->degraded) / elapsed;
+  run->shed_rate = run->submitted > 0
+                       ? static_cast<double>(run->shed + run->rejected) /
+                             static_cast<double>(run->submitted)
+                       : 0.0;
+  serve::LatencySummary latency = m.Latency("total");
+  run->p50_us = latency.p50;
+  run->p95_us = latency.p95;
+  run->p99_us = latency.p99;
+  if (m.total_outcomes() != run->submitted) {
+    std::fprintf(stderr,
+                 "outcome accounting violated in %s: %lld outcomes for %lld "
+                 "submissions\n",
+                 run->label.c_str(),
+                 static_cast<long long>(m.total_outcomes()),
+                 static_cast<long long>(run->submitted));
+    std::exit(1);
+  }
+}
+
+/// The overloaded single-engine baseline: same configuration as the chaos
+/// sweep at fault probability 0 (queue 64, admission armed, 5 s deadlines).
+ClusterRun RunOverloadedEngine(
+    const std::shared_ptr<serve::ServableModel>& servable,
+    const std::vector<const graph::Graph*>& requests) {
+  serve::InferenceEngine::Options options;
+  options.batcher.max_batch = 16;
+  options.batcher.max_wait_us = 500;
+  options.batcher.queue_capacity = 64;
+  options.cache_capacity = 0;
+  options.admission.queue_shed_watermark = 0.75;
+  options.admission.seed = kAdmissionSeed;
+  serve::InferenceEngine engine(servable, options);
+
+  ClusterRun run;
+  run.label = "engine (queue 64)";
+  run.submitted = static_cast<int64_t>(requests.size());
+  Stopwatch timer;
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const graph::Graph* g : requests) {
+    futures.push_back(engine.Submit(
+        *g, serve::RequestOptions::WithDeadline(std::chrono::seconds(5))));
+  }
+  const double submit_elapsed = timer.ElapsedSeconds();
+  for (auto& f : futures) (void)f.get();
+  const double elapsed = timer.ElapsedSeconds();
+  engine.Drain();
+  FinishClusterRun(&run, engine.metrics(), submit_elapsed, elapsed);
+  return run;
+}
+
+ClusterRun RunCluster(const std::shared_ptr<serve::ServableModel>& servable,
+                      const std::vector<const graph::Graph*>& requests,
+                      size_t replicas) {
+  serve::ServeCluster::Options options;
+  options.num_replicas = replicas;
+  options.replica.max_batch = 16;
+  options.replica.queue_capacity = 128;
+  options.replica.num_threads = 1;
+  options.cache_capacity = 0;  // every request exercises the full pipeline
+  serve::ServeCluster cluster(servable, options);
+
+  ClusterRun run;
+  run.label = "cluster x " + std::to_string(replicas);
+  run.replicas = static_cast<int>(replicas);
+  run.submitted = static_cast<int64_t>(requests.size());
+  Stopwatch timer;
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const graph::Graph* g : requests) {
+    futures.push_back(cluster.Submit(
+        *g, serve::RequestOptions::WithDeadline(std::chrono::seconds(5))));
+  }
+  const double submit_elapsed = timer.ElapsedSeconds();
+  for (auto& f : futures) (void)f.get();
+  const double elapsed = timer.ElapsedSeconds();
+  cluster.Drain();
+  FinishClusterRun(&run, cluster.metrics(), submit_elapsed, elapsed);
+  run.steals = cluster.cluster_metrics().steals();
+  run.continuous_admits = cluster.cluster_metrics().continuous_admits();
+  return run;
+}
+
+/// Byte-compares per-class probabilities of an uncontended engine against a
+/// 4-replica cluster over distinct dataset graphs (caches off on both).
+bool ClusterLogitsMatchEngine(
+    const std::shared_ptr<serve::ServableModel>& servable,
+    const graph::GraphDataset& dataset) {
+  serve::InferenceEngine::Options engine_options;
+  engine_options.cache_capacity = 0;
+  engine_options.batcher.queue_capacity =
+      static_cast<size_t>(dataset.size()) + 16;
+  serve::InferenceEngine engine(servable, engine_options);
+
+  serve::ServeCluster::Options cluster_options;
+  cluster_options.num_replicas = 4;
+  cluster_options.replica.num_threads = 1;
+  cluster_options.cache_capacity = 0;
+  serve::ServeCluster cluster(servable, cluster_options);
+
+  const int n = std::min(dataset.size(), 32);
+  for (int i = 0; i < n; ++i) {
+    auto from_engine = engine.Submit(dataset.graph(i)).get();
+    auto from_cluster = cluster.Submit(dataset.graph(i)).get();
+    if (!from_engine.ok() || !from_cluster.ok()) return false;
+    const auto& pe = from_engine.value().probabilities;
+    const auto& pc = from_cluster.value().probabilities;
+    if (pe.size() != pc.size()) return false;
+    if (!pe.empty() &&
+        std::memcmp(pe.data(), pc.data(), pe.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunClusterBench(const BenchArgs& args,
+                    const std::shared_ptr<serve::ServableModel>& servable,
+                    const graph::GraphDataset& dataset,
+                    const std::vector<const graph::Graph*>& requests) {
+  const bool logits_match = ClusterLogitsMatchEngine(servable, dataset);
+  if (!logits_match) {
+    std::fprintf(stderr,
+                 "cluster predictions diverge from the single engine\n");
+    return 1;
+  }
+
+  std::vector<ClusterRun> runs;
+  runs.push_back(RunOverloadedEngine(servable, requests));
+  for (size_t replicas : {size_t{1}, size_t{2}, size_t{4}}) {
+    runs.push_back(RunCluster(servable, requests, replicas));
+  }
+
+  Table table({"configuration", "ok", "shed", "rejected", "deadline",
+               "shed rate", "offered qps", "sustained qps", "p99 us"});
+  for (const ClusterRun& r : runs) {
+    table.AddRow({r.label, std::to_string(r.ok), std::to_string(r.shed),
+                  std::to_string(r.rejected),
+                  std::to_string(r.deadline_exceeded),
+                  Fmt(r.shed_rate, "%.4f"), Fmt(r.offered_qps),
+                  Fmt(r.sustained_qps), Fmt(r.p99_us)});
+  }
+  std::printf("cluster overload burst: %zu requests, logits bit-identical "
+              "to the single engine\n\n",
+              requests.size());
+  table.Print(std::cout);
+
+  // Acceptance gates: at 4 replicas the burst that saturates one engine is
+  // absorbed — shed rate under 2% with p99 inside the 5 s deadline budget.
+  const ClusterRun& four = runs.back();
+  if (four.shed_rate >= 0.02) {
+    std::fprintf(stderr, "gate failed: 4-replica shed rate %.4f >= 0.02\n",
+                 four.shed_rate);
+    return 1;
+  }
+  if (four.p99_us >= 5e6) {
+    std::fprintf(stderr, "gate failed: 4-replica p99 %.1f us >= deadline\n",
+                 four.p99_us);
+    return 1;
+  }
+
+  std::ofstream out(args.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"serve_cluster\",\n";
+  out << "  \"dataset\": \"" << args.dataset << "\",\n";
+  out << "  \"requests\": " << requests.size() << ",\n";
+  out << "  \"deadline_us\": 5000000,\n";
+  out << "  \"admission_seed\": " << kAdmissionSeed << ",\n";
+  out << "  \"logits_bit_identical\": true,\n";
+  out << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ClusterRun& r = runs[i];
+    out << "    {\"config\": \"" << r.label << "\""
+        << ", \"replicas\": " << r.replicas
+        << ", \"submitted\": " << r.submitted << ", \"ok\": " << r.ok
+        << ", \"degraded\": " << r.degraded << ", \"shed\": " << r.shed
+        << ", \"deadline_exceeded\": " << r.deadline_exceeded
+        << ", \"rejected\": " << r.rejected << ", \"error\": " << r.error
+        << ", \"offered_qps\": " << Fmt(r.offered_qps, "%.1f")
+        << ", \"sustained_qps\": " << Fmt(r.sustained_qps, "%.1f")
+        << ", \"shed_rate\": " << Fmt(r.shed_rate, "%.4f")
+        << ", \"p50_us\": " << Fmt(r.p50_us, "%.1f")
+        << ", \"p95_us\": " << Fmt(r.p95_us, "%.1f")
+        << ", \"p99_us\": " << Fmt(r.p99_us, "%.1f")
+        << ", \"steals\": " << r.steals
+        << ", \"continuous_admits\": " << r.continuous_admits << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -321,6 +602,7 @@ int main(int argc, char** argv) {
   }
 
   if (args.chaos) return RunChaosBench(args, servable, requests);
+  if (args.cluster) return RunClusterBench(args, servable, dataset, requests);
 
   // (a) Unbatched single-request baseline: the offline path, one graph at a
   // time (per-request input build + training-stack forward).

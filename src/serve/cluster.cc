@@ -1,0 +1,237 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace deepmap::serve {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+bool Expired(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+Status DeadlineError(const char* stage) {
+  return Status::DeadlineExceeded(
+      std::string("request deadline expired (stage=") + stage + ")");
+}
+
+}  // namespace
+
+ServeCluster::ServeCluster(std::shared_ptr<ServableModel> model,
+                           const Options& options)
+    : model_(std::move(model)),
+      options_(options),
+      metrics_(options.metrics_registry),
+      cluster_metrics_(&metrics_.registry(),
+                       std::max<size_t>(options.num_replicas, 1)),
+      cache_(options.cache_capacity,
+             options.cache_shards > 0
+                 ? options.cache_shards
+                 : 2 * std::max<size_t>(options.num_replicas, 1),
+             &metrics_.registry()) {
+  DEEPMAP_CHECK(model_ != nullptr);
+  options_.num_replicas = std::max<size_t>(options_.num_replicas, 1);
+  BatchPipeline::Hooks hooks;
+  hooks.on_complete = [this](const ServeRequest& r) { OnRequestComplete(r); };
+  replicas_.reserve(options_.num_replicas);
+  for (size_t i = 0; i < options_.num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<EngineReplica>(
+        i, options_.replica, model_, &cache_, &metrics_, &cluster_metrics_,
+        &dispatch_, hooks));
+  }
+  // Two-phase start: every replica must exist before any worker runs, since
+  // idle workers scan the sibling array for steal victims.
+  for (auto& replica : replicas_) replica->Start(&replicas_);
+}
+
+ServeCluster::~ServeCluster() {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_.mu);
+    dispatch_.stopping = true;
+  }
+  // Workers drain their queues (and, with stealing, each other's) before
+  // exiting, so every accepted promise resolves.
+  dispatch_.work_cv.notify_all();
+  for (auto& replica : replicas_) replica->Join();
+}
+
+void ServeCluster::Drain() {
+  std::unique_lock<std::mutex> lock(dispatch_.mu);
+  dispatch_.drain_cv.wait(lock, [this] {
+    return dispatch_.pending == 0 && dispatch_.active_batches == 0;
+  });
+}
+
+int64_t ServeCluster::tenant_inflight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(dispatch_.mu);
+  auto it = tenant_inflight_.find(tenant);
+  return it == tenant_inflight_.end() ? 0 : it->second;
+}
+
+std::future<StatusOr<Prediction>> ServeCluster::Submit(
+    const graph::Graph& g, const RequestOptions& request) {
+  return SubmitInternal(g, request, /*target=*/-1);
+}
+
+std::future<StatusOr<Prediction>> ServeCluster::SubmitToReplica(
+    size_t replica, const graph::Graph& g, const RequestOptions& request) {
+  DEEPMAP_CHECK_LT(replica, replicas_.size());
+  return SubmitInternal(g, request, static_cast<int>(replica));
+}
+
+bool ServeCluster::ShouldShedTenantLocked(const std::string& tenant) const {
+  if (options_.fair_share_watermark >= 1.0) return false;
+  const double capacity =
+      static_cast<double>(replicas_.size()) *
+      static_cast<double>(options_.replica.queue_capacity);
+  if (capacity <= 0.0) return false;
+  if (static_cast<double>(dispatch_.pending) <=
+      options_.fair_share_watermark * capacity) {
+    return false;  // backlog below the watermark: everyone is admitted
+  }
+  // Armed. A tenant's fair share is an equal split of the cluster's queue
+  // capacity across the tenants currently holding requests (this one
+  // included). Tenants below their share — in particular any tenant with
+  // nothing in flight — are always admitted, so a flood from one tenant
+  // cannot lock the others out.
+  auto self = tenant_inflight_.find(tenant);
+  const int64_t mine =
+      self == tenant_inflight_.end() ? 0 : self->second;
+  size_t active = mine > 0 ? 0 : 1;  // count self even when idle
+  for (const auto& [name, count] : tenant_inflight_) {
+    if (count > 0) ++active;
+  }
+  const double fair_share = capacity / static_cast<double>(active);
+  return static_cast<double>(mine) >= fair_share;
+}
+
+void ServeCluster::OnRequestComplete(const ServeRequest& request) {
+  std::lock_guard<std::mutex> lock(dispatch_.mu);
+  auto it = tenant_inflight_.find(request.tenant);
+  if (it == tenant_inflight_.end()) return;
+  if (--it->second <= 0) tenant_inflight_.erase(it);
+}
+
+std::future<StatusOr<Prediction>> ServeCluster::SubmitInternal(
+    const graph::Graph& g, const RequestOptions& request, int target) {
+  DEEPMAP_TRACE_SPAN("serve.cluster.submit", "serve");
+  const auto start = std::chrono::steady_clock::now();
+  ServeRequest queued;
+  queued.enqueue_time = start;
+  queued.tenant = request.tenant;
+  if (request.deadline.has_value()) queued.deadline = *request.deadline;
+  std::future<StatusOr<Prediction>> future = queued.promise.get_future();
+
+  auto reject = [&](Status status) {
+    std::promise<StatusOr<Prediction>> rejected;
+    std::future<StatusOr<Prediction>> f = rejected.get_future();
+    rejected.set_value(StatusOr<Prediction>(std::move(status)));
+    return f;
+  };
+
+  // Stage "admission": a request that arrives already expired never costs a
+  // hash, a queue slot, or a batch.
+  if (Expired(queued.deadline)) {
+    metrics_.RecordDeadlineExceeded("admission");
+    return reject(DeadlineError("admission"));
+  }
+
+  if (options_.cache_capacity > 0) {
+    queued.cache_key =
+        PredictionCache::KeyFor(g, options_.cache_wl_iterations);
+    if (std::optional<Prediction> hit = cache_.Lookup(queued.cache_key)) {
+      RequestTiming timing;
+      timing.cache_hit = true;
+      timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
+      metrics_.RecordRequest(timing);
+      metrics_.RecordOutcome(ServeOutcome::kOk);
+      queued.promise.set_value(std::move(*hit));
+      return future;
+    }
+  }
+
+  // Reserve a pending slot and a tenant slot under the dispatch lock. The
+  // pending count is bumped BEFORE the queue push so a worker popping the
+  // request can never observe pending going negative — the drain/stop
+  // protocol depends on pending being an upper bound on queued work.
+  {
+    std::lock_guard<std::mutex> lock(dispatch_.mu);
+    if (dispatch_.stopping) {
+      metrics_.RecordRejected();
+      return reject(
+          Status::FailedPrecondition("cluster is shutting down"));
+    }
+    if (ShouldShedTenantLocked(queued.tenant)) {
+      metrics_.RecordShed();
+      cluster_metrics_.RecordTenantShed();
+      return reject(Status::ResourceExhausted(
+          "fair-share admission shed request (tenant \"" + queued.tenant +
+          "\" at share, cluster backlog " +
+          std::to_string(dispatch_.pending) + ")"));
+    }
+    ++dispatch_.pending;
+    ++tenant_inflight_[queued.tenant];
+  }
+
+  queued.graph = g;
+  bool enqueued = false;
+  if (target >= 0) {
+    enqueued = replicas_[static_cast<size_t>(target)]->TryEnqueue(
+        std::move(queued));
+  } else {
+    // Join-shortest-queue with a rotating tie-break; on a full queue, fall
+    // through to the next-shortest instead of rejecting outright.
+    std::vector<size_t> order(replicas_.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    const size_t base =
+        rr_cursor_.fetch_add(1, std::memory_order_relaxed) % order.size();
+    std::rotate(order.begin(), order.begin() + static_cast<ptrdiff_t>(base),
+                order.end());
+    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return replicas_[a]->depth() < replicas_[b]->depth();
+    });
+    for (size_t idx : order) {
+      if (replicas_[idx]->TryEnqueue(std::move(queued))) {
+        enqueued = true;
+        break;
+      }
+    }
+  }
+
+  if (!enqueued) {
+    // Give the reserved slots back; the promise is still ours to fulfill
+    // (TryEnqueue only consumes the request on success).
+    {
+      std::lock_guard<std::mutex> lock(dispatch_.mu);
+      --dispatch_.pending;
+      auto it = tenant_inflight_.find(request.tenant);
+      if (it != tenant_inflight_.end() && --it->second <= 0) {
+        tenant_inflight_.erase(it);
+      }
+    }
+    metrics_.RecordRejected();
+    return reject(Status::ResourceExhausted(
+        target >= 0 ? "replica queue is full (cluster overloaded)"
+                    : "every replica queue is full (cluster overloaded)"));
+  }
+
+  // notify_all, not notify_one: with stealing disabled only the owning
+  // replica's wait predicate passes, and notify_one could wake a sibling
+  // that just goes back to sleep, swallowing the wakeup.
+  dispatch_.work_cv.notify_all();
+  cluster_metrics_.RecordDispatch();
+  return future;
+}
+
+}  // namespace deepmap::serve

@@ -1,0 +1,137 @@
+// ServeCluster: multi-replica serving over one ServableModel.
+//
+//   Submit(graph, options)
+//     -> deadline check (expired requests rejected at admission)
+//     -> shared sharded PredictionCache lookup (WL graph hash; hit resolves
+//        immediately without touching any replica)
+//     -> per-tenant fair-share admission: when the aggregate backlog exceeds
+//        the watermark, tenants holding more than their fair share of the
+//        cluster's queue capacity are shed (ResourceExhausted) so one noisy
+//        tenant cannot starve the rest
+//     -> join-shortest-queue dispatch into a replica's bounded queue
+//     -> the replica pops its queue FIFO, runs the staged BatchPipeline with
+//        continuous batching (arrivals during preprocessing join the
+//        in-flight batch), and steals from the longest sibling queue when
+//        its own is empty.
+//
+// All replicas share one immutable CompiledModel, so cluster predictions are
+// bit-identical to a single InferenceEngine's — which replica served a
+// request is unobservable in its logits. They also share one ServeMetrics
+// (request-level stats aggregate across replicas) and one ClusterMetrics
+// (dispatch/steal/admit/shed counters, per-replica batch counts), all on a
+// single registry scrape.
+//
+// There is no per-cluster MicroBatcher and no max_wait_us: batching emerges
+// from queue pressure. An idle replica starts on a single request
+// immediately; under load, batches fill to max_batch. Shutdown drains —
+// every accepted request's future is resolved before the destructor returns.
+#ifndef DEEPMAP_SERVE_CLUSTER_H_
+#define DEEPMAP_SERVE_CLUSTER_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_cache.h"
+#include "serve/replica.h"
+
+namespace deepmap::serve {
+
+/// N EngineReplicas behind one dispatcher, one cache, one metrics surface.
+class ServeCluster {
+ public:
+  struct Options {
+    size_t num_replicas = 4;
+    /// Per-replica knobs (queue capacity, max_batch, pool threads,
+    /// continuous batching, work stealing, degraded answers).
+    EngineReplica::Options replica;
+    /// Shared prediction cache; 0 disables caching cluster-wide.
+    size_t cache_capacity = 4096;
+    /// WL refinement rounds for the cache key.
+    int cache_wl_iterations = 2;
+    /// Lock stripes of the shared cache. 0 = auto (2x replicas, so
+    /// concurrent replicas rarely contend on a stripe).
+    size_t cache_shards = 0;
+    /// Fair-share admission arms when the aggregate backlog exceeds this
+    /// fraction of aggregate queue capacity; >= 1 disables it (requests are
+    /// only rejected when every queue is full).
+    double fair_share_watermark = 1.0;
+    /// Registry backing the shared ServeMetrics + ClusterMetrics; nullptr =
+    /// private registry. Must outlive the cluster when injected.
+    obs::MetricsRegistry* metrics_registry = nullptr;
+  };
+
+  ServeCluster(std::shared_ptr<ServableModel> model, const Options& options);
+  /// Drains every queued request, then stops and joins all replicas.
+  ~ServeCluster();
+
+  ServeCluster(const ServeCluster&) = delete;
+  ServeCluster& operator=(const ServeCluster&) = delete;
+
+  /// Enqueues one graph for classification on the least-loaded replica.
+  std::future<StatusOr<Prediction>> Submit(const graph::Graph& g,
+                                           const RequestOptions& request);
+  std::future<StatusOr<Prediction>> Submit(const graph::Graph& g) {
+    return Submit(g, RequestOptions{});
+  }
+
+  /// Blocks until every previously accepted request has been answered and
+  /// no batch is in flight.
+  void Drain();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  const ClusterMetrics& cluster_metrics() const { return cluster_metrics_; }
+  const PredictionCache& cache() const { return cache_; }
+  const ServableModel& model() const { return *model_; }
+  size_t num_replicas() const { return replicas_.size(); }
+  const EngineReplica& replica(size_t i) const { return *replicas_[i]; }
+
+  /// In-flight (accepted, unresolved) requests of one tenant. Test hook for
+  /// the fair-share accounting; "" is the default tenant.
+  int64_t tenant_inflight(const std::string& tenant) const;
+
+  /// Test hook: route one request to a specific replica, bypassing
+  /// join-shortest-queue (fair-share admission still applies). Lets tests
+  /// build skewed queues deterministically.
+  std::future<StatusOr<Prediction>> SubmitToReplica(
+      size_t replica, const graph::Graph& g, const RequestOptions& request);
+
+ private:
+  /// Shared admission path; `target` < 0 means join-shortest-queue.
+  std::future<StatusOr<Prediction>> SubmitInternal(
+      const graph::Graph& g, const RequestOptions& request, int target);
+
+  /// Fair-share verdict for `tenant` given the current backlog. Called with
+  /// dispatch_.mu held.
+  bool ShouldShedTenantLocked(const std::string& tenant) const;
+
+  /// BatchPipeline::Hooks::on_complete: releases the request's tenant slot.
+  void OnRequestComplete(const ServeRequest& request);
+
+  std::shared_ptr<ServableModel> model_;
+  Options options_;
+  ServeMetrics metrics_;
+  ClusterMetrics cluster_metrics_;
+  PredictionCache cache_;
+  mutable DispatchState dispatch_;  // mutable: const accessors lock its mu
+
+  /// Accepted-but-unresolved request counts per tenant. Guarded by
+  /// dispatch_.mu (updated at admission and from on_complete).
+  mutable std::unordered_map<std::string, int64_t> tenant_inflight_;
+
+  /// Rotates the join-shortest-queue tie-break so equal-depth replicas
+  /// receive round-robin traffic instead of all landing on replica 0.
+  std::atomic<size_t> rr_cursor_{0};
+
+  std::vector<std::unique_ptr<EngineReplica>> replicas_;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_CLUSTER_H_

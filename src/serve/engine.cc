@@ -5,7 +5,6 @@
 #include <thread>
 
 #include "common/check.h"
-#include "common/failpoint.h"
 #include "obs/trace.h"
 
 namespace deepmap::serve {
@@ -26,12 +25,6 @@ Status DeadlineError(const char* stage) {
       std::string("request deadline expired (stage=") + stage + ")");
 }
 
-/// Infrastructure failures eligible for degraded answers. Client errors
-/// (InvalidArgument) and deadline expiry must surface unchanged.
-bool Degradable(StatusCode code) {
-  return code == StatusCode::kUnavailable || code == StatusCode::kInternal;
-}
-
 }  // namespace
 
 InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
@@ -39,14 +32,20 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
     : model_(std::move(model)),
       options_(options),
       metrics_(options.metrics_registry),
-      cache_(options.cache_capacity),
+      cache_(options.cache_capacity, options.cache_shards,
+             &metrics_.registry()),
       pool_(options.num_threads),
+      pipeline_(model_.get(), &pool_, &cache_, &metrics_,
+                options.enable_degraded,
+                BatchPipeline::Hooks{
+                    [this](double total_us) { RecordLatencySample(total_us); },
+                    /*on_complete=*/nullptr}),
       admission_rng_(options.admission.seed) {
   DEEPMAP_CHECK(model_ != nullptr);
   batcher_ = std::make_unique<MicroBatcher>(
       options_.batcher,
       [this](std::vector<ServeRequest>&& batch, size_t depth_after) {
-        HandleBatch(std::move(batch), depth_after);
+        pipeline_.Execute(std::move(batch), depth_after);
       });
 }
 
@@ -118,6 +117,7 @@ std::future<StatusOr<Prediction>> InferenceEngine::Submit(
   const auto start = std::chrono::steady_clock::now();
   ServeRequest queued;
   queued.enqueue_time = start;
+  queued.tenant = request.tenant;
   if (request.deadline.has_value()) queued.deadline = *request.deadline;
   std::future<StatusOr<Prediction>> future = queued.promise.get_future();
 
@@ -197,151 +197,5 @@ StatusOr<Prediction> InferenceEngine::Classify(const graph::Graph& g,
 }
 
 void InferenceEngine::Drain() { batcher_->Drain(); }
-
-void InferenceEngine::HandleBatch(std::vector<ServeRequest>&& batch,
-                                  size_t queue_depth_after) {
-  DEEPMAP_TRACE_SPAN("serve.batch", "serve");
-  const size_t n = batch.size();
-  const auto dispatch_time = std::chrono::steady_clock::now();
-  metrics_.RecordBatch(static_cast<int>(n));
-  metrics_.RecordQueueDepth(queue_depth_after);
-
-  // Whole-batch fault: models a dispatcher-side failure after dequeue. The
-  // per-request degradation/error path below still answers every promise.
-  Status batch_fault;
-  if (DEEPMAP_FAILPOINT_TRIGGERED("serve.engine.batch")) {
-    batch_fault = Status::Unavailable(
-        "injected fault at serve.engine.batch (stage=dispatch)");
-  }
-
-  // Stage 1: preprocess every live graph of the batch on the thread pool.
-  // Requests whose deadline already passed are skipped before costing any
-  // preprocessing work.
-  std::vector<Status> statuses(n);
-  std::vector<const char*> deadline_stage(n, nullptr);
-  std::vector<nn::Tensor> inputs(n);
-  std::vector<double> preprocess_us(n, 0.0);
-  Preprocessor& preprocessor = model_->preprocessor();
-  for (size_t i = 0; i < n; ++i) {
-    if (!batch_fault.ok()) {
-      statuses[i] = batch_fault;
-      continue;
-    }
-    if (Expired(batch[i].deadline)) {
-      statuses[i] = DeadlineError("preprocess");
-      deadline_stage[i] = "preprocess";
-      continue;
-    }
-    pool_.Submit([&, i] {
-      DEEPMAP_TRACE_SPAN("serve.preprocess", "serve");
-      const auto t0 = std::chrono::steady_clock::now();
-      StatusOr<nn::Tensor> result = preprocessor.Preprocess(batch[i].graph);
-      if (result.ok()) {
-        inputs[i] = std::move(result).value();
-      } else {
-        statuses[i] = result.status();
-      }
-      preprocess_us[i] = MicrosSince(t0, std::chrono::steady_clock::now());
-    });
-  }
-  pool_.Wait();
-
-  // Sync point between the pipeline stages (bool intentionally unused):
-  // tests park here to expire deadlines after preprocessing but before the
-  // forward pass, pinning stage attribution deterministically.
-  (void)DEEPMAP_FAILPOINT_TRIGGERED("serve.engine.before_forward");
-
-  // Stage 2: batched forward pass over requests that survived preprocessing
-  // and still have time left, sharded across the pool. Each shard reuses
-  // one scratch workspace for its whole slice.
-  std::vector<size_t> valid;
-  valid.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!statuses[i].ok()) continue;
-    if (Expired(batch[i].deadline)) {
-      statuses[i] = DeadlineError("forward");
-      deadline_stage[i] = "forward";
-      continue;
-    }
-    valid.push_back(i);
-  }
-  std::vector<Prediction> predictions(n);
-  std::vector<double> forward_us(n, 0.0);
-  if (!valid.empty()) {
-    const CompiledModel& compiled = model_->compiled();
-    const size_t num_shards =
-        std::min(std::max<size_t>(pool_.num_threads(), 1), valid.size());
-    const size_t per_shard = (valid.size() + num_shards - 1) / num_shards;
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-      const size_t begin = shard * per_shard;
-      const size_t end = std::min(valid.size(), begin + per_shard);
-      if (begin >= end) break;
-      pool_.Submit([&, begin, end] {
-        DEEPMAP_TRACE_SPAN("serve.forward", "serve");
-        ForwardScratch scratch;
-        for (size_t v = begin; v < end; ++v) {
-          const size_t i = valid[v];
-          if (DEEPMAP_FAILPOINT_TRIGGERED("serve.forward")) {
-            statuses[i] = Status::Unavailable(
-                "injected fault at serve.forward (stage=forward)");
-            continue;
-          }
-          const auto t0 = std::chrono::steady_clock::now();
-          predictions[i] = compiled.Predict(inputs[i], &scratch);
-          forward_us[i] = MicrosSince(t0, std::chrono::steady_clock::now());
-        }
-      });
-    }
-    pool_.Wait();
-  }
-
-  // Stage 3: warm the cache, fulfill promises (degrading model-path
-  // failures when enabled), record metrics. Every promise in the batch is
-  // resolved exactly once on every path through this loop.
-  DEEPMAP_TRACE_SPAN("serve.complete", "serve");
-  for (size_t i = 0; i < n; ++i) {
-    RequestTiming timing;
-    timing.queue_us = MicrosSince(batch[i].enqueue_time, dispatch_time);
-    timing.preprocess_us = preprocess_us[i];
-    timing.forward_us = forward_us[i];
-    timing.total_us = MicrosSince(batch[i].enqueue_time,
-                                  std::chrono::steady_clock::now());
-    metrics_.RecordRequest(timing);
-    RecordLatencySample(timing.total_us);
-    if (statuses[i].ok()) {
-      if (options_.cache_capacity > 0 && !batch[i].cache_key.empty()) {
-        cache_.Insert(batch[i].cache_key, predictions[i]);
-      }
-      metrics_.RecordOutcome(ServeOutcome::kOk);
-      batch[i].promise.set_value(std::move(predictions[i]));
-      continue;
-    }
-    const StatusCode code = statuses[i].code();
-    if (code == StatusCode::kDeadlineExceeded) {
-      metrics_.RecordDeadlineExceeded(
-          deadline_stage[i] != nullptr ? deadline_stage[i] : "unknown");
-      batch[i].promise.set_value(StatusOr<Prediction>(statuses[i]));
-      continue;
-    }
-    if (options_.enable_degraded && Degradable(code)) {
-      // Stale-ok cache answer: the key may have been warmed by a sibling
-      // request (or the admission lookup may have hit an injected outage)
-      // since this request was admitted.
-      if (!batch[i].cache_key.empty()) {
-        if (std::optional<Prediction> stale = cache_.Lookup(batch[i].cache_key)) {
-          stale->source = PredictionSource::kStaleCache;
-          metrics_.RecordDegradedStale();
-          batch[i].promise.set_value(std::move(*stale));
-          continue;
-        }
-      }
-      metrics_.RecordDegradedFallback();
-      batch[i].promise.set_value(model_->fallback_prediction());
-      continue;
-    }
-    metrics_.RecordOutcome(ServeOutcome::kError);
-    batch[i].promise.set_value(StatusOr<Prediction>(statuses[i]));
-  }
-}
 
 }  // namespace deepmap::serve

@@ -35,6 +35,7 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
@@ -43,6 +44,7 @@
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_cache.h"
+#include "serve/replica.h"
 
 namespace deepmap::serve {
 
@@ -52,6 +54,10 @@ struct RequestOptions {
   /// requests fail with DeadlineExceeded naming the stage that noticed
   /// ("admission", "preprocess", or "forward").
   std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Fair-share accounting bucket for ServeCluster admission; "" is the
+  /// default tenant. Ignored by a single InferenceEngine.
+  std::string tenant;
 
   static RequestOptions WithDeadline(std::chrono::microseconds relative) {
     RequestOptions o;
@@ -95,6 +101,10 @@ class InferenceEngine {
     size_t cache_capacity = 4096;
     /// WL refinement rounds for the cache key.
     int cache_wl_iterations = 2;
+    /// Lock stripes of the prediction cache: the WL key hash picks a shard,
+    /// each with its own mutex + LRU list, so concurrent submitters don't
+    /// serialize on one cache lock. 1 = the historical single-lock cache.
+    size_t cache_shards = 4;
     /// Worker threads for preprocessing / forward sharding; 0 = hardware
     /// concurrency.
     size_t num_threads = 0;
@@ -142,9 +152,6 @@ class InferenceEngine {
   double observed_p95_us() const { return p95_us_.load(std::memory_order_relaxed); }
 
  private:
-  void HandleBatch(std::vector<ServeRequest>&& batch,
-                   size_t queue_depth_after);
-
   /// Admission-control decision for one cache-missing request; fills
   /// `detail` with the depth/latency evidence when shedding.
   bool ShouldShed(std::string* detail);
@@ -157,6 +164,7 @@ class InferenceEngine {
   ServeMetrics metrics_;
   PredictionCache cache_;
   ThreadPool pool_;
+  BatchPipeline pipeline_;  // runs each dispatched batch (Execute path)
 
   // Recent total-latency window for the admission controller: cheap to
   // update per request, p95 recomputed every kP95Refresh samples.

@@ -331,6 +331,74 @@ Table ServeMetrics::SummaryTable() const {
   return table;
 }
 
+ClusterMetrics::ClusterMetrics(obs::MetricsRegistry* registry,
+                               size_t num_replicas) {
+  obs::MetricsRegistry& r = *registry;
+  dispatched_ = &r.GetCounter("deepmap_serve_cluster_dispatched_total",
+                              "requests routed into replica queues");
+  steals_ = &r.GetCounter("deepmap_serve_cluster_steals_total",
+                          "steal operations by idle replicas");
+  stolen_requests_ =
+      &r.GetCounter("deepmap_serve_cluster_stolen_requests_total",
+                    "requests moved between replica queues by stealing");
+  continuous_admits_ =
+      &r.GetCounter("deepmap_serve_cluster_continuous_admits_total",
+                    "requests admitted into an already in-flight batch");
+  tenant_sheds_ =
+      &r.GetCounter("deepmap_serve_cluster_tenant_shed_total",
+                    "requests shed by per-tenant fair-share admission");
+  replica_batches_.reserve(num_replicas);
+  replica_requests_.reserve(num_replicas);
+  for (size_t i = 0; i < num_replicas; ++i) {
+    const std::string prefix =
+        "deepmap_serve_cluster_replica" + std::to_string(i);
+    replica_batches_.push_back(&r.GetCounter(
+        prefix + "_batches_total", "batches completed by this replica"));
+    replica_requests_.push_back(&r.GetCounter(
+        prefix + "_requests_total", "requests completed by this replica"));
+  }
+}
+
+void ClusterMetrics::RecordDispatch() { dispatched_->Increment(); }
+
+void ClusterMetrics::RecordSteal(int64_t stolen) {
+  steals_->Increment();
+  stolen_requests_->Increment(stolen);
+}
+
+void ClusterMetrics::RecordContinuousAdmit(int64_t admitted) {
+  continuous_admits_->Increment(admitted);
+}
+
+void ClusterMetrics::RecordTenantShed() { tenant_sheds_->Increment(); }
+
+void ClusterMetrics::RecordReplicaBatch(size_t replica, int64_t requests) {
+  replica_batches_[replica]->Increment();
+  replica_requests_[replica]->Increment(requests);
+}
+
+int64_t ClusterMetrics::dispatched() const { return dispatched_->Value(); }
+
+int64_t ClusterMetrics::steals() const { return steals_->Value(); }
+
+int64_t ClusterMetrics::stolen_requests() const {
+  return stolen_requests_->Value();
+}
+
+int64_t ClusterMetrics::continuous_admits() const {
+  return continuous_admits_->Value();
+}
+
+int64_t ClusterMetrics::tenant_sheds() const { return tenant_sheds_->Value(); }
+
+int64_t ClusterMetrics::replica_batches(size_t replica) const {
+  return replica_batches_[replica]->Value();
+}
+
+int64_t ClusterMetrics::replica_requests(size_t replica) const {
+  return replica_requests_[replica]->Value();
+}
+
 void ServeMetrics::Print(std::ostream& os) const {
   os << "Per-stage latency (cache hits excluded from pipeline stages):\n";
   LatencyTable().Print(os);

@@ -194,6 +194,50 @@ class ServeMetrics {
   std::map<int, int64_t> batch_sizes_;
 };
 
+/// Cluster-level instruments: dispatch volume, work stealing, continuous-
+/// batching admissions, fair-share sheds, and per-replica batch counts.
+/// Registered on the cluster's shared registry (one scrape covers every
+/// replica); all updates are lock-free counter increments, so replicas
+/// record without coordinating. Request-level stats (latency, outcomes,
+/// cache) stay in the shared ServeMetrics — this class covers only what is
+/// meaningless for a single engine.
+class ClusterMetrics {
+ public:
+  /// `registry` must outlive this object. Registers the aggregate counters
+  /// plus one batches/requests counter pair per replica
+  /// (deepmap_serve_cluster_replica<i>_{batches,requests}_total).
+  ClusterMetrics(obs::MetricsRegistry* registry, size_t num_replicas);
+
+  /// One request routed into a replica queue by the dispatcher.
+  void RecordDispatch();
+  /// One successful steal operation moving `stolen` requests.
+  void RecordSteal(int64_t stolen);
+  /// `admitted` requests joined an in-flight batch (continuous batching).
+  void RecordContinuousAdmit(int64_t admitted);
+  /// One request shed by per-tenant fair-share admission.
+  void RecordTenantShed();
+  /// One batch of `requests` completed by `replica`.
+  void RecordReplicaBatch(size_t replica, int64_t requests);
+
+  int64_t dispatched() const;
+  int64_t steals() const;
+  int64_t stolen_requests() const;
+  int64_t continuous_admits() const;
+  int64_t tenant_sheds() const;
+  int64_t replica_batches(size_t replica) const;
+  int64_t replica_requests(size_t replica) const;
+  size_t num_replicas() const { return replica_batches_.size(); }
+
+ private:
+  obs::Counter* dispatched_;
+  obs::Counter* steals_;
+  obs::Counter* stolen_requests_;
+  obs::Counter* continuous_admits_;
+  obs::Counter* tenant_sheds_;
+  std::vector<obs::Counter*> replica_batches_;
+  std::vector<obs::Counter*> replica_requests_;
+};
+
 }  // namespace deepmap::serve
 
 #endif  // DEEPMAP_SERVE_METRICS_H_

@@ -32,6 +32,8 @@ namespace deepmap::serve {
 struct ServeRequest {
   graph::Graph graph;
   std::string cache_key;  // empty when caching is disabled
+  /// Fair-share accounting bucket (ServeCluster); "" = the default tenant.
+  std::string tenant;
   std::promise<StatusOr<Prediction>> promise;
   std::chrono::steady_clock::time_point enqueue_time;
   /// Absolute deadline; max() means none. The engine checks it at admission,

@@ -1,11 +1,35 @@
 #include "serve/prediction_cache.h"
 
+#include <functional>
+
 #include "common/failpoint.h"
 #include "graph/isomorphism.h"
 
 namespace deepmap::serve {
 
-PredictionCache::PredictionCache(size_t capacity) : capacity_(capacity) {}
+PredictionCache::PredictionCache(size_t capacity, size_t num_shards,
+                                 obs::MetricsRegistry* registry)
+    : capacity_(capacity),
+      shard_capacity_(num_shards < 2 ? capacity
+                                     : (capacity + num_shards - 1) /
+                                           num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (registry != nullptr) {
+      const std::string prefix =
+          "deepmap_serve_cache_shard" + std::to_string(i);
+      shard->hits_counter = &registry->GetCounter(
+          prefix + "_hits_total", "lookups answered by this cache shard");
+      shard->misses_counter = &registry->GetCounter(
+          prefix + "_misses_total", "lookups this cache shard missed");
+      shard->evictions_counter = &registry->GetCounter(
+          prefix + "_evictions_total", "LRU evictions from this cache shard");
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
 
 std::string PredictionCache::KeyFor(const graph::Graph& g,
                                     int wl_iterations) {
@@ -17,22 +41,31 @@ std::string PredictionCache::KeyFor(const graph::Graph& g,
   return key;
 }
 
+size_t PredictionCache::ShardIndexFor(const std::string& key) const {
+  if (shards_.size() == 1) return 0;
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
 std::optional<Prediction> PredictionCache::Lookup(const std::string& key) {
+  Shard& shard = *shards_[ShardIndexFor(key)];
   // Simulated cache outage: the entry (if any) is unreachable, so the
   // request falls through to the full pipeline — same behavior as a miss.
   if (DEEPMAP_FAILPOINT_TRIGGERED("serve.cache.lookup")) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++misses_;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
+    if (shard.misses_counter != nullptr) shard.misses_counter->Increment();
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    if (shard.misses_counter != nullptr) shard.misses_counter->Increment();
     return std::nullopt;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++shard.hits;
+  if (shard.hits_counter != nullptr) shard.hits_counter->Increment();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
   return it->second->second;
 }
 
@@ -41,47 +74,88 @@ void PredictionCache::Insert(const std::string& key, Prediction prediction) {
   // Simulated cache outage on the write path: the warm-up is lost, which a
   // correct engine must tolerate (the next request just misses again).
   if (DEEPMAP_FAILPOINT_TRIGGERED("serve.cache.insert")) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = *shards_[ShardIndexFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     it->second->second = std::move(prediction);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
+  if (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    if (shard.evictions_counter != nullptr) {
+      shard.evictions_counter->Increment();
+    }
   }
-  lru_.emplace_front(key, std::move(prediction));
-  index_[key] = lru_.begin();
+  shard.lru.emplace_front(key, std::move(prediction));
+  shard.index[key] = shard.lru.begin();
 }
 
 size_t PredictionCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 int64_t PredictionCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
 }
 
 int64_t PredictionCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
 }
 
 int64_t PredictionCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return evictions_;
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+int64_t PredictionCache::shard_hits(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->hits;
+}
+
+int64_t PredictionCache::shard_misses(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->misses;
+}
+
+int64_t PredictionCache::shard_evictions(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->evictions;
+}
+
+size_t PredictionCache::shard_size(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->lru.size();
 }
 
 std::vector<std::string> PredictionCache::KeysByRecency() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
-  keys.reserve(lru_.size());
-  for (const Entry& e : lru_) keys.push_back(e.first);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) keys.push_back(e.first);
+  }
   return keys;
 }
 

@@ -1,4 +1,5 @@
-// LRU prediction cache keyed by a WL-refinement graph hash.
+// Sharded, lock-striped LRU prediction cache keyed by a WL-refinement graph
+// hash.
 //
 // Serving traffic is heavy on resubmissions (the same molecule screened
 // twice, the same ego network re-ranked). The cache key is (|V|, |E|, WL
@@ -12,12 +13,29 @@
 // to a slightly different input tensor than the cached representative did.
 // Disable the cache (capacity 0) when exact per-submission outputs matter.
 //
-// All operations are O(1) amortized and guarded by one internal mutex.
+// Concurrency: the key space is hash-partitioned into `num_shards` shards,
+// each a self-contained LRU (list + index + hit/miss/eviction counters)
+// behind its own mutex. Lookups and inserts for different shards never
+// contend, which is what lets one cache be shared by every replica of a
+// ServeCluster; a single-shard cache (the default constructor) degenerates
+// to the original global-lock LRU with one process-wide recency order.
+// Capacity is split evenly across shards (ceil division), so eviction is a
+// per-shard decision: the recency order is exact within a shard and
+// approximate globally.
+//
+// When a MetricsRegistry is supplied, every shard exports its counters as
+//   deepmap_serve_cache_shard<i>_hits_total
+//   deepmap_serve_cache_shard<i>_misses_total
+//   deepmap_serve_cache_shard<i>_evictions_total
+// so a scrape shows striping balance, not just aggregates.
+//
+// All operations are O(1) amortized and take exactly one shard mutex.
 #ifndef DEEPMAP_SERVE_PREDICTION_CACHE_H_
 #define DEEPMAP_SERVE_PREDICTION_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -26,46 +44,76 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "serve/compiled_model.h"
 
 namespace deepmap::serve {
 
-/// Thread-safe LRU map from graph hash to Prediction.
+/// Thread-safe sharded LRU map from graph hash to Prediction.
 class PredictionCache {
  public:
-  /// `capacity` == 0 disables the cache (every Lookup misses).
-  explicit PredictionCache(size_t capacity);
+  /// `capacity` == 0 disables the cache (every Lookup misses). `num_shards`
+  /// is clamped to >= 1; per-shard capacity is ceil(capacity / num_shards).
+  /// When `registry` is non-null (it must outlive the cache), per-shard
+  /// hit/miss/eviction counters are registered on it.
+  explicit PredictionCache(size_t capacity, size_t num_shards = 1,
+                           obs::MetricsRegistry* registry = nullptr);
 
   /// Cache key: "n:m:<wl fingerprint>". `wl_iterations` trades key cost for
   /// resolution; isomorphic graphs always collide, WL-equivalent graphs too.
   static std::string KeyFor(const graph::Graph& g, int wl_iterations);
 
+  /// The shard `key` stripes onto (stable for the cache's lifetime).
+  size_t ShardIndexFor(const std::string& key) const;
+
   /// Returns the cached prediction and refreshes its recency, or nullopt.
   std::optional<Prediction> Lookup(const std::string& key);
 
   /// Inserts (or refreshes) `key`, evicting the least recently used entry
-  /// when at capacity. No-op when disabled.
+  /// of its shard when that shard is at capacity. No-op when disabled.
   void Insert(const std::string& key, Prediction prediction);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_capacity() const { return shard_capacity_; }
+
+  /// Aggregates over all shards.
   int64_t hits() const;
   int64_t misses() const;
   int64_t evictions() const;
 
-  /// Most-recently-used first key order (for tests).
+  /// Per-shard counters (for tests and striping diagnostics).
+  int64_t shard_hits(size_t shard) const;
+  int64_t shard_misses(size_t shard) const;
+  int64_t shard_evictions(size_t shard) const;
+  size_t shard_size(size_t shard) const;
+
+  /// Keys in most-recently-used-first order within each shard, shards
+  /// concatenated in index order. With one shard this is the exact global
+  /// recency order (what the LRU tests pin).
   std::vector<std::string> KeysByRecency() const;
 
  private:
   using Entry = std::pair<std::string, Prediction>;
 
-  const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  /// One lock stripe: an independent LRU over its slice of the key space.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    // Registry mirrors of the counters above; null without a registry.
+    obs::Counter* hits_counter = nullptr;
+    obs::Counter* misses_counter = nullptr;
+    obs::Counter* evictions_counter = nullptr;
+  };
+
+  const size_t capacity_;        // configured total
+  const size_t shard_capacity_;  // ceil(capacity / num_shards)
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace deepmap::serve

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +95,95 @@ TEST(PredictionCacheTest, IsomorphicGraphsShareKey) {
             PredictionCache::KeyFor(triangle, 2));
 }
 
+TEST(PredictionCacheTest, ShardedCacheRoutesKeysAndCountsPerShard) {
+  PredictionCache cache(8, 4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.shard_capacity(), 2u);
+
+  // Each key lives on exactly one stable shard: a miss then a hit for the
+  // same key must land on the same stripe's counters.
+  for (int k = 0; k < 6; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    const size_t shard = cache.ShardIndexFor(key);
+    ASSERT_LT(shard, cache.num_shards());
+    const int64_t misses_before = cache.shard_misses(shard);
+    const int64_t hits_before = cache.shard_hits(shard);
+    EXPECT_FALSE(cache.Lookup(key).has_value());
+    cache.Insert(key, MakePrediction(k));
+    auto hit = cache.Lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->label, k);
+    EXPECT_EQ(cache.shard_misses(shard), misses_before + 1);
+    EXPECT_EQ(cache.shard_hits(shard), hits_before + 1);
+  }
+
+  // Aggregates are exactly the per-shard sums.
+  int64_t hits = 0, misses = 0, evictions = 0;
+  size_t size = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    hits += cache.shard_hits(s);
+    misses += cache.shard_misses(s);
+    evictions += cache.shard_evictions(s);
+    size += cache.shard_size(s);
+  }
+  EXPECT_EQ(cache.hits(), hits);
+  EXPECT_EQ(cache.misses(), misses);
+  EXPECT_EQ(cache.evictions(), evictions);
+  EXPECT_EQ(cache.size(), size);
+  EXPECT_EQ(cache.hits(), 6);
+  EXPECT_EQ(cache.misses(), 6);
+}
+
+TEST(PredictionCacheTest, ShardedCacheEvictsPerShardAndExportsCounters) {
+  obs::MetricsRegistry registry;
+  PredictionCache cache(4, 2, &registry);
+
+  // Overfill: 12 distinct keys into 4 total slots forces evictions in every
+  // shard that received more than its capacity of 2.
+  for (int k = 0; k < 12; ++k) {
+    cache.Insert("key" + std::to_string(k), MakePrediction(k));
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.evictions(), 0);
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_LE(cache.shard_size(s), cache.shard_capacity());
+  }
+
+  // The registry mirrors every shard's counters under the documented names.
+  std::ostringstream scrape;
+  registry.WritePrometheusText(scrape);
+  const std::string text = scrape.str();
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    const std::string prefix =
+        "deepmap_serve_cache_shard" + std::to_string(s) + "_";
+    EXPECT_NE(text.find(prefix + "hits_total"), std::string::npos) << text;
+    EXPECT_NE(text.find(prefix + "misses_total"), std::string::npos);
+    EXPECT_NE(text.find(prefix + "evictions_total"), std::string::npos);
+  }
+}
+
+TEST(PredictionCacheTest, ConcurrentShardedAccessKeepsCountsConsistent) {
+  PredictionCache cache(64, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key" + std::to_string((t * 7 + i) % 32);
+        if (!cache.Lookup(key).has_value()) {
+          cache.Insert(key, MakePrediction(i));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            int64_t{kThreads} * kOpsPerThread);
+  EXPECT_LE(cache.size(), 64u);
+}
+
 // ---------------------------------------------------------------------------
 // MicroBatcher
 
@@ -106,6 +196,27 @@ ServeRequest MakeRequest() {
 
 void FulfillAll(std::vector<ServeRequest>& batch) {
   for (ServeRequest& r : batch) r.promise.set_value(MakePrediction(0));
+}
+
+TEST(MicroBatcherTest, SubmitWakesIdleDispatcherImmediately) {
+  // Regression: an idle dispatcher must sleep on the work cv, not poll on a
+  // max_wait_us-bounded timer. With max_batch == 1 the size trigger fires
+  // the moment one request arrives, so a wait bounded only by the 60 s
+  // window below would hang far past the watchdog.
+  MicroBatcher::Options options;
+  options.max_batch = 1;
+  options.max_wait_us = 60 * 1000 * 1000;
+  MicroBatcher batcher(options, [](std::vector<ServeRequest>&& batch,
+                                   size_t) { FulfillAll(batch); });
+
+  ServeRequest request = MakeRequest();
+  std::future<StatusOr<Prediction>> future = request.promise.get_future();
+  ASSERT_TRUE(batcher.Submit(std::move(request)).ok());
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "idle dispatcher slept through a submit wakeup";
+  EXPECT_TRUE(future.get().ok());
+  batcher.Stop();
 }
 
 TEST(MicroBatcherTest, FlushesWhenBatchIsFull) {

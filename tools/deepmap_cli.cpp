@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "kernels/random_walk.h"
 #include "kernels/wl_oa.h"
 #include "obs/trace.h"
+#include "serve/cluster.h"
 #include "serve/engine.h"
 
 namespace {
@@ -70,7 +72,8 @@ int Usage() {
       "  evaluate:    --method=M [--folds=N] [--epochs=N] [--seed=N] [--r=N]\n"
       "  generate:    --synthetic=NAME --out_dir=DIR [--scale=F]\n"
       "  serve-bench: [--requests=N] [--batch=N] [--epochs=N] [--cache=N]\n"
-      "               [--wait_us=N] [--trace-out=FILE] [--metrics-out=FILE]\n");
+      "               [--wait_us=N] [--replicas=N] [--trace-out=FILE]\n"
+      "               [--metrics-out=FILE]\n");
   return 2;
 }
 
@@ -235,12 +238,14 @@ int RunServeBench(const CliArgs& args) {
   const int batch = args.GetInt("batch", 32);
   const int wait_us = args.GetInt("wait_us", 2000);
   const int cache = args.GetInt("cache", 1024);
+  const int replicas = args.GetInt("replicas", 1);
   const std::string trace_out = args.Get("trace-out");
   const std::string metrics_out = args.Get("metrics-out");
-  if (requests < 0 || batch <= 0 || wait_us < 0 || cache < 0) {
+  if (requests < 0 || batch <= 0 || wait_us < 0 || cache < 0 ||
+      replicas <= 0) {
     std::fprintf(stderr,
                  "serve-bench: --requests/--wait_us/--cache must be >= 0 "
-                 "and --batch must be > 0\n");
+                 "and --batch/--replicas must be > 0\n");
     return 2;
   }
 
@@ -266,12 +271,29 @@ int RunServeBench(const CliArgs& args) {
     return 1;
   }
 
-  serve::InferenceEngine::Options options;
-  options.batcher.max_batch = batch;
-  options.batcher.max_wait_us = wait_us;
-  options.batcher.queue_capacity = static_cast<size_t>(requests) + 16;
-  options.cache_capacity = static_cast<size_t>(cache);
-  serve::InferenceEngine engine(registry.Get("cli"), options);
+  // --replicas > 1 serves through a ServeCluster (continuous batching, no
+  // wait window — --wait_us only applies to the single-engine batcher).
+  std::unique_ptr<serve::InferenceEngine> engine;
+  std::unique_ptr<serve::ServeCluster> cluster;
+  if (replicas > 1) {
+    serve::ServeCluster::Options options;
+    options.num_replicas = static_cast<size_t>(replicas);
+    options.replica.max_batch = batch;
+    options.replica.queue_capacity = static_cast<size_t>(requests) + 16;
+    options.cache_capacity = static_cast<size_t>(cache);
+    cluster =
+        std::make_unique<serve::ServeCluster>(registry.Get("cli"), options);
+  } else {
+    serve::InferenceEngine::Options options;
+    options.batcher.max_batch = batch;
+    options.batcher.max_wait_us = wait_us;
+    options.batcher.queue_capacity = static_cast<size_t>(requests) + 16;
+    options.cache_capacity = static_cast<size_t>(cache);
+    engine =
+        std::make_unique<serve::InferenceEngine>(registry.Get("cli"), options);
+  }
+  const serve::ServeMetrics& metrics =
+      cluster ? cluster->metrics() : engine->metrics();
 
   // Tracing covers only the serving phase (training spans would dwarf the
   // per-request ones and blow the event cap on long runs).
@@ -283,7 +305,8 @@ int RunServeBench(const CliArgs& args) {
   std::vector<std::future<StatusOr<serve::Prediction>>> futures;
   futures.reserve(static_cast<size_t>(requests));
   for (int i = 0; i < requests; ++i) {
-    futures.push_back(engine.Submit(dataset.graph(i % dataset.size())));
+    const graph::Graph& g = dataset.graph(i % dataset.size());
+    futures.push_back(cluster ? cluster->Submit(g) : engine->Submit(g));
   }
   int errors = 0;
   for (auto& f : futures) {
@@ -310,13 +333,20 @@ int RunServeBench(const CliArgs& args) {
                    metrics_out.c_str());
       return 1;
     }
-    engine.metrics().registry().WritePrometheusText(os);
+    metrics.registry().WritePrometheusText(os);
     std::printf("wrote Prometheus metrics to %s\n", metrics_out.c_str());
   }
 
   std::printf("served %d requests in %.3f s (%.1f graphs/sec, %d errors)\n\n",
               requests, elapsed, requests / elapsed, errors);
-  engine.metrics().Print(std::cout);
+  metrics.Print(std::cout);
+  if (cluster != nullptr) {
+    const serve::ClusterMetrics& cm = cluster->cluster_metrics();
+    std::printf("cluster: %d replicas, %zu dispatched, %zu steals "
+                "(%zu requests), %zu continuous admits\n",
+                replicas, cm.dispatched(), cm.steals(), cm.stolen_requests(),
+                cm.continuous_admits());
+  }
   return errors == 0 ? 0 : 1;
 }
 
