@@ -1,0 +1,315 @@
+// Roofline-style comparison of the pluggable inference backends.
+//
+//   $ ./build/bench/backends [--out=BENCH_backends.json] [--dataset=PTC_MM]
+//                            [--requests=N] [--epochs=N] [--reps=N]
+//
+// Trains one DEEPMAP model, registers it twice — once per backend ("fp32"
+// exact reference, "int8" quantized AVX2) — through the registry's
+// calibration guardrail, then drives each servable through an
+// InferenceEngine (cache off, so every request runs the full forward) at
+// batch sizes {1, 8, 32, 128}. Reports wall graphs/sec, forward-stage
+// graphs/sec (total requests over the summed forward-stage time), and the
+// nominal GFLOP/s each backend sustains on the forward pass.
+//
+// Gates (exit nonzero on failure):
+//   - the int8 servable must survive the calibration guardrail (argmax
+//     disagreement within the configured budget, no fp32 fallback), and
+//   - int8 must reach >= 2x fp32 forward-stage graphs/sec at every batch
+//     size >= 32.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "core/deepmap.h"
+#include "datasets/registry.h"
+#include "nn/int8_backend.h"
+#include "nn/model.h"
+#include "serve/engine.h"
+
+namespace {
+
+using namespace deepmap;
+
+struct BenchArgs {
+  std::string dataset = "PTC_MM";
+  std::string out = "BENCH_backends.json";
+  int requests = 256;
+  int epochs = 2;
+  int reps = 5;
+};
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--dataset=")) {
+      args.dataset = v;
+    } else if (const char* v = value("--out=")) {
+      args.out = v;
+    } else if (const char* v = value("--requests=")) {
+      args.requests = std::atoi(v);
+    } else if (const char* v = value("--epochs=")) {
+      args.epochs = std::atoi(v);
+    } else if (const char* v = value("--reps=")) {
+      args.reps = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Nominal forward-pass FLOPs for one graph: every multiply-add in the conv
+/// stack + dense head at full sequence length (the zero-row skip makes real
+/// work smaller; nominal keeps the roofline comparable across backends).
+double ForwardFlopsPerGraph(const core::DeepMapConfig& config, int m, int w,
+                            int num_classes) {
+  const double r = config.receptive_field_size;
+  const double c1 = config.conv1_channels;
+  const double c2 = config.conv2_channels;
+  const double c3 = config.conv3_channels;
+  const double dense = config.dense_units;
+  const double readout_dim = config.readout == core::ReadoutKind::kConcat
+                                 ? c3 * w
+                                 : c3;
+  return 2.0 * (w * (r * m * c1 + c1 * c2 + c2 * c3) + readout_dim * dense +
+                dense * num_classes);
+}
+
+struct BackendRun {
+  int batch = 0;
+  double wall_graphs_per_sec = 0.0;
+  double forward_graphs_per_sec = 0.0;
+  double forward_gflops = 0.0;
+};
+
+BackendRun RunBatchOnce(const std::shared_ptr<serve::ServableModel>& servable,
+                        const std::vector<const graph::Graph*>& requests,
+                        int max_batch, double flops_per_graph) {
+  serve::InferenceEngine::Options options;
+  options.batcher.max_batch = max_batch;
+  options.batcher.max_wait_us = 2000;
+  options.batcher.queue_capacity = requests.size() + 16;
+  options.cache_capacity = 0;  // every request must run the forward stage
+  serve::InferenceEngine engine(servable, options);
+
+  Stopwatch timer;
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const graph::Graph* g : requests) futures.push_back(engine.Submit(*g));
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "serve error: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  BackendRun run;
+  run.batch = max_batch;
+  run.wall_graphs_per_sec = static_cast<double>(requests.size()) / elapsed;
+  // Forward-stage throughput: the stage latency series records one sample
+  // per executed batch, so count * mean is the total time spent inside
+  // CompiledModel forwards (in us).
+  const serve::LatencySummary forward = engine.metrics().Latency("forward");
+  const double forward_total_s =
+      static_cast<double>(forward.count) * forward.mean / 1e6;
+  if (forward_total_s > 0.0) {
+    run.forward_graphs_per_sec =
+        static_cast<double>(requests.size()) / forward_total_s;
+    run.forward_gflops = run.forward_graphs_per_sec * flops_per_graph / 1e9;
+  }
+  return run;
+}
+
+/// Best-of-N, same policy as bench/spmm.cpp: a single-core box shares the CPU
+/// with whatever else the OS schedules, so one shot can be off by 2-3x; the
+/// fastest repetition is the closest estimate of the kernel's real cost.
+BackendRun RunBatch(const std::shared_ptr<serve::ServableModel>& servable,
+                    const std::vector<const graph::Graph*>& requests,
+                    int max_batch, double flops_per_graph, int reps) {
+  BackendRun best;
+  for (int r = 0; r < reps; ++r) {
+    BackendRun run = RunBatchOnce(servable, requests, max_batch,
+                                  flops_per_graph);
+    if (run.forward_graphs_per_sec > best.forward_graphs_per_sec) {
+      best.forward_graphs_per_sec = run.forward_graphs_per_sec;
+      best.forward_gflops = run.forward_gflops;
+      best.batch = run.batch;
+    }
+    if (run.wall_graphs_per_sec > best.wall_graphs_per_sec) {
+      best.wall_graphs_per_sec = run.wall_graphs_per_sec;
+    }
+  }
+  return best;
+}
+
+std::string Fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+
+  datasets::DatasetOptions options;
+  options.min_graphs = 40;
+  auto dataset_or = datasets::MakeDataset(args.dataset, options);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  const graph::GraphDataset& dataset = dataset_or.value();
+
+  core::DeepMapConfig config;
+  config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+  config.features.wl.iterations = 2;
+  config.features.max_dense_dim = 64;
+  config.train.epochs = args.epochs;
+  config.train.batch_size = 8;
+
+  core::DeepMapPipeline pipeline(dataset, config);
+  core::DeepMapModel model(pipeline.feature_dim(), pipeline.sequence_length(),
+                           pipeline.num_classes(), config);
+  nn::TrainClassifier(model, pipeline.inputs(), dataset.labels(),
+                      config.train);
+  const double flops_per_graph = ForwardFlopsPerGraph(
+      config, pipeline.feature_dim(), pipeline.sequence_length(),
+      pipeline.num_classes());
+  std::printf("%s: %d graphs, m=%d, w=%d, %.0f nominal flops/graph, avx2=%s\n\n",
+              dataset.name().c_str(), dataset.size(), pipeline.feature_dim(),
+              pipeline.sequence_length(), flops_per_graph,
+              nn::Int8Backend::CpuHasAvx2() ? "yes" : "no");
+
+  const std::vector<int> batches = {1, 8, 32, 128};
+  std::vector<const graph::Graph*> requests;
+  requests.reserve(static_cast<size_t>(args.requests));
+  for (int i = 0; i < args.requests; ++i) {
+    requests.push_back(&dataset.graph(i % dataset.size()));
+  }
+
+  serve::ModelRegistry registry;
+  serve::ModelRegistry::Options load_options;
+  load_options.calibration_graphs = 32;
+  load_options.max_argmax_disagreement = 0.05;
+  struct BackendResult {
+    std::string name;
+    std::shared_ptr<serve::ServableModel> servable;
+    std::vector<BackendRun> runs;
+  };
+  std::vector<BackendResult> results;
+  for (const std::string& backend : {std::string("fp32"), std::string("int8")}) {
+    load_options.backend = backend;
+    if (Status s = registry.Adopt(backend, dataset, config, model, load_options);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    results.push_back({backend, registry.Get(backend), {}});
+  }
+
+  const serve::BackendReport& int8_report =
+      results[1].servable->backend_report();
+  std::printf("int8 guardrail: %d/%d argmax disagreements on calibration, "
+              "max |logit diff| %.4g, active backend '%s'\n\n",
+              int8_report.argmax_disagreements, int8_report.calibration_size,
+              int8_report.max_abs_logit_diff,
+              results[1].servable->backend_name());
+  if (int8_report.fell_back) {
+    std::fprintf(stderr,
+                 "gate failed: int8 backend fell back to fp32 "
+                 "(argmax disagreement over budget)\n");
+    return 1;
+  }
+
+  Table table({"backend", "batch", "wall graphs/sec", "forward graphs/sec",
+               "forward GFLOP/s"});
+  for (BackendResult& result : results) {
+    for (int batch : batches) {
+      BackendRun run = RunBatch(result.servable, requests, batch,
+                                flops_per_graph, args.reps);
+      table.AddRow({result.name, std::to_string(batch),
+                    Fmt(run.wall_graphs_per_sec),
+                    Fmt(run.forward_graphs_per_sec),
+                    Fmt(run.forward_gflops, "%.2f")});
+      result.runs.push_back(run);
+    }
+  }
+  table.Print(std::cout);
+
+  // Acceptance gate: quantized forward stage >= 2x fp32 at every batch >= 32.
+  bool speedup_ok = true;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i] < 32) continue;
+    const double fp32 = results[0].runs[i].forward_graphs_per_sec;
+    const double int8 = results[1].runs[i].forward_graphs_per_sec;
+    const double speedup = fp32 > 0.0 ? int8 / fp32 : 0.0;
+    std::printf("batch=%d: int8 forward %.1f vs fp32 %.1f graphs/sec "
+                "(%.2fx)\n",
+                batches[i], int8, fp32, speedup);
+    if (speedup < 2.0) speedup_ok = false;
+  }
+
+  using bench::JsonValue;
+  JsonValue doc = bench::BenchDoc("backends");
+  doc.Obj("flags")
+      .Set("dataset", args.dataset)
+      .Set("requests", args.requests)
+      .Set("epochs", args.epochs)
+      .Set("reps", args.reps);
+  doc.Set("avx2", nn::Int8Backend::CpuHasAvx2());
+  doc.Set("nominal_flops_per_graph", flops_per_graph);
+  JsonValue& out_backends = doc.Arr("backends");
+  for (const BackendResult& result : results) {
+    const serve::BackendReport& report = result.servable->backend_report();
+    JsonValue& entry = out_backends.Push(
+        JsonValue::Object()
+            .Set("backend", result.name)
+            .Set("active_backend", result.servable->backend_name())
+            .Set("packed_weight_bytes",
+                 result.servable->compiled().PackedWeightBytes())
+            .Set("calibration_graphs", report.calibration_size)
+            .Set("argmax_disagreements", report.argmax_disagreements)
+            .Set("max_abs_logit_diff", double{report.max_abs_logit_diff})
+            .Set("fell_back", report.fell_back));
+    JsonValue& rows = entry.Arr("runs");
+    for (const BackendRun& run : result.runs) {
+      rows.Push(JsonValue::Object()
+                    .Set("batch", run.batch)
+                    .Set("wall_graphs_per_sec",
+                         JsonValue::Fixed(run.wall_graphs_per_sec, 1))
+                    .Set("forward_graphs_per_sec",
+                         JsonValue::Fixed(run.forward_graphs_per_sec, 1))
+                    .Set("forward_gflops",
+                         JsonValue::Fixed(run.forward_gflops, 3)));
+    }
+  }
+  doc.Set("acceptance_int8_2x_forward_at_batch32", speedup_ok);
+  if (!bench::WriteBenchFile(args.out, doc)) return 1;
+
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "gate failed: int8 forward-stage speedup < 2x at batch >= 32\n");
+    return 1;
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "core/alignment.h"
 #include "core/deepmap.h"
@@ -281,50 +282,46 @@ int main(int argc, char** argv) {
       config.train.epochs;
 
   // --- JSON ----------------------------------------------------------------
-  std::ofstream out(out_path);
-  out << "{\n  \"gemm\": [\n";
-  for (size_t i = 0; i < gemm_rows.size(); ++i) {
-    const GemmRow& r = gemm_rows[i];
+  using bench::JsonValue;
+  JsonValue doc = bench::BenchDoc("gemm_pipeline");
+  JsonValue& gemm = doc.Arr("gemm");
+  for (const GemmRow& r : gemm_rows) {
     const double gflop = 2.0 * r.m * r.k * r.n / 1e9;
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "    {\"m\": %d, \"k\": %d, \"n\": %d, \"naive_ms\": %.3f, "
-        "\"blocked_serial_ms\": %.3f, \"blocked_8threads_ms\": %.3f, "
-        "\"naive_gflops\": %.2f, \"blocked_serial_gflops\": %.2f, "
-        "\"blocked_8threads_gflops\": %.2f, \"speedup_serial\": %.2f, "
-        "\"bit_identical\": %s}%s\n",
-        r.m, r.k, r.n, r.naive_ms, r.serial_ms, r.parallel_ms,
-        gflop / (r.naive_ms / 1e3), gflop / (r.serial_ms / 1e3),
-        gflop / (r.parallel_ms / 1e3), r.naive_ms / r.serial_ms,
-        r.identical ? "true" : "false",
-        i + 1 < gemm_rows.size() ? "," : "");
-    out << buf;
+    gemm.Push(JsonValue::Object()
+                  .Set("m", r.m)
+                  .Set("k", r.k)
+                  .Set("n", r.n)
+                  .Set("naive_ms", JsonValue::Fixed(r.naive_ms, 3))
+                  .Set("blocked_serial_ms", JsonValue::Fixed(r.serial_ms, 3))
+                  .Set("blocked_8threads_ms", JsonValue::Fixed(r.parallel_ms, 3))
+                  .Set("naive_gflops", JsonValue::Fixed(gflop / (r.naive_ms / 1e3), 2))
+                  .Set("blocked_serial_gflops",
+                       JsonValue::Fixed(gflop / (r.serial_ms / 1e3), 2))
+                  .Set("blocked_8threads_gflops",
+                       JsonValue::Fixed(gflop / (r.parallel_ms / 1e3), 2))
+                  .Set("speedup_serial", JsonValue::Fixed(r.naive_ms / r.serial_ms, 2))
+                  .Set("bit_identical", r.identical));
   }
-  out << "  ],\n";
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "  \"preprocessing\": {\n"
-      "    \"dataset\": \"COLLAB\", \"num_graphs\": %d, \"max_vertices\": %d,\n"
-      "    \"build_inputs_legacy_ms\": %.1f, \"build_inputs_serial_ms\": %.1f, "
-      "\"build_inputs_8threads_ms\": %.1f, \"build_inputs_speedup\": %.2f, "
-      "\"build_inputs_bit_identical\": %s,\n"
-      "    \"gram_legacy_ms\": %.1f, \"gram_serial_ms\": %.1f, "
-      "\"gram_8threads_ms\": %.1f, \"gram_speedup\": %.2f, "
-      "\"gram_bit_identical\": %s\n  },\n",
-      dataset.size(), dataset.MaxVertices(), build_legacy_ms, build_serial_ms,
-      build_parallel_ms, build_legacy_ms / std::min(build_serial_ms, build_parallel_ms),
-      build_identical ? "true" : "false", gram_legacy_ms, gram_serial_ms,
-      gram_parallel_ms, gram_legacy_ms / std::min(gram_serial_ms, gram_parallel_ms),
-      gram_identical ? "true" : "false");
-  out << buf;
-  std::snprintf(buf, sizeof(buf),
-                "  \"epoch\": {\"deepmap_epoch_ms\": %.1f}\n}\n", epoch_ms);
-  out << buf;
-  out.close();
-
-  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  doc.Obj("preprocessing")
+      .Set("dataset", "COLLAB")
+      .Set("num_graphs", dataset.size())
+      .Set("max_vertices", dataset.MaxVertices())
+      .Set("build_inputs_legacy_ms", JsonValue::Fixed(build_legacy_ms, 1))
+      .Set("build_inputs_serial_ms", JsonValue::Fixed(build_serial_ms, 1))
+      .Set("build_inputs_8threads_ms", JsonValue::Fixed(build_parallel_ms, 1))
+      .Set("build_inputs_speedup",
+           JsonValue::Fixed(
+               build_legacy_ms / std::min(build_serial_ms, build_parallel_ms), 2))
+      .Set("build_inputs_bit_identical", build_identical)
+      .Set("gram_legacy_ms", JsonValue::Fixed(gram_legacy_ms, 1))
+      .Set("gram_serial_ms", JsonValue::Fixed(gram_serial_ms, 1))
+      .Set("gram_8threads_ms", JsonValue::Fixed(gram_parallel_ms, 1))
+      .Set("gram_speedup",
+           JsonValue::Fixed(
+               gram_legacy_ms / std::min(gram_serial_ms, gram_parallel_ms), 2))
+      .Set("gram_bit_identical", gram_identical);
+  doc.Obj("epoch").Set("deepmap_epoch_ms", JsonValue::Fixed(epoch_ms, 1));
+  bench::WriteBenchFile(out_path, doc);
   for (const GemmRow& r : gemm_rows) {
     std::fprintf(stderr,
                  "gemm %dx%dx%d: naive %.2f ms, blocked %.2f ms (%.2fx), "

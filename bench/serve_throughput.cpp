@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -292,36 +293,35 @@ int RunChaosBench(const BenchArgs& args,
               requests.size());
   table.Print(std::cout);
 
-  std::ofstream out(args.out);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
-    return 1;
+  using bench::JsonValue;
+  JsonValue doc = bench::BenchDoc("serve_chaos");
+  doc.Obj("flags")
+      .Set("dataset", args.dataset)
+      .Set("requests_per_run", requests.size());
+  doc.Obj("seeds")
+      .Set("fault", int64_t{kFaultSeed})
+      .Set("admission", int64_t{kAdmissionSeed});
+  JsonValue& out_runs = doc.Arr("runs");
+  for (const ChaosRun& r : runs) {
+    out_runs.Push(JsonValue::Object()
+                      .Set("fault_probability", r.fault_probability)
+                      .Set("submitted", r.submitted)
+                      .Set("ok", r.ok)
+                      .Set("degraded", r.degraded)
+                      .Set("shed", r.shed)
+                      .Set("deadline_exceeded", r.deadline_exceeded)
+                      .Set("rejected", r.rejected)
+                      .Set("error", r.error)
+                      .Set("faults_fired", r.faults_fired)
+                      .Set("graphs_per_sec", JsonValue::Fixed(r.graphs_per_sec, 1))
+                      .Set("offered_qps", JsonValue::Fixed(r.offered_qps, 1))
+                      .Set("sustained_qps", JsonValue::Fixed(r.sustained_qps, 1))
+                      .Set("shed_rate", JsonValue::Fixed(r.shed_rate, 4))
+                      .Set("p50_us", JsonValue::Fixed(r.p50_us, 1))
+                      .Set("p95_us", JsonValue::Fixed(r.p95_us, 1))
+                      .Set("p99_us", JsonValue::Fixed(r.p99_us, 1)));
   }
-  out << "{\n  \"bench\": \"serve_chaos\",\n";
-  out << "  \"dataset\": \"" << args.dataset << "\",\n";
-  out << "  \"requests_per_run\": " << requests.size() << ",\n";
-  out << "  \"fault_seed\": " << kFaultSeed << ",\n";
-  out << "  \"admission_seed\": " << kAdmissionSeed << ",\n";
-  out << "  \"runs\": [\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const ChaosRun& r = runs[i];
-    out << "    {\"fault_probability\": " << r.fault_probability
-        << ", \"submitted\": " << r.submitted << ", \"ok\": " << r.ok
-        << ", \"degraded\": " << r.degraded << ", \"shed\": " << r.shed
-        << ", \"deadline_exceeded\": " << r.deadline_exceeded
-        << ", \"rejected\": " << r.rejected << ", \"error\": " << r.error
-        << ", \"faults_fired\": " << r.faults_fired
-        << ", \"graphs_per_sec\": " << Fmt(r.graphs_per_sec, "%.1f")
-        << ", \"offered_qps\": " << Fmt(r.offered_qps, "%.1f")
-        << ", \"sustained_qps\": " << Fmt(r.sustained_qps, "%.1f")
-        << ", \"shed_rate\": " << Fmt(r.shed_rate, "%.4f")
-        << ", \"p50_us\": " << Fmt(r.p50_us, "%.1f")
-        << ", \"p95_us\": " << Fmt(r.p95_us, "%.1f")
-        << ", \"p99_us\": " << Fmt(r.p99_us, "%.1f") << "}"
-        << (i + 1 < runs.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::printf("\nwrote %s\n", args.out.c_str());
+  if (!bench::WriteBenchFile(args.out, doc)) return 1;
   return 0;
 }
 
@@ -522,38 +522,36 @@ int RunClusterBench(const BenchArgs& args,
     return 1;
   }
 
-  std::ofstream out(args.out);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
-    return 1;
+  using bench::JsonValue;
+  JsonValue doc = bench::BenchDoc("serve_cluster");
+  doc.Obj("flags")
+      .Set("dataset", args.dataset)
+      .Set("requests", requests.size())
+      .Set("deadline_us", 5000000);
+  doc.Obj("seeds").Set("admission", int64_t{kAdmissionSeed});
+  doc.Set("logits_bit_identical", true);
+  JsonValue& out_runs = doc.Arr("runs");
+  for (const ClusterRun& r : runs) {
+    out_runs.Push(JsonValue::Object()
+                      .Set("config", r.label)
+                      .Set("replicas", r.replicas)
+                      .Set("submitted", r.submitted)
+                      .Set("ok", r.ok)
+                      .Set("degraded", r.degraded)
+                      .Set("shed", r.shed)
+                      .Set("deadline_exceeded", r.deadline_exceeded)
+                      .Set("rejected", r.rejected)
+                      .Set("error", r.error)
+                      .Set("offered_qps", JsonValue::Fixed(r.offered_qps, 1))
+                      .Set("sustained_qps", JsonValue::Fixed(r.sustained_qps, 1))
+                      .Set("shed_rate", JsonValue::Fixed(r.shed_rate, 4))
+                      .Set("p50_us", JsonValue::Fixed(r.p50_us, 1))
+                      .Set("p95_us", JsonValue::Fixed(r.p95_us, 1))
+                      .Set("p99_us", JsonValue::Fixed(r.p99_us, 1))
+                      .Set("steals", r.steals)
+                      .Set("continuous_admits", r.continuous_admits));
   }
-  out << "{\n  \"bench\": \"serve_cluster\",\n";
-  out << "  \"dataset\": \"" << args.dataset << "\",\n";
-  out << "  \"requests\": " << requests.size() << ",\n";
-  out << "  \"deadline_us\": 5000000,\n";
-  out << "  \"admission_seed\": " << kAdmissionSeed << ",\n";
-  out << "  \"logits_bit_identical\": true,\n";
-  out << "  \"runs\": [\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const ClusterRun& r = runs[i];
-    out << "    {\"config\": \"" << r.label << "\""
-        << ", \"replicas\": " << r.replicas
-        << ", \"submitted\": " << r.submitted << ", \"ok\": " << r.ok
-        << ", \"degraded\": " << r.degraded << ", \"shed\": " << r.shed
-        << ", \"deadline_exceeded\": " << r.deadline_exceeded
-        << ", \"rejected\": " << r.rejected << ", \"error\": " << r.error
-        << ", \"offered_qps\": " << Fmt(r.offered_qps, "%.1f")
-        << ", \"sustained_qps\": " << Fmt(r.sustained_qps, "%.1f")
-        << ", \"shed_rate\": " << Fmt(r.shed_rate, "%.4f")
-        << ", \"p50_us\": " << Fmt(r.p50_us, "%.1f")
-        << ", \"p95_us\": " << Fmt(r.p95_us, "%.1f")
-        << ", \"p99_us\": " << Fmt(r.p99_us, "%.1f")
-        << ", \"steals\": " << r.steals
-        << ", \"continuous_admits\": " << r.continuous_admits << "}"
-        << (i + 1 < runs.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::printf("\nwrote %s\n", args.out.c_str());
+  if (!bench::WriteBenchFile(args.out, doc)) return 1;
   return 0;
 }
 

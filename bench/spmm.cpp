@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "datasets/random_graphs.h"
 #include "graph/graph.h"
@@ -138,10 +139,11 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   bool acceptance_ok = true;
-  std::ofstream out(out_path);
-  out << "{\n  \"spmm\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  using bench::JsonValue;
+  JsonValue doc = bench::BenchDoc("spmm");
+  doc.Obj("seeds").Set("graph_sweep", 907).Set("features", int64_t{0xFEA7});
+  JsonValue& spmm = doc.Arr("spmm");
+  for (const Row& r : rows) {
     const double speedup = r.dense_ms / r.sparse_ms;
     const double mem_ratio = static_cast<double>(r.dense_bytes) /
                              static_cast<double>(r.sparse_bytes);
@@ -149,37 +151,33 @@ int main(int argc, char** argv) {
     if (r.acceptance && (speedup < 10.0 || mem_ratio < 10.0)) {
       acceptance_ok = false;
     }
-    char buf[640];
-    std::snprintf(
-        buf, sizeof(buf),
-        "    {\"generator\": \"%s\", \"n\": %d, \"edges\": %lld, "
-        "\"nnz\": %lld, \"dense_ms\": %.3f, \"sparse_serial_ms\": %.3f, "
-        "\"sparse_8threads_ms\": %.3f, \"speedup\": %.2f, "
-        "\"graphs_per_sec_dense\": %.1f, \"graphs_per_sec_sparse\": %.1f, "
-        "\"dense_bytes_per_graph\": %zu, \"sparse_bytes_per_graph\": %zu, "
-        "\"memory_ratio\": %.1f, \"bit_identical\": %s, "
-        "\"acceptance_row\": %s}%s\n",
-        r.generator.c_str(), r.n, static_cast<long long>(r.edges),
-        static_cast<long long>(r.nnz), r.dense_ms, r.sparse_ms, r.sparse8_ms,
-        speedup, 1000.0 / r.dense_ms, 1000.0 / r.sparse_ms, r.dense_bytes,
-        r.sparse_bytes, mem_ratio, r.identical ? "true" : "false",
-        r.acceptance ? "true" : "false", i + 1 < rows.size() ? "," : "");
-    out << buf;
+    spmm.Push(JsonValue::Object()
+                  .Set("generator", r.generator)
+                  .Set("n", r.n)
+                  .Set("edges", r.edges)
+                  .Set("nnz", r.nnz)
+                  .Set("dense_ms", JsonValue::Fixed(r.dense_ms, 3))
+                  .Set("sparse_serial_ms", JsonValue::Fixed(r.sparse_ms, 3))
+                  .Set("sparse_8threads_ms", JsonValue::Fixed(r.sparse8_ms, 3))
+                  .Set("speedup", JsonValue::Fixed(speedup, 2))
+                  .Set("graphs_per_sec_dense",
+                       JsonValue::Fixed(1000.0 / r.dense_ms, 1))
+                  .Set("graphs_per_sec_sparse",
+                       JsonValue::Fixed(1000.0 / r.sparse_ms, 1))
+                  .Set("dense_bytes_per_graph", r.dense_bytes)
+                  .Set("sparse_bytes_per_graph", r.sparse_bytes)
+                  .Set("memory_ratio", JsonValue::Fixed(mem_ratio, 1))
+                  .Set("bit_identical", r.identical)
+                  .Set("acceptance_row", r.acceptance));
     std::fprintf(stderr,
                  "%s n=%d: dense %.3f ms, sparse %.3f ms (%.1fx), "
                  "mem %.1fx, identical=%d\n",
                  r.generator.c_str(), r.n, r.dense_ms, r.sparse_ms, speedup,
                  mem_ratio, r.identical ? 1 : 0);
   }
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "  ],\n  \"all_bit_identical\": %s,\n"
-                "  \"acceptance_10x_wall_and_memory\": %s\n}\n",
-                all_identical ? "true" : "false",
-                acceptance_ok ? "true" : "false");
-  out << buf;
-  out.close();
-  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  doc.Set("all_bit_identical", all_identical);
+  doc.Set("acceptance_10x_wall_and_memory", acceptance_ok);
+  bench::WriteBenchFile(out_path, doc);
 
   if (!all_identical || !acceptance_ok) {
     std::fprintf(stderr,

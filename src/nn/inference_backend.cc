@@ -1,0 +1,106 @@
+#include "nn/inference_backend.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "nn/int8_backend.h"
+
+// NOTE: this file is compiled with -ffp-contract=off (see src/CMakeLists.txt)
+// so the fp32 reference chains below can never be FMA-contracted away from
+// the training layers' rounding.
+
+namespace deepmap::nn {
+
+void InferenceBackend::Relu(float* x, int n) const {
+  for (int i = 0; i < n; ++i) {
+    if (x[i] < 0.0f) x[i] = 0.0f;
+  }
+}
+
+namespace {
+
+/// Plain row-major fp32 copy of the weight matrix.
+class Fp32Packed final : public PackedWeights {
+ public:
+  Fp32Packed(const Tensor& w)
+      : PackedWeights(w.dim(0), w.dim(1)),
+        data_(w.data(), w.data() + w.NumElements()) {}
+
+  const float* row(int o) const {
+    return data_.data() + static_cast<size_t>(o) * cols();
+  }
+  size_t MemoryBytes() const override { return data_.size() * sizeof(float); }
+
+ private:
+  std::vector<float> data_;
+};
+
+}  // namespace
+
+std::unique_ptr<PackedWeights> Fp32RefBackend::Pack(const Tensor& w) const {
+  DEEPMAP_CHECK_EQ(w.rank(), 2);
+  return std::make_unique<Fp32Packed>(w);
+}
+
+void Fp32RefBackend::AccumulateDot(const PackedWeights& w, int col0, int cols,
+                                   const float* x, float* y) const {
+  const auto& p = static_cast<const Fp32Packed&>(w);
+  for (int o = 0; o < p.rows(); ++o) {
+    const float* wo = p.row(o) + col0;
+    float sum = y[o];
+    for (int c = 0; c < cols; ++c) sum += wo[c] * x[c];
+    y[o] = sum;
+  }
+}
+
+void Fp32RefBackend::ConvForward(const PackedWeights& w, const float* bias,
+                                 const float* x, float* y) const {
+  const auto& p = static_cast<const Fp32Packed&>(w);
+  const int in_channels = p.cols();
+  for (int o = 0; o < p.rows(); ++o) {
+    float sum = bias[o];
+    const float* wo = p.row(o);
+    for (int i = 0; i < in_channels; ++i) sum += wo[i] * x[i];
+    y[o] = sum;
+  }
+}
+
+void Fp32RefBackend::DenseForward(const PackedWeights& w, const float* bias,
+                                  const float* x, float* y) const {
+  const auto& p = static_cast<const Fp32Packed&>(w);
+  const int in_features = p.cols();
+  for (int o = 0; o < p.rows(); ++o) {
+    float sum = 0.0f;
+    const float* wo = p.row(o);
+    for (int t = 0; t < in_features; ++t) sum += x[t] * wo[t];
+    y[o] = sum + bias[o];
+  }
+}
+
+const InferenceBackend& Fp32Backend() {
+  static const Fp32RefBackend* kInstance = new Fp32RefBackend();
+  return *kInstance;
+}
+
+std::vector<std::string> InferenceBackendNames() { return {"fp32", "int8"}; }
+
+StatusOr<std::unique_ptr<InferenceBackend>> MakeInferenceBackend(
+    const std::string& name) {
+  if (name == "fp32") {
+    return StatusOr<std::unique_ptr<InferenceBackend>>(
+        std::make_unique<Fp32RefBackend>());
+  }
+  if (name == "int8") {
+    return StatusOr<std::unique_ptr<InferenceBackend>>(
+        std::make_unique<Int8Backend>());
+  }
+  std::string known;
+  for (const std::string& n : InferenceBackendNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::InvalidArgument("unknown inference backend '" + name +
+                                 "'; known backends: " + known);
+}
+
+}  // namespace deepmap::nn

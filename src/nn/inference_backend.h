@@ -1,0 +1,115 @@
+// Pluggable execution backends for the serving-time forward pass.
+//
+// The logical forward graph of a DEEPMAP network (conv stack -> readout ->
+// dense head) is fixed at training time, but *how* each matrix-vector
+// product executes is a deployment decision: exact fp32 for bit-identical
+// parity with the training stack, or a quantized SIMD kernel that trades a
+// bounded amount of accuracy for throughput. InferenceBackend is that seam:
+// serve::CompiledModel packs every weight matrix once through
+// Pack() and then drives the per-slot forward pass exclusively through the
+// backend's AccumulateDot / ConvForward / DenseForward / Relu primitives.
+//
+// Contracts:
+//   - Fp32RefBackend (the default, reachable via Fp32Backend()) reproduces
+//     the training layers' accumulation order exactly: one ascending-index
+//     accumulator chain per output element, bias-first for convolutions,
+//     bias-last for dense layers. Routed through it, compiled logits stay
+//     bit-identical to DeepMapModel::Forward — the perf_equiv/serve suites
+//     pin this.
+//   - Other backends (nn/int8_backend.h) may round differently; callers that
+//     need an accuracy guarantee wrap them in a guardrail (see
+//     serve::ModelRegistry) instead of assuming bit-equality.
+//   - Backends are immutable after construction and thread-safe: one packed
+//     weight set may be shared by any number of concurrent forward passes.
+#ifndef DEEPMAP_NN_INFERENCE_BACKEND_H_
+#define DEEPMAP_NN_INFERENCE_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace deepmap::nn {
+
+/// Backend-specific prepared form of one row-major [rows, cols] weight
+/// matrix. Opaque to callers; produced by InferenceBackend::Pack and only
+/// meaningful to the backend that packed it.
+class PackedWeights {
+ public:
+  PackedWeights(int rows, int cols) : rows_(rows), cols_(cols) {}
+  virtual ~PackedWeights() = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Resident bytes of the packed representation (bench/inspection).
+  virtual size_t MemoryBytes() const = 0;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Kernel-execution strategy for the inference forward pass.
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+
+  /// Stable identifier ("fp32", "int8") used for registry selection,
+  /// persistence tags, and bench labels.
+  virtual const char* name() const = 0;
+
+  /// Packs a rank-2 row-major weight tensor for this backend.
+  virtual std::unique_ptr<PackedWeights> Pack(const Tensor& weights) const = 0;
+
+  /// y[o] += sum_{c in [0, cols)} W[o][col0 + c] * x[c] for every output
+  /// row o. The column window (col0, cols) is how the conv1 stage visits
+  /// one receptive-field position of its [c1, r*m] kernel while skipping
+  /// leading exact-zero features; callers pre-fill y with the bias.
+  virtual void AccumulateDot(const PackedWeights& w, int col0, int cols,
+                             const float* x, float* y) const = 0;
+
+  /// Pointwise convolution: y[o] = bias[o] + dot(W[o], x) with the bias
+  /// folded in *first*, matching nn::Conv1D's accumulation order.
+  virtual void ConvForward(const PackedWeights& w, const float* bias,
+                           const float* x, float* y) const = 0;
+
+  /// Dense layer: y[o] = dot(W[o], x) + bias[o] with the bias added *last*,
+  /// matching nn::Dense's accumulation order.
+  virtual void DenseForward(const PackedWeights& w, const float* bias,
+                            const float* x, float* y) const = 0;
+
+  /// In-place ReLU mirroring nn::Relu: strictly-negative values clamp to
+  /// 0.0f; -0.0f passes through unchanged.
+  virtual void Relu(float* x, int n) const;
+};
+
+/// Exact fp32 reference backend: the training layers' loops, verbatim.
+class Fp32RefBackend final : public InferenceBackend {
+ public:
+  const char* name() const override { return "fp32"; }
+  std::unique_ptr<PackedWeights> Pack(const Tensor& weights) const override;
+  void AccumulateDot(const PackedWeights& w, int col0, int cols,
+                     const float* x, float* y) const override;
+  void ConvForward(const PackedWeights& w, const float* bias, const float* x,
+                   float* y) const override;
+  void DenseForward(const PackedWeights& w, const float* bias, const float* x,
+                    float* y) const override;
+};
+
+/// Process-wide immutable fp32 reference backend; the default when no
+/// backend is supplied and the fallback target of accuracy guardrails.
+const InferenceBackend& Fp32Backend();
+
+/// Registered backend names, in preference-documentation order.
+std::vector<std::string> InferenceBackendNames();
+
+/// Constructs a backend by name ("fp32" or "int8"); InvalidArgument (naming
+/// the known backends) for anything else.
+StatusOr<std::unique_ptr<InferenceBackend>> MakeInferenceBackend(
+    const std::string& name);
+
+}  // namespace deepmap::nn
+
+#endif  // DEEPMAP_NN_INFERENCE_BACKEND_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "obs/trace.h"
 
 namespace deepmap::serve {
@@ -42,6 +43,9 @@ ServeCluster::ServeCluster(std::shared_ptr<ServableModel> model,
              &metrics_.registry()) {
   DEEPMAP_CHECK(model_ != nullptr);
   options_.num_replicas = std::max<size_t>(options_.num_replicas, 1);
+  DEEPMAP_LOG(Info) << "ServeCluster serving model '" << model_->name()
+                    << "' via backend '" << model_->backend_name() << "' on "
+                    << options_.num_replicas << " replica(s)";
   BatchPipeline::Hooks hooks;
   hooks.on_complete = [this](const ServeRequest& r) { OnRequestComplete(r); };
   replicas_.reserve(options_.num_replicas);

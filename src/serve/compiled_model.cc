@@ -5,47 +5,6 @@
 namespace deepmap::serve {
 namespace {
 
-/// Mirrors nn::Relu (strictly-negative values clamp; -0.0f passes through,
-/// which keeps the compiled chain bit-identical to the layer stack).
-inline void ReluInPlace(std::vector<float>& v) {
-  for (float& x : v) {
-    if (x < 0.0f) x = 0.0f;
-  }
-}
-
-/// Pointwise conv (kernel 1): out[o] = bias[o] + sum_i w[o][i] * in[i],
-/// accumulated in the same order as nn::Conv1D::Forward.
-inline void PointwiseConv(const nn::Tensor& weights, const nn::Tensor& bias,
-                          const std::vector<float>& in,
-                          std::vector<float>& out) {
-  const int out_channels = bias.dim(0);
-  const int in_channels = weights.dim(1);
-  out.resize(static_cast<size_t>(out_channels));
-  const float* w = weights.data();
-  for (int o = 0; o < out_channels; ++o) {
-    float sum = bias.data()[o];
-    const float* wo = w + static_cast<size_t>(o) * in_channels;
-    for (int i = 0; i < in_channels; ++i) sum += wo[i] * in[i];
-    out[static_cast<size_t>(o)] = sum;
-  }
-}
-
-/// Dense layer in nn::Dense order: full weight sum first, bias added last.
-inline void DenseForward(const nn::Tensor& weights, const nn::Tensor& bias,
-                         const std::vector<float>& in,
-                         std::vector<float>& out) {
-  const int out_features = bias.dim(0);
-  const int in_features = weights.dim(1);
-  out.resize(static_cast<size_t>(out_features));
-  const float* w = weights.data();
-  for (int o = 0; o < out_features; ++o) {
-    float sum = 0.0f;
-    const float* wo = w + static_cast<size_t>(o) * in_features;
-    for (int t = 0; t < in_features; ++t) sum += in[t] * wo[t];
-    out[static_cast<size_t>(o)] = sum + bias.data()[o];
-  }
-}
-
 /// Index of the first nonzero entry, or -1 when the row is all zeros.
 inline int FirstNonZero(const float* row, int m) {
   for (int c = 0; c < m; ++c) {
@@ -75,15 +34,15 @@ Status CheckShape(const char* name, const nn::Tensor& t,
 
 }  // namespace
 
-StatusOr<CompiledModel> CompiledModel::Compile(core::DeepMapModel& model,
-                                               const core::DeepMapConfig& config,
-                                               int feature_dim,
-                                               int sequence_length,
-                                               int num_classes) {
+StatusOr<CompiledModel> CompiledModel::Compile(
+    core::DeepMapModel& model, const core::DeepMapConfig& config,
+    int feature_dim, int sequence_length, int num_classes,
+    const nn::InferenceBackend* backend) {
   if (feature_dim <= 0 || sequence_length <= 0 || num_classes <= 0) {
     return Status::InvalidArgument("compiled model needs positive dimensions");
   }
   CompiledModel cm;
+  cm.backend_ = backend != nullptr ? backend : &nn::Fp32Backend();
   cm.m_ = feature_dim;
   cm.w_ = sequence_length;
   cm.r_ = config.receptive_field_size;
@@ -105,39 +64,55 @@ StatusOr<CompiledModel> CompiledModel::Compile(core::DeepMapModel& model,
   }
   struct Slot {
     const char* name;
-    nn::Tensor* dst;
+    std::unique_ptr<nn::PackedWeights>* packed;  // set for weight matrices
+    nn::Tensor* bias;                            // set for bias vectors
     std::vector<int> shape;
   };
   const Slot slots[] = {
-      {"conv1.weights", &cm.conv1_w_, {cm.c1_, cm.r_ * cm.m_}},
-      {"conv1.bias", &cm.conv1_b_, {cm.c1_}},
-      {"conv2.weights", &cm.conv2_w_, {cm.c2_, cm.c1_}},
-      {"conv2.bias", &cm.conv2_b_, {cm.c2_}},
-      {"conv3.weights", &cm.conv3_w_, {cm.c3_, cm.c2_}},
-      {"conv3.bias", &cm.conv3_b_, {cm.c3_}},
-      {"dense1.weights", &cm.dense1_w_, {cm.dense_units_, cm.readout_dim_}},
-      {"dense1.bias", &cm.dense1_b_, {cm.dense_units_}},
-      {"dense2.weights", &cm.dense2_w_, {cm.num_classes_, cm.dense_units_}},
-      {"dense2.bias", &cm.dense2_b_, {cm.num_classes_}},
+      {"conv1.weights", &cm.conv1_p_, nullptr, {cm.c1_, cm.r_ * cm.m_}},
+      {"conv1.bias", nullptr, &cm.conv1_b_, {cm.c1_}},
+      {"conv2.weights", &cm.conv2_p_, nullptr, {cm.c2_, cm.c1_}},
+      {"conv2.bias", nullptr, &cm.conv2_b_, {cm.c2_}},
+      {"conv3.weights", &cm.conv3_p_, nullptr, {cm.c3_, cm.c2_}},
+      {"conv3.bias", nullptr, &cm.conv3_b_, {cm.c3_}},
+      {"dense1.weights", &cm.dense1_p_, nullptr, {cm.dense_units_, cm.readout_dim_}},
+      {"dense1.bias", nullptr, &cm.dense1_b_, {cm.dense_units_}},
+      {"dense2.weights", &cm.dense2_p_, nullptr, {cm.num_classes_, cm.dense_units_}},
+      {"dense2.bias", nullptr, &cm.dense2_b_, {cm.num_classes_}},
   };
   for (size_t i = 0; i < params.size(); ++i) {
     if (Status s = CheckShape(slots[i].name, *params[i].value, slots[i].shape);
         !s.ok()) {
       return s;
     }
-    *slots[i].dst = *params[i].value;
+    if (slots[i].packed != nullptr) {
+      *slots[i].packed = cm.backend_->Pack(*params[i].value);
+    } else {
+      *slots[i].bias = *params[i].value;
+    }
   }
 
   // Constant activations of an all-zero slot: conv bias -> ReLU chained
-  // through the pointwise convolutions, exactly as the layer stack computes
-  // them for dummy rows.
+  // through the pointwise convolutions, computed through the same backend so
+  // dummy slots and populated slots round identically.
+  const nn::InferenceBackend& be = *cm.backend_;
   cm.dummy1_.assign(cm.conv1_b_.data(), cm.conv1_b_.data() + cm.c1_);
-  ReluInPlace(cm.dummy1_);
-  PointwiseConv(cm.conv2_w_, cm.conv2_b_, cm.dummy1_, cm.dummy2_);
-  ReluInPlace(cm.dummy2_);
-  PointwiseConv(cm.conv3_w_, cm.conv3_b_, cm.dummy2_, cm.dummy3_);
-  ReluInPlace(cm.dummy3_);
+  be.Relu(cm.dummy1_.data(), cm.c1_);
+  cm.dummy2_.resize(static_cast<size_t>(cm.c2_));
+  be.ConvForward(*cm.conv2_p_, cm.conv2_b_.data(), cm.dummy1_.data(),
+                 cm.dummy2_.data());
+  be.Relu(cm.dummy2_.data(), cm.c2_);
+  cm.dummy3_.resize(static_cast<size_t>(cm.c3_));
+  be.ConvForward(*cm.conv3_p_, cm.conv3_b_.data(), cm.dummy2_.data(),
+                 cm.dummy3_.data());
+  be.Relu(cm.dummy3_.data(), cm.c3_);
   return cm;
+}
+
+size_t CompiledModel::PackedWeightBytes() const {
+  return conv1_p_->MemoryBytes() + conv2_p_->MemoryBytes() +
+         conv3_p_->MemoryBytes() + dense1_p_->MemoryBytes() +
+         dense2_p_->MemoryBytes();
 }
 
 void CompiledModel::ForwardInto(const nn::Tensor& input,
@@ -146,15 +121,18 @@ void CompiledModel::ForwardInto(const nn::Tensor& input,
   DEEPMAP_CHECK_EQ(input.dim(0), w_ * r_);
   DEEPMAP_CHECK_EQ(input.dim(1), m_);
   const float* x = input.data();
+  const nn::InferenceBackend& be = *backend_;
   const bool concat = readout_ == core::ReadoutKind::kConcat;
   scratch->readout.assign(static_cast<size_t>(readout_dim_), 0.0f);
   scratch->h1.resize(static_cast<size_t>(c1_));
+  scratch->h2.resize(static_cast<size_t>(c2_));
+  scratch->h3.resize(static_cast<size_t>(c3_));
 
   for (int s = 0; s < w_; ++s) {
-    // Conv1 over this slot's window, visiting only nonzero input rows. The
-    // accumulation order per output channel matches nn::Conv1D (bias first,
-    // then weights in ascending (pos, feature) order), so skipping exact
-    // zeros leaves the sums bit-identical.
+    // Conv1 over this slot's window, visiting only nonzero input rows. With
+    // the fp32 backend the accumulation order per output channel matches
+    // nn::Conv1D (bias first, then weights in ascending (pos, feature)
+    // order), so skipping exact zeros leaves the sums bit-identical.
     bool any_row = false;
     for (int pos = 0; pos < r_; ++pos) {
       const float* row = x + (static_cast<size_t>(s) * r_ + pos) * m_;
@@ -166,22 +144,19 @@ void CompiledModel::ForwardInto(const nn::Tensor& input,
         }
         any_row = true;
       }
-      for (int o = 0; o < c1_; ++o) {
-        const float* wo = conv1_w_.data() +
-                          (static_cast<size_t>(o) * r_ + pos) * m_;
-        float sum = scratch->h1[static_cast<size_t>(o)];
-        for (int c = c0; c < m_; ++c) sum += wo[c] * row[c];
-        scratch->h1[static_cast<size_t>(o)] = sum;
-      }
+      be.AccumulateDot(*conv1_p_, pos * m_ + c0, m_ - c0, row + c0,
+                       scratch->h1.data());
     }
 
     const std::vector<float>* h3 = &dummy3_;
     if (any_row) {
-      ReluInPlace(scratch->h1);
-      PointwiseConv(conv2_w_, conv2_b_, scratch->h1, scratch->h2);
-      ReluInPlace(scratch->h2);
-      PointwiseConv(conv3_w_, conv3_b_, scratch->h2, scratch->h3);
-      ReluInPlace(scratch->h3);
+      be.Relu(scratch->h1.data(), c1_);
+      be.ConvForward(*conv2_p_, conv2_b_.data(), scratch->h1.data(),
+                     scratch->h2.data());
+      be.Relu(scratch->h2.data(), c2_);
+      be.ConvForward(*conv3_p_, conv3_b_.data(), scratch->h2.data(),
+                     scratch->h3.data());
+      be.Relu(scratch->h3.data(), c3_);
       h3 = &scratch->h3;
     }
     if (concat) {
@@ -200,10 +175,14 @@ void CompiledModel::ForwardInto(const nn::Tensor& input,
     for (float& v : scratch->readout) v *= inv;
   }
 
-  DenseForward(dense1_w_, dense1_b_, scratch->readout, scratch->hidden);
-  ReluInPlace(scratch->hidden);
+  scratch->hidden.resize(static_cast<size_t>(dense_units_));
+  be.DenseForward(*dense1_p_, dense1_b_.data(), scratch->readout.data(),
+                  scratch->hidden.data());
+  be.Relu(scratch->hidden.data(), dense_units_);
   // Dropout is identity at inference.
-  DenseForward(dense2_w_, dense2_b_, scratch->hidden, scratch->logits);
+  scratch->logits.resize(static_cast<size_t>(num_classes_));
+  be.DenseForward(*dense2_p_, dense2_b_.data(), scratch->hidden.data(),
+                  scratch->logits.data());
 }
 
 Prediction CompiledModel::Predict(const nn::Tensor& input,

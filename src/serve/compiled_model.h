@@ -12,17 +12,26 @@
 //     activation chain (bias -> ReLU -> pointwise convs), so per-graph cost
 //     scales with the actual vertex count n instead of w,
 //   - reuses caller-provided scratch buffers (no per-sample allocation).
-// Floating-point evaluation order mirrors the training layers exactly, so
-// compiled logits are bit-identical to DeepMapModel::Forward(.., false).
+//
+// Kernel execution is delegated to an nn::InferenceBackend chosen at Compile
+// time: weights are packed once through InferenceBackend::Pack and every dot
+// product in the forward pass runs through the backend's primitives. With
+// the default nn::Fp32Backend() the evaluation order mirrors the training
+// layers exactly, so compiled logits are bit-identical to
+// DeepMapModel::Forward(.., false); quantized backends (nn::Int8Backend)
+// trade bounded rounding for throughput and are guarded by the registry's
+// calibration harness (see serve/model_registry.h).
 //
 // CompiledModel is immutable after Compile and safe to share across threads.
 #ifndef DEEPMAP_SERVE_COMPILED_MODEL_H_
 #define DEEPMAP_SERVE_COMPILED_MODEL_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/deepmap.h"
+#include "nn/inference_backend.h"
 #include "nn/tensor.h"
 
 namespace deepmap::serve {
@@ -51,20 +60,32 @@ struct ForwardScratch {
 };
 
 /// Flat immutable weights + architecture dims of one DEEPMAP network.
+/// Move-only: the packed weight bundle is owned exclusively.
 class CompiledModel {
  public:
-  /// Snapshots `model`'s parameters. Validates that the parameter list has
-  /// the expected layer structure for (config, feature_dim, sequence_length,
-  /// num_classes); returns InvalidArgument on any shape mismatch.
-  static StatusOr<CompiledModel> Compile(core::DeepMapModel& model,
-                                         const core::DeepMapConfig& config,
-                                         int feature_dim, int sequence_length,
-                                         int num_classes);
+  /// Snapshots `model`'s parameters, packed for `backend` (nullptr selects
+  /// the exact-fp32 nn::Fp32Backend()). Validates that the parameter list
+  /// has the expected layer structure for (config, feature_dim,
+  /// sequence_length, num_classes); returns InvalidArgument on any shape
+  /// mismatch. `backend` must outlive the compiled model.
+  static StatusOr<CompiledModel> Compile(
+      core::DeepMapModel& model, const core::DeepMapConfig& config,
+      int feature_dim, int sequence_length, int num_classes,
+      const nn::InferenceBackend* backend = nullptr);
+
+  CompiledModel(CompiledModel&&) = default;
+  CompiledModel& operator=(CompiledModel&&) = default;
 
   int feature_dim() const { return m_; }
   int sequence_length() const { return w_; }
   int num_classes() const { return num_classes_; }
   int receptive_field_size() const { return r_; }
+
+  /// Name of the backend executing this model's forward pass.
+  const char* backend_name() const { return backend_->name(); }
+
+  /// Resident bytes of all packed weight matrices (bench/inspection).
+  size_t PackedWeightBytes() const;
 
   /// Classifies one preprocessed input of shape [w*r, m]. Thread-safe; pass
   /// a distinct `scratch` per calling thread.
@@ -96,15 +117,19 @@ class CompiledModel {
   int readout_dim_ = 0;
   core::ReadoutKind readout_ = core::ReadoutKind::kSum;
 
-  // Weight snapshots, in the training layout (see nn/conv1d.h, nn/dense.h).
-  nn::Tensor conv1_w_, conv1_b_;  // [c1, r*m], [c1]
-  nn::Tensor conv2_w_, conv2_b_;  // [c2, c1], [c2]
-  nn::Tensor conv3_w_, conv3_b_;  // [c3, c2], [c3]
-  nn::Tensor dense1_w_, dense1_b_;  // [dense, readout_dim], [dense]
-  nn::Tensor dense2_w_, dense2_b_;  // [C, dense], [C]
+  // Kernel execution strategy; points at nn::Fp32Backend() or at a backend
+  // owned by the surrounding ServableModel.
+  const nn::InferenceBackend* backend_ = nullptr;
+
+  // Weights packed by backend_; biases stay fp32 (they seed accumulators in
+  // every backend). Training layouts: conv1 [c1, r*m], conv2 [c2, c1],
+  // conv3 [c3, c2], dense1 [dense, readout_dim], dense2 [C, dense].
+  std::unique_ptr<nn::PackedWeights> conv1_p_, conv2_p_, conv3_p_;
+  std::unique_ptr<nn::PackedWeights> dense1_p_, dense2_p_;
+  nn::Tensor conv1_b_, conv2_b_, conv3_b_, dense1_b_, dense2_b_;
 
   // Activations an all-zero (dummy/padding) slot produces after each
-  // conv+ReLU; computed once at Compile time.
+  // conv+ReLU; computed once at Compile time through the same backend.
   std::vector<float> dummy1_, dummy2_, dummy3_;
 };
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "obs/trace.h"
 
 namespace deepmap::serve {
@@ -42,6 +43,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
                     /*on_complete=*/nullptr}),
       admission_rng_(options.admission.seed) {
   DEEPMAP_CHECK(model_ != nullptr);
+  DEEPMAP_LOG(Info) << "InferenceEngine serving model '" << model_->name()
+                    << "' via backend '" << model_->backend_name() << "'";
   batcher_ = std::make_unique<MicroBatcher>(
       options_.batcher,
       [this](std::vector<ServeRequest>&& batch, size_t depth_after) {

@@ -1,12 +1,27 @@
 #include "serve/model_registry.h"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "nn/serialization.h"
 
 namespace deepmap::serve {
+namespace {
+
+constexpr char kBackendLoadsCounter[] = "deepmap_serve_backend_loads_total";
+constexpr char kBackendFallbackCounter[] =
+    "deepmap_serve_backend_fallback_total";
+
+bool IsKnownBackend(const std::string& name) {
+  const std::vector<std::string> known = nn::InferenceBackendNames();
+  return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+}  // namespace
 
 ServableModel::ServableModel(std::string name,
                              const graph::GraphDataset& reference,
@@ -30,14 +45,146 @@ ServableModel::ServableModel(std::string name,
       fallback_.probabilities.begin());
 }
 
+ModelRegistry::ModelRegistry(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = metrics;
+  }
+}
+
+Status ModelRegistry::CompileInto(ServableModel& servable,
+                                  core::DeepMapModel& model,
+                                  const graph::GraphDataset& reference,
+                                  const Options& options) {
+  const std::string requested =
+      options.backend.empty() ? "fp32" : options.backend;
+  BackendReport report;
+  report.requested = requested;
+  report.active = requested;
+
+  const core::DeepMapConfig& config = servable.config();
+  auto compile = [&](const nn::InferenceBackend* be) {
+    return CompiledModel::Compile(model, config, servable.feature_dim(),
+                                  servable.sequence_length(),
+                                  servable.num_classes(), be);
+  };
+
+  if (requested == "fp32") {
+    StatusOr<CompiledModel> compiled = compile(nullptr);
+    if (!compiled.ok()) return compiled.status();
+    servable.compiled_ =
+        std::make_unique<CompiledModel>(std::move(compiled).value());
+    servable.backend_report_ = report;
+    metrics_->GetCounter(kBackendLoadsCounter).Increment();
+    return Status::Ok();
+  }
+
+  StatusOr<std::unique_ptr<nn::InferenceBackend>> backend =
+      nn::MakeInferenceBackend(requested);
+  if (!backend.ok()) return backend.status();
+  StatusOr<CompiledModel> quantized = compile(backend.value().get());
+  if (!quantized.ok()) return quantized.status();
+
+  bool fell_back = false;
+  if (options.calibration_graphs <= 0) {
+    // Guardrail disabled: install the requested backend unchecked.
+    servable.backend_ = std::move(backend).value();
+    servable.compiled_ =
+        std::make_unique<CompiledModel>(std::move(quantized).value());
+  } else {
+    // Calibration guardrail: compare against the exact fp32 compile on the
+    // first reference graphs that preprocess cleanly.
+    StatusOr<CompiledModel> fp32 = compile(nullptr);
+    if (!fp32.ok()) return fp32.status();
+    ForwardScratch quant_scratch, fp32_scratch;
+    const std::vector<graph::Graph>& graphs = reference.graphs();
+    const int want = std::min<int>(options.calibration_graphs,
+                                   static_cast<int>(graphs.size()));
+    int used = 0;
+    int disagreements = 0;
+    float max_diff = 0.0f;
+    for (size_t i = 0; i < graphs.size() && used < want; ++i) {
+      StatusOr<nn::Tensor> input = servable.preprocessor_.Preprocess(graphs[i]);
+      if (!input.ok()) continue;  // oversized/empty graphs can't calibrate
+      const Prediction pq = quantized.value().Predict(input.value(),
+                                                      &quant_scratch);
+      const Prediction pr = fp32.value().Predict(input.value(), &fp32_scratch);
+      ++used;
+      if (pq.label != pr.label) ++disagreements;
+      for (int c = 0; c < servable.num_classes(); ++c) {
+        const float d = std::fabs(quant_scratch.logits[static_cast<size_t>(c)] -
+                                  fp32_scratch.logits[static_cast<size_t>(c)]);
+        if (d > max_diff) max_diff = d;
+      }
+    }
+    report.calibration_size = used;
+    report.argmax_disagreements = disagreements;
+    report.max_abs_logit_diff = max_diff;
+    // An empty calibration slice can't certify the backend — treat it as a
+    // failed guardrail rather than serving unvalidated quantized logits.
+    const bool over_budget =
+        used == 0 ||
+        static_cast<double>(disagreements) / static_cast<double>(used) >
+            options.max_argmax_disagreement;
+    if (over_budget) {
+      fell_back = true;
+      servable.compiled_ =
+          std::make_unique<CompiledModel>(std::move(fp32).value());
+    } else {
+      servable.backend_ = std::move(backend).value();
+      servable.compiled_ =
+          std::make_unique<CompiledModel>(std::move(quantized).value());
+    }
+  }
+
+  if (fell_back) {
+    report.active = "fp32";
+    report.fell_back = true;
+    metrics_->GetCounter(kBackendFallbackCounter).Increment();
+    DEEPMAP_LOG(Warning) << "model '" << servable.name() << "': backend '"
+                         << requested << "' failed the calibration guardrail ("
+                         << report.argmax_disagreements << "/"
+                         << report.calibration_size
+                         << " argmax disagreements, max |logit diff| "
+                         << report.max_abs_logit_diff
+                         << "); serving fp32 instead";
+  }
+  servable.backend_report_ = report;
+  metrics_->GetCounter(kBackendLoadsCounter).Increment();
+  return Status::Ok();
+}
+
 Status ModelRegistry::Load(const std::string& name,
                            const graph::GraphDataset& reference,
                            const core::DeepMapConfig& config,
                            const std::string& params_path) {
+  Options options;
+  options.backend.clear();  // honor a persisted sidecar tag if present
+  return Load(name, reference, config, params_path, options);
+}
+
+Status ModelRegistry::Load(const std::string& name,
+                           const graph::GraphDataset& reference,
+                           const core::DeepMapConfig& config,
+                           const std::string& params_path,
+                           const Options& options) {
   // Injected load failure: storage/permission flakiness before any state is
   // built, the path a rollout controller must handle by keeping the old
   // servable (Load never unregisters on failure).
   DEEPMAP_INJECT_FAULT("serve.registry.load");
+  Options resolved = options;
+  if (resolved.backend.empty()) {
+    StatusOr<std::string> tag = ReadBackendTag(params_path);
+    if (tag.ok()) {
+      resolved.backend = tag.value();
+    } else if (tag.status().code() != StatusCode::kNotFound) {
+      return tag.status();  // corrupt tag: fail loudly, never misload
+    } else {
+      resolved.backend = "fp32";
+    }
+  }
   auto servable = std::make_shared<ServableModel>(name, reference, config);
   core::DeepMapModel model(servable->feature_dim(),
                            servable->sequence_length(),
@@ -45,12 +192,14 @@ Status ModelRegistry::Load(const std::string& name,
   if (Status s = nn::LoadParameters(model.Params(), params_path); !s.ok()) {
     return s;
   }
-  StatusOr<CompiledModel> compiled = CompiledModel::Compile(
-      model, config, servable->feature_dim(), servable->sequence_length(),
-      servable->num_classes());
-  if (!compiled.ok()) return compiled.status();
-  servable->compiled_ =
-      std::make_unique<CompiledModel>(std::move(compiled).value());
+  if (Status s = CompileInto(*servable, model, reference, resolved); !s.ok()) {
+    return s;
+  }
+  if (options.persist_backend_tag) {
+    if (Status s = WriteBackendTag(params_path, resolved.backend); !s.ok()) {
+      return s;
+    }
+  }
   return Register(name, std::move(servable));
 }
 
@@ -58,13 +207,18 @@ Status ModelRegistry::Adopt(const std::string& name,
                             const graph::GraphDataset& reference,
                             const core::DeepMapConfig& config,
                             core::DeepMapModel& trained) {
+  return Adopt(name, reference, config, trained, Options());
+}
+
+Status ModelRegistry::Adopt(const std::string& name,
+                            const graph::GraphDataset& reference,
+                            const core::DeepMapConfig& config,
+                            core::DeepMapModel& trained,
+                            const Options& options) {
   auto servable = std::make_shared<ServableModel>(name, reference, config);
-  StatusOr<CompiledModel> compiled = CompiledModel::Compile(
-      trained, config, servable->feature_dim(), servable->sequence_length(),
-      servable->num_classes());
-  if (!compiled.ok()) return compiled.status();
-  servable->compiled_ =
-      std::make_unique<CompiledModel>(std::move(compiled).value());
+  if (Status s = CompileInto(*servable, trained, reference, options); !s.ok()) {
+    return s;
+  }
   return Register(name, std::move(servable));
 }
 
@@ -105,6 +259,51 @@ std::vector<std::string> ModelRegistry::Names() const {
 size_t ModelRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return models_.size();
+}
+
+std::string ModelRegistry::BackendTagPath(const std::string& params_path) {
+  return params_path + ".backend";
+}
+
+Status ModelRegistry::WriteBackendTag(const std::string& params_path,
+                                      const std::string& backend) {
+  if (!IsKnownBackend(backend)) {
+    return Status::InvalidArgument("cannot persist unknown backend '" +
+                                   backend + "'");
+  }
+  const std::string path = BackendTagPath(params_path);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write backend tag: " + path);
+  out << backend << "\n";
+  out.flush();
+  if (!out) return Status::IoError("short write to backend tag: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::string> ModelRegistry::ReadBackendTag(
+    const std::string& params_path) {
+  const std::string path = BackendTagPath(params_path);
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no backend tag at " + path);
+  std::string tag;
+  std::getline(in, tag);
+  while (!tag.empty() && (tag.back() == '\r' || tag.back() == ' ' ||
+                          tag.back() == '\t')) {
+    tag.pop_back();
+  }
+  if (!IsKnownBackend(tag)) {
+    return Status::InvalidArgument("backend tag at " + path +
+                                   " names unknown backend '" + tag + "'");
+  }
+  return tag;
+}
+
+int64_t ModelRegistry::backend_loads() const {
+  return metrics_->GetCounter(kBackendLoadsCounter).Value();
+}
+
+int64_t ModelRegistry::backend_fallbacks() const {
+  return metrics_->GetCounter(kBackendFallbackCounter).Value();
 }
 
 }  // namespace deepmap::serve

@@ -1,0 +1,358 @@
+// Tests for the pluggable inference-backend layer: fp32 reference
+// bit-identity through explicit backend selection, the int8 quantized
+// backend's accuracy + scalar/AVX2 equivalence, ModelRegistry backend error
+// paths (unknown names, guardrail fallback, sidecar tag persistence), and
+// the deepmap_serve_backend_* metrics those paths emit.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/deepmap.h"
+#include "datasets/registry.h"
+#include "nn/inference_backend.h"
+#include "nn/int8_backend.h"
+#include "nn/model.h"
+#include "nn/serialization.h"
+#include "serve/model_registry.h"
+
+namespace deepmap {
+namespace {
+
+using serve::CompiledModel;
+using serve::ForwardScratch;
+using serve::ModelRegistry;
+
+std::filesystem::path TempFile(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+struct TrainedBundle {
+  graph::GraphDataset dataset;
+  core::DeepMapConfig config;
+  std::unique_ptr<core::DeepMapPipeline> pipeline;
+  std::unique_ptr<core::DeepMapModel> model;
+};
+
+TrainedBundle& Bundle() {
+  static TrainedBundle* bundle = [] {
+    auto* b = new TrainedBundle();
+    datasets::DatasetOptions options;
+    options.min_graphs = 30;
+    auto dataset_or = datasets::MakeDataset("PTC_MM", options);
+    DEEPMAP_CHECK(dataset_or.ok());
+    b->dataset = std::move(dataset_or).value();
+    b->config.features.kind = kernels::FeatureMapKind::kWlSubtree;
+    b->config.features.wl.iterations = 2;
+    b->config.features.max_dense_dim = 32;
+    b->config.train.epochs = 3;
+    b->config.train.batch_size = 8;
+    b->pipeline =
+        std::make_unique<core::DeepMapPipeline>(b->dataset, b->config);
+    b->model = std::make_unique<core::DeepMapModel>(
+        b->pipeline->feature_dim(), b->pipeline->sequence_length(),
+        b->pipeline->num_classes(), b->config);
+    nn::TrainClassifier(*b->model, b->pipeline->inputs(),
+                        b->dataset.labels(), b->config.train);
+    return b;
+  }();
+  return *bundle;
+}
+
+// ---------------------------------------------------------------------------
+// Backend factory
+
+TEST(InferenceBackendTest, FactoryKnowsFp32AndInt8) {
+  const std::vector<std::string> names = nn::InferenceBackendNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "fp32");
+  EXPECT_EQ(names[1], "int8");
+  for (const std::string& name : names) {
+    auto backend = nn::MakeInferenceBackend(name);
+    ASSERT_TRUE(backend.ok()) << name;
+    EXPECT_EQ(backend.value()->name(), name);
+  }
+}
+
+TEST(InferenceBackendTest, FactoryRejectsUnknownNameWithKnownList) {
+  auto backend = nn::MakeInferenceBackend("int4");
+  ASSERT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kInvalidArgument);
+  // The error must name the offender and the valid choices.
+  EXPECT_NE(backend.status().message().find("int4"), std::string::npos);
+  EXPECT_NE(backend.status().message().find("fp32"), std::string::npos);
+  EXPECT_NE(backend.status().message().find("int8"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// fp32 reference backend: the refactor must not move a single bit
+
+TEST(BackendBitIdentityTest, ExplicitFp32OptionsMatchTrainingStack) {
+  TrainedBundle& b = Bundle();
+  ModelRegistry registry;
+  ModelRegistry::Options options;
+  options.backend = "fp32";
+  ASSERT_TRUE(
+      registry.Adopt("fp32", b.dataset, b.config, *b.model, options).ok());
+  auto servable = registry.Get("fp32");
+  ASSERT_NE(servable, nullptr);
+  EXPECT_STREQ(servable->backend_name(), "fp32");
+  EXPECT_EQ(servable->backend_report().requested, "fp32");
+  EXPECT_FALSE(servable->backend_report().fell_back);
+
+  ForwardScratch scratch;
+  for (int i = 0; i < b.dataset.size(); ++i) {
+    const nn::Tensor& input = b.pipeline->inputs()[i];
+    nn::Tensor offline = b.model->Forward(input, false);
+    nn::Tensor served = servable->compiled().Logits(input, &scratch);
+    ASSERT_EQ(served.NumElements(), offline.NumElements());
+    for (int c = 0; c < offline.NumElements(); ++c) {
+      ASSERT_EQ(served.data()[c], offline.data()[c])
+          << "graph " << i << " logit " << c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// int8 quantized backend
+
+TEST(Int8BackendTest, SurvivesGuardrailAndAgreesWithFp32) {
+  TrainedBundle& b = Bundle();
+  ModelRegistry registry;
+  ModelRegistry::Options options;
+  options.backend = "int8";
+  options.calibration_graphs = 32;
+  options.max_argmax_disagreement = 0.25;  // generous: this asserts accuracy
+                                           // is sane, not a tuned bound
+  ASSERT_TRUE(
+      registry.Adopt("int8", b.dataset, b.config, *b.model, options).ok());
+  auto servable = registry.Get("int8");
+  ASSERT_NE(servable, nullptr);
+
+  const serve::BackendReport& report = servable->backend_report();
+  EXPECT_EQ(report.requested, "int8");
+  EXPECT_EQ(report.active, "int8");
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_STREQ(servable->backend_name(), "int8");
+  EXPECT_GT(report.calibration_size, 0);
+  EXPECT_LE(report.argmax_disagreements,
+            static_cast<int>(0.25 * report.calibration_size));
+  EXPECT_GT(report.max_abs_logit_diff, 0.0f);  // quantization is not exact
+  EXPECT_EQ(registry.backend_loads(), 1);
+  EXPECT_EQ(registry.backend_fallbacks(), 0);
+}
+
+TEST(Int8BackendTest, PackedWeightsSmallerThanFp32) {
+  TrainedBundle& b = Bundle();
+  ModelRegistry registry;
+  ModelRegistry::Options options;
+  options.calibration_graphs = 0;
+  options.backend = "fp32";
+  ASSERT_TRUE(
+      registry.Adopt("fp32", b.dataset, b.config, *b.model, options).ok());
+  options.backend = "int8";
+  ASSERT_TRUE(
+      registry.Adopt("int8", b.dataset, b.config, *b.model, options).ok());
+  // int8 values are stored widened to int16: 2 bytes/weight vs 4 for fp32.
+  EXPECT_LT(registry.Get("int8")->compiled().PackedWeightBytes(),
+            registry.Get("fp32")->compiled().PackedWeightBytes());
+}
+
+TEST(Int8BackendTest, ScalarAndAvx2KernelsBitIdentical) {
+  if (!nn::Int8Backend::CpuHasAvx2()) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  TrainedBundle& b = Bundle();
+  nn::Int8Backend avx2(/*force_scalar=*/false);
+  nn::Int8Backend scalar(/*force_scalar=*/true);
+  ASSERT_TRUE(avx2.using_avx2());
+  ASSERT_FALSE(scalar.using_avx2());
+
+  auto vec_cm = CompiledModel::Compile(*b.model, b.config,
+                                       b.pipeline->feature_dim(),
+                                       b.pipeline->sequence_length(),
+                                       b.pipeline->num_classes(), &avx2);
+  auto sca_cm = CompiledModel::Compile(*b.model, b.config,
+                                       b.pipeline->feature_dim(),
+                                       b.pipeline->sequence_length(),
+                                       b.pipeline->num_classes(), &scalar);
+  ASSERT_TRUE(vec_cm.ok());
+  ASSERT_TRUE(sca_cm.ok());
+
+  ForwardScratch vec_scratch, sca_scratch;
+  for (int i = 0; i < b.dataset.size(); ++i) {
+    const nn::Tensor& input = b.pipeline->inputs()[i];
+    nn::Tensor vec = vec_cm.value().Logits(input, &vec_scratch);
+    nn::Tensor sca = sca_cm.value().Logits(input, &sca_scratch);
+    ASSERT_EQ(vec.NumElements(), sca.NumElements());
+    ASSERT_EQ(std::memcmp(vec.data(), sca.data(),
+                          sizeof(float) * static_cast<size_t>(
+                                              vec.NumElements())),
+              0)
+        << "graph " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry error paths + guardrail fallback
+
+TEST(RegistryBackendTest, UnknownBackendNameIsInvalidArgument) {
+  TrainedBundle& b = Bundle();
+  ModelRegistry registry;
+  ModelRegistry::Options options;
+  options.backend = "bf16";
+  Status s = registry.Adopt("nope", b.dataset, b.config, *b.model, options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("bf16"), std::string::npos) << s.ToString();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.backend_loads(), 0);
+}
+
+TEST(RegistryBackendTest, GuardrailFallbackIsObservable) {
+  TrainedBundle& b = Bundle();
+  ModelRegistry registry;
+  ModelRegistry::Options options;
+  options.backend = "int8";
+  options.calibration_graphs = 16;
+  options.max_argmax_disagreement = -1.0;  // force the fallback path
+  ASSERT_TRUE(
+      registry.Adopt("forced", b.dataset, b.config, *b.model, options).ok());
+  auto servable = registry.Get("forced");
+  ASSERT_NE(servable, nullptr);
+
+  const serve::BackendReport& report = servable->backend_report();
+  EXPECT_EQ(report.requested, "int8");
+  EXPECT_EQ(report.active, "fp32");
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_STREQ(servable->backend_name(), "fp32");
+  EXPECT_EQ(registry.backend_fallbacks(), 1);
+
+  // After falling back, the servable is the exact fp32 reference.
+  ForwardScratch scratch;
+  const nn::Tensor& input = b.pipeline->inputs()[0];
+  nn::Tensor offline = b.model->Forward(input, false);
+  nn::Tensor served = servable->compiled().Logits(input, &scratch);
+  for (int c = 0; c < offline.NumElements(); ++c) {
+    ASSERT_EQ(served.data()[c], offline.data()[c]);
+  }
+
+  // The fallback is visible in the Prometheus exposition.
+  std::ostringstream out;
+  registry.metrics().WritePrometheusText(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("deepmap_serve_backend_fallback_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("deepmap_serve_backend_loads_total"), std::string::npos);
+}
+
+TEST(RegistryBackendTest, ZeroCalibrationDisablesGuardrail) {
+  TrainedBundle& b = Bundle();
+  ModelRegistry registry;
+  ModelRegistry::Options options;
+  options.backend = "int8";
+  options.calibration_graphs = 0;
+  options.max_argmax_disagreement = -1.0;  // would force fallback if checked
+  ASSERT_TRUE(
+      registry.Adopt("unchecked", b.dataset, b.config, *b.model, options).ok());
+  auto servable = registry.Get("unchecked");
+  ASSERT_NE(servable, nullptr);
+  EXPECT_STREQ(servable->backend_name(), "int8");
+  EXPECT_FALSE(servable->backend_report().fell_back);
+  EXPECT_EQ(servable->backend_report().calibration_size, 0);
+  EXPECT_EQ(registry.backend_fallbacks(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Backend sidecar tag persistence
+
+TEST(RegistryBackendTest, PersistedTagRestoresBackendOnPlainLoad) {
+  TrainedBundle& b = Bundle();
+  auto path = TempFile("backend_test_tagged_model.bin");
+  ASSERT_TRUE(nn::SaveParameters(b.model->Params(), path.string()).ok());
+
+  {
+    ModelRegistry registry;
+    ModelRegistry::Options options;
+    options.backend = "int8";
+    options.calibration_graphs = 0;
+    options.persist_backend_tag = true;
+    ASSERT_TRUE(
+        registry.Load("tagged", b.dataset, b.config, path.string(), options)
+            .ok());
+  }
+  const std::string tag_path = ModelRegistry::BackendTagPath(path.string());
+  ASSERT_TRUE(std::filesystem::exists(tag_path));
+  auto tag = ModelRegistry::ReadBackendTag(path.string());
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(tag.value(), "int8");
+
+  // A plain Load (no options) must pick the persisted backend up.
+  ModelRegistry reloaded;
+  ASSERT_TRUE(
+      reloaded.Load("reloaded", b.dataset, b.config, path.string()).ok());
+  auto servable = reloaded.Get("reloaded");
+  ASSERT_NE(servable, nullptr);
+  EXPECT_EQ(servable->backend_report().requested, "int8");
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(tag_path);
+}
+
+TEST(RegistryBackendTest, MissingTagDefaultsToFp32) {
+  TrainedBundle& b = Bundle();
+  auto path = TempFile("backend_test_untagged_model.bin");
+  ASSERT_TRUE(nn::SaveParameters(b.model->Params(), path.string()).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.Load("untagged", b.dataset, b.config, path.string()).ok());
+  EXPECT_STREQ(registry.Get("untagged")->backend_name(), "fp32");
+  std::filesystem::remove(path);
+}
+
+TEST(RegistryBackendTest, CorruptTagFailsLoudlyOnPlainLoad) {
+  TrainedBundle& b = Bundle();
+  auto path = TempFile("backend_test_corrupt_tag_model.bin");
+  ASSERT_TRUE(nn::SaveParameters(b.model->Params(), path.string()).ok());
+  const std::string tag_path = ModelRegistry::BackendTagPath(path.string());
+  {
+    std::ofstream tag(tag_path);
+    tag << "int9000\n";
+  }
+
+  ModelRegistry registry;
+  Status s = registry.Load("corrupt", b.dataset, b.config, path.string());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("int9000"), std::string::npos) << s.ToString();
+  EXPECT_EQ(registry.size(), 0u);
+
+  // An explicit backend choice overrides the corrupt tag entirely.
+  ModelRegistry::Options options;
+  options.backend = "fp32";
+  EXPECT_TRUE(
+      registry.Load("explicit", b.dataset, b.config, path.string(), options)
+          .ok());
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(tag_path);
+}
+
+TEST(RegistryBackendTest, WriteBackendTagValidatesName) {
+  auto path = TempFile("backend_test_tag_validate.bin");
+  Status s = ModelRegistry::WriteBackendTag(path.string(), "fp64");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      std::filesystem::exists(ModelRegistry::BackendTagPath(path.string())));
+}
+
+}  // namespace
+}  // namespace deepmap

@@ -36,9 +36,25 @@ CALL_RE = re.compile(
 
 TOKEN_RE = re.compile(r"[a-z0-9]+")
 
+# constexpr char kFoo[] = "deepmap_...";  — call sites that pass a named
+# constant (model_registry.cc does this for the backend counters) are
+# invisible to CALL_RE, so metric-name constants are scanned separately. The
+# kind is inferred from the reserved suffix.
+NAME_CONST_RE = re.compile(
+    r'\bconstexpr\s+char\s+\w+\s*\[\]\s*=\s*"(deepmap_[^"]*)"', re.MULTILINE)
+
 KIND_SUFFIX = {
     "Counter": "_total",
     "Histogram": "_seconds",
+}
+
+# Families that must exist somewhere in the tree: dashboards and the serving
+# runbook reference these by name, so silently renaming (or dropping) one is
+# a break even though every remaining literal still lints clean. Maps name ->
+# the Get* kind it must be registered with.
+REQUIRED_FAMILIES = {
+    "deepmap_serve_backend_loads_total": "Counter",
+    "deepmap_serve_backend_fallback_total": "Counter",
 }
 
 
@@ -84,6 +100,7 @@ def main() -> int:
     violations = []
     scanned = 0
     checked = 0
+    seen = {}  # name -> kind, for the required-families check
     for top in SCAN_DIRS:
         base = root / top
         if not base.is_dir():
@@ -100,6 +117,8 @@ def main() -> int:
                 if "EXPECT_DEATH" in text[max(0, match.start() - 160):match.start()]:
                     continue
                 checked += 1
+                if tail != "+":
+                    seen.setdefault(name, kind)
                 error = (validate_prefix(name) if tail == "+"
                          else validate(kind, name))
                 if error:
@@ -107,6 +126,27 @@ def main() -> int:
                     violations.append(
                         f"{path.relative_to(root)}:{line}: "
                         f"Get{kind}(\"{name}\"): {error}")
+            for match in NAME_CONST_RE.finditer(text):
+                name = match.group(1)
+                kind = ("Counter" if name.endswith("_total") else
+                        "Histogram" if name.endswith("_seconds") else "Gauge")
+                checked += 1
+                seen.setdefault(name, kind)
+                error = validate(kind, name)
+                if error:
+                    line = text.count("\n", 0, match.start()) + 1
+                    violations.append(
+                        f"{path.relative_to(root)}:{line}: "
+                        f"constant \"{name}\": {error}")
+    for name, kind in sorted(REQUIRED_FAMILIES.items()):
+        if name not in seen:
+            violations.append(
+                f"required metric family {name!r} is not registered anywhere "
+                f"(expected a Get{kind}(\"{name}\") call site)")
+        elif seen[name] != kind:
+            violations.append(
+                f"required metric family {name!r} is registered as "
+                f"Get{seen[name]}, expected Get{kind}")
     for violation in violations:
         print(violation)
     print(f"check_metrics_names: {checked} metric names across "

@@ -37,6 +37,7 @@
 #include "graph/tu_format.h"
 #include "kernels/random_walk.h"
 #include "kernels/wl_oa.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/cluster.h"
 #include "serve/engine.h"
@@ -72,8 +73,8 @@ int Usage() {
       "  evaluate:    --method=M [--folds=N] [--epochs=N] [--seed=N] [--r=N]\n"
       "  generate:    --synthetic=NAME --out_dir=DIR [--scale=F]\n"
       "  serve-bench: [--requests=N] [--batch=N] [--epochs=N] [--cache=N]\n"
-      "               [--wait_us=N] [--replicas=N] [--trace-out=FILE]\n"
-      "               [--metrics-out=FILE]\n");
+      "               [--wait_us=N] [--replicas=N] [--backend=fp32|int8]\n"
+      "               [--trace-out=FILE] [--metrics-out=FILE]\n");
   return 2;
 }
 
@@ -239,6 +240,7 @@ int RunServeBench(const CliArgs& args) {
   const int wait_us = args.GetInt("wait_us", 2000);
   const int cache = args.GetInt("cache", 1024);
   const int replicas = args.GetInt("replicas", 1);
+  const std::string backend = args.Get("backend", "fp32");
   const std::string trace_out = args.Get("trace-out");
   const std::string metrics_out = args.Get("metrics-out");
   if (requests < 0 || batch <= 0 || wait_us < 0 || cache < 0 ||
@@ -265,11 +267,28 @@ int RunServeBench(const CliArgs& args) {
   std::printf("trained DEEPMAP-WL on %s: train accuracy %.1f%%\n",
               dataset.name().c_str(), 100.0 * history.final_accuracy());
 
-  serve::ModelRegistry registry;
-  if (Status s = registry.Adopt("cli", dataset, config, model); !s.ok()) {
+  // One shared metrics registry so --metrics-out captures the registry's
+  // backend load/fallback counters alongside the engine's serving metrics.
+  obs::MetricsRegistry metrics_registry;
+  serve::ModelRegistry registry(&metrics_registry);
+  serve::ModelRegistry::Options serve_options;
+  serve_options.backend = backend;
+  if (Status s = registry.Adopt("cli", dataset, config, model, serve_options);
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
+  const serve::BackendReport& report = registry.Get("cli")->backend_report();
+  std::printf("backend: requested %s, serving %s", report.requested.c_str(),
+              report.active.c_str());
+  if (report.calibration_size > 0) {
+    std::printf(" (guardrail: %d/%d argmax disagreements, max |logit diff| "
+                "%.4g%s)",
+                report.argmax_disagreements, report.calibration_size,
+                report.max_abs_logit_diff,
+                report.fell_back ? "; FELL BACK to fp32" : "");
+  }
+  std::printf("\n");
 
   // --replicas > 1 serves through a ServeCluster (continuous batching, no
   // wait window — --wait_us only applies to the single-engine batcher).
@@ -281,6 +300,7 @@ int RunServeBench(const CliArgs& args) {
     options.replica.max_batch = batch;
     options.replica.queue_capacity = static_cast<size_t>(requests) + 16;
     options.cache_capacity = static_cast<size_t>(cache);
+    options.metrics_registry = &metrics_registry;
     cluster =
         std::make_unique<serve::ServeCluster>(registry.Get("cli"), options);
   } else {
@@ -289,6 +309,7 @@ int RunServeBench(const CliArgs& args) {
     options.batcher.max_wait_us = wait_us;
     options.batcher.queue_capacity = static_cast<size_t>(requests) + 16;
     options.cache_capacity = static_cast<size_t>(cache);
+    options.metrics_registry = &metrics_registry;
     engine =
         std::make_unique<serve::InferenceEngine>(registry.Get("cli"), options);
   }
