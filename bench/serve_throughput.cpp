@@ -28,6 +28,7 @@
 // rate per configuration and writing BENCH_serve_cluster.json. Gates: the
 // 4-replica cluster absorbs the burst (shed rate < 2%, p99 inside the 5 s
 // deadline) and its predictions are byte-identical to the single engine's.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.h"
@@ -272,6 +274,116 @@ ChaosRun RunChaos(const std::shared_ptr<serve::ServableModel>& servable,
   return run;
 }
 
+// Supervision chaos: one replica of four hangs and another is killed
+// mid-burst; the Supervisor must recover every in-flight request onto
+// healthy siblings (zero lost, zero duplicate replies), restart both
+// failed workers, and have them rejoin for a post-recovery wave.
+struct SupervisionChaosRun {
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t rejected = 0;
+  int64_t error = 0;
+  int64_t hangs = 0;
+  int64_t crashes = 0;
+  int64_t restarts = 0;
+  int64_t redispatched = 0;
+  int64_t quarantined = 0;
+  int64_t recovery_wave_ok = 0;
+  bool replicas_rejoined = false;
+  double p99_us = 0.0;
+};
+
+SupervisionChaosRun RunSupervisionChaos(
+    const std::shared_ptr<serve::ServableModel>& servable,
+    const std::vector<const graph::Graph*>& requests) {
+  FailPointRegistry& registry = FailPointRegistry::Instance();
+  registry.DisableAll();
+
+  serve::ServeCluster::Options options;
+  options.num_replicas = 4;
+  options.replica.max_batch = 16;
+  options.replica.queue_capacity = 128;
+  options.replica.num_threads = 1;
+  options.cache_capacity = 0;  // every request rides a replica queue
+  options.supervision.check_interval = std::chrono::milliseconds(1);
+  options.supervision.hang_timeout = std::chrono::milliseconds(50);
+  options.supervision.restart_backoff_initial = std::chrono::milliseconds(5);
+  serve::ServeCluster cluster(servable, options);
+
+  // The first batch popped anywhere stalls its worker; the next pop (a
+  // different worker — the first is stalled) kills its thread outright.
+  // Both land mid-burst: the submit loop below outruns the pipeline.
+  registry.Enable("serve.replica.hang", FailPointSpec::Once());
+  registry.Enable("serve.replica.crash", FailPointSpec::Once());
+
+  SupervisionChaosRun run;
+  run.submitted = static_cast<int64_t>(requests.size());
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const graph::Graph* g : requests) {
+    futures.push_back(cluster.Submit(
+        *g, serve::RequestOptions::WithDeadline(std::chrono::seconds(5))));
+  }
+  // Zero lost replies: every future resolves despite two dead workers.
+  for (auto& f : futures) (void)f.get();
+  cluster.Drain();
+  registry.DisableAll();
+
+  // Both failed workers restart (backoff is ms-scale) and report healthy.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cluster.health_metrics().restarts() >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  run.replicas_rejoined = cluster.health_metrics().restarts() >= 2;
+  for (size_t i = 0; i < cluster.num_replicas(); ++i) {
+    if (cluster.replica(i).health() != serve::ReplicaHealth::kHealthy) {
+      run.replicas_rejoined = false;
+    }
+  }
+
+  // Post-recovery wave: the restarted replicas serve traffic again.
+  const size_t wave = std::min<size_t>(requests.size(), 64);
+  std::vector<std::future<StatusOr<serve::Prediction>>> recovery;
+  recovery.reserve(wave);
+  for (size_t i = 0; i < wave; ++i) {
+    recovery.push_back(cluster.Submit(*requests[i]));
+  }
+  for (auto& f : recovery) {
+    auto r = f.get();
+    if (r.ok()) ++run.recovery_wave_ok;
+  }
+  cluster.Drain();
+
+  const serve::ServeMetrics& m = cluster.metrics();
+  run.ok = m.outcome_count(serve::ServeOutcome::kOk);
+  run.degraded = m.outcome_count(serve::ServeOutcome::kDegraded);
+  run.rejected = m.outcome_count(serve::ServeOutcome::kRejected);
+  run.error = m.outcome_count(serve::ServeOutcome::kError);
+  run.hangs = cluster.health_metrics().hangs();
+  run.crashes = cluster.health_metrics().crashes();
+  run.restarts = cluster.health_metrics().restarts();
+  run.redispatched = cluster.health_metrics().redispatched();
+  run.quarantined = cluster.health_metrics().quarantined();
+  run.p99_us = m.Latency("total").p99;
+
+  // Zero duplicate replies: outcomes exactly account for every submission
+  // (a double completion would abort on the promise before getting here).
+  const int64_t total_submitted =
+      run.submitted + static_cast<int64_t>(wave);
+  if (m.total_outcomes() != total_submitted) {
+    std::fprintf(stderr,
+                 "supervision accounting violated: %lld outcomes for %lld "
+                 "submissions\n",
+                 static_cast<long long>(m.total_outcomes()),
+                 static_cast<long long>(total_submitted));
+    std::exit(1);
+  }
+  return run;
+}
+
 int RunChaosBench(const BenchArgs& args,
                   const std::shared_ptr<serve::ServableModel>& servable,
                   const std::vector<const graph::Graph*>& requests) {
@@ -292,6 +404,45 @@ int RunChaosBench(const BenchArgs& args,
               "resolved, outcomes fully accounted\n\n",
               requests.size());
   table.Print(std::cout);
+
+  // Supervision scenario: 1 of 4 replicas hung + 1 killed mid-burst.
+  SupervisionChaosRun sup = RunSupervisionChaos(servable, requests);
+  std::printf(
+      "\nsupervision chaos (4 replicas, 1 hung + 1 killed mid-burst): "
+      "%lld/%lld ok, %lld degraded, %lld re-dispatched, %lld quarantined, "
+      "%lld restarts, recovery wave %lld ok, p99 %.1f us\n",
+      static_cast<long long>(sup.ok),
+      static_cast<long long>(sup.submitted + 64),
+      static_cast<long long>(sup.degraded),
+      static_cast<long long>(sup.redispatched),
+      static_cast<long long>(sup.quarantined),
+      static_cast<long long>(sup.restarts),
+      static_cast<long long>(sup.recovery_wave_ok), sup.p99_us);
+
+  // Acceptance gates: no reply lost to a dead replica (error == 0 — every
+  // recovered request was answered, degraded at worst), both workers
+  // restarted and rejoined, and recovery kept p99 inside the deadline.
+  if (sup.error != 0) {
+    std::fprintf(stderr, "gate failed: %lld requests surfaced errors\n",
+                 static_cast<long long>(sup.error));
+    return 1;
+  }
+  if (sup.hangs + sup.crashes < 2) {
+    std::fprintf(stderr,
+                 "gate failed: expected 1 hang + 1 crash, saw %lld + %lld\n",
+                 static_cast<long long>(sup.hangs),
+                 static_cast<long long>(sup.crashes));
+    return 1;
+  }
+  if (!sup.replicas_rejoined) {
+    std::fprintf(stderr, "gate failed: failed replicas did not rejoin\n");
+    return 1;
+  }
+  if (sup.p99_us >= 5e6) {
+    std::fprintf(stderr, "gate failed: supervision p99 %.1f us >= deadline\n",
+                 sup.p99_us);
+    return 1;
+  }
 
   using bench::JsonValue;
   JsonValue doc = bench::BenchDoc("serve_chaos");
@@ -321,6 +472,22 @@ int RunChaosBench(const BenchArgs& args,
                       .Set("p95_us", JsonValue::Fixed(r.p95_us, 1))
                       .Set("p99_us", JsonValue::Fixed(r.p99_us, 1)));
   }
+  doc.Obj("supervision")
+      .Set("replicas", 4)
+      .Set("scenario", std::string("1 hung + 1 killed mid-burst"))
+      .Set("submitted", sup.submitted)
+      .Set("ok", sup.ok)
+      .Set("degraded", sup.degraded)
+      .Set("rejected", sup.rejected)
+      .Set("error", sup.error)
+      .Set("hangs", sup.hangs)
+      .Set("crashes", sup.crashes)
+      .Set("restarts", sup.restarts)
+      .Set("redispatched", sup.redispatched)
+      .Set("quarantined", sup.quarantined)
+      .Set("recovery_wave_ok", sup.recovery_wave_ok)
+      .Set("replicas_rejoined", sup.replicas_rejoined)
+      .Set("p99_us", JsonValue::Fixed(sup.p99_us, 1));
   if (!bench::WriteBenchFile(args.out, doc)) return 1;
   return 0;
 }

@@ -31,50 +31,102 @@ Status DeadlineError(const char* stage) {
 
 ServeCluster::ServeCluster(std::shared_ptr<ServableModel> model,
                            const Options& options)
-    : model_(std::move(model)),
+    : servable_(std::move(model)),
       options_(options),
       metrics_(options.metrics_registry),
       cluster_metrics_(&metrics_.registry(),
                        std::max<size_t>(options.num_replicas, 1)),
+      health_metrics_(&metrics_.registry(),
+                      std::max<size_t>(options.num_replicas, 1)),
       cache_(options.cache_capacity,
              options.cache_shards > 0
                  ? options.cache_shards
                  : 2 * std::max<size_t>(options.num_replicas, 1),
              &metrics_.registry()) {
-  DEEPMAP_CHECK(model_ != nullptr);
   options_.num_replicas = std::max<size_t>(options_.num_replicas, 1);
-  DEEPMAP_LOG(Info) << "ServeCluster serving model '" << model_->name()
-                    << "' via backend '" << model_->backend_name() << "' on "
+  const std::shared_ptr<ServableModel> initial = servable_.Get();
+  DEEPMAP_LOG(Info) << "ServeCluster serving model '" << initial->name()
+                    << "' v" << initial->version() << " via backend '"
+                    << initial->backend_name() << "' on "
                     << options_.num_replicas << " replica(s)";
   BatchPipeline::Hooks hooks;
   hooks.on_complete = [this](const ServeRequest& r) { OnRequestComplete(r); };
   replicas_.reserve(options_.num_replicas);
   for (size_t i = 0; i < options_.num_replicas; ++i) {
     replicas_.push_back(std::make_unique<EngineReplica>(
-        i, options_.replica, model_, &cache_, &metrics_, &cluster_metrics_,
-        &dispatch_, hooks));
+        i, options_.replica, &servable_, &cache_, &metrics_,
+        &cluster_metrics_, &dispatch_, hooks));
   }
   // Two-phase start: every replica must exist before any worker runs, since
   // idle workers scan the sibling array for steal victims.
   for (auto& replica : replicas_) replica->Start(&replicas_);
+  supervisor_ = std::make_unique<Supervisor>(
+      options_.supervision, &replicas_, &dispatch_, &servable_, &metrics_,
+      &health_metrics_,
+      [this](const ServeRequest& r) { OnRequestComplete(r); });
+  supervisor_->Start();
 }
 
 ServeCluster::~ServeCluster() {
+  // Stop the watchdog first: a scan racing shutdown could confiscate a
+  // batch from a worker that is merely draining, or restart one that is
+  // exiting on purpose.
+  supervisor_->Stop();
   {
     std::lock_guard<std::mutex> lock(dispatch_.mu);
     dispatch_.stopping = true;
   }
   // Workers drain their queues (and, with stealing, each other's) before
-  // exiting, so every accepted promise resolves.
+  // exiting, so every accepted promise resolves. A worker parked on a
+  // simulated stall is released; it finishes its batch (if the supervisor
+  // never confiscated it) and exits.
   dispatch_.work_cv.notify_all();
+  for (auto& replica : replicas_) replica->AbandonStall();
   for (auto& replica : replicas_) replica->Join();
+  // Sweep: requests stranded on replicas that failed too close to shutdown
+  // for the supervisor to recover (unhealthy queues are skipped by both
+  // dispatch and stealing, so nothing else will answer them).
+  for (auto& replica : replicas_) {
+    std::vector<ServeRequest> stranded = replica->ConfiscateParkedBatch();
+    for (ServeRequest& r : replica->DrainQueue()) {
+      stranded.push_back(std::move(r));
+    }
+    for (ServeRequest& r : stranded) {
+      metrics_.RecordOutcome(ServeOutcome::kError);
+      r.promise.set_value(StatusOr<Prediction>(Status::Unavailable(
+          "replica failed; cluster shut down before request could be "
+          "re-dispatched")));
+      OnRequestComplete(r);
+    }
+  }
 }
 
 void ServeCluster::Drain() {
   std::unique_lock<std::mutex> lock(dispatch_.mu);
+  ++dispatch_.draining;
   dispatch_.drain_cv.wait(lock, [this] {
-    return dispatch_.pending == 0 && dispatch_.active_batches == 0;
+    return dispatch_.pending == 0 && dispatch_.active_batches == 0 &&
+           dispatch_.detached == 0;
   });
+  --dispatch_.draining;
+}
+
+int ServeCluster::draining() const {
+  std::lock_guard<std::mutex> lock(dispatch_.mu);
+  return dispatch_.draining;
+}
+
+void ServeCluster::UpdateModel(std::shared_ptr<ServableModel> next) {
+  DEEPMAP_CHECK(next != nullptr);
+  const int new_version = next->version();
+  const std::shared_ptr<ServableModel> old = servable_.Swap(std::move(next));
+  // Every cached prediction was computed by the retired version; serving it
+  // as a fresh answer for the new one would silently mix model versions.
+  cache_.Clear();
+  health_metrics_.RecordModelSwap();
+  DEEPMAP_LOG(Info) << "ServeCluster: hot-swapped model '" << old->name()
+                    << "' v" << old->version() << " -> v" << new_version
+                    << " (cache cleared)";
 }
 
 int64_t ServeCluster::tenant_inflight(const std::string& tenant) const {
@@ -176,6 +228,15 @@ std::future<StatusOr<Prediction>> ServeCluster::SubmitInternal(
       return reject(
           Status::FailedPrecondition("cluster is shutting down"));
     }
+    if (dispatch_.draining > 0) {
+      // A Drain() is waiting for the backlog to hit zero; admitting more
+      // work now would race its predicate (and could starve it forever
+      // under sustained traffic). Typed and retryable: once Drain returns,
+      // resubmitting succeeds.
+      metrics_.RecordRejected();
+      return reject(Status::Unavailable(
+          "cluster is draining; retry after Drain() returns"));
+    }
     if (ShouldShedTenantLocked(queued.tenant)) {
       metrics_.RecordShed();
       cluster_metrics_.RecordTenantShed();
@@ -190,25 +251,39 @@ std::future<StatusOr<Prediction>> ServeCluster::SubmitInternal(
 
   queued.graph = g;
   bool enqueued = false;
+  bool any_healthy = true;
   if (target >= 0) {
     enqueued = replicas_[static_cast<size_t>(target)]->TryEnqueue(
         std::move(queued));
   } else {
-    // Join-shortest-queue with a rotating tie-break; on a full queue, fall
-    // through to the next-shortest instead of rejecting outright.
-    std::vector<size_t> order(replicas_.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    const size_t base =
-        rr_cursor_.fetch_add(1, std::memory_order_relaxed) % order.size();
-    std::rotate(order.begin(), order.begin() + static_cast<ptrdiff_t>(base),
-                order.end());
-    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-      return replicas_[a]->depth() < replicas_[b]->depth();
-    });
-    for (size_t idx : order) {
-      if (replicas_[idx]->TryEnqueue(std::move(queued))) {
-        enqueued = true;
-        break;
+    // Join-shortest-queue over the healthy replicas with a rotating
+    // tie-break; on a full queue, fall through to the next-shortest instead
+    // of rejecting outright. An unhealthy replica's worker is hung, dead,
+    // or restarting — queueing behind it would strand the request until
+    // the supervisor recovered it a second time.
+    std::vector<size_t> order;
+    order.reserve(replicas_.size());
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i]->health() == ReplicaHealth::kHealthy) {
+        order.push_back(i);
+      }
+    }
+    any_healthy = !order.empty();
+    if (any_healthy) {
+      const size_t base =
+          rr_cursor_.fetch_add(1, std::memory_order_relaxed) % order.size();
+      std::rotate(order.begin(),
+                  order.begin() + static_cast<ptrdiff_t>(base), order.end());
+      std::stable_sort(order.begin(), order.end(),
+                       [this](size_t a, size_t b) {
+                         return replicas_[a]->depth() <
+                                replicas_[b]->depth();
+                       });
+      for (size_t idx : order) {
+        if (replicas_[idx]->TryEnqueue(std::move(queued))) {
+          enqueued = true;
+          break;
+        }
       }
     }
   }
@@ -225,6 +300,10 @@ std::future<StatusOr<Prediction>> ServeCluster::SubmitInternal(
       }
     }
     metrics_.RecordRejected();
+    if (!any_healthy) {
+      return reject(Status::Unavailable(
+          "no healthy replica available (cluster self-healing)"));
+    }
     return reject(Status::ResourceExhausted(
         target >= 0 ? "replica queue is full (cluster overloaded)"
                     : "every replica queue is full (cluster overloaded)"));

@@ -1,4 +1,4 @@
-// ServeCluster: multi-replica serving over one ServableModel.
+// ServeCluster: multi-replica serving over one hot-swappable ServableModel.
 //
 //   Submit(graph, options)
 //     -> deadline check (expired requests rejected at admission)
@@ -8,18 +8,31 @@
 //        the watermark, tenants holding more than their fair share of the
 //        cluster's queue capacity are shed (ResourceExhausted) so one noisy
 //        tenant cannot starve the rest
-//     -> join-shortest-queue dispatch into a replica's bounded queue
+//     -> join-shortest-queue dispatch into a *healthy* replica's bounded
+//        queue (a Supervisor-quarantined replica receives no traffic until
+//        its worker is restarted)
 //     -> the replica pops its queue FIFO, runs the staged BatchPipeline with
 //        continuous batching (arrivals during preprocessing join the
-//        in-flight batch), and steals from the longest sibling queue when
-//        its own is empty.
+//        in-flight batch), and steals from the longest healthy sibling queue
+//        when its own is empty.
 //
-// All replicas share one immutable CompiledModel, so cluster predictions are
-// bit-identical to a single InferenceEngine's — which replica served a
-// request is unobservable in its logits. They also share one ServeMetrics
-// (request-level stats aggregate across replicas) and one ClusterMetrics
-// (dispatch/steal/admit/shed counters, per-replica batch counts), all on a
-// single registry scrape.
+// All replicas share one ServableHandle, so at any instant cluster
+// predictions are bit-identical to a single InferenceEngine's on the same
+// servable — which replica served a request is unobservable in its logits.
+// UpdateModel() swaps the handle atomically: batches already in flight
+// finish on the version they pinned at Begin, later batches pick up the new
+// one, and the shared cache is cleared so no stale-version prediction is
+// ever served as fresh. ModelRegistry::Subscribe + Reload wire a validated
+// hot reload straight into this swap.
+//
+// Replicas also share one ServeMetrics (request-level stats aggregate across
+// replicas), one ClusterMetrics (dispatch/steal/admit/shed counters), and
+// one HealthMetrics (supervision counters), all on a single registry scrape.
+//
+// A Supervisor watchdog (options.supervision) detects hung/crashed workers,
+// re-dispatches their requests to healthy siblings, quarantines poison
+// pills, and restarts failed workers with exponential backoff — see
+// serve/supervisor.h and docs/robustness.md.
 //
 // There is no per-cluster MicroBatcher and no max_wait_us: batching emerges
 // from queue pressure. An idle replica starts on a single request
@@ -40,10 +53,12 @@
 #include "serve/model_registry.h"
 #include "serve/prediction_cache.h"
 #include "serve/replica.h"
+#include "serve/supervisor.h"
 
 namespace deepmap::serve {
 
-/// N EngineReplicas behind one dispatcher, one cache, one metrics surface.
+/// N EngineReplicas behind one dispatcher, one cache, one metrics surface,
+/// one supervisor.
 class ServeCluster {
  public:
   struct Options {
@@ -51,6 +66,9 @@ class ServeCluster {
     /// Per-replica knobs (queue capacity, max_batch, pool threads,
     /// continuous batching, work stealing, degraded answers).
     EngineReplica::Options replica;
+    /// Watchdog / self-healing knobs (set supervision.enabled = false to run
+    /// without the background watchdog; ScanOnce still works).
+    Supervisor::Options supervision;
     /// Shared prediction cache; 0 disables caching cluster-wide.
     size_t cache_capacity = 4096;
     /// WL refinement rounds for the cache key.
@@ -62,19 +80,23 @@ class ServeCluster {
     /// fraction of aggregate queue capacity; >= 1 disables it (requests are
     /// only rejected when every queue is full).
     double fair_share_watermark = 1.0;
-    /// Registry backing the shared ServeMetrics + ClusterMetrics; nullptr =
-    /// private registry. Must outlive the cluster when injected.
+    /// Registry backing the shared ServeMetrics + ClusterMetrics +
+    /// HealthMetrics; nullptr = private registry. Must outlive the cluster
+    /// when injected.
     obs::MetricsRegistry* metrics_registry = nullptr;
   };
 
   ServeCluster(std::shared_ptr<ServableModel> model, const Options& options);
-  /// Drains every queued request, then stops and joins all replicas.
+  /// Drains every queued request, then stops and joins all replicas. Any
+  /// request stranded on a failed replica when shutdown begins is resolved
+  /// with Unavailable — no promise is ever abandoned.
   ~ServeCluster();
 
   ServeCluster(const ServeCluster&) = delete;
   ServeCluster& operator=(const ServeCluster&) = delete;
 
-  /// Enqueues one graph for classification on the least-loaded replica.
+  /// Enqueues one graph for classification on the least-loaded healthy
+  /// replica.
   std::future<StatusOr<Prediction>> Submit(const graph::Graph& g,
                                            const RequestOptions& request);
   std::future<StatusOr<Prediction>> Submit(const graph::Graph& g) {
@@ -82,25 +104,47 @@ class ServeCluster {
   }
 
   /// Blocks until every previously accepted request has been answered and
-  /// no batch is in flight.
+  /// no batch is in flight (including requests detached onto the supervisor
+  /// by a replica failure). While a Drain is waiting, concurrent Submits
+  /// are rejected with a typed retryable Unavailable instead of racing the
+  /// drain predicate.
   void Drain();
+
+  /// Atomically swaps the servable every subsequent batch runs against and
+  /// clears the shared prediction cache (entries keyed under the old
+  /// version are stale). In-flight batches finish on the version they
+  /// pinned at dispatch — no request is dropped by a swap. This is the
+  /// intended ModelRegistry::Subscribe callback target for hot reloads.
+  void UpdateModel(std::shared_ptr<ServableModel> next);
 
   const ServeMetrics& metrics() const { return metrics_; }
   const ClusterMetrics& cluster_metrics() const { return cluster_metrics_; }
+  const HealthMetrics& health_metrics() const { return health_metrics_; }
   const PredictionCache& cache() const { return cache_; }
-  const ServableModel& model() const { return *model_; }
+  /// The servable currently receiving new batches (hot reload may retire it
+  /// at any time; the shared_ptr keeps the returned version alive).
+  std::shared_ptr<ServableModel> model() const { return servable_.Get(); }
   size_t num_replicas() const { return replicas_.size(); }
   const EngineReplica& replica(size_t i) const { return *replicas_[i]; }
+
+  /// Number of Drain() calls currently blocked (test hook for the
+  /// Drain-vs-Submit ordering contract).
+  int draining() const;
 
   /// In-flight (accepted, unresolved) requests of one tenant. Test hook for
   /// the fair-share accounting; "" is the default tenant.
   int64_t tenant_inflight(const std::string& tenant) const;
 
   /// Test hook: route one request to a specific replica, bypassing
-  /// join-shortest-queue (fair-share admission still applies). Lets tests
-  /// build skewed queues deterministically.
+  /// join-shortest-queue and the health filter (fair-share admission still
+  /// applies). Lets tests build skewed queues deterministically.
   std::future<StatusOr<Prediction>> SubmitToReplica(
       size_t replica, const graph::Graph& g, const RequestOptions& request);
+
+  /// Test hooks into the supervision machinery: drive watchdog scans
+  /// synchronously, flip replica health by hand.
+  Supervisor& supervisor() { return *supervisor_; }
+  EngineReplica* mutable_replica(size_t i) { return replicas_[i].get(); }
 
  private:
   /// Shared admission path; `target` < 0 means join-shortest-queue.
@@ -114,10 +158,11 @@ class ServeCluster {
   /// BatchPipeline::Hooks::on_complete: releases the request's tenant slot.
   void OnRequestComplete(const ServeRequest& request);
 
-  std::shared_ptr<ServableModel> model_;
+  ServableHandle servable_;
   Options options_;
   ServeMetrics metrics_;
   ClusterMetrics cluster_metrics_;
+  HealthMetrics health_metrics_;
   PredictionCache cache_;
   mutable DispatchState dispatch_;  // mutable: const accessors lock its mu
 
@@ -130,6 +175,7 @@ class ServeCluster {
   std::atomic<size_t> rr_cursor_{0};
 
   std::vector<std::unique_ptr<EngineReplica>> replicas_;
+  std::unique_ptr<Supervisor> supervisor_;
 };
 
 }  // namespace deepmap::serve

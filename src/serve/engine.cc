@@ -36,7 +36,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
       cache_(options.cache_capacity, options.cache_shards,
              &metrics_.registry()),
       pool_(options.num_threads),
-      pipeline_(model_.get(), &pool_, &cache_, &metrics_,
+      servable_(model_),
+      pipeline_(&servable_, &pool_, &cache_, &metrics_,
                 options.enable_degraded,
                 BatchPipeline::Hooks{
                     [this](double total_us) { RecordLatencySample(total_us); },

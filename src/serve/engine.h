@@ -164,6 +164,10 @@ class InferenceEngine {
   ServeMetrics metrics_;
   PredictionCache cache_;
   ThreadPool pool_;
+  /// Fixed handle over model_ (a single engine never hot-swaps; the handle
+  /// exists because BatchPipeline is shared with the self-healing cluster,
+  /// which does).
+  ServableHandle servable_;
   BatchPipeline pipeline_;  // runs each dispatched batch (Execute path)
 
   // Recent total-latency window for the admission controller: cheap to

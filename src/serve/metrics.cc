@@ -399,6 +399,77 @@ int64_t ClusterMetrics::replica_requests(size_t replica) const {
   return replica_requests_[replica]->Value();
 }
 
+HealthMetrics::HealthMetrics(obs::MetricsRegistry* registry,
+                             size_t num_replicas) {
+  obs::MetricsRegistry& r = *registry;
+  hangs_ = &r.GetCounter("deepmap_serve_health_hangs_total",
+                         "hung replica workers detected by the watchdog");
+  crashes_ = &r.GetCounter("deepmap_serve_health_crashes_total",
+                           "dead replica workers detected by the watchdog");
+  restarts_ = &r.GetCounter("deepmap_serve_health_restarts_total",
+                            "replica workers restarted by the supervisor");
+  redispatched_ =
+      &r.GetCounter("deepmap_serve_health_redispatched_total",
+                    "requests re-dispatched away from failed replicas");
+  quarantined_ =
+      &r.GetCounter("deepmap_serve_health_quarantined_total",
+                    "poison-pill requests answered degraded after repeated "
+                    "replica failures");
+  model_swaps_ = &r.GetCounter("deepmap_serve_reload_swaps_total",
+                               "hot model swaps applied to the serving handle");
+  unhealthy_ = &r.GetGauge("deepmap_serve_health_unhealthy_replicas",
+                           "replicas currently marked unhealthy");
+  replica_restarts_.reserve(num_replicas);
+  for (size_t i = 0; i < num_replicas; ++i) {
+    replica_restarts_.push_back(&r.GetCounter(
+        "deepmap_serve_health_replica" + std::to_string(i) + "_restarts_total",
+        "worker restarts of this replica"));
+  }
+}
+
+void HealthMetrics::RecordHang() { hangs_->Increment(); }
+
+void HealthMetrics::RecordCrash() { crashes_->Increment(); }
+
+void HealthMetrics::RecordRestart(size_t replica) {
+  restarts_->Increment();
+  if (replica < replica_restarts_.size()) {
+    replica_restarts_[replica]->Increment();
+  }
+}
+
+void HealthMetrics::RecordRedispatched(int64_t n) {
+  redispatched_->Increment(n);
+}
+
+void HealthMetrics::RecordQuarantined() { quarantined_->Increment(); }
+
+void HealthMetrics::RecordModelSwap() { model_swaps_->Increment(); }
+
+void HealthMetrics::AddUnhealthy(int delta) {
+  unhealthy_->Add(static_cast<double>(delta));
+}
+
+int64_t HealthMetrics::hangs() const { return hangs_->Value(); }
+
+int64_t HealthMetrics::crashes() const { return crashes_->Value(); }
+
+int64_t HealthMetrics::restarts() const { return restarts_->Value(); }
+
+int64_t HealthMetrics::replica_restarts(size_t replica) const {
+  return replica_restarts_[replica]->Value();
+}
+
+int64_t HealthMetrics::redispatched() const { return redispatched_->Value(); }
+
+int64_t HealthMetrics::quarantined() const { return quarantined_->Value(); }
+
+int64_t HealthMetrics::model_swaps() const { return model_swaps_->Value(); }
+
+int64_t HealthMetrics::unhealthy_replicas() const {
+  return static_cast<int64_t>(unhealthy_->Value());
+}
+
 void ServeMetrics::Print(std::ostream& os) const {
   os << "Per-stage latency (cache hits excluded from pipeline stages):\n";
   LatencyTable().Print(os);

@@ -238,6 +238,54 @@ class ClusterMetrics {
   std::vector<obs::Counter*> replica_requests_;
 };
 
+/// Supervision / self-healing instruments (deepmap_serve_health_* plus the
+/// hot-swap counter deepmap_serve_reload_swaps_total): hang and crash
+/// detections, restarts (aggregate and per replica), requests re-dispatched
+/// away from failed replicas, poison-pill quarantines, and the live
+/// unhealthy-replica gauge. Updated by the cluster's Supervisor; like
+/// ClusterMetrics, every update is a lock-free registry increment.
+class HealthMetrics {
+ public:
+  /// `registry` must outlive this object. Registers the aggregate
+  /// instruments plus one restart counter per replica
+  /// (deepmap_serve_health_replica<i>_restarts_total).
+  HealthMetrics(obs::MetricsRegistry* registry, size_t num_replicas);
+
+  /// Watchdog verdicts: one per detected stalled / dead worker.
+  void RecordHang();
+  void RecordCrash();
+  /// One successful worker restart of `replica`.
+  void RecordRestart(size_t replica);
+  /// `n` requests recovered from a failed replica and re-enqueued on
+  /// healthy siblings.
+  void RecordRedispatched(int64_t n);
+  /// One poison-pill request answered degraded instead of re-dispatched.
+  void RecordQuarantined();
+  /// One hot model swap applied to the serving handle.
+  void RecordModelSwap();
+  /// Unhealthy-replica gauge delta (+1 on detection, -1 on restart).
+  void AddUnhealthy(int delta);
+
+  int64_t hangs() const;
+  int64_t crashes() const;
+  int64_t restarts() const;
+  int64_t replica_restarts(size_t replica) const;
+  int64_t redispatched() const;
+  int64_t quarantined() const;
+  int64_t model_swaps() const;
+  int64_t unhealthy_replicas() const;
+
+ private:
+  obs::Counter* hangs_;
+  obs::Counter* crashes_;
+  obs::Counter* restarts_;
+  obs::Counter* redispatched_;
+  obs::Counter* quarantined_;
+  obs::Counter* model_swaps_;
+  obs::Gauge* unhealthy_;
+  std::vector<obs::Counter*> replica_restarts_;
+};
+
 }  // namespace deepmap::serve
 
 #endif  // DEEPMAP_SERVE_METRICS_H_

@@ -40,6 +40,11 @@ struct ServeRequest {
   /// before preprocessing, and before the forward pass.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Times this request was recovered from a failed (hung/crashed) replica.
+  /// The cluster Supervisor increments it on every re-dispatch; past
+  /// Supervisor::Options::max_request_failures the request is quarantined
+  /// with a degraded answer instead of being handed to another replica.
+  int failures = 0;
 };
 
 /// Coalesces single-graph requests into batches.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "common/check.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "nn/serialization.h"
@@ -15,6 +16,11 @@ namespace {
 constexpr char kBackendLoadsCounter[] = "deepmap_serve_backend_loads_total";
 constexpr char kBackendFallbackCounter[] =
     "deepmap_serve_backend_fallback_total";
+constexpr char kReloadAttemptsCounter[] = "deepmap_serve_reload_attempts_total";
+constexpr char kReloadSuccessCounter[] = "deepmap_serve_reload_success_total";
+constexpr char kReloadRollbackCounter[] = "deepmap_serve_reload_rollback_total";
+constexpr char kReloadBreakerOpenCounter[] =
+    "deepmap_serve_reload_breaker_open_total";
 
 bool IsKnownBackend(const std::string& name) {
   const std::vector<std::string> known = nn::InferenceBackendNames();
@@ -43,6 +49,25 @@ ServableModel::ServableModel(std::string name,
       std::max_element(fallback_.probabilities.begin(),
                        fallback_.probabilities.end()) -
       fallback_.probabilities.begin());
+}
+
+ServableHandle::ServableHandle(std::shared_ptr<ServableModel> initial)
+    : servable_(std::move(initial)) {
+  DEEPMAP_CHECK(servable_ != nullptr);
+}
+
+std::shared_ptr<ServableModel> ServableHandle::Get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return servable_;
+}
+
+std::shared_ptr<ServableModel> ServableHandle::Swap(
+    std::shared_ptr<ServableModel> next) {
+  DEEPMAP_CHECK(next != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<ServableModel> old = std::move(servable_);
+  servable_ = std::move(next);
+  return old;
 }
 
 ModelRegistry::ModelRegistry(obs::MetricsRegistry* metrics) {
@@ -112,7 +137,12 @@ Status ModelRegistry::CompileInto(ServableModel& servable,
                                                       &quant_scratch);
       const Prediction pr = fp32.value().Predict(input.value(), &fp32_scratch);
       ++used;
-      if (pq.label != pr.label) ++disagreements;
+      // Injected calibration divergence: models a quantization that corrupts
+      // this graph's prediction, forcing an argmax disagreement so guardrail
+      // trips (and reload shadow-validation failures built on them) are
+      // deterministically testable.
+      const bool diverged = DEEPMAP_FAILPOINT_TRIGGERED("serve.registry.calibrate");
+      if (diverged || pq.label != pr.label) ++disagreements;
       for (int c = 0; c < servable.num_classes(); ++c) {
         const float d = std::fabs(quant_scratch.logits[static_cast<size_t>(c)] -
                                   fp32_scratch.logits[static_cast<size_t>(c)]);
@@ -233,6 +263,181 @@ Status ModelRegistry::Register(const std::string& name,
   return Status::Ok();
 }
 
+Status ModelRegistry::ReloadFailed(const std::string& name,
+                                   int breaker_threshold, Status error) {
+  bool opened = false;
+  int failures = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BreakerState& breaker = breakers_[name];
+    failures = ++breaker.consecutive_failures;
+    if (breaker_threshold > 0 && failures >= breaker_threshold &&
+        !breaker.open) {
+      breaker.open = true;
+      opened = true;
+    }
+  }
+  metrics_->GetCounter(kReloadRollbackCounter).Increment();
+  DEEPMAP_LOG(Warning) << "model '" << name << "': reload rolled back ("
+                       << error.message() << "); old version keeps serving"
+                       << " [consecutive failures: " << failures << "]"
+                       << (opened ? "; circuit breaker OPEN" : "");
+  return error;
+}
+
+StatusOr<std::shared_ptr<ServableModel>> ModelRegistry::Reload(
+    const std::string& name, const graph::GraphDataset& reference,
+    const core::DeepMapConfig& config, const std::string& params_path,
+    const ReloadOptions& options, ReloadReport* report) {
+  metrics_->GetCounter(kReloadAttemptsCounter).Increment();
+  std::shared_ptr<ServableModel> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto breaker = breakers_.find(name);
+    if (breaker != breakers_.end() && breaker->second.open) {
+      metrics_->GetCounter(kReloadBreakerOpenCounter).Increment();
+      return StatusOr<std::shared_ptr<ServableModel>>(
+          Status::FailedPrecondition(
+              "reload circuit breaker is open for model '" + name +
+              "' (" + std::to_string(breaker->second.consecutive_failures) +
+              " consecutive failures); ResetBreaker to retry"));
+    }
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      // Caller error, not a broken artifact: does not advance the breaker.
+      return StatusOr<std::shared_ptr<ServableModel>>(Status::NotFound(
+          "cannot reload model '" + name + "': not registered"));
+    }
+    old = it->second;
+  }
+  if (report != nullptr) *report = ReloadReport{old->version(), 0, 0};
+
+  auto fail = [&](Status s) {
+    return StatusOr<std::shared_ptr<ServableModel>>(
+        ReloadFailed(name, options.breaker_threshold, std::move(s)));
+  };
+
+  // Injected reload failure: storage/permission flakiness fetching the new
+  // artifact, before any state is built.
+  if (DEEPMAP_FAILPOINT_TRIGGERED("serve.registry.reload")) {
+    return fail(FailPointError("serve.registry.reload"));
+  }
+
+  Options resolved = options.load;
+  if (resolved.backend.empty()) {
+    StatusOr<std::string> tag = ReadBackendTag(params_path);
+    if (tag.ok()) {
+      resolved.backend = tag.value();
+    } else if (tag.status().code() != StatusCode::kNotFound) {
+      return fail(tag.status());
+    } else {
+      resolved.backend = "fp32";
+    }
+  }
+
+  auto servable = std::make_shared<ServableModel>(name, reference, config);
+  core::DeepMapModel model(servable->feature_dim(),
+                           servable->sequence_length(),
+                           servable->num_classes(), config);
+  if (Status s = nn::LoadParameters(model.Params(), params_path); !s.ok()) {
+    return fail(std::move(s));
+  }
+  if (Status s = CompileInto(*servable, model, reference, resolved); !s.ok()) {
+    return fail(std::move(s));
+  }
+
+  // Shadow validation: replay calibration graphs through the NEW servable,
+  // reject non-finite logits (the injected-corruption signature) outright,
+  // and budget argmax flips against the OLD servable — a reload that changes
+  // most answers is more likely a bad artifact than a better model.
+  int shadow_used = 0;
+  int label_flips = 0;
+  if (options.shadow_graphs > 0) {
+    ForwardScratch new_scratch, old_scratch;
+    const std::vector<graph::Graph>& graphs = reference.graphs();
+    for (size_t i = 0;
+         i < graphs.size() && shadow_used < options.shadow_graphs; ++i) {
+      StatusOr<nn::Tensor> input = servable->preprocessor().Preprocess(graphs[i]);
+      if (!input.ok()) continue;  // oversized/empty graphs can't validate
+      const Prediction fresh =
+          servable->compiled().Predict(input.value(), &new_scratch);
+      bool corrupt = DEEPMAP_FAILPOINT_TRIGGERED("serve.reload.corrupt");
+      for (int c = 0; c < servable->num_classes(); ++c) {
+        if (!std::isfinite(new_scratch.logits[static_cast<size_t>(c)])) {
+          corrupt = true;
+        }
+      }
+      if (corrupt) {
+        if (report != nullptr) {
+          report->shadow_size = shadow_used;
+          report->label_flips = label_flips;
+        }
+        return fail(Status::Internal(
+            "reload shadow validation: corrupt (non-finite) logits on "
+            "calibration graph " + std::to_string(i)));
+      }
+      const Prediction stale =
+          old->compiled().Predict(input.value(), &old_scratch);
+      ++shadow_used;
+      if (fresh.label != stale.label) ++label_flips;
+    }
+    if (shadow_used == 0) {
+      return fail(Status::FailedPrecondition(
+          "reload shadow validation: no calibration graph preprocessed "
+          "cleanly; cannot certify the new servable"));
+    }
+    if (options.max_label_flip_fraction < 1.0 &&
+        static_cast<double>(label_flips) / static_cast<double>(shadow_used) >
+            options.max_label_flip_fraction) {
+      if (report != nullptr) {
+        report->shadow_size = shadow_used;
+        report->label_flips = label_flips;
+      }
+      return fail(Status::FailedPrecondition(
+          "reload shadow validation: " + std::to_string(label_flips) + "/" +
+          std::to_string(shadow_used) +
+          " argmax flips vs the serving version exceed the budget"));
+    }
+  }
+
+  servable->version_ = old->version() + 1;
+  std::vector<ReloadSubscriber> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    models_[name] = servable;
+    breakers_[name] = BreakerState{};  // success closes the breaker
+    auto subs = subscribers_.find(name);
+    if (subs != subscribers_.end()) subscribers = subs->second;
+  }
+  metrics_->GetCounter(kReloadSuccessCounter).Increment();
+  if (report != nullptr) {
+    *report = ReloadReport{servable->version(), shadow_used, label_flips};
+  }
+  DEEPMAP_LOG(Info) << "model '" << name << "': hot-reloaded v"
+                    << old->version() << " -> v" << servable->version()
+                    << " (backend '" << servable->backend_name()
+                    << "', shadow " << label_flips << "/" << shadow_used
+                    << " flips)";
+  for (const ReloadSubscriber& fn : subscribers) fn(servable);
+  return StatusOr<std::shared_ptr<ServableModel>>(std::move(servable));
+}
+
+void ModelRegistry::Subscribe(const std::string& name, ReloadSubscriber fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_[name].push_back(std::move(fn));
+}
+
+bool ModelRegistry::breaker_open(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(name);
+  return it != breakers_.end() && it->second.open;
+}
+
+void ModelRegistry::ResetBreaker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_[name] = BreakerState{};
+}
+
 std::shared_ptr<ServableModel> ModelRegistry::Get(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -304,6 +509,22 @@ int64_t ModelRegistry::backend_loads() const {
 
 int64_t ModelRegistry::backend_fallbacks() const {
   return metrics_->GetCounter(kBackendFallbackCounter).Value();
+}
+
+int64_t ModelRegistry::reload_attempts() const {
+  return metrics_->GetCounter(kReloadAttemptsCounter).Value();
+}
+
+int64_t ModelRegistry::reload_successes() const {
+  return metrics_->GetCounter(kReloadSuccessCounter).Value();
+}
+
+int64_t ModelRegistry::reload_rollbacks() const {
+  return metrics_->GetCounter(kReloadRollbackCounter).Value();
+}
+
+int64_t ModelRegistry::reload_breaker_rejections() const {
+  return metrics_->GetCounter(kReloadBreakerOpenCounter).Value();
 }
 
 }  // namespace deepmap::serve

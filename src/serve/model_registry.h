@@ -22,9 +22,23 @@
 //
 // Registered models are shared_ptr-held, so a model stays valid for
 // in-flight requests even if it is unloaded concurrently.
+//
+// Hot reload (Reload) replaces a registered model under live traffic:
+// a fresh servable is built from the new weight file, shadow-validated
+// against the *currently serving* version on a slice of calibration graphs
+// (predictions must be finite; argmax flips vs the old model are budgeted),
+// and only then swapped into the registry with a bumped version number.
+// Any failure — load error, compile error, injected corruption, guardrail
+// violation — rolls back: the old servable keeps serving untouched. A
+// per-model circuit breaker counts consecutive reload failures and, once
+// open, fails further reloads fast (FailedPrecondition) until
+// ResetBreaker(), so a broken rollout pipeline cannot burn cycles
+// revalidating the same corrupt artifact. Subscribers (e.g. a ServeCluster
+// via ServableHandle) are notified after each successful swap.
 #ifndef DEEPMAP_SERVE_MODEL_REGISTRY_H_
 #define DEEPMAP_SERVE_MODEL_REGISTRY_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +73,9 @@ class ServableModel {
 
   const std::string& name() const { return name_; }
   const core::DeepMapConfig& config() const { return config_; }
+  /// Monotone per-name version: 1 for the initial Load/Adopt, bumped by
+  /// every successful Reload.
+  int version() const { return version_; }
   int feature_dim() const { return preprocessor_.feature_dim(); }
   int sequence_length() const { return preprocessor_.sequence_length(); }
   int num_classes() const { return num_classes_; }
@@ -84,6 +101,7 @@ class ServableModel {
 
   std::string name_;
   core::DeepMapConfig config_;
+  int version_ = 1;
   int num_classes_;
   Preprocessor preprocessor_;
   Prediction fallback_;
@@ -92,6 +110,26 @@ class ServableModel {
   std::unique_ptr<nn::InferenceBackend> backend_;
   std::unique_ptr<CompiledModel> compiled_;
   BackendReport backend_report_;
+};
+
+/// Thread-safe holder of the servable currently serving one traffic
+/// surface. Consumers (BatchPipeline) pin the current servable once per
+/// batch via Get(); a hot reload Swap()s in the replacement atomically, so
+/// in-flight batches finish on the version they pinned while subsequent
+/// batches pick up the new one — no pause, no dropped requests.
+class ServableHandle {
+ public:
+  explicit ServableHandle(std::shared_ptr<ServableModel> initial);
+
+  /// The current servable (never null).
+  std::shared_ptr<ServableModel> Get() const;
+
+  /// Installs `next` and returns the servable it replaced.
+  std::shared_ptr<ServableModel> Swap(std::shared_ptr<ServableModel> next);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<ServableModel> servable_;
 };
 
 /// Thread-safe name -> ServableModel map.
@@ -142,6 +180,59 @@ class ModelRegistry {
                const core::DeepMapConfig& config, core::DeepMapModel& trained,
                const Options& options);
 
+  /// Knobs of one hot reload (Reload).
+  struct ReloadOptions {
+    /// Backend selection + calibration guardrail for the replacement
+    /// compile, exactly as in Load. An empty backend honors the sidecar tag.
+    Options load;
+    /// Shadow-validation slice: the first N reference graphs that
+    /// preprocess cleanly are replayed through the new AND old servables.
+    /// <= 0 skips shadow validation (the swap is still atomic).
+    int shadow_graphs = 16;
+    /// Maximum tolerated fraction of shadow graphs whose argmax label
+    /// differs between the new and old servables. Exceeding it rolls back.
+    /// >= 1 disables the flip budget (non-finite logits still roll back).
+    double max_label_flip_fraction = 1.0;
+    /// Consecutive reload failures that open the per-model circuit breaker.
+    int breaker_threshold = 3;
+  };
+
+  /// Everything a rollout controller wants to log about one reload.
+  struct ReloadReport {
+    int version = 0;      // version now serving (old on rollback)
+    int shadow_size = 0;  // graphs the shadow validation compared on
+    int label_flips = 0;  // argmax changes vs the old servable
+  };
+
+  /// Hot-reloads `name`: builds a fresh servable from `params_path`
+  /// (rejecting load/compile errors exactly as Load does), shadow-validates
+  /// it against the currently registered version, atomically swaps the
+  /// registry entry, bumps the version, and notifies subscribers. On ANY
+  /// failure the old servable keeps serving (rollback; counted by
+  /// deepmap_serve_reload_rollback_total) and the per-model circuit breaker
+  /// advances; once open, further reloads fail fast with FailedPrecondition
+  /// until ResetBreaker. Returns the new servable on success.
+  StatusOr<std::shared_ptr<ServableModel>> Reload(
+      const std::string& name, const graph::GraphDataset& reference,
+      const core::DeepMapConfig& config, const std::string& params_path,
+      const ReloadOptions& options, ReloadReport* report = nullptr);
+  StatusOr<std::shared_ptr<ServableModel>> Reload(
+      const std::string& name, const graph::GraphDataset& reference,
+      const core::DeepMapConfig& config, const std::string& params_path) {
+    return Reload(name, reference, config, params_path, ReloadOptions());
+  }
+
+  /// Registers `fn` to run (outside the registry lock) with the new
+  /// servable after every successful Reload of `name`. Typical use: feed a
+  /// ServeCluster::UpdateModel so replicas pick up the swap.
+  using ReloadSubscriber = std::function<void(std::shared_ptr<ServableModel>)>;
+  void Subscribe(const std::string& name, ReloadSubscriber fn);
+
+  /// Circuit-breaker state for `name` (open = reloads fail fast).
+  bool breaker_open(const std::string& name) const;
+  /// Closes the breaker and zeroes the consecutive-failure count.
+  void ResetBreaker(const std::string& name);
+
   /// The servable registered under `name`, or nullptr.
   std::shared_ptr<ServableModel> Get(const std::string& name) const;
 
@@ -166,10 +257,27 @@ class ModelRegistry {
   int64_t backend_loads() const;
   /// Guardrail-triggered fallbacks to fp32.
   int64_t backend_fallbacks() const;
+  /// Reload lifecycle counters (deepmap_serve_reload_*).
+  int64_t reload_attempts() const;
+  int64_t reload_successes() const;
+  int64_t reload_rollbacks() const;
+  /// Reloads rejected by an open circuit breaker.
+  int64_t reload_breaker_rejections() const;
 
  private:
+  /// Per-model reload circuit breaker. Guarded by mu_.
+  struct BreakerState {
+    int consecutive_failures = 0;
+    bool open = false;
+  };
+
   Status Register(const std::string& name,
                   std::shared_ptr<ServableModel> servable);
+
+  /// Rollback bookkeeping shared by every Reload failure path: advances the
+  /// breaker, counts the rollback, logs, and passes `error` through.
+  Status ReloadFailed(const std::string& name, int breaker_threshold,
+                      Status error);
 
   /// Resolves options.backend, compiles `model` for it, runs the calibration
   /// guardrail, and installs the winning compile (+ report) into `servable`.
@@ -181,6 +289,8 @@ class ModelRegistry {
   obs::MetricsRegistry* metrics_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<ServableModel>> models_;
+  std::map<std::string, BreakerState> breakers_;
+  std::map<std::string, std::vector<ReloadSubscriber>> subscribers_;
 };
 
 }  // namespace deepmap::serve

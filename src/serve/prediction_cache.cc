@@ -94,6 +94,14 @@ void PredictionCache::Insert(const std::string& key, Prediction prediction) {
   shard.index[key] = shard.lru.begin();
 }
 
+void PredictionCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
 size_t PredictionCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

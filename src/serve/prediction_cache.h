@@ -73,6 +73,11 @@ class PredictionCache {
   /// of its shard when that shard is at capacity. No-op when disabled.
   void Insert(const std::string& key, Prediction prediction);
 
+  /// Drops every entry in every shard. Hit/miss/eviction counters are
+  /// preserved (they describe traffic, not contents). Used on hot model
+  /// swap: cached predictions belong to the replaced model version.
+  void Clear();
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }

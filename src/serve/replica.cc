@@ -35,16 +35,16 @@ bool Degradable(StatusCode code) {
 // ---------------------------------------------------------------------------
 // BatchPipeline
 
-BatchPipeline::BatchPipeline(ServableModel* model, ThreadPool* pool,
+BatchPipeline::BatchPipeline(ServableHandle* servable, ThreadPool* pool,
                              PredictionCache* cache, ServeMetrics* metrics,
                              bool enable_degraded, Hooks hooks)
-    : model_(model),
+    : servable_(servable),
       pool_(pool),
       cache_(cache),
       metrics_(metrics),
       enable_degraded_(enable_degraded),
       hooks_(std::move(hooks)) {
-  DEEPMAP_CHECK(model_ != nullptr);
+  DEEPMAP_CHECK(servable_ != nullptr);
   DEEPMAP_CHECK(pool_ != nullptr);
   DEEPMAP_CHECK(metrics_ != nullptr);
 }
@@ -53,6 +53,10 @@ void BatchPipeline::Begin(State* state, std::vector<ServeRequest>&& batch,
                           size_t queue_depth_after) {
   const size_t n = batch.size();
   state->batch = std::move(batch);
+  // Pin the servable for the whole batch: a hot reload that swaps the handle
+  // mid-batch must not mix two models' preprocessors/weights in one forward
+  // pass. The shared_ptr keeps the old version alive until the batch ends.
+  state->model = servable_->Get();
   state->dispatch_time = std::chrono::steady_clock::now();
   metrics_->RecordQueueDepth(queue_depth_after);
 
@@ -89,7 +93,7 @@ void BatchPipeline::Preprocess(State* state) {
   // admitted tail after an Admit. Requests whose deadline already passed are
   // skipped before costing any preprocessing work.
   const size_t n = state->batch.size();
-  Preprocessor& preprocessor = model_->preprocessor();
+  Preprocessor& preprocessor = state->model->preprocessor();
   for (size_t i = state->preprocessed; i < n; ++i) {
     if (!state->batch_fault.ok()) {
       state->statuses[i] = state->batch_fault;
@@ -140,7 +144,7 @@ void BatchPipeline::Forward(State* state) {
     valid.push_back(i);
   }
   if (valid.empty()) return;
-  const CompiledModel& compiled = model_->compiled();
+  const CompiledModel& compiled = state->model->compiled();
   const size_t num_shards =
       std::min(std::max<size_t>(pool_->num_threads(), 1), valid.size());
   const size_t per_shard = (valid.size() + num_shards - 1) / num_shards;
@@ -219,7 +223,7 @@ void BatchPipeline::Complete(State* state) {
       }
       if (!answered) {
         metrics_->RecordDegradedFallback();
-        request.promise.set_value(model_->fallback_prediction());
+        request.promise.set_value(state->model->fallback_prediction());
       }
       if (hooks_.on_complete) hooks_.on_complete(request);
       continue;
@@ -244,20 +248,20 @@ void BatchPipeline::Execute(std::vector<ServeRequest>&& batch,
 // EngineReplica
 
 EngineReplica::EngineReplica(size_t index, const Options& options,
-                             std::shared_ptr<ServableModel> model,
-                             PredictionCache* cache, ServeMetrics* metrics,
+                             ServableHandle* servable, PredictionCache* cache,
+                             ServeMetrics* metrics,
                              ClusterMetrics* cluster_metrics,
                              DispatchState* dispatch,
                              BatchPipeline::Hooks hooks)
     : index_(index),
       options_(options),
-      model_(std::move(model)),
+      servable_(servable),
       metrics_(metrics),
       cluster_metrics_(cluster_metrics),
       dispatch_(dispatch),
       span_name_("serve.replica" + std::to_string(index) + ".batch"),
       pool_(std::max<size_t>(options.num_threads, 1)),
-      pipeline_(model_.get(), &pool_, cache, metrics, options.enable_degraded,
+      pipeline_(servable, &pool_, cache, metrics, options.enable_degraded,
                 std::move(hooks)) {
   DEEPMAP_CHECK_GT(options_.max_batch, 0);
   DEEPMAP_CHECK_GT(options_.queue_capacity, size_t{0});
@@ -302,12 +306,28 @@ std::vector<ServeRequest> EngineReplica::PopOwn(size_t max) {
   return taken;
 }
 
+std::vector<ServeRequest> EngineReplica::DrainQueue() {
+  std::vector<ServeRequest> taken;
+  std::lock_guard<std::mutex> lock(mu_);
+  taken.reserve(queue_.size());
+  while (!queue_.empty()) {
+    taken.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  depth_.store(0, std::memory_order_relaxed);
+  return taken;
+}
+
 std::vector<ServeRequest> EngineReplica::Steal() {
   if (siblings_ == nullptr) return {};
   EngineReplica* victim = nullptr;
   size_t longest = 0;
   for (const auto& sibling : *siblings_) {
     if (sibling.get() == this) continue;
+    // An unhealthy sibling's backlog belongs to the supervisor: it will be
+    // drained and re-dispatched (or quarantined) as part of recovery, and
+    // stealing from it would race that confiscation.
+    if (sibling->health() != ReplicaHealth::kHealthy) continue;
     const size_t d = sibling->depth();
     if (d > longest) {
       longest = d;
@@ -333,18 +353,74 @@ std::vector<ServeRequest> EngineReplica::Steal() {
   return stolen;
 }
 
+bool EngineReplica::HasStealableBacklog() const {
+  if (siblings_ == nullptr) return false;
+  for (const auto& sibling : *siblings_) {
+    if (sibling.get() == this) continue;
+    if (sibling->health() != ReplicaHealth::kHealthy) continue;
+    if (sibling->depth() > 0) return true;
+  }
+  return false;
+}
+
+std::chrono::microseconds EngineReplica::parked_for() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (inflight_state_ != InflightState::kParked) {
+    return std::chrono::microseconds{0};
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - parked_since_);
+}
+
+std::vector<ServeRequest> EngineReplica::ConfiscateParkedBatch() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (inflight_state_ != InflightState::kParked) return {};
+  inflight_state_ = InflightState::kNone;
+  std::vector<ServeRequest> batch = std::move(inflight_batch_);
+  inflight_batch_.clear();
+  return batch;
+}
+
+void EngineReplica::AbandonStall() {
+  std::lock_guard<std::mutex> lock(stall_mu_);
+  stall_abandoned_ = true;
+  stall_cv_.notify_all();
+}
+
+void EngineReplica::SimulateStall() {
+  std::unique_lock<std::mutex> lock(stall_mu_);
+  stall_cv_.wait(lock, [this] { return stall_abandoned_; });
+}
+
+void EngineReplica::Restart() {
+  DEEPMAP_CHECK(worker_exited());
+  Join();
+  {
+    std::lock_guard<std::mutex> lock(stall_mu_);
+    stall_abandoned_ = false;
+  }
+  worker_exited_.store(false, std::memory_order_release);
+  worker_ = std::thread([this] { Loop(); });
+}
+
 void EngineReplica::Loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(dispatch_->mu);
+      // The stealing arm of the predicate checks for *stealable* backlog,
+      // not just pending > 0: when every queued request sits on unhealthy
+      // siblings the backlog belongs to the supervisor, and waking for it
+      // would busy-spin every idle worker (and at shutdown, block the join
+      // forever).
       dispatch_->work_cv.wait(lock, [this] {
         return dispatch_->stopping || depth() > 0 ||
-               (options_.enable_work_stealing && dispatch_->pending > 0);
+               (options_.enable_work_stealing && HasStealableBacklog());
       });
       if (dispatch_->stopping && depth() == 0 &&
-          (dispatch_->pending == 0 || !options_.enable_work_stealing)) {
+          (!options_.enable_work_stealing || !HasStealableBacklog())) {
         // Drained (or the backlog lives on sibling queues and stealing is
         // off, in which case its owners flush it).
+        worker_exited_.store(true, std::memory_order_release);
         return;
       }
     }
@@ -364,13 +440,67 @@ void EngineReplica::Loop() {
     if (stolen && cluster_metrics_ != nullptr) {
       cluster_metrics_->RecordSteal(static_cast<int64_t>(batch.size()));
     }
-    ProcessBatch(std::move(batch));
+
+    // Park the batch in the in-flight slot before touching the pipeline.
+    // From here until the claim below the supervisor may confiscate it —
+    // that transition, not any flag, decides who answers the promises.
     {
-      std::lock_guard<std::mutex> lock(dispatch_->mu);
-      --dispatch_->active_batches;
-      if (dispatch_->pending == 0 && dispatch_->active_batches == 0) {
-        dispatch_->drain_cv.notify_all();
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_state_ = InflightState::kParked;
+      inflight_batch_ = std::move(batch);
+      parked_since_ = std::chrono::steady_clock::now();
+    }
+
+    // Injected failures, evaluated while the batch is recoverable. A hang
+    // parks the worker on stall_cv_ until the supervisor (or shutdown)
+    // abandons it; a crash makes the worker thread exit outright. Either
+    // way the batch stays in the slot for the supervisor to confiscate.
+    bool stalled = false;
+    if (DEEPMAP_FAILPOINT_TRIGGERED("serve.replica.hang")) {
+      stalled = true;
+      SimulateStall();
+    }
+    if (DEEPMAP_FAILPOINT_TRIGGERED("serve.replica.crash")) {
+      worker_exited_.store(true, std::memory_order_release);
+      return;
+    }
+
+    // Claim the batch back: kParked -> kExecuting. Losing the race means
+    // the supervisor confiscated it (and repaired the accounting); the
+    // requests are no longer ours.
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      if (inflight_state_ == InflightState::kParked) {
+        inflight_state_ = InflightState::kExecuting;
+        batch = std::move(inflight_batch_);
+        inflight_batch_.clear();
+        claimed = true;
       }
+    }
+    if (claimed) {
+      ProcessBatch(std::move(batch));
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_state_ = InflightState::kNone;
+      }
+      heartbeat_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(dispatch_->mu);
+        --dispatch_->active_batches;
+        if (dispatch_->pending == 0 && dispatch_->active_batches == 0 &&
+            dispatch_->detached == 0) {
+          dispatch_->drain_cv.notify_all();
+        }
+      }
+    }
+    if (!claimed || stalled) {
+      // Lost the batch to confiscation, or survived an abandoned stall
+      // (whose batch we just finished): either way the supervisor has
+      // declared this worker failed and is waiting on worker_exited() to
+      // restart it. Exit so that restart can proceed.
+      worker_exited_.store(true, std::memory_order_release);
+      return;
     }
   }
 }

@@ -55,6 +55,19 @@ KIND_SUFFIX = {
 REQUIRED_FAMILIES = {
     "deepmap_serve_backend_loads_total": "Counter",
     "deepmap_serve_backend_fallback_total": "Counter",
+    # Supervision / self-healing (HealthMetrics; docs/robustness.md).
+    "deepmap_serve_health_hangs_total": "Counter",
+    "deepmap_serve_health_crashes_total": "Counter",
+    "deepmap_serve_health_restarts_total": "Counter",
+    "deepmap_serve_health_redispatched_total": "Counter",
+    "deepmap_serve_health_quarantined_total": "Counter",
+    "deepmap_serve_health_unhealthy_replicas": "Gauge",
+    # Versioned hot reload (ModelRegistry + the cluster swap counter).
+    "deepmap_serve_reload_attempts_total": "Counter",
+    "deepmap_serve_reload_success_total": "Counter",
+    "deepmap_serve_reload_rollback_total": "Counter",
+    "deepmap_serve_reload_breaker_open_total": "Counter",
+    "deepmap_serve_reload_swaps_total": "Counter",
 }
 
 
