@@ -1,0 +1,287 @@
+// Benchmarks dynamic-graph serving (graph/dynamic_graph.h + the sharded
+// streaming corpus) and writes the results as JSON (default:
+// BENCH_dynamic_serve.json in the working directory; argv[1] overrides).
+//
+// Two sections, each with an acceptance gate (same contract style as spmm):
+//
+//   incremental: per-delta cost of the DynamicGraph path vs a from-scratch
+//     recomputation on the identically mutated 10^4-vertex R-MAT graph,
+//     split into the two maintained quantities. Every step cross-checks the
+//     fingerprints byte-for-byte. Gates:
+//       fingerprint (the ClassifyDelta serving path): Apply + repaired WL
+//         fingerprint vs full WlHashFingerprint, median speedup >= 10x;
+//       centrality: warm-started vs cold EigenvectorCentrality on the same
+//         graph, median speedup >= 2x (power iteration still has to sweep
+//         the whole graph; the warm start only cuts the round count).
+//
+//   streaming: a multi-shard TU corpus is written and re-read through
+//     ShardedTuCorpus; the resident set is one shard by construction, and
+//     the gate pins it — the largest materialized batch must stay within
+//     2x of total_bytes / num_shards (the factor absorbs shard-size
+//     rounding), i.e. peak memory is bounded by one shard, not the corpus.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "datasets/random_graphs.h"
+#include "datasets/sharded_tu_corpus.h"
+#include "graph/centrality.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "graph/isomorphism.h"
+
+namespace {
+
+using namespace deepmap;
+using Clock = std::chrono::steady_clock;
+
+double MedianMs(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1
+             ? samples[mid]
+             : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/// Approximate heap footprint of one graph: labels plus both directions of
+/// every adjacency entry. Good enough to compare a batch against the corpus.
+size_t ApproxGraphBytes(const graph::Graph& g) {
+  return sizeof(graph::Graph) +
+         static_cast<size_t>(g.NumVertices()) *
+             (sizeof(graph::Label) + sizeof(std::vector<graph::Vertex>)) +
+         2 * static_cast<size_t>(g.NumEdges()) * sizeof(graph::Vertex);
+}
+
+graph::Graph RandomSmallGraph(Rng& rng) {
+  const int n = 6 + static_cast<int>(rng.Index(20));
+  graph::Graph g;
+  for (int v = 0; v < n; ++v) {
+    g.AddVertex(static_cast<graph::Label>(rng.Index(3)));
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(0.2)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_dynamic_serve.json";
+  const bool full = (argc > 2 && std::strcmp(argv[2], "--full") == 0) ||
+                    (std::getenv("DEEPMAP_BENCH_FULL") != nullptr);
+
+  const int n = 10000;
+  const int edges_per_vertex = 8;
+  const int num_deltas = full ? 400 : 120;
+  const int wl_iterations = 2;
+
+  bench::JsonValue doc = bench::BenchDoc("dynamic_serve");
+  doc.Obj("flags")
+      .Set("n", n)
+      .Set("edges_per_vertex", edges_per_vertex)
+      .Set("num_deltas", num_deltas)
+      .Set("wl_iterations", wl_iterations)
+      .Set("full", full);
+  doc.Obj("seeds").Set("graph", int64_t{0xD19A});
+
+  // ---- incremental vs full recompute ---------------------------------------
+  Rng rng(0xD19A);
+  graph::Graph base = datasets::RMat(n, edges_per_vertex, rng);
+  graph::DynamicGraphOptions options;
+  options.wl_iterations = wl_iterations;
+  graph::DynamicGraph dyn(base, options);
+  (void)dyn.Fingerprint();  // prime the maintained state
+  (void)dyn.Centrality();
+
+  graph::Graph shadow = base;  // mutated in lockstep, recomputed from scratch
+
+  std::vector<double> incr_fp_ms, full_fp_ms, warm_cent_ms, cold_cent_ms;
+  incr_fp_ms.reserve(num_deltas);
+  full_fp_ms.reserve(num_deltas);
+  warm_cent_ms.reserve(num_deltas);
+  cold_cent_ms.reserve(num_deltas);
+  int mismatches = 0;
+  int warm_iterations_total = 0, cold_iterations_total = 0;
+
+  for (int d = 0; d < num_deltas; ++d) {
+    // Toggle a random pair (retry until valid) so inserts and deletes mix.
+    graph::Vertex u = 0, v = 0;
+    do {
+      u = static_cast<graph::Vertex>(rng.Index(n));
+      v = static_cast<graph::Vertex>(rng.Index(n));
+    } while (u == v);
+    const bool insert = !dyn.graph().HasEdge(u, v);
+    const graph::EdgeUpdate update =
+        insert ? graph::EdgeUpdate::Insert(u, v)
+               : graph::EdgeUpdate::Remove(u, v);
+
+    // Serving path: delta -> repaired fingerprint (what ClassifyDelta runs).
+    auto start = Clock::now();
+    if (!dyn.Apply(update).ok()) std::abort();
+    const std::string& incr_fp = dyn.Fingerprint();
+    auto end = Clock::now();
+    incr_fp_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+
+    start = Clock::now();
+    (void)dyn.Centrality();
+    end = Clock::now();
+    warm_cent_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    warm_iterations_total += dyn.last_centrality_iterations();
+
+    if (insert) {
+      if (!shadow.AddEdge(u, v)) std::abort();
+    } else {
+      if (!shadow.RemoveEdge(u, v)) std::abort();
+    }
+    start = Clock::now();
+    const std::string full_fp = graph::WlHashFingerprint(shadow, wl_iterations);
+    end = Clock::now();
+    full_fp_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+
+    int cold_iterations = 0;
+    graph::CentralityOptions cold;
+    cold.iterations_used = &cold_iterations;
+    start = Clock::now();
+    (void)graph::EigenvectorCentrality(shadow, cold);
+    end = Clock::now();
+    cold_cent_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    cold_iterations_total += cold_iterations;
+
+    if (incr_fp != full_fp) ++mismatches;
+  }
+
+  const double fp_incr_median = MedianMs(incr_fp_ms);
+  const double fp_full_median = MedianMs(full_fp_ms);
+  const double fp_speedup =
+      fp_incr_median > 0 ? fp_full_median / fp_incr_median : 0.0;
+  const double cent_warm_median = MedianMs(warm_cent_ms);
+  const double cent_cold_median = MedianMs(cold_cent_ms);
+  const double cent_speedup =
+      cent_warm_median > 0 ? cent_cold_median / cent_warm_median : 0.0;
+  const bool incremental_pass =
+      mismatches == 0 && fp_speedup >= 10.0 && cent_speedup >= 2.0;
+
+  bench::JsonValue& incr = doc.Obj("incremental");
+  incr.Set("graph_vertices", n)
+      .Set("graph_edges", base.NumEdges())
+      .Set("deltas", num_deltas)
+      .Set("fingerprint_mismatches", mismatches);
+  incr.Obj("fingerprint")
+      .Set("incremental_median_ms", bench::JsonValue::Fixed(fp_incr_median, 4))
+      .Set("full_median_ms", bench::JsonValue::Fixed(fp_full_median, 4))
+      .Set("speedup", bench::JsonValue::Fixed(fp_speedup, 2))
+      .Set("gate", "speedup >= 10");
+  incr.Obj("centrality")
+      .Set("warm_median_ms", bench::JsonValue::Fixed(cent_warm_median, 4))
+      .Set("cold_median_ms", bench::JsonValue::Fixed(cent_cold_median, 4))
+      .Set("speedup", bench::JsonValue::Fixed(cent_speedup, 2))
+      .Set("warm_iterations_mean",
+           bench::JsonValue::Fixed(
+               static_cast<double>(warm_iterations_total) / num_deltas, 2))
+      .Set("cold_iterations_mean",
+           bench::JsonValue::Fixed(
+               static_cast<double>(cold_iterations_total) / num_deltas, 2))
+      .Set("gate", "speedup >= 2");
+  incr.Set("pass", incremental_pass);
+
+  // ---- streaming corpus ----------------------------------------------------
+  const int corpus_graphs = full ? 4000 : 1200;
+  const int shard_size = corpus_graphs / 8;  // 8 equal shards
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("deepmap_bench_corpus_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  size_t total_bytes = 0;
+  {
+    datasets::ShardedTuCorpusWriter::Options wopts;
+    wopts.shard_size = shard_size;
+    datasets::ShardedTuCorpusWriter writer(dir.string(), "STREAM", wopts);
+    Rng corpus_rng(0xC0FFEE);
+    for (int i = 0; i < corpus_graphs; ++i) {
+      graph::Graph g = RandomSmallGraph(corpus_rng);
+      total_bytes += ApproxGraphBytes(g);
+      if (!writer.Append(std::move(g), static_cast<int>(corpus_rng.Index(2)))
+               .ok()) {
+        std::abort();
+      }
+    }
+    if (!writer.Finalize().ok()) std::abort();
+  }
+
+  size_t peak_batch_bytes = 0;
+  int64_t streamed = 0;
+  int num_shards = 0;
+  double stream_ms = 0.0;
+  {
+    auto corpus = datasets::ShardedTuCorpus::Open(dir.string(), "STREAM");
+    if (!corpus.ok()) std::abort();
+    num_shards = corpus.value().num_shards();
+    auto start = Clock::now();
+    while (!corpus.value().Done()) {
+      auto batch = corpus.value().NextBatch();
+      if (!batch.ok()) std::abort();
+      size_t batch_bytes = 0;
+      for (int i = 0; i < batch.value().size(); ++i) {
+        batch_bytes += ApproxGraphBytes(batch.value().graph(i));
+      }
+      peak_batch_bytes = std::max(peak_batch_bytes, batch_bytes);
+      streamed += batch.value().size();
+    }  // the batch (one shard) dies here: resident set is one shard
+    stream_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
+                    .count();
+  }
+  std::filesystem::remove_all(dir);
+
+  const double shard_budget_bytes =
+      2.0 * static_cast<double>(total_bytes) / num_shards;
+  const bool streaming_pass =
+      streamed == corpus_graphs && num_shards >= 4 &&
+      static_cast<double>(peak_batch_bytes) <= shard_budget_bytes;
+
+  bench::JsonValue& stream = doc.Obj("streaming");
+  stream.Set("corpus_graphs", corpus_graphs)
+      .Set("num_shards", num_shards)
+      .Set("shard_size", shard_size)
+      .Set("corpus_bytes", total_bytes)
+      .Set("peak_batch_bytes", peak_batch_bytes)
+      .Set("shard_budget_bytes",
+           bench::JsonValue::Fixed(shard_budget_bytes, 0))
+      .Set("stream_ms", bench::JsonValue::Fixed(stream_ms, 2))
+      .Set("pass", streaming_pass);
+
+  doc.Set("pass", incremental_pass && streaming_pass);
+  bench::WriteBenchFile(out_path, doc);
+
+  std::printf(
+      "dynamic_serve: fingerprint %.4f ms vs %.4f ms (%.1fx), centrality "
+      "%.4f ms vs %.4f ms (%.1fx), %d mismatches -> %s\n",
+      fp_incr_median, fp_full_median, fp_speedup, cent_warm_median,
+      cent_cold_median, cent_speedup, mismatches,
+      incremental_pass ? "PASS" : "FAIL");
+  std::printf(
+      "dynamic_serve: streamed %lld graphs over %d shards, peak batch "
+      "%zu bytes vs one-shard budget %.0f -> %s\n",
+      static_cast<long long>(streamed), num_shards, peak_batch_bytes,
+      shard_budget_bytes, streaming_pass ? "PASS" : "FAIL");
+  return (incremental_pass && streaming_pass) ? 0 : 1;
+}

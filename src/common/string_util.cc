@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace deepmap {
@@ -37,6 +38,44 @@ std::string Join(const std::vector<std::string>& pieces,
     out += pieces[i];
   }
   return out;
+}
+
+namespace {
+
+template <typename Int>
+bool ParseFullIntImpl(std::string_view token, Int* out) {
+  // Trim without allocating: from_chars accepts no leading whitespace and
+  // reports the first unconsumed character, which is exactly the strictness
+  // the TU parsers need.
+  size_t begin = 0;
+  size_t end = token.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(token[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(token[end - 1]))) {
+    --end;
+  }
+  if (begin == end) return false;
+  const char* first = token.data() + begin;
+  const char* last = token.data() + end;
+  if (*first == '+') ++first;  // from_chars rejects an explicit plus
+  Int value = 0;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseFullInt(std::string_view token, int* out) {
+  return ParseFullIntImpl(token, out);
+}
+
+bool ParseFullInt64(std::string_view token, int64_t* out) {
+  return ParseFullIntImpl(token, out);
 }
 
 std::string FormatDouble(double value, int precision) {

@@ -18,6 +18,16 @@ std::string Trim(std::string_view s);
 std::string Join(const std::vector<std::string>& pieces,
                  std::string_view sep);
 
+/// Strict full-token base-10 integer parse: after trimming surrounding
+/// whitespace, the ENTIRE token must be one optionally-signed integer that
+/// fits in `int`. Returns false for empty input, trailing garbage
+/// ("12abc"), embedded separators ("1 2"), and overflow ("2147483648") —
+/// the cases std::stoi silently accepts or only partially rejects.
+bool ParseFullInt(std::string_view token, int* out);
+
+/// Same contract for int64_t values.
+bool ParseFullInt64(std::string_view token, int64_t* out);
+
 /// Formats a double with fixed precision (default 2 digits).
 std::string FormatDouble(double value, int precision = 2);
 

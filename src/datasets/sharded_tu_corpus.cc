@@ -1,0 +1,252 @@
+#include "datasets/sharded_tu_corpus.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "graph/tu_format.h"
+
+namespace deepmap::datasets {
+namespace {
+
+constexpr char kManifestMagic[] = "tu_corpus";
+constexpr char kManifestVersion[] = "v1";
+
+std::string ManifestPath(const std::string& directory,
+                         const std::string& name) {
+  return directory + "/" + name + "_manifest.txt";
+}
+
+}  // namespace
+
+std::string CorpusShardName(const std::string& name, int index) {
+  return name + "-s" + std::to_string(index);
+}
+
+ShardedTuCorpusWriter::ShardedTuCorpusWriter(std::string directory,
+                                             std::string name,
+                                             const Options& options)
+    : directory_(std::move(directory)),
+      name_(std::move(name)),
+      options_(options) {
+  if (options_.shard_size < 1) options_.shard_size = 1;
+  buffer_.reserve(static_cast<size_t>(options_.shard_size));
+}
+
+Status ShardedTuCorpusWriter::Append(const graph::Graph& g, int label) {
+  if (finalized_) {
+    return Status::FailedPrecondition("corpus already finalized");
+  }
+  buffer_.push_back(g);
+  buffer_labels_.push_back(label);
+  auto it = std::lower_bound(label_set_.begin(), label_set_.end(), label);
+  if (it == label_set_.end() || *it != label) label_set_.insert(it, label);
+  ++graphs_written_;
+  if (static_cast<int>(buffer_.size()) >= options_.shard_size) {
+    return FlushShard();
+  }
+  return Status::Ok();
+}
+
+Status ShardedTuCorpusWriter::FlushShard() {
+  graph::GraphDataset shard(CorpusShardName(name_, shards_written_),
+                            std::move(buffer_), std::move(buffer_labels_),
+                            options_.has_vertex_labels);
+  buffer_.clear();
+  buffer_labels_.clear();
+  shard_counts_.push_back(shard.size());
+  ++shards_written_;
+  return graph::WriteTuDataset(shard, directory_);
+}
+
+Status ShardedTuCorpusWriter::Finalize() {
+  if (finalized_) {
+    return Status::FailedPrecondition("corpus already finalized");
+  }
+  finalized_ = true;
+  if (!buffer_.empty()) {
+    if (Status s = FlushShard(); !s.ok()) return s;
+  }
+
+  std::ofstream out(ManifestPath(directory_, name_));
+  if (!out) {
+    return Status::IoError("cannot create manifest under " + directory_);
+  }
+  out << kManifestMagic << ' ' << kManifestVersion << '\n';
+  out << "name " << name_ << '\n';
+  out << "shard_size " << options_.shard_size << '\n';
+  out << "vertex_labels " << (options_.has_vertex_labels ? 1 : 0) << '\n';
+  out << "shards " << shards_written_ << '\n';
+  out << "graphs " << graphs_written_ << '\n';
+  out << "labels";
+  for (int label : label_set_) out << ' ' << label;
+  out << '\n';
+  for (size_t i = 0; i < shard_counts_.size(); ++i) {
+    out << "shard " << i << ' ' << shard_counts_[i] << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("short write of corpus manifest");
+  return Status::Ok();
+}
+
+StatusOr<ShardedTuCorpus> ShardedTuCorpus::Open(const std::string& directory,
+                                                const std::string& name) {
+  const std::string path = ManifestPath(directory, name);
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  ShardedTuCorpus corpus;
+  corpus.directory_ = directory;
+  corpus.name_ = name;
+
+  auto malformed = [&path](const std::string& line) {
+    return Status::InvalidArgument("malformed manifest line '" + line +
+                                   "' in " + path);
+  };
+
+  int declared_shards = -1;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    auto fields = Split(trimmed, ' ');
+    if (first) {
+      if (fields.size() != 2 || fields[0] != kManifestMagic ||
+          fields[1] != kManifestVersion) {
+        return Status::InvalidArgument("not a " + std::string(kManifestMagic) +
+                                       " " + kManifestVersion +
+                                       " manifest: " + path);
+      }
+      first = false;
+      continue;
+    }
+    const std::string& key = fields[0];
+    if (key == "name") {
+      if (fields.size() != 2 || fields[1] != name) return malformed(trimmed);
+    } else if (key == "shard_size") {
+      if (fields.size() != 2 ||
+          !ParseFullInt(fields[1], &corpus.shard_size_) ||
+          corpus.shard_size_ < 1) {
+        return malformed(trimmed);
+      }
+    } else if (key == "vertex_labels") {
+      int flag = 0;
+      if (fields.size() != 2 || !ParseFullInt(fields[1], &flag) ||
+          (flag != 0 && flag != 1)) {
+        return malformed(trimmed);
+      }
+      corpus.has_vertex_labels_ = flag == 1;
+    } else if (key == "shards") {
+      if (fields.size() != 2 || !ParseFullInt(fields[1], &declared_shards) ||
+          declared_shards < 0) {
+        return malformed(trimmed);
+      }
+    } else if (key == "graphs") {
+      if (fields.size() != 2 ||
+          !ParseFullInt64(fields[1], &corpus.total_graphs_) ||
+          corpus.total_graphs_ < 0) {
+        return malformed(trimmed);
+      }
+    } else if (key == "labels") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        int label = 0;
+        if (!ParseFullInt(fields[i], &label)) return malformed(trimmed);
+        corpus.label_set_.push_back(label);
+      }
+      if (!std::is_sorted(corpus.label_set_.begin(),
+                          corpus.label_set_.end()) ||
+          std::adjacent_find(corpus.label_set_.begin(),
+                             corpus.label_set_.end()) !=
+              corpus.label_set_.end()) {
+        return malformed(trimmed);
+      }
+    } else if (key == "shard") {
+      int index = 0;
+      int count = 0;
+      if (fields.size() != 3 || !ParseFullInt(fields[1], &index) ||
+          !ParseFullInt(fields[2], &count) ||
+          index != static_cast<int>(corpus.shard_counts_.size()) ||
+          count < 1) {
+        return malformed(trimmed);
+      }
+      corpus.shard_counts_.push_back(count);
+    } else {
+      return malformed(trimmed);
+    }
+  }
+  if (first) {
+    return Status::InvalidArgument("empty manifest: " + path);
+  }
+  if (declared_shards != static_cast<int>(corpus.shard_counts_.size())) {
+    return Status::InvalidArgument("manifest shard count mismatch in " +
+                                   path);
+  }
+  int64_t declared_total = 0;
+  for (int count : corpus.shard_counts_) declared_total += count;
+  if (declared_total != corpus.total_graphs_) {
+    return Status::InvalidArgument("manifest graph count mismatch in " +
+                                   path);
+  }
+  if (corpus.shard_size_ < 1) {
+    return Status::InvalidArgument("manifest missing shard_size in " + path);
+  }
+  return corpus;
+}
+
+Status ShardedTuCorpus::SeekShard(int shard) {
+  if (shard < 0 || shard > num_shards()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  next_shard_ = shard;
+  return Status::Ok();
+}
+
+StatusOr<graph::GraphDataset> ShardedTuCorpus::NextBatch() {
+  if (Done()) {
+    return Status::FailedPrecondition("corpus exhausted (use SeekShard to "
+                                      "rewind)");
+  }
+  const int shard = next_shard_;
+  // Raw labels on the way in; the corpus-wide remap below keeps class ids
+  // identical across shards regardless of which labels each shard saw.
+  graph::TuReadOptions read_options;
+  read_options.compact_graph_labels = false;
+  read_options.compact_vertex_labels = false;
+  auto dataset = graph::ReadTuDataset(
+      directory_, CorpusShardName(name_, shard), read_options);
+  if (!dataset.ok()) return dataset.status();
+  if (dataset.value().size() != shard_counts_[shard]) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " holds " +
+        std::to_string(dataset.value().size()) + " graphs, manifest says " +
+        std::to_string(shard_counts_[shard]));
+  }
+
+  std::unordered_map<int, int> remap;
+  remap.reserve(label_set_.size());
+  for (size_t i = 0; i < label_set_.size(); ++i) {
+    remap[label_set_[i]] = static_cast<int>(i);
+  }
+  std::vector<int> labels;
+  labels.reserve(static_cast<size_t>(dataset.value().size()));
+  for (int raw : dataset.value().labels()) {
+    auto it = remap.find(raw);
+    if (it == remap.end()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(shard) + " has class label " +
+          std::to_string(raw) + " absent from the manifest label set");
+    }
+    labels.push_back(it->second);
+  }
+  graph::GraphDataset remapped(
+      dataset.value().name(),
+      std::move(dataset.value().mutable_graphs()), std::move(labels),
+      has_vertex_labels_);
+  ++next_shard_;
+  return remapped;
+}
+
+}  // namespace deepmap::datasets

@@ -1,0 +1,134 @@
+// ShardedTuCorpus: million-graph corpora as TU-format shards behind a
+// manifest, streamed one shard at a time.
+//
+// The training/eval stack loads a whole GraphDataset into memory, which
+// caps corpus size at available RAM. This pair splits a corpus into
+// fixed-size TU shards (each a self-contained dataset readable by
+// ReadTuDataset) plus one manifest:
+//
+//   <name>_manifest.txt       corpus metadata (strictly parsed)
+//   <name>-s<k>_A.txt, ...    shard k in plain TU format
+//
+// The writer buffers at most one shard of graphs before flushing, and the
+// reader's NextBatch() materializes exactly one shard, so peak resident
+// graph memory on both sides is bounded by shard_size regardless of corpus
+// size (the property bench/dynamic_serve measures).
+//
+// Label consistency: ReadTuDataset normally compacts class labels per
+// dataset, which would remap the same raw label differently in shards
+// covering different label subsets. Shards are therefore written and read
+// with RAW labels (TuReadOptions compaction off); the manifest records the
+// corpus-wide sorted raw label set and NextBatch remaps every shard against
+// it, so label ids agree across shards and with a hypothetical whole-corpus
+// load. Vertex labels are passed through raw for the same reason.
+//
+// Resumption: shards are independently addressable. next_shard() names the
+// next shard NextBatch will load; SeekShard() repositions, so a consumer
+// can checkpoint an index and resume in a fresh process.
+#ifndef DEEPMAP_DATASETS_SHARDED_TU_CORPUS_H_
+#define DEEPMAP_DATASETS_SHARDED_TU_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/dataset.h"
+#include "graph/graph.h"
+
+namespace deepmap::datasets {
+
+/// Shard file-name prefix of shard `index` ("<name>-s<index>").
+std::string CorpusShardName(const std::string& name, int index);
+
+/// Streaming writer: Append graphs one at a time, Finalize writes the
+/// manifest. Holds at most one shard of graphs in memory.
+class ShardedTuCorpusWriter {
+ public:
+  struct Options {
+    /// Graphs per shard (the final shard may be smaller).
+    int shard_size = 4096;
+    /// Write node-label files (set false for unlabeled corpora).
+    bool has_vertex_labels = true;
+  };
+
+  ShardedTuCorpusWriter(std::string directory, std::string name,
+                        const Options& options);
+  ShardedTuCorpusWriter(std::string directory, std::string name)
+      : ShardedTuCorpusWriter(std::move(directory), std::move(name),
+                              Options()) {}
+
+  /// Buffers one graph; flushes a full shard to disk. `label` is the raw
+  /// class label (any int; compaction happens corpus-wide at read time).
+  Status Append(const graph::Graph& g, int label);
+
+  /// Flushes the partial shard (if any) and writes the manifest. Must be
+  /// called exactly once; Append after Finalize is FailedPrecondition.
+  Status Finalize();
+
+  int shards_written() const { return shards_written_; }
+  int64_t graphs_written() const { return graphs_written_; }
+
+ private:
+  Status FlushShard();
+
+  std::string directory_;
+  std::string name_;
+  Options options_;
+  std::vector<graph::Graph> buffer_;
+  std::vector<int> buffer_labels_;
+  std::vector<int> shard_counts_;
+  std::vector<int> label_set_;  // sorted distinct raw labels
+  int shards_written_ = 0;
+  int64_t graphs_written_ = 0;
+  bool finalized_ = false;
+};
+
+/// Pull-based reader over a written corpus.
+class ShardedTuCorpus {
+ public:
+  /// Parses the manifest (strictly: any malformed field is
+  /// InvalidArgument; a missing manifest is IoError). Loads no shard.
+  static StatusOr<ShardedTuCorpus> Open(const std::string& directory,
+                                        const std::string& name);
+
+  int num_shards() const { return static_cast<int>(shard_counts_.size()); }
+  int64_t total_graphs() const { return total_graphs_; }
+  int shard_size() const { return shard_size_; }
+  int num_classes() const { return static_cast<int>(label_set_.size()); }
+  /// Sorted distinct raw class labels; a graph's compact label is its
+  /// index here.
+  const std::vector<int>& class_labels() const { return label_set_; }
+  /// Declared graph count of one shard.
+  int shard_count(int shard) const { return shard_counts_[shard]; }
+
+  /// Index of the shard the next NextBatch() call loads.
+  int next_shard() const { return next_shard_; }
+  bool Done() const { return next_shard_ >= num_shards(); }
+
+  /// Repositions the stream (0 <= shard <= num_shards(); passing
+  /// num_shards() makes Done() true immediately).
+  Status SeekShard(int shard);
+
+  /// Loads shard next_shard() as a GraphDataset (class labels remapped to
+  /// the corpus-wide [0, num_classes()) range, vertex labels raw) and
+  /// advances. FailedPrecondition once Done(); a shard that disagrees with
+  /// its manifest entry is InvalidArgument.
+  StatusOr<graph::GraphDataset> NextBatch();
+
+ private:
+  ShardedTuCorpus() = default;
+
+  std::string directory_;
+  std::string name_;
+  int shard_size_ = 0;
+  int64_t total_graphs_ = 0;
+  bool has_vertex_labels_ = true;
+  std::vector<int> shard_counts_;
+  std::vector<int> label_set_;
+  int next_shard_ = 0;
+};
+
+}  // namespace deepmap::datasets
+
+#endif  // DEEPMAP_DATASETS_SHARDED_TU_CORPUS_H_

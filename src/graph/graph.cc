@@ -47,6 +47,22 @@ bool Graph::AddEdge(Vertex u, Vertex v) {
   return true;
 }
 
+bool Graph::RemoveEdge(Vertex u, Vertex v) {
+  DEEPMAP_CHECK_GE(u, 0);
+  DEEPMAP_CHECK_GE(v, 0);
+  DEEPMAP_CHECK_LT(u, NumVertices());
+  DEEPMAP_CHECK_LT(v, NumVertices());
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it == nu.end() || *it != v) return false;
+  nu.erase(it);
+  auto& nv = adjacency_[v];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --num_edges_;
+  return true;
+}
+
 bool Graph::HasEdge(Vertex u, Vertex v) const {
   if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return false;
   const auto& nu = adjacency_[u];

@@ -42,6 +42,12 @@ class Graph {
   /// loops or already-present edges.
   bool AddEdge(Vertex u, Vertex v);
 
+  /// Removes undirected edge {u, v}. Returns false (and does nothing) for
+  /// self loops or absent edges. Exact inverse of AddEdge, so an
+  /// insert/remove pair restores the graph bit-for-bit (what DynamicGraph's
+  /// delta rollback relies on).
+  bool RemoveEdge(Vertex u, Vertex v);
+
   int NumVertices() const { return static_cast<int>(adjacency_.size()); }
   int NumEdges() const { return num_edges_; }
 

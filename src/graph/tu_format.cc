@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace deepmap::graph {
@@ -33,11 +34,13 @@ StatusOr<std::vector<int>> ParseIntLines(const std::string& path) {
   std::vector<int> values;
   values.reserve(lines.value().size());
   for (const std::string& line : lines.value()) {
-    try {
-      values.push_back(std::stoi(line));
-    } catch (...) {
+    // Full-token parse: "12abc", "1 2", and out-of-range values are all
+    // rejected (std::stoi accepted the first two prefixes silently).
+    int value = 0;
+    if (!ParseFullInt(line, &value)) {
       return Status::InvalidArgument("bad integer '" + line + "' in " + path);
     }
+    values.push_back(value);
   }
   return values;
 }
@@ -46,6 +49,12 @@ StatusOr<std::vector<int>> ParseIntLines(const std::string& path) {
 
 StatusOr<GraphDataset> ReadTuDataset(const std::string& directory,
                                      const std::string& name) {
+  return ReadTuDataset(directory, name, TuReadOptions{});
+}
+
+StatusOr<GraphDataset> ReadTuDataset(const std::string& directory,
+                                     const std::string& name,
+                                     const TuReadOptions& options) {
   const std::string prefix = directory + "/" + name + "_";
 
   auto indicator = ParseIntLines(prefix + "graph_indicator.txt");
@@ -97,13 +106,14 @@ StatusOr<GraphDataset> ReadTuDataset(const std::string& directory,
     if (parts.size() != 2) {
       return Status::InvalidArgument("bad edge line '" + line + "'");
     }
+    // ParseFullInt rejects stray extra columns ("1 2" inside one
+    // comma-separated field) along with trailing garbage and overflow.
     int u, v;
-    try {
-      u = std::stoi(Trim(parts[0])) - 1;
-      v = std::stoi(Trim(parts[1])) - 1;
-    } catch (...) {
+    if (!ParseFullInt(parts[0], &u) || !ParseFullInt(parts[1], &v)) {
       return Status::InvalidArgument("bad edge line '" + line + "'");
     }
+    --u;
+    --v;
     if (u < 0 || v < 0 || u >= static_cast<int>(ind.size()) ||
         v >= static_cast<int>(ind.size())) {
       return Status::InvalidArgument("edge vertex id out of range");
@@ -115,17 +125,28 @@ StatusOr<GraphDataset> ReadTuDataset(const std::string& directory,
   }
 
   // Compact class labels to [0, C) preserving sorted order of raw labels.
-  std::map<int, int> class_remap;
-  for (int raw : graph_labels_raw.value()) class_remap[raw] = 0;
-  int next = 0;
-  for (auto& [raw, compact] : class_remap) compact = next++;
+  // The sharded-corpus reader disables this: per-shard compaction would
+  // remap the same raw label to different ids in shards with different
+  // label subsets.
   std::vector<int> labels;
   labels.reserve(num_graphs);
-  for (int raw : graph_labels_raw.value()) labels.push_back(class_remap[raw]);
+  if (options.compact_graph_labels) {
+    std::map<int, int> class_remap;
+    for (int raw : graph_labels_raw.value()) class_remap[raw] = 0;
+    int next = 0;
+    for (auto& [raw, compact] : class_remap) compact = next++;
+    for (int raw : graph_labels_raw.value()) {
+      labels.push_back(class_remap[raw]);
+    }
+  } else {
+    labels = graph_labels_raw.value();
+  }
 
   GraphDataset dataset(name, std::move(graphs), std::move(labels),
                        has_vertex_labels);
-  if (has_vertex_labels) dataset.CompactVertexLabels();
+  if (has_vertex_labels && options.compact_vertex_labels) {
+    dataset.CompactVertexLabels();
+  }
   return dataset;
 }
 
@@ -159,6 +180,27 @@ Status WriteTuDataset(const GraphDataset& dataset,
     }
     graph_labels << dataset.label(gi) << '\n';
     vertex_offset += g.NumVertices();
+  }
+
+  // A full disk does not fail operator<< loudly — it just sets badbit on
+  // some later write (possibly only at flush). Check every stream after the
+  // loop AND after an explicit flush, so a truncated shard is an IoError
+  // here instead of a parse error (or silent corruption) on a later read.
+  // The fail point simulates the out-of-space stream for tests.
+  if (DEEPMAP_FAILPOINT_TRIGGERED("graph.tu.write")) {
+    a.setstate(std::ios::badbit);
+  }
+  a.flush();
+  indicator.flush();
+  graph_labels.flush();
+  if (!a || !indicator || !graph_labels) {
+    return Status::IoError("short write of TU files under " + directory);
+  }
+  if (dataset.has_vertex_labels()) {
+    node_labels.flush();
+    if (!node_labels) {
+      return Status::IoError("short write of node_labels under " + directory);
+    }
   }
   return Status::Ok();
 }

@@ -16,19 +16,25 @@ std::vector<std::vector<int64_t>> WlRefinement::Refine(const graph::Graph& g) {
   std::vector<std::vector<int64_t>> colors(config_.iterations + 1);
   colors[0].resize(n);
   for (graph::Vertex v = 0; v < n; ++v) colors[0][v] = g.GetLabel(v);
+  // One reusable signature buffer per round: the dictionary lookup is by
+  // value, so the buffer is only copied into the map on a miss (new color),
+  // not once per vertex as the old move-into-try_emplace did.
+  std::vector<int64_t> signature;
   for (int h = 1; h <= config_.iterations; ++h) {
     const std::vector<int64_t>& prev = colors[h - 1];
     auto& dict = dictionaries_[h - 1];
     colors[h].resize(n);
     for (graph::Vertex v = 0; v < n; ++v) {
-      std::vector<int64_t> signature;
+      signature.clear();
       signature.reserve(g.Degree(v) + 1);
       signature.push_back(prev[v]);
       for (graph::Vertex u : g.Neighbors(v)) signature.push_back(prev[u]);
       std::sort(signature.begin() + 1, signature.end());
-      auto [it, inserted] =
-          dict.try_emplace(std::move(signature),
-                           static_cast<int64_t>(dict.size()));
+      auto it = dict.find(signature);
+      if (it == dict.end()) {
+        it = dict.emplace(signature, static_cast<int64_t>(dict.size()))
+                 .first;
+      }
       colors[h][v] = it->second;
     }
   }

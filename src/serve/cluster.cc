@@ -42,7 +42,8 @@ ServeCluster::ServeCluster(std::shared_ptr<ServableModel> model,
              options.cache_shards > 0
                  ? options.cache_shards
                  : 2 * std::max<size_t>(options.num_replicas, 1),
-             &metrics_.registry()) {
+             &metrics_.registry()),
+      dynamic_graphs_(options.cache_wl_iterations) {
   options_.num_replicas = std::max<size_t>(options_.num_replicas, 1);
   const std::shared_ptr<ServableModel> initial = servable_.Get();
   DEEPMAP_LOG(Info) << "ServeCluster serving model '" << initial->name()
@@ -140,6 +141,53 @@ std::future<StatusOr<Prediction>> ServeCluster::Submit(
   return SubmitInternal(g, request, /*target=*/-1);
 }
 
+Status ServeCluster::RegisterDynamicGraph(const std::string& id,
+                                          graph::Graph g) {
+  return dynamic_graphs_.Register(id, std::move(g));
+}
+
+Status ServeCluster::UnregisterDynamicGraph(const std::string& id) {
+  return dynamic_graphs_.Unregister(id);
+}
+
+StatusOr<Prediction> ServeCluster::ClassifyDelta(
+    const std::string& id, const std::vector<graph::EdgeUpdate>& updates,
+    const RequestOptions& request) {
+  DEEPMAP_TRACE_SPAN("serve.cluster.classify_delta", "serve");
+  const auto start = std::chrono::steady_clock::now();
+  if (request.deadline.has_value() && Expired(*request.deadline)) {
+    metrics_.RecordDeadlineExceeded("admission");
+    return DeadlineError("admission");
+  }
+  StatusOr<DeltaResult> delta = dynamic_graphs_.ApplyDelta(id, updates);
+  if (!delta.ok()) return delta.status();
+  metrics_.RecordDynamicUpdate(delta.value().applied);
+  if (options_.cache_capacity > 0) {
+    // Exact invalidation: only the pre-delta structure's entry is stale.
+    // (A no-op delta leaves the keys equal — never drop a live entry.)
+    if (delta.value().old_key != delta.value().new_key) {
+      cache_.Erase(delta.value().old_key);
+    }
+    if (std::optional<Prediction> hit = cache_.Lookup(delta.value().new_key)) {
+      metrics_.RecordDynamicIncrementalHit();
+      RequestTiming timing;
+      timing.cache_hit = true;
+      timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
+      metrics_.RecordRequest(timing);
+      metrics_.RecordOutcome(ServeOutcome::kOk);
+      return std::move(*hit);
+    }
+  }
+  // Miss: normal dispatch on the mutated snapshot, reusing the key the
+  // store computed and skipping the second lookup (the miss above is the
+  // one the cache counters should see).
+  metrics_.RecordDynamicFullRecompute();
+  return SubmitInternal(delta.value().graph, request, /*target=*/-1,
+                        std::move(delta.value().new_key),
+                        /*lookup_cache=*/false)
+      .get();
+}
+
 std::future<StatusOr<Prediction>> ServeCluster::SubmitToReplica(
     size_t replica, const graph::Graph& g, const RequestOptions& request) {
   DEEPMAP_CHECK_LT(replica, replicas_.size());
@@ -180,7 +228,8 @@ void ServeCluster::OnRequestComplete(const ServeRequest& request) {
 }
 
 std::future<StatusOr<Prediction>> ServeCluster::SubmitInternal(
-    const graph::Graph& g, const RequestOptions& request, int target) {
+    const graph::Graph& g, const RequestOptions& request, int target,
+    std::string cache_key, bool lookup_cache) {
   DEEPMAP_TRACE_SPAN("serve.cluster.submit", "serve");
   const auto start = std::chrono::steady_clock::now();
   ServeRequest queued;
@@ -205,15 +254,19 @@ std::future<StatusOr<Prediction>> ServeCluster::SubmitInternal(
 
   if (options_.cache_capacity > 0) {
     queued.cache_key =
-        PredictionCache::KeyFor(g, options_.cache_wl_iterations);
-    if (std::optional<Prediction> hit = cache_.Lookup(queued.cache_key)) {
-      RequestTiming timing;
-      timing.cache_hit = true;
-      timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
-      metrics_.RecordRequest(timing);
-      metrics_.RecordOutcome(ServeOutcome::kOk);
-      queued.promise.set_value(std::move(*hit));
-      return future;
+        cache_key.empty()
+            ? PredictionCache::KeyFor(g, options_.cache_wl_iterations)
+            : std::move(cache_key);
+    if (lookup_cache) {
+      if (std::optional<Prediction> hit = cache_.Lookup(queued.cache_key)) {
+        RequestTiming timing;
+        timing.cache_hit = true;
+        timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
+        metrics_.RecordRequest(timing);
+        metrics_.RecordOutcome(ServeOutcome::kOk);
+        queued.promise.set_value(std::move(*hit));
+        return future;
+      }
     }
   }
 

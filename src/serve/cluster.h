@@ -103,6 +103,18 @@ class ServeCluster {
     return Submit(g, RequestOptions{});
   }
 
+  /// Dynamic-graph serving, mirroring InferenceEngine: register a
+  /// long-lived graph, then classify edge deltas against it. ClassifyDelta
+  /// applies the delta incrementally, erases exactly the stale cache entry
+  /// of the pre-delta structure (never Clear()), and on a cache miss runs
+  /// the mutated graph through the normal dispatch path — logits are
+  /// bit-identical to a fresh Submit of that graph.
+  Status RegisterDynamicGraph(const std::string& id, graph::Graph g);
+  Status UnregisterDynamicGraph(const std::string& id);
+  StatusOr<Prediction> ClassifyDelta(
+      const std::string& id, const std::vector<graph::EdgeUpdate>& updates,
+      const RequestOptions& request = {});
+
   /// Blocks until every previously accepted request has been answered and
   /// no batch is in flight (including requests detached onto the supervisor
   /// by a replica failure). While a Drain is waiting, concurrent Submits
@@ -121,6 +133,7 @@ class ServeCluster {
   const ClusterMetrics& cluster_metrics() const { return cluster_metrics_; }
   const HealthMetrics& health_metrics() const { return health_metrics_; }
   const PredictionCache& cache() const { return cache_; }
+  const DynamicGraphStore& dynamic_graphs() const { return dynamic_graphs_; }
   /// The servable currently receiving new batches (hot reload may retire it
   /// at any time; the shared_ptr keeps the returned version alive).
   std::shared_ptr<ServableModel> model() const { return servable_.Get(); }
@@ -148,8 +161,12 @@ class ServeCluster {
 
  private:
   /// Shared admission path; `target` < 0 means join-shortest-queue.
+  /// `cache_key` empty = compute it here; `lookup_cache` false = skip the
+  /// admission-time lookup but still warm the cache under the key (the
+  /// ClassifyDelta miss path, which already looked the key up).
   std::future<StatusOr<Prediction>> SubmitInternal(
-      const graph::Graph& g, const RequestOptions& request, int target);
+      const graph::Graph& g, const RequestOptions& request, int target,
+      std::string cache_key = std::string(), bool lookup_cache = true);
 
   /// Fair-share verdict for `tenant` given the current backlog. Called with
   /// dispatch_.mu held.
@@ -164,6 +181,9 @@ class ServeCluster {
   ClusterMetrics cluster_metrics_;
   HealthMetrics health_metrics_;
   PredictionCache cache_;
+  /// Registered graphs for ClassifyDelta (keys at cache_wl_iterations so
+  /// they collide with Submit's).
+  DynamicGraphStore dynamic_graphs_;
   mutable DispatchState dispatch_;  // mutable: const accessors lock its mu
 
   /// Accepted-but-unresolved request counts per tenant. Guarded by

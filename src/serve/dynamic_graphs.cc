@@ -1,0 +1,100 @@
+#include "serve/dynamic_graphs.h"
+
+#include <utility>
+
+#include "serve/prediction_cache.h"
+
+namespace deepmap::serve {
+namespace {
+
+/// Key of the entry's CURRENT graph. Caller holds the entry mutex.
+std::string KeyOf(graph::DynamicGraph& dyn) {
+  return PredictionCache::KeyFromFingerprint(dyn.graph().NumVertices(),
+                                             dyn.graph().NumEdges(),
+                                             dyn.Fingerprint());
+}
+
+}  // namespace
+
+DynamicGraphStore::DynamicGraphStore(int wl_iterations)
+    : wl_iterations_(wl_iterations) {}
+
+Status DynamicGraphStore::Register(const std::string& id, graph::Graph g) {
+  graph::DynamicGraphOptions options;
+  options.wl_iterations = wl_iterations_;
+  auto entry = std::make_unique<Entry>(std::move(g), options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = graphs_.emplace(id, std::move(entry));
+  if (!inserted) {
+    return Status::FailedPrecondition("dynamic graph '" + id +
+                                      "' already registered");
+  }
+  return Status::Ok();
+}
+
+Status DynamicGraphStore::Unregister(const std::string& id) {
+  std::unique_ptr<Entry> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(id);
+    if (it == graphs_.end()) {
+      return Status::NotFound("dynamic graph '" + id + "' is not registered");
+    }
+    retired = std::move(it->second);
+    graphs_.erase(it);
+  }
+  // A concurrent ApplyDelta may still hold the entry mutex; taking it here
+  // makes the destruction wait for that delta to finish.
+  std::lock_guard<std::mutex> entry_lock(retired->mu);
+  return Status::Ok();
+}
+
+DynamicGraphStore::Entry* DynamicGraphStore::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(id);
+  return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<DeltaResult> DynamicGraphStore::ApplyDelta(
+    const std::string& id, const std::vector<graph::EdgeUpdate>& updates) {
+  Entry* entry = Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("dynamic graph '" + id + "' is not registered");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  DeltaResult result;
+  result.old_key = KeyOf(entry->dyn);
+  if (Status s = entry->dyn.ApplyAll(updates); !s.ok()) return s;
+  result.applied = static_cast<int64_t>(updates.size());
+  result.new_key = KeyOf(entry->dyn);
+  result.graph = entry->dyn.graph();
+  return result;
+}
+
+StatusOr<graph::Graph> DynamicGraphStore::Snapshot(
+    const std::string& id) const {
+  Entry* entry = Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("dynamic graph '" + id + "' is not registered");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->dyn.graph();
+}
+
+StatusOr<std::string> DynamicGraphStore::CacheKey(
+    const std::string& id) const {
+  Entry* entry = Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("dynamic graph '" + id + "' is not registered");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return KeyOf(entry->dyn);
+}
+
+size_t DynamicGraphStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace deepmap::serve

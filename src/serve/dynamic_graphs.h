@@ -1,0 +1,89 @@
+// DynamicGraphStore: registered long-lived graphs that serving mutates in
+// place via edge deltas (ClassifyDelta on InferenceEngine / ServeCluster).
+//
+// Each registered graph is a graph::DynamicGraph, so applying a delta
+// repairs the WL hashes incrementally instead of rehashing the whole graph,
+// and the store hands back the BEFORE and AFTER prediction-cache keys of
+// the mutation. The caller uses them for exact invalidation: erase the old
+// key (that prediction describes a graph that no longer exists), look up
+// the new one (a delta-then-revert sequence, or two registered graphs
+// converging on the same structure, hits without running the model).
+//
+// Locking is two-level: a store mutex guards the id map, a per-entry mutex
+// serializes deltas against the same graph. Deltas on different graphs
+// never contend, and neither level is held while the model runs.
+#ifndef DEEPMAP_SERVE_DYNAMIC_GRAPHS_H_
+#define DEEPMAP_SERVE_DYNAMIC_GRAPHS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+
+namespace deepmap::serve {
+
+/// Outcome of one ApplyDelta: the mutated snapshot plus the cache keys the
+/// delta moved the graph between.
+struct DeltaResult {
+  graph::Graph graph;   // snapshot after the delta
+  std::string old_key;  // prediction-cache key before
+  std::string new_key;  // prediction-cache key after
+  int64_t applied = 0;  // edge updates applied
+};
+
+/// Thread-safe id -> DynamicGraph map.
+class DynamicGraphStore {
+ public:
+  /// `wl_iterations` must match the serving cache key's depth (the keys
+  /// this store computes and the ones Submit computes must collide).
+  explicit DynamicGraphStore(int wl_iterations);
+
+  /// Registers `g` under `id`; FailedPrecondition if the id is taken.
+  Status Register(const std::string& id, graph::Graph g);
+
+  /// Drops `id`; NotFound if absent.
+  Status Unregister(const std::string& id);
+
+  /// Applies `updates` atomically to `id` (graph::DynamicGraph::ApplyAll:
+  /// an invalid update rolls back the whole batch and the graph is
+  /// untouched). NotFound for an unknown id, InvalidArgument (from the
+  /// rollback) for a bad delta. An empty delta is valid: keys equal, zero
+  /// applied — a pure cache probe.
+  StatusOr<DeltaResult> ApplyDelta(
+      const std::string& id, const std::vector<graph::EdgeUpdate>& updates);
+
+  /// Copy of the current graph; NotFound if absent.
+  StatusOr<graph::Graph> Snapshot(const std::string& id) const;
+
+  /// Current prediction-cache key of `id`; NotFound if absent.
+  StatusOr<std::string> CacheKey(const std::string& id) const;
+
+  size_t size() const;
+  int wl_iterations() const { return wl_iterations_; }
+
+ private:
+  struct Entry {
+    explicit Entry(graph::Graph g, const graph::DynamicGraphOptions& options)
+        : dyn(std::move(g), options) {}
+    std::mutex mu;
+    graph::DynamicGraph dyn;
+  };
+
+  /// Looks up the entry under mu_; the returned pointer stays valid until
+  /// Unregister (entries are heap-allocated and never moved).
+  Entry* Find(const std::string& id) const;
+
+  const int wl_iterations_;
+  mutable std::mutex mu_;  // guards graphs_ (the map, not the entries)
+  std::unordered_map<std::string, std::unique_ptr<Entry>> graphs_;
+};
+
+}  // namespace deepmap::serve
+
+#endif  // DEEPMAP_SERVE_DYNAMIC_GRAPHS_H_

@@ -42,7 +42,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ServableModel> model,
                 BatchPipeline::Hooks{
                     [this](double total_us) { RecordLatencySample(total_us); },
                     /*on_complete=*/nullptr}),
-      admission_rng_(options.admission.seed) {
+      admission_rng_(options.admission.seed),
+      dynamic_graphs_(options.cache_wl_iterations) {
   DEEPMAP_CHECK(model_ != nullptr);
   DEEPMAP_LOG(Info) << "InferenceEngine serving model '" << model_->name()
                     << "' via backend '" << model_->backend_name() << "'";
@@ -115,6 +116,12 @@ bool InferenceEngine::ShouldShed(std::string* detail) {
 
 std::future<StatusOr<Prediction>> InferenceEngine::Submit(
     const graph::Graph& g, const RequestOptions& request) {
+  return SubmitPrepared(g, request, std::string(), /*lookup_cache=*/true);
+}
+
+std::future<StatusOr<Prediction>> InferenceEngine::SubmitPrepared(
+    const graph::Graph& g, const RequestOptions& request,
+    std::string cache_key, bool lookup_cache) {
   // Covers admission + cache lookup + enqueue; queue/preprocess/forward time
   // shows up under the dispatcher's serve.batch span instead.
   DEEPMAP_TRACE_SPAN("serve.submit", "serve");
@@ -140,16 +147,21 @@ std::future<StatusOr<Prediction>> InferenceEngine::Submit(
   }
 
   if (options_.cache_capacity > 0) {
-    queued.cache_key = PredictionCache::KeyFor(g, options_.cache_wl_iterations);
-    if (std::optional<Prediction> hit = cache_.Lookup(queued.cache_key)) {
-      RequestTiming timing;
-      timing.cache_hit = true;
-      timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
-      metrics_.RecordRequest(timing);
-      metrics_.RecordOutcome(ServeOutcome::kOk);
-      RecordLatencySample(timing.total_us);
-      queued.promise.set_value(std::move(*hit));
-      return future;
+    queued.cache_key =
+        cache_key.empty()
+            ? PredictionCache::KeyFor(g, options_.cache_wl_iterations)
+            : std::move(cache_key);
+    if (lookup_cache) {
+      if (std::optional<Prediction> hit = cache_.Lookup(queued.cache_key)) {
+        RequestTiming timing;
+        timing.cache_hit = true;
+        timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
+        metrics_.RecordRequest(timing);
+        metrics_.RecordOutcome(ServeOutcome::kOk);
+        RecordLatencySample(timing.total_us);
+        queued.promise.set_value(std::move(*hit));
+        return future;
+      }
     }
   }
 
@@ -198,6 +210,54 @@ StatusOr<Prediction> InferenceEngine::Classify(const graph::Graph& g,
         static_cast<int64_t>(static_cast<double>(backoff_us) *
                              retry.backoff_multiplier));
   }
+}
+
+Status InferenceEngine::RegisterDynamicGraph(const std::string& id,
+                                             graph::Graph g) {
+  return dynamic_graphs_.Register(id, std::move(g));
+}
+
+Status InferenceEngine::UnregisterDynamicGraph(const std::string& id) {
+  return dynamic_graphs_.Unregister(id);
+}
+
+StatusOr<Prediction> InferenceEngine::ClassifyDelta(
+    const std::string& id, const std::vector<graph::EdgeUpdate>& updates,
+    const RequestOptions& request) {
+  DEEPMAP_TRACE_SPAN("serve.classify_delta", "serve");
+  const auto start = std::chrono::steady_clock::now();
+  if (request.deadline.has_value() && Expired(*request.deadline)) {
+    metrics_.RecordDeadlineExceeded("admission");
+    return DeadlineError("admission");
+  }
+  StatusOr<DeltaResult> delta = dynamic_graphs_.ApplyDelta(id, updates);
+  if (!delta.ok()) return delta.status();
+  metrics_.RecordDynamicUpdate(delta.value().applied);
+  if (options_.cache_capacity > 0) {
+    // Exact invalidation: only the pre-delta structure's entry is stale.
+    // (A no-op delta leaves the keys equal — never drop a live entry.)
+    if (delta.value().old_key != delta.value().new_key) {
+      cache_.Erase(delta.value().old_key);
+    }
+    if (std::optional<Prediction> hit = cache_.Lookup(delta.value().new_key)) {
+      metrics_.RecordDynamicIncrementalHit();
+      RequestTiming timing;
+      timing.cache_hit = true;
+      timing.total_us = MicrosSince(start, std::chrono::steady_clock::now());
+      metrics_.RecordRequest(timing);
+      metrics_.RecordOutcome(ServeOutcome::kOk);
+      RecordLatencySample(timing.total_us);
+      return std::move(*hit);
+    }
+  }
+  // Miss: full pipeline on the mutated snapshot, reusing the key the store
+  // already computed and skipping the second lookup (the miss above is the
+  // one the cache counters should see).
+  metrics_.RecordDynamicFullRecompute();
+  return SubmitPrepared(delta.value().graph, request,
+                        std::move(delta.value().new_key),
+                        /*lookup_cache=*/false)
+      .get();
 }
 
 void InferenceEngine::Drain() { batcher_->Drain(); }

@@ -40,6 +40,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "serve/dynamic_graphs.h"
 #include "serve/metrics.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
@@ -140,18 +141,47 @@ class InferenceEngine {
   StatusOr<Prediction> Classify(const graph::Graph& g,
                                 const RequestOptions& request = {});
 
+  /// Dynamic-graph serving. Register a long-lived graph once, then classify
+  /// edge deltas against it: ClassifyDelta applies the delta (incremental
+  /// WL repair, not a full rehash), invalidates exactly the stale cache
+  /// entry of the pre-delta structure, and answers from cache when the
+  /// post-delta structure has been classified before — otherwise it runs
+  /// the full pipeline on the mutated graph, so the returned logits are
+  /// bit-identical to a fresh Classify of that graph.
+  Status RegisterDynamicGraph(const std::string& id, graph::Graph g);
+  Status UnregisterDynamicGraph(const std::string& id);
+
+  /// Applies `updates` to the registered graph `id` (atomically: an invalid
+  /// delta leaves the graph untouched) and classifies the result. The
+  /// mutation persists even when classification itself fails — the delta
+  /// describes the world, not the request.
+  StatusOr<Prediction> ClassifyDelta(
+      const std::string& id, const std::vector<graph::EdgeUpdate>& updates,
+      const RequestOptions& request = {});
+
   /// Blocks until every previously submitted request has been answered.
   void Drain();
 
   const ServeMetrics& metrics() const { return metrics_; }
   const PredictionCache& cache() const { return cache_; }
   const ServableModel& model() const { return *model_; }
+  const DynamicGraphStore& dynamic_graphs() const { return dynamic_graphs_; }
 
   /// Observed p95 total latency (us) over the recent-request window; 0
   /// until enough samples accumulate. Drives the admission controller.
   double observed_p95_us() const { return p95_us_.load(std::memory_order_relaxed); }
 
  private:
+  /// Submit with the cache key already decided: `cache_key` empty = compute
+  /// it here (the plain Submit path); `lookup_cache` false = skip the
+  /// admission-time lookup but still warm the cache under the key after the
+  /// forward pass (the ClassifyDelta miss path, which has already looked
+  /// the key up and must not double-count the miss).
+  std::future<StatusOr<Prediction>> SubmitPrepared(const graph::Graph& g,
+                                                   const RequestOptions& request,
+                                                   std::string cache_key,
+                                                   bool lookup_cache);
+
   /// Admission-control decision for one cache-missing request; fills
   /// `detail` with the depth/latency evidence when shedding.
   bool ShouldShed(std::string* detail);
@@ -182,6 +212,10 @@ class InferenceEngine {
 
   std::mutex admission_mu_;  // guards admission_rng_
   Rng admission_rng_;
+
+  /// Registered graphs for ClassifyDelta (keys at cache_wl_iterations so
+  /// they collide with Submit's).
+  DynamicGraphStore dynamic_graphs_;
 
   std::unique_ptr<MicroBatcher> batcher_;  // last member: stops first
 };

@@ -84,6 +84,16 @@ ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry)
                     "degraded answers served by the majority-class fallback");
   retries_ = &r.GetCounter("deepmap_serve_retries_total",
                            "backoff-and-resubmit cycles inside Classify");
+  dynamic_updates_ =
+      &r.GetCounter("deepmap_serve_dynamic_updates_total",
+                    "edge updates applied to registered dynamic graphs");
+  dynamic_incremental_hits_ = &r.GetCounter(
+      "deepmap_serve_dynamic_incremental_hits_total",
+      "ClassifyDelta calls answered from cache after an incremental "
+      "fingerprint update");
+  dynamic_full_recomputes_ = &r.GetCounter(
+      "deepmap_serve_dynamic_full_recomputes_total",
+      "ClassifyDelta calls that ran the full pipeline on the mutated graph");
   batches_ = &r.GetCounter("deepmap_serve_batches_total",
                            "batches dispatched by the micro-batcher");
   batch_items_ = &r.GetCounter("deepmap_serve_batch_items_total",
@@ -195,6 +205,18 @@ void ServeMetrics::RecordDegradedFallback() {
 
 void ServeMetrics::RecordRetry() { retries_->Increment(); }
 
+void ServeMetrics::RecordDynamicUpdate(int64_t edges) {
+  dynamic_updates_->Increment(edges);
+}
+
+void ServeMetrics::RecordDynamicIncrementalHit() {
+  dynamic_incremental_hits_->Increment();
+}
+
+void ServeMetrics::RecordDynamicFullRecompute() {
+  dynamic_full_recomputes_->Increment();
+}
+
 const ServeMetrics::Series* ServeMetrics::SeriesFor(
     const std::string& stage) const {
   if (stage == "queue") return &queue_;
@@ -268,6 +290,18 @@ int64_t ServeMetrics::degraded_fallback() const {
 }
 
 int64_t ServeMetrics::retries() const { return retries_->Value(); }
+
+int64_t ServeMetrics::dynamic_updates() const {
+  return dynamic_updates_->Value();
+}
+
+int64_t ServeMetrics::dynamic_incremental_hits() const {
+  return dynamic_incremental_hits_->Value();
+}
+
+int64_t ServeMetrics::dynamic_full_recomputes() const {
+  return dynamic_full_recomputes_->Value();
+}
 
 int64_t ServeMetrics::num_batches() const { return batches_->Value(); }
 

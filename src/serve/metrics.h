@@ -99,6 +99,16 @@ class ServeMetrics {
   /// One backoff-and-resubmit cycle inside Classify.
   void RecordRetry();
 
+  /// Dynamic-graph serving (ClassifyDelta). `edges` edge updates applied
+  /// incrementally to a registered graph.
+  void RecordDynamicUpdate(int64_t edges);
+  /// One ClassifyDelta answered by the cache after the incremental
+  /// fingerprint update (the fast path the feature exists for).
+  void RecordDynamicIncrementalHit();
+  /// One ClassifyDelta that had to run the full pipeline on the mutated
+  /// graph.
+  void RecordDynamicFullRecompute();
+
   /// Stage summaries; `stage` is one of "queue", "preprocess", "forward",
   /// "total". Cache hits are excluded from the queue/preprocess/forward
   /// series (they never enter those stages) but included in "total".
@@ -121,6 +131,10 @@ class ServeMetrics {
   int64_t degraded_stale() const;
   int64_t degraded_fallback() const;
   int64_t retries() const;
+
+  int64_t dynamic_updates() const;  // edge updates, not ClassifyDelta calls
+  int64_t dynamic_incremental_hits() const;
+  int64_t dynamic_full_recomputes() const;
 
   int64_t num_batches() const;
   double mean_batch_size() const;
@@ -180,6 +194,9 @@ class ServeMetrics {
   obs::Counter* degraded_stale_;
   obs::Counter* degraded_fallback_;
   obs::Counter* retries_;
+  obs::Counter* dynamic_updates_;
+  obs::Counter* dynamic_incremental_hits_;
+  obs::Counter* dynamic_full_recomputes_;
   obs::Counter* batches_;
   obs::Counter* batch_items_;
   obs::Counter* queue_depth_samples_;

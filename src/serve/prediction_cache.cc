@@ -9,14 +9,18 @@ namespace deepmap::serve {
 
 PredictionCache::PredictionCache(size_t capacity, size_t num_shards,
                                  obs::MetricsRegistry* registry)
-    : capacity_(capacity),
-      shard_capacity_(num_shards < 2 ? capacity
-                                     : (capacity + num_shards - 1) /
-                                           num_shards) {
+    : capacity_(capacity) {
   if (num_shards == 0) num_shards = 1;
+  // Split the budget exactly: base slots everywhere, and the remainder
+  // handed out one slot each to the first shards. The previous ceil
+  // division gave EVERY shard the rounded-up quota, so a (capacity=10,
+  // shards=4) cache could hold 12 entries.
+  const size_t base = capacity / num_shards;
+  const size_t remainder = capacity % num_shards;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < remainder ? 1 : 0);
     if (registry != nullptr) {
       const std::string prefix =
           "deepmap_serve_cache_shard" + std::to_string(i);
@@ -33,11 +37,17 @@ PredictionCache::PredictionCache(size_t capacity, size_t num_shards,
 
 std::string PredictionCache::KeyFor(const graph::Graph& g,
                                     int wl_iterations) {
-  std::string key = std::to_string(g.NumVertices());
+  return KeyFromFingerprint(g.NumVertices(), g.NumEdges(),
+                            graph::WlHashFingerprint(g, wl_iterations));
+}
+
+std::string PredictionCache::KeyFromFingerprint(
+    int num_vertices, int64_t num_edges, const std::string& fingerprint) {
+  std::string key = std::to_string(num_vertices);
   key += ':';
-  key += std::to_string(g.NumEdges());
+  key += std::to_string(num_edges);
   key += ':';
-  key += graph::WlFingerprint(g, wl_iterations);
+  key += fingerprint;
   return key;
 }
 
@@ -75,6 +85,9 @@ void PredictionCache::Insert(const std::string& key, Prediction prediction) {
   // correct engine must tolerate (the next request just misses again).
   if (DEEPMAP_FAILPOINT_TRIGGERED("serve.cache.insert")) return;
   Shard& shard = *shards_[ShardIndexFor(key)];
+  // A shard can be allotted zero slots when capacity < num_shards; it then
+  // stores nothing (rather than evicting from an empty list).
+  if (shard.capacity == 0) return;
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -82,7 +95,7 @@ void PredictionCache::Insert(const std::string& key, Prediction prediction) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= shard_capacity_) {
+  if (shard.lru.size() >= shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
@@ -92,6 +105,16 @@ void PredictionCache::Insert(const std::string& key, Prediction prediction) {
   }
   shard.lru.emplace_front(key, std::move(prediction));
   shard.index[key] = shard.lru.begin();
+}
+
+bool PredictionCache::Erase(const std::string& key) {
+  Shard& shard = *shards_[ShardIndexFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  return true;
 }
 
 void PredictionCache::Clear() {

@@ -19,9 +19,13 @@
 // contend, which is what lets one cache be shared by every replica of a
 // ServeCluster; a single-shard cache (the default constructor) degenerates
 // to the original global-lock LRU with one process-wide recency order.
-// Capacity is split evenly across shards (ceil division), so eviction is a
-// per-shard decision: the recency order is exact within a shard and
-// approximate globally.
+// Capacity is split exactly across shards — every shard gets
+// floor(capacity / num_shards) slots and the first capacity % num_shards
+// shards one extra — so the per-shard capacities always sum to `capacity`.
+// (The previous ceil-division split handed every shard the rounded-up
+// quota, letting the cache hold up to num_shards - 1 entries more than
+// configured.) Eviction is a per-shard decision: the recency order is
+// exact within a shard and approximate globally.
 //
 // When a MetricsRegistry is supplied, every shard exports its counters as
 //   deepmap_serve_cache_shard<i>_hits_total
@@ -53,15 +57,23 @@ namespace deepmap::serve {
 class PredictionCache {
  public:
   /// `capacity` == 0 disables the cache (every Lookup misses). `num_shards`
-  /// is clamped to >= 1; per-shard capacity is ceil(capacity / num_shards).
+  /// is clamped to >= 1; per-shard capacities sum exactly to `capacity`.
   /// When `registry` is non-null (it must outlive the cache), per-shard
   /// hit/miss/eviction counters are registered on it.
   explicit PredictionCache(size_t capacity, size_t num_shards = 1,
                            obs::MetricsRegistry* registry = nullptr);
 
-  /// Cache key: "n:m:<wl fingerprint>". `wl_iterations` trades key cost for
-  /// resolution; isomorphic graphs always collide, WL-equivalent graphs too.
+  /// Cache key: "n:m:<wl hash fingerprint>". `wl_iterations` trades key
+  /// cost for resolution; isomorphic graphs always collide, WL-equivalent
+  /// graphs too. Built on WlHashFingerprint (not WlFingerprint) so the
+  /// dynamic-graph path can maintain the same key incrementally.
   static std::string KeyFor(const graph::Graph& g, int wl_iterations);
+
+  /// Assembles the key KeyFor would produce from an already-computed
+  /// fingerprint (the DynamicGraph path, which never rehashes from
+  /// scratch).
+  static std::string KeyFromFingerprint(int num_vertices, int64_t num_edges,
+                                        const std::string& fingerprint);
 
   /// The shard `key` stripes onto (stable for the cache's lifetime).
   size_t ShardIndexFor(const std::string& key) const;
@@ -73,6 +85,12 @@ class PredictionCache {
   /// of its shard when that shard is at capacity. No-op when disabled.
   void Insert(const std::string& key, Prediction prediction);
 
+  /// Removes exactly `key` from its shard, if present. Returns whether an
+  /// entry was dropped. This is the surgical alternative to Clear() for
+  /// dynamic-graph updates: only the stale entry of the mutated graph is
+  /// invalidated, every other cached prediction stays warm.
+  bool Erase(const std::string& key);
+
   /// Drops every entry in every shard. Hit/miss/eviction counters are
   /// preserved (they describe traffic, not contents). Used on hot model
   /// swap: cached predictions belong to the replaced model version.
@@ -81,7 +99,12 @@ class PredictionCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
-  size_t shard_capacity() const { return shard_capacity_; }
+  /// Largest per-shard capacity (shard 0's; shards differ by at most one).
+  size_t shard_capacity() const { return shards_[0]->capacity; }
+  /// Capacity of one specific shard.
+  size_t shard_capacity(size_t shard) const {
+    return shards_[shard]->capacity;
+  }
 
   /// Aggregates over all shards.
   int64_t hits() const;
@@ -105,6 +128,7 @@ class PredictionCache {
   /// One lock stripe: an independent LRU over its slice of the key space.
   struct Shard {
     mutable std::mutex mu;
+    size_t capacity = 0;  // this shard's slice of the configured total
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     int64_t hits = 0;
@@ -116,8 +140,7 @@ class PredictionCache {
     obs::Counter* evictions_counter = nullptr;
   };
 
-  const size_t capacity_;        // configured total
-  const size_t shard_capacity_;  // ceil(capacity / num_shards)
+  const size_t capacity_;  // configured total == sum of shard capacities
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,259 @@
+// DynamicGraph: the incremental WL repair must be bit-identical to a full
+// recomputation after every delta (fuzzed), deltas must be strict and
+// ApplyAll atomic, and warm-started centrality must agree with a cold run.
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/centrality.h"
+#include "graph/graph.h"
+#include "graph/isomorphism.h"
+
+namespace deepmap::graph {
+namespace {
+
+Graph RandomGraph(Rng& rng, int n, double edge_probability) {
+  Graph g;
+  for (int v = 0; v < n; ++v) {
+    g.AddVertex(static_cast<Label>(rng.Index(4)));
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(edge_probability)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+/// Asserts every maintained level and the fingerprint equal a from-scratch
+/// recomputation on the current graph.
+void ExpectMatchesFullRecompute(DynamicGraph& dyn) {
+  const auto full = WlHashColors(dyn.graph(), dyn.wl_iterations());
+  for (int h = 0; h <= dyn.wl_iterations(); ++h) {
+    ASSERT_EQ(dyn.Hashes(h), full[static_cast<size_t>(h)])
+        << "level " << h << " diverged from full recompute";
+  }
+  EXPECT_EQ(dyn.Fingerprint(),
+            WlHashFingerprint(dyn.graph(), dyn.wl_iterations()));
+}
+
+class DynamicWlFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicWlFuzzTest, IncrementalRepairMatchesFullRecompute) {
+  Rng rng(GetParam());
+  const int n = 8 + static_cast<int>(rng.Index(25));
+  DynamicGraphOptions options;
+  options.wl_iterations = 1 + static_cast<int>(rng.Index(4));  // 1..4
+  DynamicGraph dyn(RandomGraph(rng, n, 0.15), options);
+  ExpectMatchesFullRecompute(dyn);
+
+  for (int step = 0; step < 60; ++step) {
+    const Vertex u = static_cast<Vertex>(rng.Index(n));
+    const Vertex v = static_cast<Vertex>(rng.Index(n));
+    if (u == v) continue;
+    // Toggle: insert when absent, remove when present — both directions of
+    // the repair (post-insert BFS vs pre-delete BFS) get exercised.
+    const EdgeUpdate update = dyn.graph().HasEdge(u, v)
+                                  ? EdgeUpdate::Remove(u, v)
+                                  : EdgeUpdate::Insert(u, v);
+    ASSERT_TRUE(dyn.Apply(update).ok());
+    ExpectMatchesFullRecompute(dyn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicWlFuzzTest, ::testing::Range(400, 410));
+
+TEST(DynamicGraphTest, ZeroIterationsMaintainsLabelHashesOnly) {
+  Rng rng(1);
+  DynamicGraphOptions options;
+  options.wl_iterations = 0;
+  DynamicGraph dyn(RandomGraph(rng, 10, 0.3), options);
+  ExpectMatchesFullRecompute(dyn);
+  ASSERT_TRUE(dyn.Apply(EdgeUpdate{0, 1, !dyn.graph().HasEdge(0, 1)}).ok());
+  ExpectMatchesFullRecompute(dyn);
+}
+
+TEST(DynamicGraphTest, InsertThenRemoveRestoresFingerprint) {
+  Rng rng(7);
+  DynamicGraph dyn(RandomGraph(rng, 16, 0.2));
+  const std::string before = dyn.Fingerprint();
+  Vertex u = 0, v = 0;
+  for (Vertex a = 0; a < 16 && u == v; ++a) {
+    for (Vertex b = a + 1; b < 16; ++b) {
+      if (!dyn.graph().HasEdge(a, b)) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, v);
+  ASSERT_TRUE(dyn.Apply(EdgeUpdate::Insert(u, v)).ok());
+  EXPECT_NE(dyn.Fingerprint(), before);  // |E| changed, WL digest changed
+  ASSERT_TRUE(dyn.Apply(EdgeUpdate::Remove(u, v)).ok());
+  EXPECT_EQ(dyn.Fingerprint(), before);
+  EXPECT_EQ(dyn.updates_applied(), 2);
+}
+
+TEST(DynamicGraphTest, InvalidUpdatesAreRejectedAndLeaveStateUntouched) {
+  Graph base = Graph::FromEdges(4, {{0, 1}, {1, 2}});
+  DynamicGraph dyn(base);
+  const std::string before = dyn.Fingerprint();
+
+  EXPECT_EQ(dyn.Apply(EdgeUpdate::Insert(0, 0)).code(),
+            StatusCode::kInvalidArgument);  // self loop
+  EXPECT_EQ(dyn.Apply(EdgeUpdate::Insert(0, 1)).code(),
+            StatusCode::kInvalidArgument);  // already present
+  EXPECT_EQ(dyn.Apply(EdgeUpdate::Remove(0, 3)).code(),
+            StatusCode::kInvalidArgument);  // absent
+  EXPECT_EQ(dyn.Apply(EdgeUpdate::Insert(0, 4)).code(),
+            StatusCode::kInvalidArgument);  // out of range
+  EXPECT_EQ(dyn.Apply(EdgeUpdate::Insert(-1, 2)).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(dyn.updates_applied(), 0);
+  EXPECT_EQ(dyn.Fingerprint(), before);
+  ExpectMatchesFullRecompute(dyn);
+}
+
+TEST(DynamicGraphTest, ApplyAllRollsBackOnFailure) {
+  Graph base = Graph::FromEdges(5, {{0, 1}, {1, 2}});
+  DynamicGraph dyn(base);
+  const std::string before = dyn.Fingerprint();
+
+  // Third update is invalid (0-1 still present after the valid prefix), so
+  // the first two must be rolled back.
+  Status s = dyn.ApplyAll({EdgeUpdate::Insert(2, 3),
+                           EdgeUpdate::Remove(1, 2),
+                           EdgeUpdate::Insert(0, 1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(dyn.graph().HasEdge(0, 1));
+  EXPECT_TRUE(dyn.graph().HasEdge(1, 2));
+  EXPECT_FALSE(dyn.graph().HasEdge(2, 3));
+  EXPECT_EQ(dyn.Fingerprint(), before);
+  ExpectMatchesFullRecompute(dyn);
+
+  // The same batch without the poison pill applies cleanly.
+  EXPECT_TRUE(
+      dyn.ApplyAll({EdgeUpdate::Insert(2, 3), EdgeUpdate::Remove(1, 2)})
+          .ok());
+  EXPECT_TRUE(dyn.graph().HasEdge(2, 3));
+  EXPECT_FALSE(dyn.graph().HasEdge(1, 2));
+  ExpectMatchesFullRecompute(dyn);
+}
+
+// --- warm-started centrality -------------------------------------------------
+
+void ExpectCentralityAgrees(const std::vector<double>& warm,
+                            const std::vector<double>& cold) {
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t v = 0; v < warm.size(); ++v) {
+    EXPECT_NEAR(warm[v], cold[v], 1e-8) << "vertex " << v;
+  }
+}
+
+TEST(DynamicGraphTest, WarmStartedCentralityMatchesColdRun) {
+  Rng rng(11);
+  DynamicGraph dyn(RandomGraph(rng, 20, 0.2));
+  (void)dyn.Centrality();  // converge once (cold)
+
+  int warm_total = 0, cold_total = 0;
+  for (int step = 0; step < 10; ++step) {
+    const Vertex u = static_cast<Vertex>(rng.Index(20));
+    const Vertex v = static_cast<Vertex>(rng.Index(20));
+    if (u == v) continue;
+    const EdgeUpdate update = dyn.graph().HasEdge(u, v)
+                                  ? EdgeUpdate::Remove(u, v)
+                                  : EdgeUpdate::Insert(u, v);
+    ASSERT_TRUE(dyn.Apply(update).ok());
+
+    int cold_iterations = 0;
+    CentralityOptions cold;
+    cold.iterations_used = &cold_iterations;
+    ExpectCentralityAgrees(dyn.Centrality(),
+                           EigenvectorCentrality(dyn.graph(), cold));
+    warm_total += dyn.last_centrality_iterations();
+    cold_total += cold_iterations;
+  }
+  // The warm restart is the speed lever: starting from the previous fixed
+  // point, the deltas in aggregate need no more rounds than cold runs on
+  // the same mutated graphs (a single adversarial delta may not win, so
+  // the bound is on the sum).
+  EXPECT_LE(warm_total, cold_total);
+}
+
+TEST(DynamicGraphTest, WarmStartHandlesComponentMergeAndSplit) {
+  // Two triangles — distinct components — then a bridge merges them, then
+  // removing it splits them again. Exercises the per-component warm-start
+  // renormalization on both transitions.
+  Graph base = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  DynamicGraph dyn(base);
+  ExpectCentralityAgrees(dyn.Centrality(), EigenvectorCentrality(dyn.graph()));
+
+  ASSERT_TRUE(dyn.Apply(EdgeUpdate::Insert(2, 3)).ok());  // merge
+  ExpectCentralityAgrees(dyn.Centrality(), EigenvectorCentrality(dyn.graph()));
+
+  ASSERT_TRUE(dyn.Apply(EdgeUpdate::Remove(2, 3)).ok());  // split
+  ExpectCentralityAgrees(dyn.Centrality(), EigenvectorCentrality(dyn.graph()));
+}
+
+TEST(DynamicGraphTest, CentralityHandlesVertexIsolation) {
+  // Removing the last edge of a vertex zeroes its centrality; the stale
+  // positive warm-start entry must not resurrect it.
+  Graph base = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  DynamicGraph dyn(base);
+  (void)dyn.Centrality();
+  ASSERT_TRUE(dyn.Apply(EdgeUpdate::Remove(0, 3)).ok());
+  const std::vector<double>& warm = dyn.Centrality();
+  EXPECT_NEAR(warm[3], 0.0, 1e-12);
+  ExpectCentralityAgrees(warm, EigenvectorCentrality(dyn.graph()));
+}
+
+// --- WlHashFingerprint semantics --------------------------------------------
+
+TEST(WlHashFingerprintTest, InvariantUnderVertexPermutation) {
+  Rng rng(21);
+  Graph g = RandomGraph(rng, 12, 0.25);
+  std::vector<Vertex> perm(12);
+  for (int v = 0; v < 12; ++v) perm[static_cast<size_t>(v)] = v;
+  for (int v = 11; v > 0; --v) {
+    std::swap(perm[static_cast<size_t>(v)],
+              perm[rng.Index(static_cast<size_t>(v) + 1)]);
+  }
+  const Graph permuted = g.Permuted(perm);
+  for (int iterations : {0, 1, 2, 3}) {
+    EXPECT_EQ(WlHashFingerprint(g, iterations),
+              WlHashFingerprint(permuted, iterations));
+  }
+}
+
+TEST(WlHashFingerprintTest, SeparatesGraphsWlCanSeparate) {
+  const Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph star = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_NE(WlHashFingerprint(path, 2), WlHashFingerprint(star, 2));
+}
+
+TEST(WlHashFingerprintTest, CollidesOnWlEquivalentGraphs) {
+  // C6 vs two triangles: the classic 1-WL-equivalent pair. Same vertex
+  // count, same edge count, every vertex 2-regular with identical labels —
+  // WL (any depth) cannot separate them, so the fingerprints MUST collide.
+  // This documents the intended cache semantics, not a weakness.
+  const Graph c6 = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  const Graph triangles = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  for (int iterations : {1, 2, 4}) {
+    EXPECT_EQ(WlHashFingerprint(c6, iterations),
+              WlHashFingerprint(triangles, iterations));
+  }
+}
+
+}  // namespace
+}  // namespace deepmap::graph

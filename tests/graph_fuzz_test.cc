@@ -8,11 +8,16 @@
 // all four graph-operator constructions.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/algorithms.h"
+#include "graph/dataset.h"
 #include "graph/graph.h"
+#include "graph/tu_format.h"
 #include "sparse/sparse_graph.h"
 
 namespace deepmap::graph {
@@ -31,6 +36,12 @@ class ReferenceGraph {
   bool AddEdge(int u, int v) {
     if (u == v || adj_[u][v]) return false;
     adj_[u][v] = adj_[v][u] = true;
+    return true;
+  }
+
+  bool RemoveEdge(int u, int v) {
+    if (u == v || !adj_[u][v]) return false;
+    adj_[u][v] = adj_[v][u] = false;
     return true;
   }
 
@@ -74,7 +85,7 @@ TEST_P(GraphFuzzTest, AgreesWithReferenceModel) {
   const int kSteps = 300;
   for (int step = 0; step < kSteps; ++step) {
     const int n = graph.NumVertices();
-    int op = rng.UniformInt(0, 4);
+    int op = rng.UniformInt(0, 5);
     if (n < 2) op = 0;  // need vertices before edges/labels
     switch (op) {
       case 0: {  // add vertex
@@ -106,6 +117,12 @@ TEST_P(GraphFuzzTest, AgreesWithReferenceModel) {
       case 4: {  // full neighborhood check of one vertex
         int v = static_cast<int>(rng.Index(n));
         ASSERT_EQ(graph.Neighbors(v), reference.Neighbors(v));
+        break;
+      }
+      case 5: {  // remove edge (may be absent or a self loop)
+        int u = static_cast<int>(rng.Index(n));
+        int v = static_cast<int>(rng.Index(n));
+        ASSERT_EQ(graph.RemoveEdge(u, v), reference.RemoveEdge(u, v));
         break;
       }
     }
@@ -178,6 +195,62 @@ TEST_P(SparseFuzzTest, CsrInvariantsHoldForAllConstructions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseFuzzTest, ::testing::Range(200, 216));
+
+// Randomized TU round-trip property: any dataset WriteTuDataset produces
+// must come back from ReadTuDataset structurally identical (same graphs,
+// same labels). Exercises the strict integer parsing on writer-produced
+// files and the label-compaction path with arbitrary (already-compact)
+// labels.
+class TuRoundTripFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TuRoundTripFuzzTest, WriteReadIsIdentity) {
+  Rng rng(GetParam());
+  const int num_graphs = 1 + static_cast<int>(rng.Index(8));
+  const int num_classes = 1 + static_cast<int>(rng.Index(3));
+  std::vector<Graph> graphs;
+  std::vector<int> labels;
+  // Every class in [0, C) must appear at least once or compaction on read
+  // renumbers (GraphDataset requires labels 0..C-1 anyway).
+  for (int gi = 0; gi < num_graphs; ++gi) {
+    const int n = 1 + static_cast<int>(rng.Index(12));
+    Graph g;
+    for (int v = 0; v < n; ++v) {
+      g.AddVertex(static_cast<Label>(rng.Index(4)));
+    }
+    const int attempts = static_cast<int>(rng.Index(3 * n + 1));
+    for (int e = 0; e < attempts; ++e) {
+      g.AddEdge(static_cast<int>(rng.Index(n)),
+                static_cast<int>(rng.Index(n)));
+    }
+    graphs.push_back(std::move(g));
+    labels.push_back(gi < num_classes ? gi
+                                      : static_cast<int>(rng.Index(
+                                            num_classes)));
+  }
+  GraphDataset original("FUZZ", std::move(graphs), std::move(labels));
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("deepmap_tu_fuzz_" + std::to_string(::getpid()) + "_" +
+       std::to_string(GetParam()));
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteTuDataset(original, dir.string()).ok());
+  auto loaded = ReadTuDataset(dir.string(), "FUZZ");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const GraphDataset& ds = loaded.value();
+  ASSERT_EQ(ds.size(), original.size());
+  EXPECT_EQ(ds.labels(), original.labels());
+  for (int i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.graph(i).NumVertices(), original.graph(i).NumVertices());
+    EXPECT_EQ(ds.graph(i).NumEdges(), original.graph(i).NumEdges());
+    EXPECT_EQ(ds.graph(i).EdgeList(), original.graph(i).EdgeList());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TuRoundTripFuzzTest,
+                         ::testing::Range(300, 310));
 
 }  // namespace
 }  // namespace deepmap::graph

@@ -1,0 +1,206 @@
+// ShardedTuCorpus: streaming round trip, corpus-wide label consistency,
+// shard resumption across reopen, and strict manifest parsing.
+#include "datasets/sharded_tu_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dataset.h"
+#include "graph/graph.h"
+
+namespace deepmap::datasets {
+namespace {
+
+class ShardedCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("deepmap_corpus_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+graph::Graph RingGraph(int n, graph::Label label) {
+  graph::Graph g;
+  for (int v = 0; v < n; ++v) g.AddVertex(label);
+  for (int v = 0; v < n; ++v) g.AddEdge(v, (v + 1) % n);
+  return g;
+}
+
+TEST_F(ShardedCorpusTest, StreamingRoundTripAcrossShards) {
+  ShardedTuCorpusWriter::Options options;
+  options.shard_size = 4;
+  ShardedTuCorpusWriter writer(dir(), "RINGS", options);
+  // 10 graphs -> shards of 4, 4, 2. Graph i is a ring of i+3 vertices, so
+  // per-graph identity is visible in the vertex counts.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.Append(RingGraph(i + 3, 0), i % 2).ok());
+  }
+  ASSERT_TRUE(writer.Finalize().ok());
+  EXPECT_EQ(writer.shards_written(), 3);
+  EXPECT_EQ(writer.graphs_written(), 10);
+
+  auto corpus = ShardedTuCorpus::Open(dir(), "RINGS");
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  ShardedTuCorpus& c = corpus.value();
+  EXPECT_EQ(c.num_shards(), 3);
+  EXPECT_EQ(c.total_graphs(), 10);
+  EXPECT_EQ(c.num_classes(), 2);
+
+  int seen = 0;
+  while (!c.Done()) {
+    auto batch = c.NextBatch();
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    for (int i = 0; i < batch.value().size(); ++i, ++seen) {
+      EXPECT_EQ(batch.value().graph(i).NumVertices(), seen + 3);
+      EXPECT_EQ(batch.value().graph(i).NumEdges(), seen + 3);
+      EXPECT_EQ(batch.value().label(i), seen % 2);
+    }
+  }
+  EXPECT_EQ(seen, 10);
+  // Exhausted: another pull is a typed FailedPrecondition, not a crash.
+  EXPECT_EQ(c.NextBatch().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardedCorpusTest, ClassLabelsAreConsistentAcrossShards) {
+  // Raw labels {-1, 1, 7}, arranged so shard 0 sees only {-1} and shard 1
+  // only {1, 7}. Per-shard compaction would map -1 -> 0 in shard 0 and
+  // 1 -> 0 in shard 1; the corpus-wide remap must yield -1 -> 0, 1 -> 1,
+  // 7 -> 2 everywhere.
+  ShardedTuCorpusWriter::Options options;
+  options.shard_size = 2;
+  ShardedTuCorpusWriter writer(dir(), "SKEW", options);
+  ASSERT_TRUE(writer.Append(RingGraph(3, 0), -1).ok());
+  ASSERT_TRUE(writer.Append(RingGraph(4, 0), -1).ok());  // shard 0 flushed
+  ASSERT_TRUE(writer.Append(RingGraph(5, 0), 1).ok());
+  ASSERT_TRUE(writer.Append(RingGraph(6, 0), 7).ok());  // shard 1 flushed
+  ASSERT_TRUE(writer.Finalize().ok());
+
+  auto corpus = ShardedTuCorpus::Open(dir(), "SKEW");
+  ASSERT_TRUE(corpus.ok());
+  ShardedTuCorpus& c = corpus.value();
+  EXPECT_EQ(c.num_classes(), 3);
+  EXPECT_EQ(c.class_labels(), (std::vector<int>{-1, 1, 7}));
+
+  auto shard0 = c.NextBatch();
+  ASSERT_TRUE(shard0.ok());
+  EXPECT_EQ(shard0.value().labels(), (std::vector<int>{0, 0}));
+  auto shard1 = c.NextBatch();
+  ASSERT_TRUE(shard1.ok());
+  EXPECT_EQ(shard1.value().labels(), (std::vector<int>{1, 2}));
+}
+
+TEST_F(ShardedCorpusTest, SeekShardResumesAndSurvivesReopen) {
+  ShardedTuCorpusWriter::Options options;
+  options.shard_size = 3;
+  ShardedTuCorpusWriter writer(dir(), "RESUME", options);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(writer.Append(RingGraph(i + 3, 0), 0).ok());
+  }
+  ASSERT_TRUE(writer.Finalize().ok());
+
+  int checkpoint = 0;
+  {
+    auto corpus = ShardedTuCorpus::Open(dir(), "RESUME");
+    ASSERT_TRUE(corpus.ok());
+    ASSERT_TRUE(corpus.value().NextBatch().ok());  // consume shard 0
+    checkpoint = corpus.value().next_shard();
+    EXPECT_EQ(checkpoint, 1);
+  }  // "process" exits; only the integer checkpoint survives
+
+  auto corpus = ShardedTuCorpus::Open(dir(), "RESUME");
+  ASSERT_TRUE(corpus.ok());
+  ShardedTuCorpus& c = corpus.value();
+  ASSERT_TRUE(c.SeekShard(checkpoint).ok());
+  auto batch = c.NextBatch();
+  ASSERT_TRUE(batch.ok());
+  // Shard 1 starts at graph 3 (ring of 6 vertices).
+  EXPECT_EQ(batch.value().graph(0).NumVertices(), 6);
+
+  // Rewind replays from the start; seeking to num_shards() is Done.
+  ASSERT_TRUE(c.SeekShard(0).ok());
+  EXPECT_FALSE(c.Done());
+  ASSERT_TRUE(c.SeekShard(c.num_shards()).ok());
+  EXPECT_TRUE(c.Done());
+  EXPECT_EQ(c.SeekShard(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.SeekShard(c.num_shards() + 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardedCorpusTest, AppendAfterFinalizeIsFailedPrecondition) {
+  ShardedTuCorpusWriter writer(dir(), "DONE");
+  ASSERT_TRUE(writer.Append(RingGraph(3, 0), 0).ok());
+  ASSERT_TRUE(writer.Finalize().ok());
+  EXPECT_EQ(writer.Append(RingGraph(3, 0), 0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardedCorpusTest, MissingManifestIsIoError) {
+  auto corpus = ShardedTuCorpus::Open(dir(), "NOPE");
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ShardedCorpusTest, CorruptManifestIsInvalidArgument) {
+  ShardedTuCorpusWriter writer(dir(), "CORRUPT");
+  ASSERT_TRUE(writer.Append(RingGraph(3, 0), 0).ok());
+  ASSERT_TRUE(writer.Finalize().ok());
+
+  const std::string manifest = dir() + "/CORRUPT_manifest.txt";
+  for (const char* bad : {
+           "not a manifest\n",
+           "tu_corpus v1\nname CORRUPT\nshard_size 12abc\n",
+           "tu_corpus v1\nname CORRUPT\nshard_size 4096\nvertex_labels 1\n"
+           "shards 2\ngraphs 1\nlabels 0\nshard 0 1\n",  // shard count lies
+           "tu_corpus v1\nname CORRUPT\nshard_size 4096\nvertex_labels 1\n"
+           "shards 1\ngraphs 5\nlabels 0\nshard 0 1\n",  // graph count lies
+       }) {
+    {
+      std::ofstream f(manifest);
+      f << bad;
+    }
+    auto corpus = ShardedTuCorpus::Open(dir(), "CORRUPT");
+    ASSERT_FALSE(corpus.ok()) << bad;
+    EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST_F(ShardedCorpusTest, ShardDisagreeingWithManifestIsInvalidArgument) {
+  ShardedTuCorpusWriter::Options options;
+  options.shard_size = 2;
+  ShardedTuCorpusWriter writer(dir(), "LIAR", options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.Append(RingGraph(3, 0), 0).ok());
+  }
+  ASSERT_TRUE(writer.Finalize().ok());
+  // Truncate shard 0's graph_labels so the shard holds fewer graphs than
+  // the manifest declares.
+  {
+    std::ofstream f(dir() + "/" + CorpusShardName("LIAR", 0) +
+                    "_graph_labels.txt");
+    f << "0\n";
+  }
+  auto corpus = ShardedTuCorpus::Open(dir(), "LIAR");
+  ASSERT_TRUE(corpus.ok());
+  auto batch = corpus.value().NextBatch();
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deepmap::datasets

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/failpoint.h"
+#include "common/string_util.h"
 #include "graph/dataset.h"
 #include "graph/graph.h"
 
@@ -82,6 +84,106 @@ TEST_F(TuFormatTest, CompactsGraphLabels) {
   EXPECT_EQ(loaded.value().NumClasses(), 2);
   EXPECT_EQ(loaded.value().label(0), 1);
   EXPECT_EQ(loaded.value().label(1), 0);
+}
+
+// --- strict-parse regressions -----------------------------------------------
+// The reader previously used std::stoi, which accepts "12abc" (parses the
+// prefix) and throws on overflow instead of returning a typed error. Every
+// malformed token must now surface as InvalidArgument.
+
+TEST_F(TuFormatTest, RejectsTrailingGarbageInLabels) {
+  GraphDataset original = MakeToyDataset();
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  {
+    std::ofstream f(dir() + "/TOY_graph_labels.txt");
+    f << "0\n12abc\n0\n";  // stoi would read 12 and carry on
+  }
+  auto loaded = ReadTuDataset(dir(), "TOY");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TuFormatTest, RejectsIntOverflowInLabels) {
+  GraphDataset original = MakeToyDataset();
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  {
+    std::ofstream f(dir() + "/TOY_graph_labels.txt");
+    f << "0\n2147483648\n0\n";  // INT_MAX + 1: stoi threw std::out_of_range
+  }
+  auto loaded = ReadTuDataset(dir(), "TOY");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TuFormatTest, RejectsMultiTokenIndicatorLines) {
+  GraphDataset original = MakeToyDataset();
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  {
+    std::ofstream f(dir() + "/TOY_graph_indicator.txt");
+    f << "1 1\n";  // two tokens on one line; stoi silently took the first
+    for (int i = 0; i < 7; ++i) f << "1\n";
+  }
+  auto loaded = ReadTuDataset(dir(), "TOY");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TuFormatTest, RejectsGarbageInEdgeFields) {
+  GraphDataset original = MakeToyDataset();
+  ASSERT_TRUE(WriteTuDataset(original, dir()).ok());
+  {
+    std::ofstream f(dir() + "/TOY_A.txt");
+    f << "1, 2x\n";
+  }
+  auto loaded = ReadTuDataset(dir(), "TOY");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseFullIntTest, AcceptsExactlyFullTokens) {
+  int v = 0;
+  EXPECT_TRUE(ParseFullInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseFullInt("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseFullInt("+3", &v));
+  EXPECT_EQ(v, 3);
+  EXPECT_TRUE(ParseFullInt("  11  ", &v));  // surrounding whitespace is ok
+  EXPECT_EQ(v, 11);
+  EXPECT_TRUE(ParseFullInt("2147483647", &v));
+  EXPECT_EQ(v, 2147483647);
+
+  EXPECT_FALSE(ParseFullInt("", &v));
+  EXPECT_FALSE(ParseFullInt("12abc", &v));
+  EXPECT_FALSE(ParseFullInt("1 2", &v));
+  EXPECT_FALSE(ParseFullInt("2147483648", &v));  // overflow
+  EXPECT_FALSE(ParseFullInt("abc", &v));
+  EXPECT_FALSE(ParseFullInt("1.5", &v));
+
+  int64_t w = 0;
+  EXPECT_TRUE(ParseFullInt64("2147483648", &w));  // fits int64
+  EXPECT_EQ(w, int64_t{2147483648});
+  EXPECT_FALSE(ParseFullInt64("9223372036854775808", &w));  // INT64_MAX + 1
+}
+
+// --- write-failure regressions ----------------------------------------------
+// operator<< on a full disk fails silently (badbit at some later write or at
+// flush); WriteTuDataset must turn that into IoError instead of leaving a
+// truncated shard a later reader trips over.
+
+TEST_F(TuFormatTest, WriteReportsIoErrorWhenStreamFails) {
+  FailPointRegistry::Instance().Enable("graph.tu.write",
+                                       FailPointSpec::Always());
+  Status s = WriteTuDataset(MakeToyDataset(), dir());
+  FailPointRegistry::Instance().Disable("graph.tu.write");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST_F(TuFormatTest, WriteToUnwritablePathReportsIoError) {
+  Status s = WriteTuDataset(MakeToyDataset(), dir() + "/no_such_subdir");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -68,6 +68,10 @@ REQUIRED_FAMILIES = {
     "deepmap_serve_reload_rollback_total": "Counter",
     "deepmap_serve_reload_breaker_open_total": "Counter",
     "deepmap_serve_reload_swaps_total": "Counter",
+    # Dynamic-graph serving (ClassifyDelta; docs/serving.md).
+    "deepmap_serve_dynamic_updates_total": "Counter",
+    "deepmap_serve_dynamic_incremental_hits_total": "Counter",
+    "deepmap_serve_dynamic_full_recomputes_total": "Counter",
 }
 
 
