@@ -39,6 +39,7 @@ Status ShardedTuCorpusWriter::Append(const graph::Graph& g, int label) {
   if (finalized_) {
     return Status::FailedPrecondition("corpus already finalized");
   }
+  if (!flush_error_.ok()) return flush_error_;
   buffer_.push_back(g);
   buffer_labels_.push_back(label);
   auto it = std::lower_bound(label_set_.begin(), label_set_.end(), label);
@@ -56,15 +57,24 @@ Status ShardedTuCorpusWriter::FlushShard() {
                             options_.has_vertex_labels);
   buffer_.clear();
   buffer_labels_.clear();
+  // Commit the shard into the manifest bookkeeping only once its bytes are
+  // on disk; a failed write must not leave Finalize declaring a shard that
+  // is missing or truncated. The failure is sticky — the flushed graphs are
+  // gone, so the writer refuses further Appends and Finalize.
+  if (Status s = graph::WriteTuDataset(shard, directory_); !s.ok()) {
+    flush_error_ = s;
+    return s;
+  }
   shard_counts_.push_back(shard.size());
   ++shards_written_;
-  return graph::WriteTuDataset(shard, directory_);
+  return Status::Ok();
 }
 
 Status ShardedTuCorpusWriter::Finalize() {
   if (finalized_) {
     return Status::FailedPrecondition("corpus already finalized");
   }
+  if (!flush_error_.ok()) return flush_error_;
   finalized_ = true;
   if (!buffer_.empty()) {
     if (Status s = FlushShard(); !s.ok()) return s;

@@ -64,6 +64,9 @@ class ShardedTuCorpusWriter {
 
   /// Flushes the partial shard (if any) and writes the manifest. Must be
   /// called exactly once; Append after Finalize is FailedPrecondition.
+  /// A failed shard flush is sticky: the buffered graphs are lost, so every
+  /// later Append and Finalize returns the flush error and no manifest is
+  /// written (the manifest never declares a shard whose write failed).
   Status Finalize();
 
   int shards_written() const { return shards_written_; }
@@ -82,6 +85,7 @@ class ShardedTuCorpusWriter {
   int shards_written_ = 0;
   int64_t graphs_written_ = 0;
   bool finalized_ = false;
+  Status flush_error_;  // first failed flush; sticky once set
 };
 
 /// Pull-based reader over a written corpus.

@@ -18,6 +18,12 @@ DynamicGraph::DynamicGraph(Graph base, const DynamicGraphOptions& options)
 }
 
 Status DynamicGraph::Apply(const EdgeUpdate& update) {
+  Status s = ApplyImpl(update);
+  if (s.ok()) ++updates_applied_;
+  return s;
+}
+
+Status DynamicGraph::ApplyImpl(const EdgeUpdate& update) {
   const Vertex u = update.u;
   const Vertex v = update.v;
   const int n = graph_.NumVertices();
@@ -88,26 +94,29 @@ Status DynamicGraph::Apply(const EdgeUpdate& update) {
   for (Vertex w : visited_) dist_[w] = -1;
   visited_.clear();
 
-  ++updates_applied_;
   fingerprint_dirty_ = true;
   centrality_dirty_ = true;
   return Status::Ok();
 }
 
 Status DynamicGraph::ApplyAll(const std::vector<EdgeUpdate>& updates) {
+  // The counter is committed once, after the whole batch lands: a failed
+  // batch — prefix applied, then rolled back — leaves updates_applied()
+  // unchanged, matching the graph it describes.
   for (size_t i = 0; i < updates.size(); ++i) {
-    Status s = Apply(updates[i]);
+    Status s = ApplyImpl(updates[i]);
     if (s.ok()) continue;
     // All-or-nothing: undo the applied prefix in reverse. Each inverse must
     // succeed — it reverts a mutation this loop just made.
     for (size_t j = i; j-- > 0;) {
       EdgeUpdate inverse = updates[j];
       inverse.insert = !inverse.insert;
-      Status undo = Apply(inverse);
+      Status undo = ApplyImpl(inverse);
       DEEPMAP_CHECK(undo.ok());
     }
     return s;
   }
+  updates_applied_ += static_cast<int64_t>(updates.size());
   return Status::Ok();
 }
 

@@ -72,6 +72,8 @@ class DynamicGraph {
 
   const Graph& graph() const { return graph_; }
   int wl_iterations() const { return options_.wl_iterations; }
+  /// Edge updates committed to the graph. A failed ApplyAll batch counts
+  /// zero: neither its rolled-back prefix nor the rollback itself shows up.
   int64_t updates_applied() const { return updates_applied_; }
 
   /// Applies one edge mutation and incrementally repairs the WL hashes.
@@ -104,6 +106,10 @@ class DynamicGraph {
   }
 
  private:
+  /// Apply() minus the updates_applied_ bump; ApplyAll uses it so a rolled
+  /// back batch (and its rollback) leaves the counter untouched.
+  Status ApplyImpl(const EdgeUpdate& update);
+
   Graph graph_;
   DynamicGraphOptions options_;
   /// levels_[h][v]: maintained WL hash of v at refinement level h.

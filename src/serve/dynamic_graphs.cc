@@ -22,7 +22,7 @@ DynamicGraphStore::DynamicGraphStore(int wl_iterations)
 Status DynamicGraphStore::Register(const std::string& id, graph::Graph g) {
   graph::DynamicGraphOptions options;
   options.wl_iterations = wl_iterations_;
-  auto entry = std::make_unique<Entry>(std::move(g), options);
+  auto entry = std::make_shared<Entry>(std::move(g), options);
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = graphs_.emplace(id, std::move(entry));
   if (!inserted) {
@@ -33,32 +33,29 @@ Status DynamicGraphStore::Register(const std::string& id, graph::Graph g) {
 }
 
 Status DynamicGraphStore::Unregister(const std::string& id) {
-  std::unique_ptr<Entry> retired;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = graphs_.find(id);
-    if (it == graphs_.end()) {
-      return Status::NotFound("dynamic graph '" + id + "' is not registered");
-    }
-    retired = std::move(it->second);
-    graphs_.erase(it);
+  // Only the map's reference is dropped here. A concurrent ApplyDelta that
+  // already copied the shared_ptr (between its Find and locking entry->mu)
+  // keeps the entry alive and destroys it when it finishes — so no caller
+  // ever locks a destroyed mutex.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(id);
+  if (it == graphs_.end()) {
+    return Status::NotFound("dynamic graph '" + id + "' is not registered");
   }
-  // A concurrent ApplyDelta may still hold the entry mutex; taking it here
-  // makes the destruction wait for that delta to finish.
-  std::lock_guard<std::mutex> entry_lock(retired->mu);
+  graphs_.erase(it);
   return Status::Ok();
 }
 
-DynamicGraphStore::Entry* DynamicGraphStore::Find(
+std::shared_ptr<DynamicGraphStore::Entry> DynamicGraphStore::Find(
     const std::string& id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(id);
-  return it == graphs_.end() ? nullptr : it->second.get();
+  return it == graphs_.end() ? nullptr : it->second;
 }
 
 StatusOr<DeltaResult> DynamicGraphStore::ApplyDelta(
     const std::string& id, const std::vector<graph::EdgeUpdate>& updates) {
-  Entry* entry = Find(id);
+  std::shared_ptr<Entry> entry = Find(id);
   if (entry == nullptr) {
     return Status::NotFound("dynamic graph '" + id + "' is not registered");
   }
@@ -74,7 +71,7 @@ StatusOr<DeltaResult> DynamicGraphStore::ApplyDelta(
 
 StatusOr<graph::Graph> DynamicGraphStore::Snapshot(
     const std::string& id) const {
-  Entry* entry = Find(id);
+  std::shared_ptr<Entry> entry = Find(id);
   if (entry == nullptr) {
     return Status::NotFound("dynamic graph '" + id + "' is not registered");
   }
@@ -84,7 +81,7 @@ StatusOr<graph::Graph> DynamicGraphStore::Snapshot(
 
 StatusOr<std::string> DynamicGraphStore::CacheKey(
     const std::string& id) const {
-  Entry* entry = Find(id);
+  std::shared_ptr<Entry> entry = Find(id);
   if (entry == nullptr) {
     return Status::NotFound("dynamic graph '" + id + "' is not registered");
   }

@@ -11,7 +11,10 @@
 //
 // Locking is two-level: a store mutex guards the id map, a per-entry mutex
 // serializes deltas against the same graph. Deltas on different graphs
-// never contend, and neither level is held while the model runs.
+// never contend, and neither level is held while the model runs. Entries
+// are shared_ptr-owned: a lookup copies the reference under the store
+// mutex, so a concurrent Unregister only drops the map's reference and the
+// entry outlives (and is destroyed after) any delta still using it.
 #ifndef DEEPMAP_SERVE_DYNAMIC_GRAPHS_H_
 #define DEEPMAP_SERVE_DYNAMIC_GRAPHS_H_
 
@@ -47,7 +50,9 @@ class DynamicGraphStore {
   /// Registers `g` under `id`; FailedPrecondition if the id is taken.
   Status Register(const std::string& id, graph::Graph g);
 
-  /// Drops `id`; NotFound if absent.
+  /// Drops `id`; NotFound if absent. A delta already in flight against the
+  /// entry finishes on its own reference; the entry is freed when the last
+  /// holder releases it.
   Status Unregister(const std::string& id);
 
   /// Applies `updates` atomically to `id` (graph::DynamicGraph::ApplyAll:
@@ -75,13 +80,15 @@ class DynamicGraphStore {
     graph::DynamicGraph dyn;
   };
 
-  /// Looks up the entry under mu_; the returned pointer stays valid until
-  /// Unregister (entries are heap-allocated and never moved).
-  Entry* Find(const std::string& id) const;
+  /// Looks up the entry under mu_ and returns a shared reference (null if
+  /// absent). The copy keeps the entry — and its mutex — alive even if a
+  /// concurrent Unregister erases the map's reference before the caller
+  /// locks entry->mu.
+  std::shared_ptr<Entry> Find(const std::string& id) const;
 
   const int wl_iterations_;
   mutable std::mutex mu_;  // guards graphs_ (the map, not the entries)
-  std::unordered_map<std::string, std::unique_ptr<Entry>> graphs_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> graphs_;
 };
 
 }  // namespace deepmap::serve

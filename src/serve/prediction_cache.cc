@@ -1,5 +1,6 @@
 #include "serve/prediction_cache.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "common/failpoint.h"
@@ -10,7 +11,10 @@ namespace deepmap::serve {
 PredictionCache::PredictionCache(size_t capacity, size_t num_shards,
                                  obs::MetricsRegistry* registry)
     : capacity_(capacity) {
-  if (num_shards == 0) num_shards = 1;
+  // More shards than capacity slots would leave zero-slot shards whose key
+  // slice silently never caches; clamp so every shard owns at least one
+  // slot. Capacity 0 (cache disabled) degenerates to one empty shard.
+  num_shards = std::clamp<size_t>(num_shards, 1, std::max<size_t>(capacity, 1));
   // Split the budget exactly: base slots everywhere, and the remainder
   // handed out one slot each to the first shards. The previous ceil
   // division gave EVERY shard the rounded-up quota, so a (capacity=10,
@@ -85,9 +89,6 @@ void PredictionCache::Insert(const std::string& key, Prediction prediction) {
   // correct engine must tolerate (the next request just misses again).
   if (DEEPMAP_FAILPOINT_TRIGGERED("serve.cache.insert")) return;
   Shard& shard = *shards_[ShardIndexFor(key)];
-  // A shard can be allotted zero slots when capacity < num_shards; it then
-  // stores nothing (rather than evicting from an empty list).
-  if (shard.capacity == 0) return;
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {

@@ -24,8 +24,11 @@
 // shards one extra — so the per-shard capacities always sum to `capacity`.
 // (The previous ceil-division split handed every shard the rounded-up
 // quota, letting the cache hold up to num_shards - 1 entries more than
-// configured.) Eviction is a per-shard decision: the recency order is
-// exact within a shard and approximate globally.
+// configured.) num_shards is clamped to capacity (when nonzero), so no
+// shard is ever allotted zero slots — a zero-slot shard would silently
+// never cache its slice of the key space. Eviction is a per-shard
+// decision: the recency order is exact within a shard and approximate
+// globally.
 //
 // When a MetricsRegistry is supplied, every shard exports its counters as
 //   deepmap_serve_cache_shard<i>_hits_total
@@ -57,7 +60,8 @@ namespace deepmap::serve {
 class PredictionCache {
  public:
   /// `capacity` == 0 disables the cache (every Lookup misses). `num_shards`
-  /// is clamped to >= 1; per-shard capacities sum exactly to `capacity`.
+  /// is clamped to [1, max(capacity, 1)] so every shard owns at least one
+  /// slot; per-shard capacities sum exactly to `capacity`.
   /// When `registry` is non-null (it must outlive the cache), per-shard
   /// hit/miss/eviction counters are registered on it.
   explicit PredictionCache(size_t capacity, size_t num_shards = 1,

@@ -137,6 +137,9 @@ TEST(DynamicGraphTest, ApplyAllRollsBackOnFailure) {
   EXPECT_TRUE(dyn.graph().HasEdge(1, 2));
   EXPECT_FALSE(dyn.graph().HasEdge(2, 3));
   EXPECT_EQ(dyn.Fingerprint(), before);
+  // The rolled-back batch counts zero: neither the applied prefix nor the
+  // inverses that undid it show up in the committed-update counter.
+  EXPECT_EQ(dyn.updates_applied(), 0);
   ExpectMatchesFullRecompute(dyn);
 
   // The same batch without the poison pill applies cleanly.
@@ -145,6 +148,7 @@ TEST(DynamicGraphTest, ApplyAllRollsBackOnFailure) {
           .ok());
   EXPECT_TRUE(dyn.graph().HasEdge(2, 3));
   EXPECT_FALSE(dyn.graph().HasEdge(1, 2));
+  EXPECT_EQ(dyn.updates_applied(), 2);
   ExpectMatchesFullRecompute(dyn);
 }
 

@@ -5,8 +5,10 @@
 // the single InferenceEngine and the ServeCluster front ends.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/deepmap.h"
@@ -16,6 +18,7 @@
 #include "nn/model.h"
 #include "obs/metrics.h"
 #include "serve/cluster.h"
+#include "serve/dynamic_graphs.h"
 #include "serve/engine.h"
 
 namespace deepmap {
@@ -197,6 +200,35 @@ TEST(DynamicServeTest, ErrorsLeaveRegisteredGraphUntouched) {
 
   ASSERT_TRUE(engine.UnregisterDynamicGraph("g").ok());
   EXPECT_EQ(engine.UnregisterDynamicGraph("g").code(), StatusCode::kNotFound);
+}
+
+TEST(DynamicServeTest, StoreDeltasRaceUnregisterSafely) {
+  // Regression: Find() used to hand back a raw pointer after dropping the
+  // store mutex, so an Unregister landing before the delta locked the entry
+  // destroyed the entry under it. Entries are shared_ptr-owned now; this
+  // hammers the window (register/unregister churn against concurrent
+  // deltas/snapshots) and must be clean under TSan.
+  serve::DynamicGraphStore store(2);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&store, &done] {
+      while (!done.load(std::memory_order_relaxed)) {
+        // NotFound (unregistered) and InvalidArgument (edge present) are
+        // both fine; the point is the entry must stay alive while in use.
+        (void)store.ApplyDelta("g", {EdgeUpdate::Insert(0, 2)});
+        (void)store.Snapshot("g");
+        (void)store.CacheKey("g");
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(store.Register("g", BaseGraph()).ok());
+    ASSERT_TRUE(store.Unregister("g").ok());
+  }
+  done.store(true);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(store.size(), 0u);
 }
 
 TEST(DynamicServeTest, ClusterClassifyDeltaMatchesEngine) {

@@ -82,6 +82,31 @@ TEST(PredictionCacheTest, ZeroCapacityDisablesCache) {
   EXPECT_FALSE(cache.Lookup("A").has_value());
 }
 
+TEST(PredictionCacheTest, ShardCountClampsToCapacity) {
+  // capacity < num_shards used to mint zero-slot shards whose key slice
+  // silently never cached; the shard count now clamps so every shard owns
+  // at least one slot and every key remains cacheable.
+  PredictionCache cache(3, 8);
+  EXPECT_EQ(cache.num_shards(), 3u);
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_GE(cache.shard_capacity(s), 1u) << "shard " << s;
+  }
+  for (int k = 0; k < 16; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    cache.Insert(key, MakePrediction(k));
+    auto hit = cache.Lookup(key);  // freshly inserted: must be cached
+    ASSERT_TRUE(hit.has_value()) << key;
+    EXPECT_EQ(hit->label, k);
+  }
+  EXPECT_LE(cache.size(), 3u);
+
+  // Capacity 0 stays the documented "disabled" mode: one shard, no slots.
+  PredictionCache disabled(0, 8);
+  EXPECT_EQ(disabled.num_shards(), 1u);
+  disabled.Insert("A", MakePrediction(0));
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
 TEST(PredictionCacheTest, IsomorphicGraphsShareKey) {
   graph::Graph path = graph::Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
   // The same path with vertices renamed.

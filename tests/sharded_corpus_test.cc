@@ -150,6 +150,30 @@ TEST_F(ShardedCorpusTest, AppendAfterFinalizeIsFailedPrecondition) {
   EXPECT_EQ(writer.Finalize().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST_F(ShardedCorpusTest, FailedFlushIsStickyAndNeverReachesTheManifest) {
+  // Shard writes land in a directory that does not exist, so the very first
+  // flush fails. The failed shard must not be committed to the manifest
+  // bookkeeping, and the writer must refuse all further work: a manifest
+  // declaring a shard that is missing on disk would only surface later as a
+  // confusing read-side mismatch.
+  const std::string missing = dir() + "/no_such_subdir";
+  ShardedTuCorpusWriter::Options options;
+  options.shard_size = 1;
+  ShardedTuCorpusWriter writer(missing, "LOST", options);
+
+  Status s = writer.Append(RingGraph(3, 0), 0);  // shard_size 1: flushes now
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(writer.shards_written(), 0);  // failed shard not committed
+
+  // Sticky: later Appends and Finalize replay the flush error, and no
+  // manifest is written.
+  EXPECT_EQ(writer.Append(RingGraph(4, 0), 0).code(), StatusCode::kIoError);
+  EXPECT_EQ(writer.Finalize().code(), StatusCode::kIoError);
+  EXPECT_FALSE(
+      std::filesystem::exists(missing + "/LOST_manifest.txt"));
+}
+
 TEST_F(ShardedCorpusTest, MissingManifestIsIoError) {
   auto corpus = ShardedTuCorpus::Open(dir(), "NOPE");
   ASSERT_FALSE(corpus.ok());
